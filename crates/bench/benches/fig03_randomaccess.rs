@@ -1,0 +1,40 @@
+//! Figures 3/5 bench: RandomAccess on both substrates with
+//! Fusion-flavoured cost tables (substrate gaps visible in wall-clock).
+
+use std::time::Duration;
+
+use caf::SubstrateKind;
+use caf_bench::real_ra;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_ra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig03_randomaccess");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    let updates = 20_000usize;
+    for p in [2usize, 4, 8] {
+        group.throughput(Throughput::Elements((updates * p) as u64));
+        for kind in [SubstrateKind::Mpi, SubstrateKind::Gasnet] {
+            let name = match kind {
+                SubstrateKind::Mpi => "caf-mpi",
+                SubstrateKind::Gasnet => "caf-gasnet",
+            };
+            group.bench_with_input(BenchmarkId::new(name, p), &p, |b, &p| {
+                // Time only the benchmark's own timed section (job setup —
+                // segment zeroing, library init — is excluded).
+                b.iter_custom(|iters| {
+                    (0..iters)
+                        .map(|_| Duration::from_secs_f64(real_ra(p, kind, 10, updates).seconds))
+                        .sum()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ra);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figures 6/7 bench: FFT on both substrates. The MPI substrate's tuned
+//! alltoall versus the GASNet runtime's hand-rolled AM exchange is the
+//! paper's headline FFT result.
+
+use std::time::Duration;
+
+use caf::SubstrateKind;
+use caf_bench::real_fft;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig06_fft");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    let log2_size = 16u32;
+    let m = 1u64 << log2_size;
+    for p in [2usize, 4, 8] {
+        group.throughput(Throughput::Elements(m));
+        for kind in [SubstrateKind::Mpi, SubstrateKind::Gasnet] {
+            let name = match kind {
+                SubstrateKind::Mpi => "caf-mpi",
+                SubstrateKind::Gasnet => "caf-gasnet",
+            };
+            group.bench_with_input(BenchmarkId::new(name, p), &p, |b, &p| {
+                // Time only the benchmark's own timed section.
+                b.iter_custom(|iters| {
+                    (0..iters)
+                        .map(|_| Duration::from_secs_f64(real_fft(p, kind, log2_size).seconds))
+                        .sum()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft);
+criterion_main!(benches);

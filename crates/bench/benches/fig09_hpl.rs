@@ -1,0 +1,37 @@
+//! Figures 9/10 bench: HPL on both substrates — expected to be
+//! indistinguishable (compute-bound), as the paper finds.
+
+use std::time::Duration;
+
+use caf::SubstrateKind;
+use caf_bench::real_hpl;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_hpl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig09_hpl");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    for p in [2usize, 4] {
+        for kind in [SubstrateKind::Mpi, SubstrateKind::Gasnet] {
+            let name = match kind {
+                SubstrateKind::Mpi => "caf-mpi",
+                SubstrateKind::Gasnet => "caf-gasnet",
+            };
+            group.bench_with_input(BenchmarkId::new(name, p), &p, |b, &p| {
+                // Time only the benchmark's own timed section.
+                b.iter_custom(|iters| {
+                    (0..iters)
+                        .map(|_| Duration::from_secs_f64(real_hpl(p, kind, 128, 16).seconds))
+                        .sum()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hpl);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figures 11/12 bench: the hybrid MPI+CAF CGPOP miniapp, PUSH vs PULL
+//! halo exchanges on both substrates — all four variants expected within
+//! a few percent, as the paper finds.
+
+use std::time::Duration;
+
+use caf::SubstrateKind;
+use caf_bench::real_cgpop;
+use caf_hpcc::cgpop::ExchangeMode;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_cgpop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_cgpop");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    let p = 4usize;
+    let variants = [
+        ("mpi-push", SubstrateKind::Mpi, ExchangeMode::Push),
+        ("mpi-pull", SubstrateKind::Mpi, ExchangeMode::Pull),
+        ("gasnet-push", SubstrateKind::Gasnet, ExchangeMode::Push),
+        ("gasnet-pull", SubstrateKind::Gasnet, ExchangeMode::Pull),
+    ];
+    for (name, kind, mode) in variants {
+        group.bench_with_input(BenchmarkId::new(name, p), &p, |b, &p| {
+            // Time only the benchmark's own timed section.
+            b.iter_custom(|iters| {
+                (0..iters)
+                    .map(|_| {
+                        Duration::from_secs_f64(real_cgpop(p, kind, mode, 24, 24, 40).seconds)
+                    })
+                    .sum()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cgpop);
+criterion_main!(benches);

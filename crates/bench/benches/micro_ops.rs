@@ -1,0 +1,119 @@
+//! Microbenchmark panel (the paper's Mira/Edison rate plots): remote
+//! coarray READ, WRITE, EVENT_NOTIFY, and team alltoall rates on both
+//! substrates, measured with `iter_custom` inside a live job.
+
+use std::time::{Duration, Instant};
+
+use caf::{Coarray, Image, SubstrateKind};
+use caf_bench::{fusion_like, timed_on_rank0};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn pairwise<F>(kind: SubstrateKind, iters: u64, f: F) -> Duration
+where
+    F: Fn(&Image, &Coarray<u64>, u64) -> Duration + Send + Sync,
+{
+    timed_on_rank0(2, fusion_like(kind), |img| {
+        let w = img.team_world();
+        let ca: Coarray<u64> = img.coarray_alloc(&w, 64);
+        img.sync_all();
+        let d = if img.this_image() == 0 {
+            f(img, &ca, iters)
+        } else {
+            Duration::ZERO
+        };
+        img.sync_all();
+        img.coarray_free(&w, ca);
+        d
+    })
+}
+
+fn bench_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_ops");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(1));
+
+    for kind in [SubstrateKind::Mpi, SubstrateKind::Gasnet] {
+        let name = match kind {
+            SubstrateKind::Mpi => "caf-mpi",
+            SubstrateKind::Gasnet => "caf-gasnet",
+        };
+
+        group.bench_function(BenchmarkId::new("write", name), |b| {
+            b.iter_custom(|iters| {
+                pairwise(kind, iters, |img, ca, iters| {
+                    let data = [7u64];
+                    let t = Instant::now();
+                    for _ in 0..iters {
+                        ca.write(img, 1, 0, &data);
+                    }
+                    t.elapsed()
+                })
+            })
+        });
+
+        group.bench_function(BenchmarkId::new("read", name), |b| {
+            b.iter_custom(|iters| {
+                pairwise(kind, iters, |img, ca, iters| {
+                    let mut out = [0u64];
+                    let t = Instant::now();
+                    for _ in 0..iters {
+                        ca.read(img, 1, 0, &mut out);
+                    }
+                    t.elapsed()
+                })
+            })
+        });
+
+        group.bench_function(BenchmarkId::new("event_notify", name), |b| {
+            b.iter_custom(|iters| {
+                timed_on_rank0(2, fusion_like(kind), |img| {
+                    let w = img.team_world();
+                    let ev = img.event_alloc(&w);
+                    img.sync_all();
+                    let d = if img.this_image() == 0 {
+                        let t = Instant::now();
+                        for _ in 0..iters {
+                            img.event_notify(&w, &ev, 1);
+                        }
+                        t.elapsed()
+                    } else {
+                        for _ in 0..iters {
+                            img.event_wait(&ev);
+                        }
+                        Duration::ZERO
+                    };
+                    img.sync_all();
+                    d
+                })
+            })
+        });
+
+        group.bench_function(BenchmarkId::new("alltoall_8img", name), |b| {
+            b.iter_custom(|iters| {
+                timed_on_rank0(8, fusion_like(kind), |img| {
+                    let w = img.team_world();
+                    let send: Vec<u64> = (0..8).collect();
+                    img.sync_all();
+                    let t = Instant::now();
+                    for _ in 0..iters {
+                        let _ = img.alltoall(&w, &send, 1);
+                    }
+                    let d = t.elapsed();
+                    img.sync_all();
+                    if img.this_image() == 0 {
+                        d
+                    } else {
+                        Duration::ZERO
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

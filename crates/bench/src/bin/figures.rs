@@ -1,0 +1,107 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! figures                # all figures, model vs paper
+//! figures fig3 fig6      # a subset by id
+//! figures table1         # Table 1
+//! figures real           # append small-scale real-execution sections
+//! figures --json         # emit the selected figures as JSON
+//! ```
+
+use caf::SubstrateKind;
+use caf_bench::{real_cgpop, real_fft, real_hpl, real_memory, real_ra};
+use caf_hpcc::cgpop::ExchangeMode;
+use caf_netmodel::figures;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want_real = args.iter().any(|a| a == "real");
+    let want_json = args.iter().any(|a| a == "--json");
+    let filters: Vec<&String> = args
+        .iter()
+        .filter(|a| a.as_str() != "real" && a.as_str() != "--json")
+        .collect();
+    let selected = |id: &str| filters.is_empty() || filters.iter().any(|f| f.as_str() == id);
+
+    if want_json {
+        let figs: Vec<_> = figures::all_figures()
+            .into_iter()
+            .filter(|f| selected(f.id))
+            .collect();
+        println!("[");
+        for (i, fig) in figs.iter().enumerate() {
+            print!("{}", fig.to_json());
+            println!("{}", if i + 1 < figs.len() { "," } else { "" });
+        }
+        println!("]");
+        return;
+    }
+
+    if selected("table1") {
+        print!("{}", figures::table1());
+        println!();
+    }
+
+    for fig in figures::all_figures() {
+        if selected(fig.id) {
+            println!("{}", fig.render());
+        }
+    }
+
+    if want_real {
+        real_sections();
+    }
+}
+
+fn real_sections() {
+    println!("== real-execution (in-process fabric, 2-16 images) ==");
+    println!("-- Figure 1 (measured runtime overhead, bytes/process) --");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "images", "GASNet-only", "MPI-only", "duplicate"
+    );
+    for p in [2usize, 4, 8, 16] {
+        let (g, m, d) = real_memory(p);
+        println!("{p:>10} {g:>14} {m:>14} {d:>14}");
+    }
+
+    println!("\n-- RandomAccess (measured GUP/s) --");
+    println!("{:>10} {:>14} {:>14}", "images", "CAF-MPI", "CAF-GASNet");
+    for p in [2usize, 4, 8] {
+        let m = real_ra(p, SubstrateKind::Mpi, 10, 20_000);
+        let g = real_ra(p, SubstrateKind::Gasnet, 10, 20_000);
+        println!("{p:>10} {:>14.5} {:>14.5}", m.metric, g.metric);
+    }
+
+    println!("\n-- FFT (measured GFlop/s) --");
+    println!("{:>10} {:>14} {:>14}", "images", "CAF-MPI", "CAF-GASNet");
+    for p in [2usize, 4, 8] {
+        let m = real_fft(p, SubstrateKind::Mpi, 16);
+        let g = real_fft(p, SubstrateKind::Gasnet, 16);
+        println!("{p:>10} {:>14.4} {:>14.4}", m.metric, g.metric);
+    }
+
+    println!("\n-- HPL (measured GFlop/s) --");
+    println!("{:>10} {:>14} {:>14}", "images", "CAF-MPI", "CAF-GASNet");
+    for p in [2usize, 4] {
+        let m = real_hpl(p, SubstrateKind::Mpi, 128, 16);
+        let g = real_hpl(p, SubstrateKind::Gasnet, 128, 16);
+        println!("{p:>10} {:>14.4} {:>14.4}", m.metric, g.metric);
+    }
+
+    println!("\n-- CGPOP (measured seconds; PUSH vs PULL) --");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14} {:>14}",
+        "images", "MPI PUSH", "MPI PULL", "GASNet PUSH", "GASNet PULL"
+    );
+    for p in [4usize, 6] {
+        let mp = real_cgpop(p, SubstrateKind::Mpi, ExchangeMode::Push, 32, 32, 60);
+        let ml = real_cgpop(p, SubstrateKind::Mpi, ExchangeMode::Pull, 32, 32, 60);
+        let gp = real_cgpop(p, SubstrateKind::Gasnet, ExchangeMode::Push, 32, 32, 60);
+        let gl = real_cgpop(p, SubstrateKind::Gasnet, ExchangeMode::Pull, 32, 32, 60);
+        println!(
+            "{p:>10} {:>14.4} {:>14.4} {:>14.4} {:>14.4}",
+            mp.metric, ml.metric, gp.metric, gl.metric
+        );
+    }
+}

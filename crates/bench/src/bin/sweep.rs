@@ -1,0 +1,109 @@
+//! Real-execution parameter sweeps, CSV output — the workload-generator /
+//! sweep harness behind the small-scale measurements in EXPERIMENTS.md.
+//!
+//! ```text
+//! sweep ra       # RandomAccess: images × substrate × table size
+//! sweep fft      # FFT: images × substrate × problem size
+//! sweep hpl      # HPL: images × substrate × matrix size
+//! sweep cgpop    # CGPOP: images × substrate × mode
+//! sweep memory   # Figure-1 footprints: images × configuration
+//! sweep all      # everything
+//! ```
+//!
+//! Columns: `benchmark,images,substrate,param,metric,seconds`.
+
+use caf::SubstrateKind;
+use caf_bench::{real_cgpop, real_fft, real_hpl, real_memory, real_ra};
+use caf_hpcc::cgpop::ExchangeMode;
+
+const KINDS: [(&str, SubstrateKind); 2] = [
+    ("caf-mpi", SubstrateKind::Mpi),
+    ("caf-gasnet", SubstrateKind::Gasnet),
+];
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    println!("benchmark,images,substrate,param,metric,seconds");
+    if matches!(which.as_str(), "ra" | "all") {
+        sweep_ra();
+    }
+    if matches!(which.as_str(), "fft" | "all") {
+        sweep_fft();
+    }
+    if matches!(which.as_str(), "hpl" | "all") {
+        sweep_hpl();
+    }
+    if matches!(which.as_str(), "cgpop" | "all") {
+        sweep_cgpop();
+    }
+    if matches!(which.as_str(), "memory" | "all") {
+        sweep_memory();
+    }
+}
+
+fn sweep_ra() {
+    for p in [2usize, 4, 8] {
+        for (name, kind) in KINDS {
+            for log2_local in [9u32, 10, 11] {
+                let row = real_ra(p, kind, log2_local, 20_000);
+                println!(
+                    "randomaccess,{p},{name},log2_local={log2_local},{:.6},{:.6}",
+                    row.metric, row.seconds
+                );
+            }
+        }
+    }
+}
+
+fn sweep_fft() {
+    for p in [2usize, 4, 8] {
+        for (name, kind) in KINDS {
+            for log2_size in [14u32, 15, 16] {
+                let row = real_fft(p, kind, log2_size);
+                println!(
+                    "fft,{p},{name},log2_size={log2_size},{:.6},{:.6}",
+                    row.metric, row.seconds
+                );
+            }
+        }
+    }
+}
+
+fn sweep_hpl() {
+    for p in [2usize, 4] {
+        for (name, kind) in KINDS {
+            for n in [96usize, 128, 160] {
+                let row = real_hpl(p, kind, n, 16);
+                println!(
+                    "hpl,{p},{name},n={n},{:.6},{:.6}",
+                    row.metric, row.seconds
+                );
+            }
+        }
+    }
+}
+
+fn sweep_cgpop() {
+    for p in [4usize, 6] {
+        for (name, kind) in KINDS {
+            for (mode_name, mode) in
+                [("push", ExchangeMode::Push), ("pull", ExchangeMode::Pull)]
+            {
+                let row = real_cgpop(p, kind, mode, 24, 24, 40);
+                println!(
+                    "cgpop,{p},{name},mode={mode_name},{:.6},{:.6}",
+                    row.metric, row.seconds
+                );
+            }
+        }
+    }
+}
+
+fn sweep_memory() {
+    for p in [2usize, 4, 8, 16] {
+        let (g, m, d) = real_memory(p);
+        println!("memory,{p},gasnet-only,bytes,{g},0");
+        println!("memory,{p},mpi-only,bytes,{m},0");
+        println!("memory,{p},duplicate,bytes,{d},0");
+    }
+}

@@ -1,0 +1,226 @@
+//! # caf-bench
+//!
+//! Shared harness for the criterion benches and the `figures` binary:
+//! platform-flavoured runtime configurations (so substrate cost
+//! differences are visible in wall-clock measurements) and small-scale
+//! *real-execution* runs of each benchmark on both substrates.
+//!
+//! Real runs exercise the actual runtimes at laptop scale (2–16 images);
+//! the full 16–4096-core figures come from `caf-netmodel`. The `figures`
+//! binary prints both.
+
+use std::time::Duration;
+
+use caf::{CafConfig, CafUniverse, GasnetConfig, Image, MpiConfig, SubstrateKind};
+use caf_hpcc::cgpop::{self, CgpopParams, ExchangeMode};
+use caf_hpcc::{fft, hpl, ra};
+
+/// A runtime configuration with the Fusion-flavoured cost tables applied
+/// (MVAPICH-like MPI, ibv-conduit-like GASNet, SRQ auto at the paper's
+/// threshold — scaled down 100× in time, see the substrate `costs`
+/// modules).
+pub fn fusion_like(kind: SubstrateKind) -> CafConfig {
+    CafConfig {
+        substrate: kind,
+        mpi: MpiConfig {
+            delays: caf_mpisim::costs::mvapich_like(),
+            ..MpiConfig::default()
+        },
+        gasnet: GasnetConfig {
+            delays: caf_gasnetsim::costs::ibv_conduit_like(),
+            srq_receive_penalty_ns: caf_gasnetsim::costs::SRQ_PENALTY_NS,
+            segment_size: 64 << 20,
+            ..GasnetConfig::default()
+        },
+        hybrid_mpi: kind == SubstrateKind::Gasnet,
+    }
+}
+
+/// As [`fusion_like`], but with the cost tables at **full scale** (the
+/// paper's real-hardware nanoseconds, not divided by `TIME_SCALE`).
+/// Use for shape-assertion tests: on a small or single-core host, the
+/// spin-charged software overheads then dominate scheduling noise, so
+/// substrate differences reproduce deterministically.
+pub fn fusion_fullscale(kind: SubstrateKind) -> CafConfig {
+    fn unscale(mut d: caf_fabric::delay::DelayConfig, by: f64) -> caf_fabric::delay::DelayConfig {
+        for c in [
+            &mut d.p2p_inject,
+            &mut d.p2p_receive,
+            &mut d.rma_put,
+            &mut d.rma_get,
+            &mut d.rma_atomic,
+            &mut d.flush_per_target,
+            &mut d.am_dispatch,
+        ] {
+            c.base_ns *= by;
+            c.per_byte_ns *= by;
+        }
+        d
+    }
+    let mut cfg = fusion_like(kind);
+    cfg.mpi.delays = unscale(cfg.mpi.delays, caf_mpisim::costs::TIME_SCALE);
+    cfg.gasnet.delays = unscale(cfg.gasnet.delays, caf_gasnetsim::costs::TIME_SCALE);
+    cfg.gasnet.srq_receive_penalty_ns *= caf_gasnetsim::costs::TIME_SCALE;
+    cfg
+}
+
+/// A cost-free configuration (correctness-speed runs).
+pub fn fast(kind: SubstrateKind) -> CafConfig {
+    CafConfig {
+        substrate: kind,
+        gasnet: GasnetConfig {
+            segment_size: 64 << 20,
+            ..GasnetConfig::default()
+        },
+        hybrid_mpi: kind == SubstrateKind::Gasnet,
+        ..CafConfig::default()
+    }
+}
+
+/// One real-execution measurement row.
+#[derive(Debug, Clone)]
+pub struct RealRow {
+    /// Number of images.
+    pub p: usize,
+    /// Substrate label.
+    pub substrate: &'static str,
+    /// Benchmark metric (GUP/s, GFlop/s, seconds...).
+    pub metric: f64,
+    /// Wall-clock seconds of the timed section.
+    pub seconds: f64,
+}
+
+fn label(kind: SubstrateKind) -> &'static str {
+    match kind {
+        SubstrateKind::Mpi => "CAF-MPI",
+        SubstrateKind::Gasnet => "CAF-GASNet",
+    }
+}
+
+/// Real RandomAccess run: `2^log2_local` table entries and `updates`
+/// updates per image.
+pub fn real_ra(p: usize, kind: SubstrateKind, log2_local: u32, updates: usize) -> RealRow {
+    let out = CafUniverse::run_with_config(p, fusion_like(kind), |img| {
+        let team = img.team_world();
+        ra::run(img, &team, log2_local, updates).bench
+    });
+    RealRow {
+        p,
+        substrate: label(kind),
+        metric: out[0].metric,
+        seconds: out[0].seconds,
+    }
+}
+
+/// Real FFT run of `2^log2_size` points.
+pub fn real_fft(p: usize, kind: SubstrateKind, log2_size: u32) -> RealRow {
+    let out = CafUniverse::run_with_config(p, fusion_like(kind), |img| {
+        let team = img.team_world();
+        fft::run(img, &team, log2_size)
+    });
+    RealRow {
+        p,
+        substrate: label(kind),
+        metric: out[0].metric,
+        seconds: out[0].seconds,
+    }
+}
+
+/// Real HPL run of an `n×n` system with block size `nb`.
+pub fn real_hpl(p: usize, kind: SubstrateKind, n: usize, nb: usize) -> RealRow {
+    let out = CafUniverse::run_with_config(p, fusion_like(kind), |img| {
+        let team = img.team_world();
+        let o = hpl::run(img, &team, n, nb, 42);
+        assert!(o.residual < 16.0, "HPL residual {}", o.residual);
+        o.bench
+    });
+    RealRow {
+        p,
+        substrate: label(kind),
+        metric: out[0].metric,
+        seconds: out[0].seconds,
+    }
+}
+
+/// Real CGPOP run.
+pub fn real_cgpop(
+    p: usize,
+    kind: SubstrateKind,
+    mode: ExchangeMode,
+    nx: usize,
+    ny: usize,
+    iters: usize,
+) -> RealRow {
+    let out = CafUniverse::run_with_config(p, fusion_like(kind), move |img| {
+        let team = img.team_world();
+        cgpop::run(img, &team, CgpopParams { nx, ny, iters }, mode).bench
+    });
+    RealRow {
+        p,
+        substrate: label(kind),
+        metric: out[0].metric,
+        seconds: out[0].seconds,
+    }
+}
+
+/// Measured per-process runtime memory overhead (bytes) for the three
+/// Figure-1 configurations, at job size `p`:
+/// `(gasnet_only, mpi_only, duplicate)`.
+pub fn real_memory(p: usize) -> (usize, usize, usize) {
+    let gasnet_only = CafUniverse::run_with_config(
+        p,
+        CafConfig::on(SubstrateKind::Gasnet),
+        |img| img.runtime_memory_overhead(),
+    )[0];
+    let mpi_only =
+        CafUniverse::run(p, |img| img.runtime_memory_overhead())[0];
+    let duplicate = CafUniverse::run_with_config(
+        p,
+        CafConfig {
+            hybrid_mpi: true,
+            ..CafConfig::on(SubstrateKind::Gasnet)
+        },
+        |img| img.runtime_memory_overhead(),
+    )[0];
+    (gasnet_only, mpi_only, duplicate)
+}
+
+/// Run `op_count` timed operations on image 0 of a `p`-image job and
+/// return image 0's elapsed time (helper for `iter_custom`-style micro
+/// benches).
+pub fn timed_on_rank0<F>(p: usize, cfg: CafConfig, f: F) -> Duration
+where
+    F: Fn(&Image) -> Duration + Send + Sync,
+{
+    let times = CafUniverse::run_with_config(p, cfg, |img| f(img));
+    times[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_rows_are_sane() {
+        let row = real_ra(4, SubstrateKind::Mpi, 8, 500);
+        assert!(row.metric > 0.0);
+        assert_eq!(row.substrate, "CAF-MPI");
+        let row = real_fft(4, SubstrateKind::Gasnet, 12);
+        assert!(row.metric > 0.0);
+    }
+
+    #[test]
+    fn memory_rows_reproduce_figure1_ordering() {
+        let (g, m, d) = real_memory(4);
+        assert!(g < m, "GASNet footprint below MPI: {g} !< {m}");
+        assert_eq!(d, g + m, "duplicate = sum");
+    }
+
+    #[test]
+    fn fusion_like_config_enables_srq_at_threshold() {
+        let cfg = fusion_like(SubstrateKind::Gasnet);
+        assert_eq!(cfg.gasnet.srq_auto_threshold, 128);
+        assert!(cfg.gasnet.srq_receive_penalty_ns > 0.0);
+        assert!(cfg.hybrid_mpi);
+    }
+}

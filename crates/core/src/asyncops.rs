@@ -1,0 +1,637 @@
+//! Asynchronous operations: `copy_async`, asynchronous collectives, and
+//! `cofence` (paper §2.1, §3.3, §3.5).
+//!
+//! The heart of this module is the four-way mapping the paper derives from
+//! MPI-3's completion semantics (§3.3):
+//!
+//! 1. no completion events requested → plain `MPI_PUT`/`MPI_GET`,
+//!    implicitly synchronized (completed by the next `cofence`/`finish`);
+//! 2. events on a GET-style copy → `MPI_RGET`, whose request certifies
+//!    local *and* remote completion;
+//! 3. only a *source* (local-completion) event on a PUT-style copy →
+//!    `MPI_RPUT`, whose request certifies local completion;
+//! 4. a *destination* (remote-completion) event on a PUT-style copy →
+//!    **active messages**: MPI-3 has no way to observe remote completion
+//!    of a put, so the data travels in an AM and the target posts the
+//!    event after copying it in. "Obviously not as efficient… but it
+//!    provides the necessary functionality."
+//!
+//! On the GASNet substrate puts are remotely complete at sync, so case 4
+//! becomes put + notify — one of the baseline's structural advantages.
+
+use caf_fabric::pod::as_bytes;
+use caf_fabric::Pod;
+
+use crate::backend::Backend;
+use crate::coarray::{Coarray, RegionInner};
+use crate::event::Event;
+use crate::image::Image;
+use crate::rtmsg::RtMsg;
+use crate::stats::StatCat;
+use crate::team::Team;
+
+/// Optional event arguments of an asynchronous operation (paper §2.1):
+/// the *predicate* gates the start, the *source* event signals the source
+/// buffer is reusable, the *destination* event signals delivery.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AsyncOpts {
+    /// Start only after this event is posted locally.
+    pub predicate: Option<Event>,
+    /// Post (locally) when the source buffer is reusable.
+    pub src_event: Option<Event>,
+    /// Post (at the destination image) when the data has been delivered.
+    pub dst_event: Option<Event>,
+}
+
+impl AsyncOpts {
+    /// No events: implicit synchronization (case 1).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Only a source (local-completion) event (case 3).
+    pub fn with_src(ev: Event) -> Self {
+        AsyncOpts {
+            src_event: Some(ev),
+            ..Self::default()
+        }
+    }
+
+    /// A destination (remote-completion) event (case 4).
+    pub fn with_dst(ev: Event) -> Self {
+        AsyncOpts {
+            dst_event: Some(ev),
+            ..Self::default()
+        }
+    }
+}
+
+impl Image {
+    /// Asynchronous PUT-style copy: local `data` into `member`'s part of
+    /// the coarray at element offset `elem_off`.
+    pub fn copy_async_put<T: Pod>(
+        &self,
+        ca: &Coarray<T>,
+        member: usize,
+        elem_off: usize,
+        data: &[T],
+        opts: AsyncOpts,
+    ) {
+        if let Some(pred) = opts.predicate {
+            let posted = *self.events.borrow().get(&pred.id).unwrap_or(&0) > 0;
+            if !posted {
+                // Defer the whole operation until the predicate fires.
+                let ca = ca.clone();
+                let data = data.to_vec();
+                let rest = AsyncOpts {
+                    predicate: None,
+                    ..opts
+                };
+                self.deferred.borrow_mut().push((
+                    pred.id,
+                    Box::new(move |img: &Image| {
+                        img.copy_async_put(&ca, member, elem_off, &data, rest);
+                    }),
+                ));
+                return;
+            }
+        }
+        self.stats().timed(StatCat::CopyAsync, || {
+            self.put_with_events(ca, member, elem_off, data, opts.src_event, opts.dst_event);
+        });
+    }
+
+    fn put_with_events<T: Pod>(
+        &self,
+        ca: &Coarray<T>,
+        member: usize,
+        elem_off: usize,
+        data: &[T],
+        src_event: Option<Event>,
+        dst_event: Option<Event>,
+    ) {
+        let disp = elem_off * std::mem::size_of::<T>();
+        match (&self.backend, &*ca.region) {
+            (Backend::Mpi(b), RegionInner::Mpi { win }) => {
+                match dst_event {
+                    None => {
+                        if src_event.is_some() {
+                            // Case 3: MPI_RPUT — local completion only.
+                            b.mpi.rput(win, member, disp, data).expect("rput").wait();
+                        } else {
+                            // Case 1: plain MPI_PUT, implicitly synchronized.
+                            b.mpi.put(win, member, disp, data).expect("put");
+                            self.implicit_puts.set(self.implicit_puts.get() + 1);
+                        }
+                    }
+                    Some(dst) => {
+                        // Case 4: remote-completion event requested — the
+                        // data must travel by AM so the target can post the
+                        // event after delivery.
+                        let target = win.comm().global_rank(member);
+                        if target == self.this_image() {
+                            b.mpi.win_write_local(win, disp, data).expect("self put");
+                            self.post_event_local(dst.id);
+                        } else {
+                            self.backend.send_rtmsg(
+                                target,
+                                &RtMsg::PutWithEvent {
+                                    region_id: win.id(),
+                                    offset: disp as u64,
+                                    event_id: dst.id,
+                                    data: as_bytes(data).to_vec(),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            (Backend::Gasnet(bg), RegionInner::Gasnet { offsets, members, .. }) => {
+                // GASNet puts are remotely complete at sync; a destination
+                // event is just put + notify.
+                bg.g.put_nbi(members[member], offsets[member] + disp, data)
+                    .expect("put_nbi");
+                self.implicit_puts.set(self.implicit_puts.get() + 1);
+                if let Some(dst) = dst_event {
+                    bg.g.wait_syncnbi_puts();
+                    let target = members[member];
+                    if target == self.this_image() {
+                        self.post_event_local(dst.id);
+                    } else {
+                        self.backend
+                            .send_rtmsg(target, &RtMsg::EventNotify { event_id: dst.id });
+                    }
+                }
+            }
+            _ => panic!("coarray does not belong to this substrate"),
+        }
+        // The source buffer was consumed synchronously on this substrate;
+        // its event can post immediately (local completion).
+        if let Some(src) = src_event {
+            self.post_event_local(src.id);
+        }
+    }
+
+    /// Asynchronous GET-style copy: fetch `len` elements from `member`'s
+    /// part into a fresh vector. Case 2 of the mapping: the request
+    /// certifies local and remote completion, so both events (if any) post
+    /// at return.
+    pub fn copy_async_get<T: Pod>(
+        &self,
+        ca: &Coarray<T>,
+        member: usize,
+        elem_off: usize,
+        len: usize,
+        opts: AsyncOpts,
+    ) -> Vec<T> {
+        self.stats().timed(StatCat::CopyAsync, || {
+            let mut out = crate::zeroed_vec::<T>(len);
+            let disp = elem_off * std::mem::size_of::<T>();
+            match (&self.backend, &*ca.region) {
+                (Backend::Mpi(b), RegionInner::Mpi { win }) => {
+                    let req = b.mpi.rget::<T>(win, member, disp, len).expect("rget");
+                    out = req.wait();
+                }
+                (Backend::Gasnet(bg), RegionInner::Gasnet { offsets, members, .. }) => {
+                    bg.g.get(members[member], offsets[member] + disp, &mut out)
+                        .expect("get");
+                }
+                _ => panic!("coarray does not belong to this substrate"),
+            }
+            if let Some(src) = opts.src_event {
+                self.post_event_local(src.id);
+            }
+            if let Some(dst) = opts.dst_event {
+                self.post_event_local(dst.id);
+            }
+            out
+        })
+    }
+
+    /// `cofence`: block until all implicitly synchronized asynchronous
+    /// operations issued before it are locally complete (their buffers are
+    /// reusable). Also a compiler barrier in CAF; in Rust the borrow rules
+    /// already prevent reordering observable here.
+    pub fn cofence(&self) {
+        match &self.backend {
+            Backend::Mpi(_) => {
+                // MPI_WAITALL over the tracked request arrays (paper §3.5);
+                // requests on this substrate are complete at issue.
+            }
+            Backend::Gasnet(b) => b.g.wait_syncnbi_all(),
+        }
+        self.complete_implicit_local();
+    }
+
+    /// `cofence` with a completion event (paper §3.5: "the cofence
+    /// statement takes an optional argument that a user can use to request
+    /// local completion notification of PUT or GET operations"): completes
+    /// the implicit lists and posts `ev` locally.
+    pub fn cofence_with_event(&self, ev: &Event) {
+        self.cofence();
+        self.post_event_local(ev.id);
+    }
+
+    /// Number of implicitly synchronized puts issued since the last
+    /// `cofence`/`finish` (introspection for tests and benches).
+    pub fn implicit_put_count(&self) -> u64 {
+        self.implicit_puts.get()
+    }
+
+    /// General asynchronous copy between two coarray locations, either or
+    /// both remote (`copy_async` with coarray source *and* destination —
+    /// the full generality of paper §2.1: "the source and destination may
+    /// be local or remote coarrays"). Composed of a GET-style fetch and a
+    /// PUT-style store; events follow the §3.3 mapping of the store side.
+    #[allow(clippy::too_many_arguments)]
+    pub fn copy_async_between<T: Pod>(
+        &self,
+        src: &Coarray<T>,
+        src_member: usize,
+        src_off: usize,
+        dst: &Coarray<T>,
+        dst_member: usize,
+        dst_off: usize,
+        len: usize,
+        opts: AsyncOpts,
+    ) {
+        if let Some(pred) = opts.predicate {
+            let posted = *self.events.borrow().get(&pred.id).unwrap_or(&0) > 0;
+            if !posted {
+                let src = src.clone();
+                let dst = dst.clone();
+                let rest = AsyncOpts {
+                    predicate: None,
+                    ..opts
+                };
+                self.deferred.borrow_mut().push((
+                    pred.id,
+                    Box::new(move |img: &Image| {
+                        img.copy_async_between(
+                            &src, src_member, src_off, &dst, dst_member, dst_off, len, rest,
+                        );
+                    }),
+                ));
+                return;
+            }
+        }
+        // Fetch (local+remote complete at return: case 2)...
+        let data = self.copy_async_get(src, src_member, src_off, len, AsyncOpts::none());
+        // ...then store with the requested completion events (cases 1/3/4).
+        self.put_with_events(
+            dst,
+            dst_member,
+            dst_off,
+            &data,
+            opts.src_event,
+            opts.dst_event,
+        );
+    }
+
+    /// Asynchronous team broadcast, with the async-collective event
+    /// convention of paper §2.1.
+    pub fn team_broadcast_async<T: Pod>(
+        &self,
+        team: &Team,
+        root: usize,
+        data: &mut Vec<T>,
+        data_event: Option<Event>,
+        op_event: Option<Event>,
+    ) {
+        self.broadcast(team, root, data);
+        if let Some(ev) = data_event {
+            self.post_event_local(ev.id);
+        }
+        if let Some(ev) = op_event {
+            self.post_event_local(ev.id);
+        }
+    }
+
+    /// Asynchronous team allgather, with the async-collective event
+    /// convention of paper §2.1.
+    pub fn team_allgather_async<T: Pod>(
+        &self,
+        team: &Team,
+        data: &[T],
+        data_event: Option<Event>,
+        op_event: Option<Event>,
+    ) -> Vec<T> {
+        let out = self.allgather(team, data);
+        if let Some(ev) = data_event {
+            self.post_event_local(ev.id);
+        }
+        if let Some(ev) = op_event {
+            self.post_event_local(ev.id);
+        }
+        out
+    }
+
+    /// Asynchronous team reduction (`team_reduce_async`): the result
+    /// arrives in the returned vector; the *data* event posts when the
+    /// local buffer is readable, the *operation* event when it is
+    /// modifiable (paper §2.1). Executed eagerly on this substrate.
+    pub fn team_reduce_async<T: Pod>(
+        &self,
+        team: &Team,
+        data: &[T],
+        f: impl Fn(T, T) -> T,
+        data_event: Option<Event>,
+        op_event: Option<Event>,
+    ) -> Vec<T> {
+        let out = self.allreduce(team, data, f);
+        if let Some(ev) = data_event {
+            self.post_event_local(ev.id);
+        }
+        if let Some(ev) = op_event {
+            self.post_event_local(ev.id);
+        }
+        out
+    }
+
+    /// Asynchronous team alltoall, with the same event convention.
+    pub fn team_alltoall_async<T: Pod>(
+        &self,
+        team: &Team,
+        data: &[T],
+        block: usize,
+        data_event: Option<Event>,
+        op_event: Option<Event>,
+    ) -> Vec<T> {
+        let out = self.alltoall(team, data, block);
+        if let Some(ev) = data_event {
+            self.post_event_local(ev.id);
+        }
+        if let Some(ev) = op_event {
+            self.post_event_local(ev.id);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{CafConfig, CafUniverse, SubstrateKind};
+
+    fn both(n: usize, f: impl Fn(&Image) + Send + Sync) {
+        for kind in [SubstrateKind::Mpi, SubstrateKind::Gasnet] {
+            CafUniverse::run_with_config(n, CafConfig::on(kind), |img| f(img));
+        }
+    }
+
+    #[test]
+    fn case1_implicit_put_completed_by_cofence_and_barrier() {
+        both(2, |img| {
+            let w = img.team_world();
+            let ca: Coarray<u64> = img.coarray_alloc(&w, 2);
+            if img.this_image() == 0 {
+                img.copy_async_put(&ca, 1, 0, &[42, 43], AsyncOpts::none());
+                assert_eq!(img.implicit_put_count(), 1);
+                img.cofence();
+                assert_eq!(img.implicit_put_count(), 0);
+                img.backend_flush_all();
+            }
+            img.sync_all();
+            if img.this_image() == 1 {
+                assert_eq!(ca.local_vec(img), vec![42, 43]);
+            }
+            img.coarray_free(&w, ca);
+        });
+    }
+
+    #[test]
+    fn case3_src_event_posts_locally() {
+        both(2, |img| {
+            let w = img.team_world();
+            let ca: Coarray<u64> = img.coarray_alloc(&w, 1);
+            let src_ev = img.event_alloc(&w);
+            if img.this_image() == 0 {
+                img.copy_async_put(&ca, 1, 0, &[5], AsyncOpts::with_src(src_ev));
+                // Local completion: the source event must be waitable here.
+                img.event_wait(&src_ev);
+            }
+            img.sync_all();
+            img.coarray_free(&w, ca);
+        });
+    }
+
+    #[test]
+    fn case4_dst_event_posts_at_destination_after_delivery() {
+        both(2, |img| {
+            let w = img.team_world();
+            let ca: Coarray<u64> = img.coarray_alloc(&w, 1);
+            let dst_ev = img.event_alloc(&w);
+            if img.this_image() == 0 {
+                img.copy_async_put(&ca, 1, 0, &[1234], AsyncOpts::with_dst(dst_ev));
+            } else {
+                img.event_wait(&dst_ev);
+                // Data must be there once the event fires.
+                assert_eq!(ca.local_vec(img)[0], 1234);
+            }
+            img.sync_all();
+            img.coarray_free(&w, ca);
+        });
+    }
+
+    #[test]
+    fn case2_get_posts_both_events() {
+        both(2, |img| {
+            let w = img.team_world();
+            let ca: Coarray<u64> = img.coarray_alloc(&w, 1);
+            let a = img.event_alloc(&w);
+            let b = img.event_alloc(&w);
+            ca.local_write(img, 0, &[img.this_image() as u64 + 10]);
+            img.sync_all();
+            let peer = 1 - img.this_image();
+            let got = img.copy_async_get(
+                &ca,
+                peer,
+                0,
+                1,
+                AsyncOpts {
+                    predicate: None,
+                    src_event: Some(a),
+                    dst_event: Some(b),
+                },
+            );
+            assert_eq!(got[0], peer as u64 + 10);
+            img.event_wait(&a);
+            img.event_wait(&b);
+            img.sync_all();
+            img.coarray_free(&w, ca);
+        });
+    }
+
+    #[test]
+    fn predicate_defers_until_event() {
+        both(2, |img| {
+            let w = img.team_world();
+            let ca: Coarray<u64> = img.coarray_alloc(&w, 1);
+            let pred = img.event_alloc(&w);
+            let dst = img.event_alloc(&w);
+            if img.this_image() == 0 {
+                // Issue the copy gated on `pred` — it must NOT run yet.
+                img.copy_async_put(
+                    &ca,
+                    1,
+                    0,
+                    &[99],
+                    AsyncOpts {
+                        predicate: Some(pred),
+                        src_event: None,
+                        dst_event: Some(dst),
+                    },
+                );
+                // Nothing delivered yet; now fire the predicate locally.
+                img.post_event_local(pred.id);
+            } else {
+                img.event_wait(&dst);
+                assert_eq!(ca.local_vec(img)[0], 99);
+            }
+            img.sync_all();
+            img.coarray_free(&w, ca);
+        });
+    }
+
+    #[test]
+    fn predicate_already_posted_runs_immediately() {
+        both(1, |img| {
+            let w = img.team_world();
+            let ca: Coarray<u64> = img.coarray_alloc(&w, 1);
+            let pred = img.event_alloc(&w);
+            img.post_event_local(pred.id);
+            img.copy_async_put(
+                &ca,
+                0,
+                0,
+                &[7],
+                AsyncOpts {
+                    predicate: Some(pred),
+                    src_event: None,
+                    dst_event: None,
+                },
+            );
+            img.cofence();
+            img.backend_flush_all();
+            assert_eq!(ca.local_vec(img)[0], 7);
+            img.coarray_free(&w, ca);
+        });
+    }
+
+    #[test]
+    fn copy_between_remote_coarrays() {
+        both(3, |img| {
+            let w = img.team_world();
+            let a: Coarray<u64> = img.coarray_alloc(&w, 4);
+            let b: Coarray<u64> = img.coarray_alloc(&w, 4);
+            // Image 1's part of `a` holds known data.
+            if img.this_image() == 1 {
+                a.local_write(img, 0, &[11, 12, 13, 14]);
+            }
+            img.sync_all();
+            // Image 0 copies a[1] → b[2] with a destination event.
+            let dst_ev = img.event_alloc(&w);
+            if img.this_image() == 0 {
+                img.copy_async_between(&a, 1, 1, &b, 2, 0, 3, AsyncOpts::with_dst(dst_ev));
+            }
+            if img.this_image() == 2 {
+                img.event_wait(&dst_ev);
+                assert_eq!(b.local_vec(img)[..3], [12, 13, 14]);
+            }
+            img.sync_all();
+            img.coarray_free(&w, a);
+            img.coarray_free(&w, b);
+        });
+    }
+
+    #[test]
+    fn copy_between_with_predicate() {
+        both(2, |img| {
+            let w = img.team_world();
+            let a: Coarray<u64> = img.coarray_alloc(&w, 2);
+            let b: Coarray<u64> = img.coarray_alloc(&w, 2);
+            let pred = img.event_alloc(&w);
+            let done = img.event_alloc(&w);
+            a.local_write(img, 0, &[img.this_image() as u64 + 40, 0]);
+            img.sync_all();
+            if img.this_image() == 0 {
+                // Deferred until pred fires locally.
+                img.copy_async_between(
+                    &a,
+                    1,
+                    0,
+                    &b,
+                    1,
+                    1,
+                    1,
+                    AsyncOpts {
+                        predicate: Some(pred),
+                        src_event: None,
+                        dst_event: Some(done),
+                    },
+                );
+                img.post_event_local(pred.id);
+            } else {
+                img.event_wait(&done);
+                assert_eq!(b.local_vec(img)[1], 41);
+            }
+            img.sync_all();
+            img.coarray_free(&w, a);
+            img.coarray_free(&w, b);
+        });
+    }
+
+    #[test]
+    fn async_broadcast_and_allgather_post_events() {
+        both(3, |img| {
+            let w = img.team_world();
+            let ev1 = img.event_alloc(&w);
+            let ev2 = img.event_alloc(&w);
+            let mut data = if img.this_image() == 0 {
+                vec![9u64]
+            } else {
+                Vec::new()
+            };
+            img.team_broadcast_async(&w, 0, &mut data, Some(ev1), None);
+            assert_eq!(data, vec![9]);
+            img.event_wait(&ev1);
+
+            let all = img.team_allgather_async(&w, &[img.this_image() as u64], Some(ev2), None);
+            assert_eq!(all, vec![0, 1, 2]);
+            img.event_wait(&ev2);
+        });
+    }
+
+    #[test]
+    fn cofence_with_event_posts() {
+        both(1, |img| {
+            let w = img.team_world();
+            let ca: Coarray<u64> = img.coarray_alloc(&w, 1);
+            let ev = img.event_alloc(&w);
+            img.copy_async_put(&ca, 0, 0, &[3], AsyncOpts::none());
+            img.cofence_with_event(&ev);
+            img.event_wait(&ev);
+            assert_eq!(img.implicit_put_count(), 0);
+            img.coarray_free(&w, ca);
+        });
+    }
+
+    #[test]
+    fn async_collectives_post_events() {
+        both(4, |img| {
+            let w = img.team_world();
+            let data_ev = img.event_alloc(&w);
+            let op_ev = img.event_alloc(&w);
+            let s = img.team_reduce_async(
+                &w,
+                &[1u64],
+                |a, b| a + b,
+                Some(data_ev),
+                Some(op_ev),
+            );
+            assert_eq!(s[0], 4);
+            img.event_wait(&data_ev);
+            img.event_wait(&op_ev);
+        });
+    }
+}

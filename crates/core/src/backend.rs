@@ -1,0 +1,187 @@
+//! The substrate abstraction: one CAF runtime, two communication layers.
+//!
+//! `Backend::Mpi` is the paper's contribution (CAF-MPI, §3); `Backend::Gasnet`
+//! is the baseline the paper compares against (CAF-GASNet, the original
+//! CAF 2.0 runtime). The runtime above this module is substrate-agnostic;
+//! everything substrate-specific — remote references, AM transport, flush
+//! semantics, collectives availability — lives here.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::queue::SegQueue;
+
+use caf_gasnetsim::{Gasnet, AM_MAX_MEDIUM};
+use caf_mpisim::{Comm, Mpi, Src, Tag, Window};
+
+use crate::arena::SegmentArena;
+use crate::rtmsg::RtMsg;
+
+/// Tag used for runtime AMs on the MPI substrate's private communicator.
+pub(crate) const RT_TAG: i64 = 7;
+/// GASNet handler index used for runtime AMs.
+pub(crate) const RT_HANDLER: usize = caf_gasnetsim::am::FIRST_USER_HANDLER;
+
+/// Per-image substrate state. Boxed: one per image, matched constantly.
+pub(crate) enum Backend {
+    Mpi(Box<MpiBackend>),
+    Gasnet(Box<GasnetBackend>),
+}
+
+/// CAF-MPI: MPI-3 is the runtime (paper §3).
+pub(crate) struct MpiBackend {
+    pub mpi: Mpi,
+    /// Private communicator carrying runtime AMs (events, shipping), so
+    /// they can never match application-level receives.
+    pub rt_comm: Comm,
+    /// Every window the runtime has allocated, keyed by window id. Used by
+    /// `flush_all` ("every window the local process has touched", §3.5) and
+    /// to resolve `PutWithEvent` targets.
+    pub windows: RefCell<HashMap<u64, Arc<Window>>>,
+}
+
+/// CAF-GASNet: the original runtime design, for baseline comparison.
+pub(crate) struct GasnetBackend {
+    pub g: Gasnet,
+    /// Allocator over the attached segment (coarrays live inside it).
+    pub arena: SegmentArena,
+    /// Decoded-but-unhandled runtime AMs, filled by the GASNet handler.
+    pub inbox: Arc<SegQueue<(usize, Vec<u8>)>>,
+    /// Region id -> this image's segment offset (PutWithEvent resolution
+    /// and bookkeeping).
+    pub regions: RefCell<HashMap<u64, usize>>,
+    /// Optional co-resident MPI library (the paper's "duplicate runtimes"
+    /// configuration, used by hybrid applications such as CGPOP and by the
+    /// Figure-1 memory experiment).
+    pub hybrid_mpi: Option<Mpi>,
+}
+
+impl Backend {
+    pub fn rank(&self) -> usize {
+        match self {
+            Backend::Mpi(b) => b.mpi.rank(),
+            Backend::Gasnet(b) => b.g.rank(),
+        }
+    }
+
+    pub fn size(&self) -> usize {
+        match self {
+            Backend::Mpi(b) => b.mpi.size(),
+            Backend::Gasnet(b) => b.g.size(),
+        }
+    }
+
+    /// Send a runtime message to a global rank. Non-blocking (paper §3.4:
+    /// notifications use `MPI_ISEND` to avoid deadlock in circular
+    /// wait/notify chains).
+    pub fn send_rtmsg(&self, target: usize, msg: &RtMsg) {
+        let bytes = msg.encode();
+        match self {
+            Backend::Mpi(b) => {
+                b.mpi
+                    .isend(&b.rt_comm, target, RT_TAG, &bytes)
+                    .expect("runtime AM send")
+                    .wait();
+            }
+            Backend::Gasnet(b) => {
+                assert!(
+                    bytes.len() <= AM_MAX_MEDIUM,
+                    "runtime message of {} bytes exceeds the medium-AM limit; \
+                     large transfers must use puts",
+                    bytes.len()
+                );
+                b.g.am_request_medium(target, RT_HANDLER, &[], &bytes)
+                    .expect("runtime AM send");
+            }
+        }
+    }
+
+    /// Non-blocking poll for one runtime message.
+    pub fn try_recv_rtmsg(&self) -> Option<RtMsg> {
+        match self {
+            Backend::Mpi(b) => {
+                try_match_rt(&b.mpi, &b.rt_comm, RT_TAG).map(|bytes| RtMsg::decode(&bytes))
+            }
+            Backend::Gasnet(b) => {
+                if let Some((_src, bytes)) = b.inbox.pop() {
+                    return Some(RtMsg::decode(&bytes));
+                }
+                b.g.poll();
+                b.inbox.pop().map(|(_src, bytes)| RtMsg::decode(&bytes))
+            }
+        }
+    }
+
+    /// Block until a runtime message arrives. The blocking wait makes
+    /// progress on the substrate (paper §3.4: "the blocking polling
+    /// operation allows the MPI runtime to make progress internally").
+    pub fn recv_rtmsg_blocking(&self) -> RtMsg {
+        match self {
+            Backend::Mpi(b) => {
+                let (bytes, _st) = b
+                    .mpi
+                    .recv::<u8>(&b.rt_comm, Src::Any, Tag::Is(RT_TAG))
+                    .expect("runtime AM recv");
+                RtMsg::decode(&bytes)
+            }
+            Backend::Gasnet(b) => loop {
+                if let Some((_src, bytes)) = b.inbox.pop() {
+                    return RtMsg::decode(&bytes);
+                }
+                let pkt = b.g.wait_am_packet();
+                b.g.dispatch_packet(pkt);
+            },
+        }
+    }
+
+    /// Complete all outstanding one-sided operations to every target, on
+    /// every region this image has touched.
+    ///
+    /// * MPI: `MPI_Win_flush_all` per window — each one Θ(P) in MPICH
+    ///   derivatives, the root cause of CAF-MPI's `event_notify` cost
+    ///   (paper §4.1).
+    /// * GASNet: `gasnet_wait_syncnbi_puts` — a local operation; GASNet
+    ///   puts are remotely complete at sync.
+    pub fn flush_all(&self) {
+        match self {
+            Backend::Mpi(b) => {
+                for win in b.windows.borrow().values() {
+                    b.mpi.win_flush_all(win).expect("flush_all");
+                }
+            }
+            Backend::Gasnet(b) => {
+                b.g.wait_syncnbi_puts();
+            }
+        }
+    }
+
+    /// Runtime memory overhead in bytes (Figure 1): the substrate's own
+    /// accounting, plus the co-resident MPI library's when running
+    /// duplicate runtimes.
+    pub fn memory_overhead(&self) -> usize {
+        match self {
+            Backend::Mpi(b) => b.mpi.mem().runtime_overhead(),
+            Backend::Gasnet(b) => {
+                b.g.mem().runtime_overhead()
+                    + b.hybrid_mpi
+                        .as_ref()
+                        .map_or(0, |m| m.mem().runtime_overhead())
+            }
+        }
+    }
+}
+
+/// Runtime-AM matcher on the MPI substrate (non-blocking).
+fn try_match_rt(mpi: &Mpi, rt_comm: &Comm, tag: i64) -> Option<Vec<u8>> {
+    let mut req = mpi.irecv::<u8>(rt_comm, Src::Any, Tag::Is(tag));
+    if req.test(mpi) {
+        let (bytes, _st) = req.wait(mpi);
+        Some(bytes)
+    } else {
+        // Dropping an unmatched irecv is safe on this substrate: irecv
+        // posts no receive state until matched.
+        drop(req);
+        None
+    }
+}

@@ -1,0 +1,672 @@
+//! Coarrays — "the main addition of CAF to Fortran 95" (paper §3.1).
+//!
+//! A `Coarray<T>` gives every image of a team `len` local elements of `T`,
+//! remotely readable and writable by any other team member with one-sided
+//! semantics.
+//!
+//! The remote-reference representation is substrate-specific, exactly as in
+//! the paper:
+//!
+//! * **CAF-MPI**: a `(window, rank, displacement)` triple — MPI RMA hides
+//!   absolute remote addresses inside the window object, so the runtime
+//!   carries the window and an offset;
+//! * **CAF-GASNet**: an `(image, address)` pair — GASNet exposes raw
+//!   segment addresses.
+//!
+//! Blocking reads and writes have *global visibility* semantics: when the
+//! call returns, the effect is visible to everyone (the MPI path issues
+//! `MPI_Put` + `MPI_Win_flush`; GASNet puts are remotely complete at
+//! return).
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use caf_mpisim::Window;
+
+use caf_fabric::Pod;
+
+use crate::backend::Backend;
+use crate::image::Image;
+use crate::stats::StatCat;
+use crate::team::{Team, TeamInner};
+
+/// A coarray: `len` elements of `T` on every image of its team.
+///
+/// The handle is `Send + Sync` so it can be captured by shipped functions;
+/// operations go through the *executing* image's runtime.
+pub struct Coarray<T: Pod> {
+    pub(crate) region: Arc<RegionInner>,
+    len: usize,
+    _pd: PhantomData<T>,
+}
+
+impl<T: Pod> Clone for Coarray<T> {
+    fn clone(&self) -> Self {
+        Coarray {
+            region: Arc::clone(&self.region),
+            len: self.len,
+            _pd: PhantomData,
+        }
+    }
+}
+
+impl<T: Pod> std::fmt::Debug for Coarray<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coarray")
+            .field("len", &self.len)
+            .field("region", &self.region.id())
+            .finish()
+    }
+}
+
+#[derive(Debug)]
+pub(crate) enum RegionInner {
+    /// MPI substrate: the coarray is an RMA window.
+    Mpi { win: Arc<Window> },
+    /// GASNet substrate: per-member offsets into the attached segments.
+    Gasnet {
+        id: u64,
+        offsets: Arc<[usize]>,
+        members: Arc<[usize]>,
+        bytes: usize,
+    },
+}
+
+impl RegionInner {
+    pub(crate) fn id(&self) -> u64 {
+        match self {
+            RegionInner::Mpi { win } => win.id(),
+            RegionInner::Gasnet { id, .. } => *id,
+        }
+    }
+
+}
+
+/// A strided section of a coarray — the runtime form of a Fortran array
+/// section `A(lo:hi:step)[img]`: `count` elements starting at element
+/// `offset`, `stride` elements apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Section {
+    /// First element index.
+    pub offset: usize,
+    /// Number of elements.
+    pub count: usize,
+    /// Distance between consecutive elements, in elements (≥ 1).
+    pub stride: usize,
+}
+
+impl Section {
+    /// A section of `count` elements from `offset`, `stride` apart.
+    pub fn new(offset: usize, count: usize, stride: usize) -> Self {
+        assert!(stride >= 1, "section stride must be at least 1");
+        Section {
+            offset,
+            count,
+            stride,
+        }
+    }
+
+    /// The Fortran-style form `lo : hi_exclusive : step`.
+    pub fn from_range(lo: usize, hi_exclusive: usize, step: usize) -> Self {
+        assert!(step >= 1, "section step must be at least 1");
+        let count = if hi_exclusive > lo {
+            (hi_exclusive - lo).div_ceil(step)
+        } else {
+            0
+        };
+        Section::new(lo, count, step)
+    }
+
+    /// Index of the last touched element (inclusive); `None` when empty.
+    pub fn last(&self) -> Option<usize> {
+        self.count
+            .checked_sub(1)
+            .map(|c| self.offset + c * self.stride)
+    }
+}
+
+/// A substrate-level remote reference, exposed for inspection and tests —
+/// the representations contrasted in paper §3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoteRef {
+    /// CAF-MPI: `(window, rank, displacement)`.
+    WindowRankDisp {
+        /// Window id.
+        window: u64,
+        /// Target rank within the window's communicator.
+        rank: usize,
+        /// Byte displacement from the window base.
+        disp: usize,
+    },
+    /// CAF-GASNet: `(image, address)`.
+    ImageAddress {
+        /// Target global image.
+        image: usize,
+        /// Byte address within the target's segment.
+        address: usize,
+    },
+}
+
+impl Image {
+    /// Collectively allocate a coarray of `len` elements per image over
+    /// `team`.
+    pub fn coarray_alloc<T: Pod>(&self, team: &Team, len: usize) -> Coarray<T> {
+        let bytes = len * std::mem::size_of::<T>();
+        let region = match (&self.backend, &team.inner) {
+            (Backend::Mpi(b), TeamInner::Mpi(comm)) => {
+                // Paper §3.1: allocate with MPI_WIN_ALLOCATE, lock all
+                // targets with MPI_WIN_LOCK_ALL for the window's lifetime.
+                let win = b.mpi.win_allocate(comm, bytes).expect("win_allocate");
+                b.mpi.win_lock_all(&win);
+                let win = Arc::new(win);
+                b.windows.borrow_mut().insert(win.id(), Arc::clone(&win));
+                RegionInner::Mpi { win }
+            }
+            (Backend::Gasnet(b), TeamInner::Gasnet(t)) => {
+                let off = b.arena.alloc(bytes).unwrap_or_else(|| {
+                    panic!(
+                        "GASNet segment exhausted allocating {bytes} bytes \
+                         (increase GasnetConfig::segment_size)"
+                    )
+                });
+                let id = self.next_team_token(team, 0xCA);
+                b.regions.borrow_mut().insert(id, off);
+                let offsets: Vec<usize> = self
+                    .allgather(team, &[off as u64])
+                    .into_iter()
+                    .map(|o| o as usize)
+                    .collect();
+                RegionInner::Gasnet {
+                    id,
+                    offsets: offsets.into(),
+                    members: t.members.to_vec().into(),
+                    bytes,
+                }
+            }
+            _ => panic!("team does not belong to this substrate"),
+        };
+        Coarray {
+            region: Arc::new(region),
+            len,
+            _pd: PhantomData,
+        }
+    }
+
+    /// Collectively free a coarray. All images of the allocating team must
+    /// participate; outstanding clones of the handle become invalid.
+    pub fn coarray_free<T: Pod>(&self, team: &Team, ca: Coarray<T>) {
+        match (&self.backend, &*ca.region) {
+            (Backend::Mpi(b), RegionInner::Mpi { win }) => {
+                b.windows.borrow_mut().remove(&win.id());
+                b.mpi.win_unlock_all(win).expect("unlock_all");
+                b.mpi.win_free_shared(win).expect("win_free");
+            }
+            (Backend::Gasnet(b), RegionInner::Gasnet { id, offsets, bytes, .. }) => {
+                self.barrier(team);
+                b.regions.borrow_mut().remove(id);
+                let me = team.rank();
+                b.arena.free(offsets[me], *bytes);
+            }
+            _ => panic!("coarray does not belong to this substrate"),
+        }
+    }
+}
+
+impl<T: Pod> Coarray<T> {
+    /// Elements per image.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the coarray has zero elements per image.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn byte_off(&self, elem_off: usize, count: usize) -> usize {
+        assert!(
+            elem_off + count <= self.len,
+            "coarray access [{elem_off}, {}) out of bounds (len {})",
+            elem_off + count,
+            self.len
+        );
+        elem_off * std::mem::size_of::<T>()
+    }
+
+    /// The substrate-level remote reference for `member`'s part.
+    pub fn remote_ref(&self, member: usize) -> RemoteRef {
+        match &*self.region {
+            RegionInner::Mpi { win } => RemoteRef::WindowRankDisp {
+                window: win.id(),
+                rank: member,
+                disp: 0,
+            },
+            RegionInner::Gasnet {
+                offsets, members, ..
+            } => RemoteRef::ImageAddress {
+                image: members[member],
+                address: offsets[member],
+            },
+        }
+    }
+
+    /// Blocking remote read: `out = A(elem_off .. elem_off+|out|)[member]`.
+    pub fn read(&self, img: &Image, member: usize, elem_off: usize, out: &mut [T]) {
+        let disp = self.byte_off(elem_off, out.len());
+        img.stats().timed(StatCat::CoarrayRead, || {
+            match (&img.backend, &*self.region) {
+                (Backend::Mpi(b), RegionInner::Mpi { win }) => {
+                    b.mpi.get(win, member, disp, out).expect("coarray read");
+                }
+                (Backend::Gasnet(b), RegionInner::Gasnet { offsets, members, .. }) => {
+                    b.g.get(members[member], offsets[member] + disp, out)
+                        .expect("coarray read");
+                }
+                _ => panic!("coarray does not belong to this substrate"),
+            }
+        });
+    }
+
+    /// Blocking remote write: `A(elem_off ..)[member] = data`, globally
+    /// visible at return (put + flush on MPI, paper §3.1).
+    pub fn write(&self, img: &Image, member: usize, elem_off: usize, data: &[T]) {
+        let disp = self.byte_off(elem_off, data.len());
+        img.stats().timed(StatCat::CoarrayWrite, || {
+            match (&img.backend, &*self.region) {
+                (Backend::Mpi(b), RegionInner::Mpi { win }) => {
+                    b.mpi.put(win, member, disp, data).expect("coarray write");
+                    b.mpi.win_flush(win, member).expect("coarray write flush");
+                }
+                (Backend::Gasnet(b), RegionInner::Gasnet { offsets, members, .. }) => {
+                    b.g.put(members[member], offsets[member] + disp, data)
+                        .expect("coarray write");
+                }
+                _ => panic!("coarray does not belong to this substrate"),
+            }
+        });
+    }
+
+    /// Read this image's local part.
+    ///
+    /// "Local" always means the *executing* image: a coarray handle
+    /// captured by a shipped function resolves to the executor's part,
+    /// not the shipper's.
+    pub fn local_read(&self, img: &Image, elem_off: usize, out: &mut [T]) {
+        let disp = self.byte_off(elem_off, out.len());
+        match (&img.backend, &*self.region) {
+            (Backend::Mpi(b), RegionInner::Mpi { win }) => {
+                let me = win
+                    .comm()
+                    .comm_rank_of_global(img.this_image())
+                    .expect("image not a member of this coarray's team");
+                let seg = b.mpi.win_segment(win, me).expect("local segment");
+                seg.get(disp, caf_fabric::pod::as_bytes_mut(out))
+                    .expect("local read");
+            }
+            (Backend::Gasnet(b), RegionInner::Gasnet { offsets, members, .. }) => {
+                let me = members
+                    .iter()
+                    .position(|&m| m == img.this_image())
+                    .expect("image not a member of this coarray's team");
+                b.g.read_local(offsets[me] + disp, out).expect("local read");
+            }
+            _ => panic!("coarray does not belong to this substrate"),
+        }
+    }
+
+    /// Write this image's local part (see [`Coarray::local_read`] for the
+    /// meaning of "local" under function shipping).
+    pub fn local_write(&self, img: &Image, elem_off: usize, data: &[T]) {
+        let disp = self.byte_off(elem_off, data.len());
+        match (&img.backend, &*self.region) {
+            (Backend::Mpi(b), RegionInner::Mpi { win }) => {
+                let me = win
+                    .comm()
+                    .comm_rank_of_global(img.this_image())
+                    .expect("image not a member of this coarray's team");
+                let seg = b.mpi.win_segment(win, me).expect("local segment");
+                seg.put(disp, caf_fabric::pod::as_bytes(data))
+                    .expect("local write");
+            }
+            (Backend::Gasnet(b), RegionInner::Gasnet { offsets, members, .. }) => {
+                let me = members
+                    .iter()
+                    .position(|&m| m == img.this_image())
+                    .expect("image not a member of this coarray's team");
+                b.g.write_local(offsets[me] + disp, data).expect("local write");
+            }
+            _ => panic!("coarray does not belong to this substrate"),
+        }
+    }
+
+    fn check_section(&self, sec: Section, buf_len: usize) -> usize {
+        assert_eq!(sec.count, buf_len, "section/buffer length mismatch");
+        if let Some(last) = sec.last() {
+            assert!(
+                last < self.len,
+                "section reaches element {last}, beyond coarray length {}",
+                self.len
+            );
+        }
+        sec.offset * std::mem::size_of::<T>()
+    }
+
+    /// Blocking strided remote read of a section (`out = A(sec)[member]`).
+    pub fn read_section(&self, img: &Image, member: usize, sec: Section, out: &mut [T]) {
+        let disp = self.check_section(sec, out.len());
+        if sec.count == 0 {
+            return;
+        }
+        img.stats().timed(StatCat::CoarrayRead, || {
+            match (&img.backend, &*self.region) {
+                (Backend::Mpi(b), RegionInner::Mpi { win }) => {
+                    b.mpi
+                        .get_vector(win, member, disp, sec.stride, out)
+                        .expect("section read");
+                }
+                (Backend::Gasnet(b), RegionInner::Gasnet { offsets, members, .. }) => {
+                    b.g.get_strided(members[member], offsets[member] + disp, sec.stride, out)
+                        .expect("section read");
+                }
+                _ => panic!("coarray does not belong to this substrate"),
+            }
+        });
+    }
+
+    /// Blocking strided remote write of a section
+    /// (`A(sec)[member] = data`), globally visible at return.
+    pub fn write_section(&self, img: &Image, member: usize, sec: Section, data: &[T]) {
+        let disp = self.check_section(sec, data.len());
+        if sec.count == 0 {
+            return;
+        }
+        img.stats().timed(StatCat::CoarrayWrite, || {
+            match (&img.backend, &*self.region) {
+                (Backend::Mpi(b), RegionInner::Mpi { win }) => {
+                    b.mpi
+                        .put_vector(win, member, disp, sec.stride, data)
+                        .expect("section write");
+                    b.mpi.win_flush(win, member).expect("section write flush");
+                }
+                (Backend::Gasnet(b), RegionInner::Gasnet { offsets, members, .. }) => {
+                    b.g.put_strided(members[member], offsets[member] + disp, sec.stride, data)
+                        .expect("section write");
+                }
+                _ => panic!("coarray does not belong to this substrate"),
+            }
+        });
+    }
+
+    /// One-sided atomic fetch-and-add on an 8-byte element of `member`'s
+    /// part (maps to `MPI_Fetch_and_op` with `MPI_SUM`). Returns the value
+    /// observed before the update.
+    ///
+    /// Only available on the MPI substrate: the GASNet *core* API offers
+    /// no remote atomics (CAF-GASNet emulates such operations with active
+    /// messages), so this call panics there.
+    pub fn fetch_add(&self, img: &Image, member: usize, elem_off: usize, value: T) -> T
+    where
+        T: caf_mpisim::ops::BitsRepr,
+    {
+        let disp = self.byte_off(elem_off, 1);
+        match (&img.backend, &*self.region) {
+            (Backend::Mpi(b), RegionInner::Mpi { win }) => b
+                .mpi
+                .fetch_and_op(win, member, disp, value, caf_mpisim::AccOp::Sum)
+                .expect("fetch_and_op"),
+            (Backend::Gasnet(_), _) => panic!(
+                "one-sided atomics are MPI-3 features; the GASNet core API                  has none (use events or AMs on the GASNet substrate)"
+            ),
+            _ => panic!("coarray does not belong to this substrate"),
+        }
+    }
+
+    /// One-sided atomic compare-and-swap on an 8-byte element of
+    /// `member`'s part (maps to `MPI_Compare_and_swap`). Returns the value
+    /// observed before the swap. MPI substrate only (see
+    /// [`Coarray::fetch_add`]).
+    pub fn compare_and_swap(
+        &self,
+        img: &Image,
+        member: usize,
+        elem_off: usize,
+        expected: T,
+        new: T,
+    ) -> T
+    where
+        T: caf_mpisim::ops::BitsRepr,
+    {
+        let disp = self.byte_off(elem_off, 1);
+        match (&img.backend, &*self.region) {
+            (Backend::Mpi(b), RegionInner::Mpi { win }) => b
+                .mpi
+                .compare_and_swap(win, member, disp, expected, new)
+                .expect("compare_and_swap"),
+            (Backend::Gasnet(_), _) => panic!(
+                "one-sided atomics are MPI-3 features; the GASNet core API                  has none (use events or AMs on the GASNet substrate)"
+            ),
+            _ => panic!("coarray does not belong to this substrate"),
+        }
+    }
+
+    /// Convenience: fetch the whole local part as a vector.
+    pub fn local_vec(&self, img: &Image) -> Vec<T> {
+        let mut out = crate::zeroed_vec::<T>(self.len);
+        if self.len > 0 {
+            self.local_read(img, 0, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{CafConfig, CafUniverse, SubstrateKind};
+
+    fn both(n: usize, f: impl Fn(&Image) + Send + Sync) {
+        for kind in [SubstrateKind::Mpi, SubstrateKind::Gasnet] {
+            CafUniverse::run_with_config(n, CafConfig::on(kind), |img| f(img));
+        }
+    }
+
+    #[test]
+    fn remote_write_then_read() {
+        both(3, |img| {
+            let w = img.team_world();
+            let ca: Coarray<f64> = img.coarray_alloc(&w, 8);
+            let me = img.this_image();
+            // Everyone writes its id into slot `me` of image (me+1)%3.
+            ca.write(img, (me + 1) % 3, me, &[me as f64 + 100.0]);
+            img.sync_all();
+            // Verify locally.
+            let local = ca.local_vec(img);
+            let writer = (me + 3 - 1) % 3;
+            assert_eq!(local[writer], writer as f64 + 100.0);
+            // And remotely.
+            let mut probe = [0.0f64];
+            ca.read(img, (me + 1) % 3, me, &mut probe);
+            assert_eq!(probe[0], me as f64 + 100.0);
+            img.coarray_free(&w, ca);
+        });
+    }
+
+    #[test]
+    fn remote_ref_shapes_match_substrate() {
+        CafUniverse::run(2, |img| {
+            let w = img.team_world();
+            let ca: Coarray<u64> = img.coarray_alloc(&w, 4);
+            assert!(matches!(
+                ca.remote_ref(1),
+                RemoteRef::WindowRankDisp { rank: 1, .. }
+            ));
+            img.coarray_free(&w, ca);
+        });
+        CafUniverse::run_with_config(2, CafConfig::on(SubstrateKind::Gasnet), |img| {
+            let w = img.team_world();
+            let ca: Coarray<u64> = img.coarray_alloc(&w, 4);
+            assert!(matches!(
+                ca.remote_ref(1),
+                RemoteRef::ImageAddress { image: 1, .. }
+            ));
+            img.coarray_free(&w, ca);
+        });
+    }
+
+    #[test]
+    fn coarray_over_subteam() {
+        both(6, |img| {
+            let w = img.team_world();
+            let sub = img.team_split(&w, (img.this_image() % 2) as u64, 0);
+            let ca: Coarray<u64> = img.coarray_alloc(&sub, 2);
+            let peer = (sub.rank() + 1) % sub.size();
+            ca.write(img, peer, 0, &[sub.rank() as u64 + 1]);
+            img.barrier(&sub);
+            let local = ca.local_vec(img);
+            let expect = ((sub.rank() + sub.size() - 1) % sub.size()) as u64 + 1;
+            assert_eq!(local[0], expect);
+            img.coarray_free(&sub, ca);
+            img.sync_all();
+        });
+    }
+
+    #[test]
+    fn gasnet_free_reuses_segment_space() {
+        CafUniverse::run_with_config(2, CafConfig::on(SubstrateKind::Gasnet), |img| {
+            let w = img.team_world();
+            for _ in 0..50 {
+                let ca: Coarray<f64> = img.coarray_alloc(&w, 1 << 12);
+                img.coarray_free(&w, ca);
+            }
+            // 50 × 32 KB would exhaust the 4 MB default segment without
+            // the allocator reclaiming freed runs — wait, 50*32KB = 1.6MB.
+            // Use a size that proves reuse: 50 × 1 MB certainly would.
+            for _ in 0..50 {
+                let ca: Coarray<u8> = img.coarray_alloc(&w, 1 << 20);
+                img.coarray_free(&w, ca);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "image panicked")]
+    fn out_of_bounds_access_panics() {
+        CafUniverse::run(2, |img| {
+            let w = img.team_world();
+            let ca: Coarray<u64> = img.coarray_alloc(&w, 4);
+            let mut out = [0u64; 2];
+            ca.read(img, 0, 3, &mut out);
+        });
+    }
+
+    #[test]
+    fn sections_read_write_on_both_substrates() {
+        both(2, |img| {
+            let w = img.team_world();
+            let ca: Coarray<u64> = img.coarray_alloc(&w, 16);
+            if img.this_image() == 0 {
+                // A(1:13:4)[1] = [100, 101, 102, 103]  (elements 1,5,9,13)
+                ca.write_section(img, 1, Section::new(1, 4, 4), &[100, 101, 102, 103]);
+            }
+            img.sync_all();
+            if img.this_image() == 1 {
+                let local = ca.local_vec(img);
+                assert_eq!(local[1], 100);
+                assert_eq!(local[5], 101);
+                assert_eq!(local[9], 102);
+                assert_eq!(local[13], 103);
+                assert_eq!(local[2], 0);
+            }
+            img.sync_all();
+            if img.this_image() == 0 {
+                let mut out = [0u64; 4];
+                ca.read_section(img, 1, Section::new(1, 4, 4), &mut out);
+                assert_eq!(out, [100, 101, 102, 103]);
+            }
+            img.sync_all();
+            img.coarray_free(&w, ca);
+        });
+    }
+
+    #[test]
+    fn section_from_range_matches_fortran_triplets() {
+        // A(2:10:3) → elements 2, 5, 8.
+        let s = Section::from_range(2, 10, 3);
+        assert_eq!((s.offset, s.count, s.stride), (2, 3, 3));
+        assert_eq!(s.last(), Some(8));
+        // Empty section.
+        let e = Section::from_range(5, 5, 1);
+        assert_eq!(e.count, 0);
+        assert_eq!(e.last(), None);
+        // Contiguous.
+        let c = Section::from_range(0, 4, 1);
+        assert_eq!((c.offset, c.count, c.stride), (0, 4, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "image panicked")]
+    fn section_out_of_bounds_panics() {
+        CafUniverse::run(1, |img| {
+            let w = img.team_world();
+            let ca: Coarray<u64> = img.coarray_alloc(&w, 8);
+            let mut out = [0u64; 3];
+            // Elements 0, 4, 8 — 8 is out of bounds for len 8.
+            ca.read_section(img, 0, Section::new(0, 3, 4), &mut out);
+        });
+    }
+
+    #[test]
+    fn fetch_add_is_atomic_across_images() {
+        CafUniverse::run(4, |img| {
+            let w = img.team_world();
+            let ca: Coarray<u64> = img.coarray_alloc(&w, 1);
+            for _ in 0..250 {
+                ca.fetch_add(img, 0, 0, 1u64);
+            }
+            img.sync_all();
+            if img.this_image() == 0 {
+                assert_eq!(ca.local_vec(img)[0], 1000);
+            }
+            img.coarray_free(&w, ca);
+        });
+    }
+
+    #[test]
+    fn compare_and_swap_elects_one_winner() {
+        CafUniverse::run(4, |img| {
+            let w = img.team_world();
+            let ca: Coarray<u64> = img.coarray_alloc(&w, 1);
+            let prev = ca.compare_and_swap(img, 0, 0, 0u64, img.this_image() as u64 + 1);
+            let winners = img.allreduce(&w, &[(prev == 0) as u64], |a, b| a + b);
+            assert_eq!(winners[0], 1);
+            img.coarray_free(&w, ca);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "image panicked")]
+    fn atomics_unsupported_on_gasnet() {
+        CafUniverse::run_with_config(1, CafConfig::on(SubstrateKind::Gasnet), |img| {
+            let w = img.team_world();
+            let ca: Coarray<u64> = img.coarray_alloc(&w, 1);
+            let _ = ca.fetch_add(img, 0, 0, 1u64);
+        });
+    }
+
+    #[test]
+    fn multiple_coarrays_are_independent() {
+        both(2, |img| {
+            let w = img.team_world();
+            let a: Coarray<u64> = img.coarray_alloc(&w, 4);
+            let b: Coarray<u64> = img.coarray_alloc(&w, 4);
+            let peer = 1 - img.this_image();
+            a.write(img, peer, 0, &[111]);
+            b.write(img, peer, 0, &[222]);
+            img.sync_all();
+            assert_eq!(a.local_vec(img)[0], 111);
+            assert_eq!(b.local_vec(img)[0], 222);
+            img.coarray_free(&w, a);
+            img.coarray_free(&w, b);
+        });
+    }
+}

@@ -1,0 +1,657 @@
+//! Team collectives.
+//!
+//! On the MPI substrate these delegate to the MPI library's collectives —
+//! "well-optimized over the years by different MPI implementations"
+//! (paper §5), which is where CAF-MPI's FFT advantage comes from.
+//!
+//! On the GASNet substrate the runtime must hand-roll every collective from
+//! active messages, because the GASNet core API has none (paper §4.2). The
+//! hand-rolled versions here use reasonable but unspecialized algorithms,
+//! and their payloads are chunked to the medium-AM limit — both faithful
+//! sources of the baseline's collective slowness.
+
+use caf_fabric::pod::{as_bytes, vec_from_bytes};
+use caf_fabric::Pod;
+use caf_gasnetsim::AM_MAX_MEDIUM;
+use caf_mpisim::ops::Scalar;
+
+use crate::backend::Backend;
+use crate::image::Image;
+use crate::rtmsg::RtMsg;
+use crate::stats::StatCat;
+use crate::team::{GTeam, GTeamState, Team, TeamInner};
+
+/// Payload bytes per hand-rolled-collective fragment (medium-AM limit
+/// minus headroom for the runtime-message header).
+const GCOLL_CHUNK: usize = AM_MAX_MEDIUM - 64;
+
+impl Image {
+    /// Team barrier (`sync team` / `sync all` on the world team).
+    pub fn barrier(&self, team: &Team) {
+        self.stats().timed(StatCat::Barrier, || match (&self.backend, &team.inner) {
+            (Backend::Mpi(b), TeamInner::Mpi(comm)) => {
+                b.mpi.barrier(comm).expect("barrier");
+            }
+            (Backend::Gasnet(_), TeamInner::Gasnet(t)) => self.gbarrier(t),
+            _ => panic!("team does not belong to this substrate"),
+        });
+    }
+
+    /// Convenience: barrier over `TEAM_WORLD` (`sync all`).
+    pub fn sync_all(&self) {
+        let w = self.team_world();
+        self.barrier(&w);
+    }
+
+    /// Team broadcast from `root` (team rank).
+    pub fn broadcast<T: Pod>(&self, team: &Team, root: usize, data: &mut Vec<T>) {
+        self.stats()
+            .timed(StatCat::Reduction, || match (&self.backend, &team.inner) {
+                (Backend::Mpi(b), TeamInner::Mpi(comm)) => {
+                    b.mpi.bcast(comm, root, data).expect("bcast");
+                }
+                (Backend::Gasnet(_), TeamInner::Gasnet(t)) => self.gbcast(t, root, data),
+                _ => panic!("team does not belong to this substrate"),
+            });
+    }
+
+    /// Team reduction to `root` with a commutative-associative combiner.
+    pub fn reduce<T: Pod>(
+        &self,
+        team: &Team,
+        root: usize,
+        data: &[T],
+        f: impl Fn(T, T) -> T,
+    ) -> Option<Vec<T>> {
+        self.stats()
+            .timed(StatCat::Reduction, || match (&self.backend, &team.inner) {
+                (Backend::Mpi(b), TeamInner::Mpi(comm)) => {
+                    b.mpi.reduce(comm, root, data, f).expect("reduce")
+                }
+                (Backend::Gasnet(_), TeamInner::Gasnet(t)) => self.greduce(t, root, data, f),
+                _ => panic!("team does not belong to this substrate"),
+            })
+    }
+
+    /// Team allreduce.
+    pub fn allreduce<T: Pod>(&self, team: &Team, data: &[T], f: impl Fn(T, T) -> T) -> Vec<T> {
+        self.stats()
+            .timed(StatCat::Reduction, || match (&self.backend, &team.inner) {
+                (Backend::Mpi(b), TeamInner::Mpi(comm)) => {
+                    b.mpi.allreduce(comm, data, f).expect("allreduce")
+                }
+                (Backend::Gasnet(_), TeamInner::Gasnet(t)) => {
+                    // Hand-rolled: reduce to team rank 0, then broadcast —
+                    // correct, but without the recursive-doubling tuning of
+                    // the MPI library.
+                    let reduced = self.greduce(t, 0, data, &f);
+                    let mut out = reduced.unwrap_or_else(|| data.to_vec());
+                    self.gbcast(t, 0, &mut out);
+                    out
+                }
+                _ => panic!("team does not belong to this substrate"),
+            })
+    }
+
+    /// Team allgather of equal-length contributions, concatenated in team
+    /// order.
+    pub fn allgather<T: Pod>(&self, team: &Team, data: &[T]) -> Vec<T> {
+        self.stats()
+            .timed(StatCat::Reduction, || match (&self.backend, &team.inner) {
+                (Backend::Mpi(b), TeamInner::Mpi(comm)) => {
+                    b.mpi.allgather(comm, data).expect("allgather")
+                }
+                (Backend::Gasnet(_), TeamInner::Gasnet(t)) => self.gallgather(t, data),
+                _ => panic!("team does not belong to this substrate"),
+            })
+    }
+
+    /// Variable-length team allgather: contributions may differ in length
+    /// per image; the result concatenates them in team order.
+    pub fn allgatherv<T: Pod>(&self, team: &Team, data: &[T]) -> Vec<T> {
+        self.stats()
+            .timed(StatCat::Reduction, || match (&self.backend, &team.inner) {
+                (Backend::Mpi(b), TeamInner::Mpi(comm)) => {
+                    b.mpi.allgatherv(comm, data).expect("allgatherv")
+                }
+                (Backend::Gasnet(_), TeamInner::Gasnet(t)) => {
+                    // Hand-rolled: exchange counts, then linear exchange of
+                    // the ragged payloads.
+                    let counts: Vec<usize> = self
+                        .gallgather(t, &[data.len() as u64])
+                        .into_iter()
+                        .map(|c| c as usize)
+                        .collect();
+                    let seq = t.next_seq();
+                    let n = t.members.len();
+                    let me = t.my_idx;
+                    for d in 0..n {
+                        if d != me {
+                            self.gcoll_send(t, d, seq, 1, as_bytes(data));
+                        }
+                    }
+                    let mut out = Vec::new();
+                    for (s, &count) in counts.iter().enumerate() {
+                        if s == me {
+                            out.extend_from_slice(data);
+                        } else {
+                            let part: Vec<T> = vec_from_bytes(&self.gcoll_recv(t, s, seq, 1));
+                            assert_eq!(part.len(), count, "allgatherv count");
+                            out.extend_from_slice(&part);
+                        }
+                    }
+                    out
+                }
+                _ => panic!("team does not belong to this substrate"),
+            })
+    }
+
+    /// Team alltoall: `data` holds `team.size()` blocks of `block` elements
+    /// in destination order; the result holds blocks in source order.
+    ///
+    /// This is the FFT transpose primitive. On CAF-MPI it is
+    /// `MPI_ALLTOALL`; on CAF-GASNet it is hand-rolled from AMs (paper
+    /// §4.2: "CAF-GASNet implements alltoall with GASNet's PUT, GET, and
+    /// Active Messages... not as well tuned as MPI_ALLTOALL").
+    pub fn alltoall<T: Pod>(&self, team: &Team, data: &[T], block: usize) -> Vec<T> {
+        self.stats()
+            .timed(StatCat::Alltoall, || match (&self.backend, &team.inner) {
+                (Backend::Mpi(b), TeamInner::Mpi(comm)) => {
+                    b.mpi.alltoall(comm, data, block).expect("alltoall")
+                }
+                (Backend::Gasnet(_), TeamInner::Gasnet(t)) => self.galltoall(t, data, block),
+                _ => panic!("team does not belong to this substrate"),
+            })
+    }
+
+    /// Fortran 2008 `sync images`: pairwise synchronization with each
+    /// listed team member. Each partner must execute a matching
+    /// `sync_images` naming this image. Unlike a barrier, unlisted images
+    /// are not involved.
+    ///
+    /// Implemented over events with per-source identities, so successive
+    /// `sync_images` calls with overlapping partner sets cannot steal one
+    /// another's notifications out of order beyond CAF's counting
+    /// semantics.
+    pub fn sync_images(&self, team: &Team, partners: &[usize]) {
+        use crate::event::Event;
+        // A reserved, globally agreed event id per source image.
+        let sync_ev = |global: usize| Event {
+            id: crate::image::derive_token(0x5A11C0DE, global as u64 + 1, 0x5A),
+        };
+        let me = self.this_image();
+        for &p in partners {
+            self.event_notify(team, &sync_ev(me), p);
+        }
+        for &p in partners {
+            self.event_wait(&sync_ev(team.global_rank(p)));
+        }
+    }
+
+    /// Fortran 2008 `co_sum`: elementwise sum across the team, replacing
+    /// `data` on every image.
+    pub fn co_sum<T: Pod + Scalar>(&self, team: &Team, data: &mut [T]) {
+        let out = self.allreduce(team, data, |a, b| a.add(b));
+        data.copy_from_slice(&out);
+    }
+
+    /// Fortran 2008 `co_max`.
+    pub fn co_max<T: Pod + Scalar>(&self, team: &Team, data: &mut [T]) {
+        let out = self.allreduce(team, data, |a, b| a.max_of(b));
+        data.copy_from_slice(&out);
+    }
+
+    /// Fortran 2008 `co_min`.
+    pub fn co_min<T: Pod + Scalar>(&self, team: &Team, data: &mut [T]) {
+        let out = self.allreduce(team, data, |a, b| a.min_of(b));
+        data.copy_from_slice(&out);
+    }
+
+    /// Fortran 2008 `co_broadcast`.
+    pub fn co_broadcast<T: Pod>(&self, team: &Team, root: usize, data: &mut Vec<T>) {
+        self.broadcast(team, root, data);
+    }
+
+    /// Split `team` by color, ordering each part by `(key, rank)` —
+    /// CAF 2.0's `team_split`.
+    pub fn team_split(&self, team: &Team, color: u64, key: i64) -> Team {
+        match (&self.backend, &team.inner) {
+            (Backend::Mpi(b), TeamInner::Mpi(comm)) => Team {
+                inner: TeamInner::Mpi(b.mpi.comm_split(comm, color, key).expect("team_split")),
+            },
+            (Backend::Gasnet(_), TeamInner::Gasnet(t)) => {
+                let me = t.my_idx;
+                let triples = self.gallgather(t, &[[color, key as u64, me as u64]]);
+                let mut mine: Vec<(i64, usize)> = triples
+                    .iter()
+                    .filter(|x| x[0] == color)
+                    .map(|x| (x[1] as i64, x[2] as usize))
+                    .collect();
+                mine.sort_unstable();
+                let members: Vec<usize> = mine.iter().map(|&(_, idx)| t.members[idx]).collect();
+                let my_idx = mine
+                    .iter()
+                    .position(|&(_, idx)| idx == me)
+                    .expect("self in own color group");
+                let token = self.next_team_token(team, 0x51);
+                let id = crate::image::derive_token(token, color.wrapping_add(1), 0x52);
+                Team {
+                    inner: TeamInner::Gasnet(GTeam {
+                        id,
+                        members: members.into(),
+                        my_idx,
+                        state: std::sync::Arc::new(GTeamState::default()),
+                    }),
+                }
+            }
+            _ => panic!("team does not belong to this substrate"),
+        }
+    }
+
+    // ----- hand-rolled GASNet collectives ------------------------------
+
+    fn gcoll_send(&self, t: &GTeam, dest_idx: usize, seq: u64, phase: u32, bytes: &[u8]) {
+        let nchunks = bytes.len().div_ceil(GCOLL_CHUNK).max(1) as u32;
+        for (i, chunk) in bytes
+            .chunks(GCOLL_CHUNK)
+            .chain(std::iter::repeat_n(&[][..], usize::from(bytes.is_empty())))
+            .enumerate()
+        {
+            self.backend.send_rtmsg(
+                t.members[dest_idx],
+                &RtMsg::CollPayload {
+                    team_id: t.id,
+                    seq,
+                    phase,
+                    src_idx: t.my_idx as u32,
+                    chunk: i as u32,
+                    nchunks,
+                    data: chunk.to_vec(),
+                },
+            );
+        }
+    }
+
+    fn gcoll_recv(&self, t: &GTeam, src_idx: usize, seq: u64, phase: u32) -> Vec<u8> {
+        let mut parts: Vec<Option<Vec<u8>>> = Vec::new();
+        let mut have = 0usize;
+        let mut want = usize::MAX;
+        loop {
+            // Scan the stash for matching fragments.
+            {
+                let mut stash = self.coll_stash.borrow_mut();
+                let mut i = 0;
+                while i < stash.len() {
+                    let matched = matches!(
+                        &stash[i],
+                        RtMsg::CollPayload {
+                            team_id,
+                            seq: s,
+                            phase: p,
+                            src_idx: si,
+                            ..
+                        } if *team_id == t.id && *s == seq && *p == phase
+                            && *si as usize == src_idx
+                    );
+                    if matched {
+                        if let RtMsg::CollPayload {
+                            chunk,
+                            nchunks,
+                            data,
+                            ..
+                        } = stash.swap_remove(i)
+                        {
+                            want = nchunks as usize;
+                            if parts.len() < want {
+                                parts.resize(want, None);
+                            }
+                            if parts[chunk as usize].replace(data).is_none() {
+                                have += 1;
+                            }
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            if have == want {
+                let mut out = Vec::new();
+                for p in parts.into_iter().flatten() {
+                    out.extend_from_slice(&p);
+                }
+                return out;
+            }
+            // Need more: block for the next runtime message.
+            let msg = self.backend.recv_rtmsg_blocking();
+            self.handle_msg(msg);
+        }
+    }
+
+    fn gbarrier(&self, t: &GTeam) {
+        let n = t.members.len();
+        if n == 1 {
+            return;
+        }
+        let seq = t.next_seq();
+        let me = t.my_idx;
+        let mut phase = 0u32;
+        let mut dist = 1usize;
+        while dist < n {
+            self.gcoll_send(t, (me + dist) % n, seq, phase, &[]);
+            let _ = self.gcoll_recv(t, (me + n - dist) % n, seq, phase);
+            phase += 1;
+            dist <<= 1;
+        }
+    }
+
+    fn gbcast<T: Pod>(&self, t: &GTeam, root: usize, data: &mut Vec<T>) {
+        let n = t.members.len();
+        if n == 1 {
+            return;
+        }
+        let seq = t.next_seq();
+        let vrank = (t.my_idx + n - root) % n;
+        let unv = |v: usize| (v + root) % n;
+        let mut mask = 1usize;
+        while mask < n {
+            if vrank & mask != 0 {
+                let bytes = self.gcoll_recv(t, unv(vrank - mask), seq, 0);
+                *data = vec_from_bytes(&bytes);
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if vrank & mask == 0 && vrank + mask < n {
+                self.gcoll_send(t, unv(vrank + mask), seq, 0, as_bytes(data));
+            }
+            mask >>= 1;
+        }
+    }
+
+    fn greduce<T: Pod>(
+        &self,
+        t: &GTeam,
+        root: usize,
+        data: &[T],
+        f: impl Fn(T, T) -> T,
+    ) -> Option<Vec<T>> {
+        let n = t.members.len();
+        let mut acc = data.to_vec();
+        if n == 1 {
+            return Some(acc);
+        }
+        let seq = t.next_seq();
+        let vrank = (t.my_idx + n - root) % n;
+        let unv = |v: usize| (v + root) % n;
+        let mut mask = 1usize;
+        while mask < n {
+            if vrank & mask == 0 {
+                let src = vrank | mask;
+                if src < n {
+                    let part: Vec<T> = vec_from_bytes(&self.gcoll_recv(t, unv(src), seq, 0));
+                    for (a, s) in acc.iter_mut().zip(&part) {
+                        *a = f(*a, *s);
+                    }
+                }
+            } else {
+                self.gcoll_send(t, unv(vrank & !mask), seq, 0, as_bytes(&acc));
+                break;
+            }
+            mask <<= 1;
+        }
+        (t.my_idx == root).then_some(acc)
+    }
+
+    fn gallgather<T: Pod>(&self, t: &GTeam, data: &[T]) -> Vec<T> {
+        let n = t.members.len();
+        let len = data.len();
+        let mut out = vec![data[0]; len * n];
+        out[t.my_idx * len..(t.my_idx + 1) * len].copy_from_slice(data);
+        if n == 1 {
+            return out;
+        }
+        let seq = t.next_seq();
+        // Linear exchange: everyone sends to everyone (the unspecialized
+        // hand-rolled shape).
+        for d in 0..n {
+            if d != t.my_idx {
+                self.gcoll_send(t, d, seq, 0, as_bytes(data));
+            }
+        }
+        for s in 0..n {
+            if s != t.my_idx {
+                let bytes = self.gcoll_recv(t, s, seq, 0);
+                let part: Vec<T> = vec_from_bytes(&bytes);
+                out[s * len..(s + 1) * len].copy_from_slice(&part);
+            }
+        }
+        out
+    }
+
+    fn galltoall<T: Pod>(&self, t: &GTeam, data: &[T], block: usize) -> Vec<T> {
+        let n = t.members.len();
+        assert_eq!(data.len(), n * block, "alltoall buffer size mismatch");
+        let me = t.my_idx;
+        let mut out = vec![data[0]; n * block];
+        out[me * block..(me + 1) * block].copy_from_slice(&data[me * block..(me + 1) * block]);
+        if n == 1 {
+            return out;
+        }
+        let seq = t.next_seq();
+        for d in 0..n {
+            if d != me {
+                self.gcoll_send(t, d, seq, 0, as_bytes(&data[d * block..(d + 1) * block]));
+            }
+        }
+        for s in 0..n {
+            if s != me {
+                let bytes = self.gcoll_recv(t, s, seq, 0);
+                let part: Vec<T> = vec_from_bytes(&bytes);
+                out[s * block..(s + 1) * block].copy_from_slice(&part);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::image::{CafConfig, CafUniverse, SubstrateKind};
+
+    fn both_substrates(n: usize, f: impl Fn(&crate::image::Image) + Send + Sync) {
+        for kind in [SubstrateKind::Mpi, SubstrateKind::Gasnet] {
+            CafUniverse::run_with_config(n, CafConfig::on(kind), |img| f(img));
+        }
+    }
+
+    #[test]
+    fn barrier_on_both_substrates() {
+        both_substrates(5, |img| {
+            for _ in 0..3 {
+                img.sync_all();
+            }
+        });
+    }
+
+    #[test]
+    fn broadcast_on_both_substrates() {
+        both_substrates(6, |img| {
+            let w = img.team_world();
+            let mut data = if img.this_image() == 2 {
+                vec![3.5f64; 10]
+            } else {
+                Vec::new()
+            };
+            img.broadcast(&w, 2, &mut data);
+            assert_eq!(data, vec![3.5f64; 10]);
+        });
+    }
+
+    #[test]
+    fn allreduce_on_both_substrates() {
+        both_substrates(7, |img| {
+            let w = img.team_world();
+            let s = img.allreduce(&w, &[img.this_image() as u64, 1], |a, b| a + b);
+            assert_eq!(s, vec![21, 7]);
+        });
+    }
+
+    #[test]
+    fn reduce_on_both_substrates() {
+        both_substrates(4, |img| {
+            let w = img.team_world();
+            let r = img.reduce(&w, 1, &[img.this_image() as i64], |a, b| a.max(b));
+            if img.this_image() == 1 {
+                assert_eq!(r, Some(vec![3]));
+            } else {
+                assert!(r.is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn allgather_on_both_substrates() {
+        both_substrates(4, |img| {
+            let w = img.team_world();
+            let all = img.allgather(&w, &[img.this_image() as u32 * 7]);
+            assert_eq!(all, vec![0, 7, 14, 21]);
+        });
+    }
+
+    #[test]
+    fn allgatherv_on_both_substrates() {
+        both_substrates(4, |img| {
+            let w = img.team_world();
+            let mine = vec![img.this_image() as u64 * 5; img.this_image()];
+            let all = img.allgatherv(&w, &mine);
+            let mut expect = Vec::new();
+            for r in 0..4u64 {
+                expect.extend(std::iter::repeat_n(r * 5, r as usize));
+            }
+            assert_eq!(all, expect);
+        });
+    }
+
+    #[test]
+    fn alltoall_on_both_substrates() {
+        both_substrates(4, |img| {
+            let w = img.team_world();
+            let me = img.this_image();
+            let send: Vec<u64> = (0..4).map(|d| (me * 10 + d) as u64).collect();
+            let recv = img.alltoall(&w, &send, 1);
+            let expect: Vec<u64> = (0..4).map(|s| (s * 10 + me) as u64).collect();
+            assert_eq!(recv, expect);
+        });
+    }
+
+    #[test]
+    fn large_payload_alltoall_chunks_on_gasnet() {
+        // Blocks well above the medium-AM limit force fragmentation.
+        CafUniverse::run_with_config(
+            3,
+            CafConfig::on(SubstrateKind::Gasnet),
+            |img| {
+                let w = img.team_world();
+                let me = img.this_image();
+                let block = 3000; // 24 KB per block in f64
+                let send: Vec<f64> = (0..3 * block)
+                    .map(|i| (me * 1_000_000 + i) as f64)
+                    .collect();
+                let recv = img.alltoall(&w, &send, block);
+                for s in 0..3usize {
+                    for i in 0..block {
+                        assert_eq!(
+                            recv[s * block + i],
+                            (s * 1_000_000 + me * block + i) as f64
+                        );
+                    }
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn team_split_on_both_substrates() {
+        both_substrates(8, |img| {
+            let w = img.team_world();
+            let color = (img.this_image() % 2) as u64;
+            let sub = img.team_split(&w, color, img.this_image() as i64);
+            assert_eq!(sub.size(), 4);
+            assert_eq!(sub.rank(), img.this_image() / 2);
+            let s = img.allreduce(&sub, &[img.this_image() as u64], |a, b| a + b);
+            assert_eq!(s[0], if color == 0 { 12 } else { 16 });
+        });
+    }
+
+    #[test]
+    fn sync_images_pairs_only() {
+        both_substrates(4, |img| {
+            let w = img.team_world();
+            let me = img.this_image();
+            // Partner with the image whose index differs in bit 0.
+            let partner = me ^ 1;
+            for _ in 0..5 {
+                img.sync_images(&w, &[partner]);
+            }
+            img.sync_all();
+        });
+    }
+
+    #[test]
+    fn sync_images_with_multiple_partners() {
+        both_substrates(4, |img| {
+            let w = img.team_world();
+            let me = img.this_image();
+            // Everyone syncs with both ring neighbours.
+            let l = (me + 3) % 4;
+            let r = (me + 1) % 4;
+            for _ in 0..3 {
+                img.sync_images(&w, &[l, r]);
+            }
+            img.sync_all();
+        });
+    }
+
+    #[test]
+    fn co_intrinsics() {
+        both_substrates(4, |img| {
+            let w = img.team_world();
+            let me = img.this_image() as i64;
+
+            let mut s = vec![me, 1];
+            img.co_sum(&w, &mut s);
+            assert_eq!(s, vec![6, 4]);
+
+            let mut mx = vec![me * 10];
+            img.co_max(&w, &mut mx);
+            assert_eq!(mx, vec![30]);
+
+            let mut mn = vec![me - 2];
+            img.co_min(&w, &mut mn);
+            assert_eq!(mn, vec![-2]);
+
+            let mut b = if img.this_image() == 3 {
+                vec![7u64, 8]
+            } else {
+                Vec::new()
+            };
+            img.co_broadcast(&w, 3, &mut b);
+            assert_eq!(b, vec![7, 8]);
+        });
+    }
+
+    #[test]
+    fn nested_team_split() {
+        both_substrates(8, |img| {
+            let w = img.team_world();
+            let half = img.team_split(&w, (img.this_image() / 4) as u64, 0);
+            let quarter = img.team_split(&half, (half.rank() / 2) as u64, 0);
+            assert_eq!(quarter.size(), 2);
+            img.barrier(&quarter);
+            img.barrier(&half);
+            img.sync_all();
+        });
+    }
+}

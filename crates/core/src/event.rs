@@ -1,0 +1,313 @@
+//! Events — CAF 2.0's pair-wise synchronization primitive (paper §2.1,
+//! §3.4).
+//!
+//! Events are counting: each `event_notify` adds one post, each
+//! `event_wait` consumes one. The runtime implements them over its AM
+//! layer — the paper's chosen design ("CAF-MPI used the second method",
+//! `MPI_ISEND` to notify and a blocking receive poll to wait, because
+//! two-sided performance was better tuned than `MPI_FETCH_AND_OP` polling).
+//!
+//! The expensive part is the semantics of `event_notify`: the target may
+//! only observe the notification after **all previous operations issued by
+//! the notifying image are complete at their targets**. On CAF-MPI that
+//! means a release barrier (`MPI_WAITALL` over pending requests) plus
+//! `MPI_WIN_FLUSH_ALL` — which MPICH derivatives implement by flushing
+//! every rank, Θ(P). The RandomAccess decomposition (Figure 4) is the
+//! visible consequence, and this runtime reproduces it structurally.
+
+use crate::backend::Backend;
+use crate::image::Image;
+use crate::rtmsg::RtMsg;
+use crate::stats::StatCat;
+use crate::team::Team;
+
+/// How much remote completion `event_notify` enforces before posting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NotifyFlush {
+    /// The paper's implementation: `MPI_Win_flush_all` on every touched
+    /// window — correct, but Θ(P) per window in MPICH derivatives.
+    All,
+    /// The paper's §5/§7 improvement direction (what a per-target flush or
+    /// `MPI_WIN_RFLUSH` would enable): complete only operations headed to
+    /// the notification target. Sufficient when, as in RandomAccess, all
+    /// operations the event guards target the notified image.
+    TargetOnly,
+}
+
+/// A CAF event. Every image of the allocating team holds one instance;
+/// `notify` posts a *specific image's* instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    pub(crate) id: u64,
+}
+
+impl Event {
+    /// The collectively agreed event identity.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Image {
+    /// Collectively create an event over `team` (`event_init`). Every
+    /// member must call this in the same order relative to other
+    /// collective id-creating calls on the team.
+    pub fn event_alloc(&self, team: &Team) -> Event {
+        Event {
+            id: self.next_team_token(team, 0xEE),
+        }
+    }
+
+    /// Post `ev` at team member `target` (`event_notify`).
+    ///
+    /// Completes all previously issued operations first (release
+    /// semantics); the notification itself is nonblocking (`MPI_ISEND`) to
+    /// avoid deadlock in circular notify/wait chains (paper §3.4).
+    pub fn event_notify(&self, team: &Team, ev: &Event, target: usize) {
+        self.event_notify_with_flush(team, ev, target, NotifyFlush::All);
+    }
+
+    /// As [`Image::event_notify`], with an explicit flush policy — the
+    /// ablation hook for the paper's `MPI_WIN_RFLUSH` discussion (§5).
+    pub fn event_notify_with_flush(
+        &self,
+        team: &Team,
+        ev: &Event,
+        target: usize,
+        flush: NotifyFlush,
+    ) {
+        self.stats().timed(StatCat::EventNotify, || {
+            // Release barrier: local completion of implicitly synchronized
+            // asynchronous operations...
+            self.complete_implicit_local();
+            // ...then remote completion, via flush_all (Θ(P) per window on
+            // the MPI substrate) or the cheaper per-target flush.
+            match flush {
+                NotifyFlush::All => self.backend_flush_all(),
+                NotifyFlush::TargetOnly => self.backend_flush_target(team.global_rank(target)),
+            }
+            if team.global_rank(target) == self.this_image() {
+                // Self-notification short-circuits the AM layer.
+                self.post_event_local(ev.id);
+            } else {
+                self.backend
+                    .send_rtmsg(team.global_rank(target), &RtMsg::EventNotify { event_id: ev.id });
+            }
+        });
+    }
+
+    /// Block until `ev` has been posted at this image, then consume one
+    /// post (`event_wait`). The blocking poll drives runtime progress:
+    /// shipped functions and other events arriving meanwhile are handled.
+    pub fn event_wait(&self, ev: &Event) {
+        self.stats().timed(StatCat::EventWait, || loop {
+            if self.take_post(ev.id) {
+                return;
+            }
+            let msg = self.backend.recv_rtmsg_blocking();
+            self.handle_msg(msg);
+        });
+    }
+
+    /// Nonblocking test: consume one post if available (`event_trywait`).
+    pub fn event_trywait(&self, ev: &Event) -> bool {
+        self.stats().timed(StatCat::EventWait, || {
+            self.poll();
+            self.take_post(ev.id)
+        })
+    }
+
+    /// Number of unconsumed posts currently visible at this image.
+    pub fn event_pending(&self, ev: &Event) -> u64 {
+        self.poll();
+        *self.events.borrow().get(&ev.id).unwrap_or(&0)
+    }
+
+    fn take_post(&self, id: u64) -> bool {
+        let mut events = self.events.borrow_mut();
+        match events.get_mut(&id) {
+            Some(c) if *c > 0 => {
+                *c -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    pub(crate) fn backend_flush_all(&self) {
+        self.backend.flush_all();
+    }
+
+    /// Complete outstanding one-sided operations to one global rank only.
+    pub(crate) fn backend_flush_target(&self, global: usize) {
+        match &self.backend {
+            Backend::Mpi(b) => {
+                for win in b.windows.borrow().values() {
+                    if let Some(rank) = win.comm().comm_rank_of_global(global) {
+                        b.mpi.win_flush(win, rank).expect("flush");
+                    }
+                }
+            }
+            Backend::Gasnet(b) => b.g.wait_syncnbi_puts(),
+        }
+    }
+
+    /// Local completion of implicitly synchronized async operations (the
+    /// release-barrier `MPI_WAITALL` of paper §3.4). On this substrate the
+    /// requests are already complete; the counters are consumed so
+    /// `cofence` semantics stay observable.
+    pub(crate) fn complete_implicit_local(&self) {
+        self.implicit_puts.set(0);
+        self.implicit_gets.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::image::{CafConfig, CafUniverse, SubstrateKind};
+
+    fn both(n: usize, f: impl Fn(&crate::image::Image) + Send + Sync) {
+        for kind in [SubstrateKind::Mpi, SubstrateKind::Gasnet] {
+            CafUniverse::run_with_config(n, CafConfig::on(kind), |img| f(img));
+        }
+    }
+
+    #[test]
+    fn notify_then_wait() {
+        both(2, |img| {
+            let w = img.team_world();
+            let ev = img.event_alloc(&w);
+            if img.this_image() == 0 {
+                img.event_notify(&w, &ev, 1);
+            } else {
+                img.event_wait(&ev);
+            }
+            img.sync_all();
+        });
+    }
+
+    #[test]
+    fn posts_are_counted() {
+        both(2, |img| {
+            let w = img.team_world();
+            let ev = img.event_alloc(&w);
+            if img.this_image() == 0 {
+                for _ in 0..3 {
+                    img.event_notify(&w, &ev, 1);
+                }
+                img.sync_all();
+            } else {
+                img.sync_all();
+                // All three posts must be waitable.
+                img.event_wait(&ev);
+                img.event_wait(&ev);
+                img.event_wait(&ev);
+                assert!(!img.event_trywait(&ev));
+            }
+        });
+    }
+
+    #[test]
+    fn trywait_is_nonblocking() {
+        both(2, |img| {
+            let w = img.team_world();
+            let ev = img.event_alloc(&w);
+            if img.this_image() == 1 {
+                assert!(!img.event_trywait(&ev));
+            }
+            img.sync_all();
+            if img.this_image() == 0 {
+                img.event_notify(&w, &ev, 1);
+            }
+            img.sync_all();
+            if img.this_image() == 1 {
+                assert!(img.event_trywait(&ev));
+            }
+        });
+    }
+
+    #[test]
+    fn notify_makes_prior_writes_visible() {
+        // The release semantics: a coarray write issued before
+        // event_notify must be visible to the waiter when it wakes.
+        both(2, |img| {
+            let w = img.team_world();
+            let ca: crate::coarray::Coarray<u64> = img.coarray_alloc(&w, 1);
+            let ev = img.event_alloc(&w);
+            if img.this_image() == 0 {
+                ca.write(img, 1, 0, &[7777]);
+                img.event_notify(&w, &ev, 1);
+            } else {
+                img.event_wait(&ev);
+                assert_eq!(ca.local_vec(img)[0], 7777);
+            }
+            img.coarray_free(&w, ca);
+        });
+    }
+
+    #[test]
+    fn target_only_flush_still_releases_writes_to_target() {
+        // The §5 per-target flush is sufficient when the guarded writes go
+        // to the notified image — the RandomAccess pattern.
+        both(3, |img| {
+            let w = img.team_world();
+            let ca: crate::coarray::Coarray<u64> = img.coarray_alloc(&w, 1);
+            let ev = img.event_alloc(&w);
+            if img.this_image() == 0 {
+                img.copy_async_put(&ca, 1, 0, &[4242], crate::asyncops::AsyncOpts::none());
+                img.event_notify_with_flush(&w, &ev, 1, super::NotifyFlush::TargetOnly);
+            } else if img.this_image() == 1 {
+                img.event_wait(&ev);
+                assert_eq!(ca.local_vec(img)[0], 4242);
+            }
+            img.sync_all();
+            img.coarray_free(&w, ca);
+        });
+    }
+
+    #[test]
+    fn self_notify_works() {
+        both(1, |img| {
+            let w = img.team_world();
+            let ev = img.event_alloc(&w);
+            img.event_notify(&w, &ev, 0);
+            img.event_wait(&ev);
+        });
+    }
+
+    #[test]
+    fn distinct_events_do_not_interfere() {
+        both(2, |img| {
+            let w = img.team_world();
+            let a = img.event_alloc(&w);
+            let b = img.event_alloc(&w);
+            assert_ne!(a.id(), b.id());
+            if img.this_image() == 0 {
+                img.event_notify(&w, &b, 1);
+                img.sync_all();
+            } else {
+                img.sync_all();
+                assert!(!img.event_trywait(&a));
+                assert!(img.event_trywait(&b));
+            }
+        });
+    }
+
+    #[test]
+    fn ping_pong_chain() {
+        both(2, |img| {
+            let w = img.team_world();
+            let ping = img.event_alloc(&w);
+            let pong = img.event_alloc(&w);
+            for _ in 0..10 {
+                if img.this_image() == 0 {
+                    img.event_notify(&w, &ping, 1);
+                    img.event_wait(&pong);
+                } else {
+                    img.event_wait(&ping);
+                    img.event_notify(&w, &pong, 0);
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,493 @@
+//! Images, the job launcher, and the runtime progress engine.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::queue::SegQueue;
+
+use caf_fabric::{Fabric, FabricConfig};
+use caf_gasnetsim::{Gasnet, GasnetConfig};
+use caf_mpisim::{Mpi, MpiConfig};
+
+use crate::arena::SegmentArena;
+use crate::backend::{Backend, GasnetBackend, MpiBackend, RT_HANDLER};
+use crate::rtmsg::RtMsg;
+use crate::ship::ShipRegistry;
+use crate::stats::Stats;
+use crate::team::{GTeam, GTeamState, Team, TeamInner};
+
+/// Which communication substrate the CAF runtime runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubstrateKind {
+    /// CAF-MPI — the paper's contribution: MPI-3 is the runtime.
+    Mpi,
+    /// CAF-GASNet — the original CAF 2.0 runtime, the paper's baseline.
+    Gasnet,
+}
+
+/// Configuration of one CAF job.
+#[derive(Debug, Clone, Copy)]
+pub struct CafConfig {
+    /// Substrate selection.
+    pub substrate: SubstrateKind,
+    /// MPI library configuration (used by the MPI substrate, and by the
+    /// co-resident MPI library under `hybrid_mpi`).
+    pub mpi: MpiConfig,
+    /// GASNet library configuration.
+    pub gasnet: GasnetConfig,
+    /// On the GASNet substrate, also initialize a full MPI library on every
+    /// image — the paper's *duplicate runtimes* situation, required for
+    /// hybrid MPI+CAF applications (CGPOP) on CAF-GASNet and measured by
+    /// Figure 1. On the MPI substrate this flag is meaningless: the single
+    /// MPI library already serves both roles (that is the point of the
+    /// paper).
+    pub hybrid_mpi: bool,
+}
+
+impl Default for CafConfig {
+    fn default() -> Self {
+        CafConfig {
+            substrate: SubstrateKind::Mpi,
+            mpi: MpiConfig::default(),
+            gasnet: GasnetConfig::default(),
+            hybrid_mpi: false,
+        }
+    }
+}
+
+impl CafConfig {
+    /// Default configuration on the given substrate.
+    pub fn on(substrate: SubstrateKind) -> Self {
+        CafConfig {
+            substrate,
+            ..CafConfig::default()
+        }
+    }
+}
+
+/// A runtime operation parked on a predicate event: `(event_id, op)`.
+pub(crate) type DeferredOp = (u64, Box<dyn FnOnce(&Image)>);
+
+/// Launcher for CAF jobs.
+pub struct CafUniverse;
+
+impl CafUniverse {
+    /// Run `f` on `n` images over the MPI substrate (the default).
+    pub fn run<T, F>(n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Image) -> T + Send + Sync,
+    {
+        Self::run_with_config(n, CafConfig::default(), f)
+    }
+
+    /// As [`CafUniverse::run_with_config`], additionally capturing every
+    /// image's time-decomposition ledger — the measurement path behind
+    /// the paper's Figure 4 / Figure 8 profiles.
+    pub fn run_collect_stats<T, F>(
+        n: usize,
+        config: CafConfig,
+        f: F,
+    ) -> Vec<(T, crate::stats::StatsReport)>
+    where
+        T: Send,
+        F: Fn(&Image) -> T + Send + Sync,
+    {
+        Self::run_with_config(n, config, |img| {
+            let r = f(img);
+            (r, crate::stats::StatsReport::capture(img.stats()))
+        })
+    }
+
+    /// Run `f` on `n` images with an explicit configuration; returns
+    /// per-image results in image order.
+    pub fn run_with_config<T, F>(n: usize, config: CafConfig, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Image) -> T + Send + Sync,
+    {
+        let mut fabric = Fabric::with_config(
+            n,
+            FabricConfig {
+                planes: 2,
+                ..FabricConfig::default()
+            },
+        );
+        let ship_reg = Arc::new(ShipRegistry::new());
+        let mut slots = Vec::with_capacity(n);
+        for rank in 0..n {
+            slots.push((
+                fabric.take_endpoint_on(rank, 0),
+                fabric.take_endpoint_on(rank, 1),
+            ));
+        }
+        let f = &f;
+        let ship_reg = &ship_reg;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = slots
+                .into_iter()
+                .map(|(ep0, ep1)| {
+                    scope.spawn(move || {
+                        let img = Image::init(ep0, ep1, config, Arc::clone(ship_reg));
+                        f(&img)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("image panicked"))
+                .collect()
+        })
+    }
+}
+
+/// One CAF process image: the runtime handle every CAF operation goes
+/// through. One per thread; not `Sync`.
+pub struct Image {
+    pub(crate) backend: Backend,
+    pub(crate) ship_reg: Arc<ShipRegistry>,
+    /// Posted-event counts, keyed by event id.
+    pub(crate) events: RefCell<HashMap<u64, u64>>,
+    /// Copies deferred on a predicate event: `(event_id, op)`.
+    pub(crate) deferred: RefCell<Vec<DeferredOp>>,
+    /// Innermost-first stack of active finish block ids.
+    pub(crate) finish_stack: RefCell<Vec<u64>>,
+    /// Per-finish (shipped, completed) counters.
+    pub(crate) finish_counters: RefCell<HashMap<u64, (u64, u64)>>,
+    /// Hand-rolled collective fragments awaiting their consumer (GASNet).
+    pub(crate) coll_stash: RefCell<Vec<RtMsg>>,
+    /// Per-team token counter for collectively derived ids (events, finish
+    /// blocks, GASNet regions). Consistent across members because all
+    /// derivations happen in collective calls.
+    pub(crate) team_tokens: RefCell<HashMap<u64, u64>>,
+    /// Implicitly synchronized operation counts (consumed by `cofence`).
+    pub(crate) implicit_puts: Cell<u64>,
+    pub(crate) implicit_gets: Cell<u64>,
+    world: Team,
+    stats: Stats,
+}
+
+impl Image {
+    fn init(
+        ep0: caf_fabric::Endpoint,
+        ep1: caf_fabric::Endpoint,
+        config: CafConfig,
+        ship_reg: Arc<ShipRegistry>,
+    ) -> Self {
+        let n = ep0.size();
+        let (backend, world) = match config.substrate {
+            SubstrateKind::Mpi => {
+                let mpi = Mpi::init(ep0, config.mpi);
+                drop(ep1); // single library, single plane
+                let world_comm = mpi.world();
+                let rt_comm = mpi.comm_dup(&world_comm).expect("runtime comm dup");
+                (
+                    Backend::Mpi(Box::new(MpiBackend {
+                        mpi,
+                        rt_comm,
+                        windows: RefCell::new(HashMap::new()),
+                    })),
+                    Team {
+                        inner: TeamInner::Mpi(world_comm),
+                    },
+                )
+            }
+            SubstrateKind::Gasnet => {
+                let g = Gasnet::init(ep0, config.gasnet);
+                let inbox: Arc<SegQueue<(usize, Vec<u8>)>> = Arc::new(SegQueue::new());
+                let sink = Arc::clone(&inbox);
+                g.register_handler(RT_HANDLER, move |_g: &Gasnet, tok, _args, data| {
+                    sink.push((tok.src, data.to_vec()));
+                });
+                let hybrid_mpi = if config.hybrid_mpi {
+                    Some(Mpi::init(ep1, config.mpi))
+                } else {
+                    drop(ep1);
+                    None
+                };
+                let rank = g.rank();
+                let arena = SegmentArena::new(config.gasnet.segment_size);
+                (
+                    Backend::Gasnet(Box::new(GasnetBackend {
+                        g,
+                        arena,
+                        inbox,
+                        regions: RefCell::new(HashMap::new()),
+                        hybrid_mpi,
+                    })),
+                    Team {
+                        inner: TeamInner::Gasnet(GTeam {
+                            id: 0,
+                            members: (0..n).collect::<Vec<_>>().into(),
+                            my_idx: rank,
+                            state: Arc::new(GTeamState::default()),
+                        }),
+                    },
+                )
+            }
+        };
+        Image {
+            backend,
+            ship_reg,
+            events: RefCell::new(HashMap::new()),
+            deferred: RefCell::new(Vec::new()),
+            finish_stack: RefCell::new(Vec::new()),
+            finish_counters: RefCell::new(HashMap::new()),
+            coll_stash: RefCell::new(Vec::new()),
+            team_tokens: RefCell::new(HashMap::new()),
+            implicit_puts: Cell::new(0),
+            implicit_gets: Cell::new(0),
+            world,
+            stats: Stats::new(),
+        }
+    }
+
+    /// This image's index (0-based; Fortran's `this_image()` is 1-based).
+    pub fn this_image(&self) -> usize {
+        self.backend.rank()
+    }
+
+    /// Total number of images (`num_images()`).
+    pub fn num_images(&self) -> usize {
+        self.backend.size()
+    }
+
+    /// `TEAM_WORLD`.
+    pub fn team_world(&self) -> Team {
+        self.world.clone()
+    }
+
+    /// The per-image time-decomposition ledger.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Which substrate this job runs on.
+    pub fn substrate(&self) -> SubstrateKind {
+        match &self.backend {
+            Backend::Mpi(_) => SubstrateKind::Mpi,
+            Backend::Gasnet(_) => SubstrateKind::Gasnet,
+        }
+    }
+
+    /// Direct access to the MPI library, for hybrid MPI+CAF applications.
+    ///
+    /// On the MPI substrate this is the *same* library instance the CAF
+    /// runtime uses — the interoperability the paper is about. On the
+    /// GASNet substrate it is the co-resident duplicate library, present
+    /// only when [`CafConfig::hybrid_mpi`] was set.
+    pub fn mpi(&self) -> Option<&Mpi> {
+        match &self.backend {
+            Backend::Mpi(b) => Some(&b.mpi),
+            Backend::Gasnet(b) => b.hybrid_mpi.as_ref(),
+        }
+    }
+
+    /// Bytes of runtime (non-user-data) memory mapped by the communication
+    /// libraries on this image — the Figure-1 quantity.
+    pub fn runtime_memory_overhead(&self) -> usize {
+        self.backend.memory_overhead()
+    }
+
+    /// Drive runtime progress: handle every runtime message that has
+    /// already arrived. Called internally by blocking operations; exposed
+    /// so long compute loops can keep shipped functions and events flowing.
+    pub fn poll(&self) {
+        while let Some(msg) = self.backend.try_recv_rtmsg() {
+            self.handle_msg(msg);
+        }
+    }
+
+    /// Handle one runtime message.
+    pub(crate) fn handle_msg(&self, msg: RtMsg) {
+        match msg {
+            RtMsg::EventNotify { event_id } => self.post_event_local(event_id),
+            RtMsg::Ship { slot, finish_id } => {
+                let f = self.ship_reg.claim(slot);
+                // Functions shipped *by* this function belong to the same
+                // finish block (Yang's accounting), so propagate its id as
+                // the innermost scope for the duration of the execution.
+                self.finish_stack.borrow_mut().push(finish_id);
+                f(self);
+                self.finish_stack.borrow_mut().pop();
+                // The shipped function's one-sided effects must be globally
+                // visible before it counts as completed.
+                self.backend.flush_all();
+                let mut counters = self.finish_counters.borrow_mut();
+                counters.entry(finish_id).or_insert((0, 0)).1 += 1;
+            }
+            RtMsg::PutWithEvent {
+                region_id,
+                offset,
+                event_id,
+                data,
+            } => {
+                self.region_write_local(region_id, offset as usize, &data);
+                if event_id != 0 {
+                    self.post_event_local(event_id);
+                }
+            }
+            RtMsg::CollPayload { .. } => {
+                self.coll_stash.borrow_mut().push(msg);
+            }
+        }
+    }
+
+    /// Write into this image's part of a region (PutWithEvent target path).
+    fn region_write_local(&self, region_id: u64, offset: usize, data: &[u8]) {
+        match &self.backend {
+            Backend::Mpi(b) => {
+                let windows = b.windows.borrow();
+                let win = windows
+                    .get(&region_id)
+                    .unwrap_or_else(|| panic!("PutWithEvent for unknown window {region_id}"));
+                b.mpi
+                    .win_write_local(win, offset, data)
+                    .expect("PutWithEvent local write");
+            }
+            Backend::Gasnet(b) => {
+                let regions = b.regions.borrow();
+                let base = regions
+                    .get(&region_id)
+                    .unwrap_or_else(|| panic!("PutWithEvent for unknown region {region_id}"));
+                b.g.write_local(base + offset, data)
+                    .expect("PutWithEvent local write");
+            }
+        }
+    }
+
+    /// Post `event_id` once on this image, releasing any deferred copies
+    /// predicated on it.
+    pub(crate) fn post_event_local(&self, event_id: u64) {
+        *self.events.borrow_mut().entry(event_id).or_insert(0) += 1;
+        // Release deferred operations whose predicate just fired.
+        let ready: Vec<_> = {
+            let mut deferred = self.deferred.borrow_mut();
+            let mut ready = Vec::new();
+            let mut i = 0;
+            while i < deferred.len() {
+                if deferred[i].0 == event_id {
+                    ready.push(deferred.swap_remove(i).1);
+                } else {
+                    i += 1;
+                }
+            }
+            ready
+        };
+        for op in ready {
+            op(self);
+        }
+    }
+
+    /// Collectively derive a fresh token on `team` (used for event, finish,
+    /// and GASNet-region ids). Every member must call this in the same
+    /// collective context.
+    pub(crate) fn next_team_token(&self, team: &Team, salt: u64) -> u64 {
+        let mut tokens = self.team_tokens.borrow_mut();
+        let ctr = tokens.entry(team.id()).or_insert(0);
+        *ctr += 1;
+        derive_token(team.id(), *ctr, salt)
+    }
+}
+
+/// SplitMix64-based token derivation (same mixer as the MPI substrate's
+/// context ids).
+pub(crate) fn derive_token(team_id: u64, counter: u64, salt: u64) -> u64 {
+    let mut x = team_id ^ counter.wrapping_mul(0x9e3779b97f4a7c15) ^ salt.rotate_left(32);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    (x ^ (x >> 31)) | 1 // never 0 (0 is the "no event" sentinel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn images_launch_on_both_substrates() {
+        for kind in [SubstrateKind::Mpi, SubstrateKind::Gasnet] {
+            let res = CafUniverse::run_with_config(4, CafConfig::on(kind), |img| {
+                assert_eq!(img.substrate(), kind);
+                assert_eq!(img.team_world().size(), 4);
+                (img.this_image(), img.num_images())
+            });
+            assert_eq!(res, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+        }
+    }
+
+    #[test]
+    fn mpi_substrate_exposes_mpi_handle() {
+        CafUniverse::run(2, |img| {
+            assert!(img.mpi().is_some());
+        });
+    }
+
+    #[test]
+    fn gasnet_substrate_without_hybrid_has_no_mpi() {
+        CafUniverse::run_with_config(2, CafConfig::on(SubstrateKind::Gasnet), |img| {
+            assert!(img.mpi().is_none());
+        });
+    }
+
+    #[test]
+    fn hybrid_gasnet_has_duplicate_runtimes() {
+        let cfg = CafConfig {
+            hybrid_mpi: true,
+            ..CafConfig::on(SubstrateKind::Gasnet)
+        };
+        let overheads = CafUniverse::run_with_config(2, cfg, |img| {
+            assert!(img.mpi().is_some());
+            img.runtime_memory_overhead()
+        });
+        // Duplicate runtimes must cost more than GASNet alone (Figure 1).
+        let gasnet_only = CafUniverse::run_with_config(
+            2,
+            CafConfig::on(SubstrateKind::Gasnet),
+            |img| img.runtime_memory_overhead(),
+        );
+        assert!(overheads[0] > gasnet_only[0]);
+    }
+
+    #[test]
+    fn derived_tokens_never_zero_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for team in 0..10u64 {
+            for ctr in 1..10u64 {
+                for salt in [0xEE, 0xF1, 0xCA] {
+                    let t = derive_token(team, ctr, salt);
+                    assert_ne!(t, 0);
+                    assert!(seen.insert(t), "token collision");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_collect_stats_captures_ledgers() {
+        let rows = CafUniverse::run_collect_stats(2, CafConfig::default(), |img| {
+            img.sync_all();
+            img.this_image()
+        });
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].0, 1);
+        // The barrier must appear in the captured report.
+        let report = &rows[0].1;
+        let barrier_calls = report
+            .rows
+            .iter()
+            .find(|(c, _, _)| *c == crate::stats::StatCat::Barrier)
+            .map(|&(_, _, k)| k)
+            .unwrap();
+        assert!(barrier_calls >= 1);
+    }
+
+    #[test]
+    fn post_event_accumulates() {
+        CafUniverse::run(1, |img| {
+            img.post_event_local(99);
+            img.post_event_local(99);
+            assert_eq!(img.events.borrow()[&99], 2);
+        });
+    }
+}

@@ -1,0 +1,288 @@
+//! Runtime-level active messages.
+//!
+//! The CAF runtime needs its own AM layer for events, function shipping,
+//! remote-completion puts, and (on the GASNet substrate) hand-rolled
+//! collectives. On the MPI substrate these messages travel as `MPI_Isend`s
+//! on a private communicator — the paper's §3.2 design, a "near-exact
+//! replica of the AM interface in the GASNet core API" built from two-sided
+//! MPI. On the GASNet substrate they are genuine GASNet AMs.
+//!
+//! The wire encoding is a tiny hand-rolled binary format (kind byte +
+//! little-endian fields + raw payload); both substrates move opaque bytes.
+
+/// A runtime message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtMsg {
+    /// Post `event_id` once at the receiving image.
+    EventNotify {
+        /// Collectively agreed event identity.
+        event_id: u64,
+    },
+    /// Execute the shipped function stored in the universe's ship registry
+    /// under `slot`; account completion to `finish_id`.
+    Ship {
+        /// Ship-registry slot holding the closure.
+        slot: u64,
+        /// Enclosing finish block (0 = none).
+        finish_id: u64,
+    },
+    /// CAF-MPI's §3.3 case 4: a PUT whose remote completion must post an
+    /// event. The data travels inside the message; the receiving image
+    /// copies it into its own region and posts the event.
+    PutWithEvent {
+        /// Region the data belongs to (window id / region id).
+        region_id: u64,
+        /// Byte offset within the receiving image's region.
+        offset: u64,
+        /// Event to post after the copy (0 = none).
+        event_id: u64,
+        /// The payload.
+        data: Vec<u8>,
+    },
+    /// One fragment of a hand-rolled collective on the GASNet substrate.
+    CollPayload {
+        /// Team the collective runs on.
+        team_id: u64,
+        /// Per-team collective sequence number.
+        seq: u64,
+        /// Algorithm phase within the collective.
+        phase: u32,
+        /// Sender's team rank.
+        src_idx: u32,
+        /// Fragment index (payloads above the medium-AM limit are split).
+        chunk: u32,
+        /// Total number of fragments.
+        nchunks: u32,
+        /// Fragment bytes.
+        data: Vec<u8>,
+    },
+}
+
+const K_EVENT: u8 = 1;
+const K_SHIP: u8 = 2;
+const K_PUT_EV: u8 = 3;
+const K_COLL: u8 = 4;
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a>(&'a [u8]);
+
+impl<'a> Reader<'a> {
+    fn u64(&mut self) -> u64 {
+        let (head, rest) = self.0.split_at(8);
+        self.0 = rest;
+        u64::from_le_bytes(head.try_into().expect("8 bytes"))
+    }
+    fn u32(&mut self) -> u32 {
+        let (head, rest) = self.0.split_at(4);
+        self.0 = rest;
+        u32::from_le_bytes(head.try_into().expect("4 bytes"))
+    }
+    fn rest(self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+}
+
+impl RtMsg {
+    /// Serialize to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32);
+        match self {
+            RtMsg::EventNotify { event_id } => {
+                buf.push(K_EVENT);
+                push_u64(&mut buf, *event_id);
+            }
+            RtMsg::Ship { slot, finish_id } => {
+                buf.push(K_SHIP);
+                push_u64(&mut buf, *slot);
+                push_u64(&mut buf, *finish_id);
+            }
+            RtMsg::PutWithEvent {
+                region_id,
+                offset,
+                event_id,
+                data,
+            } => {
+                buf.push(K_PUT_EV);
+                push_u64(&mut buf, *region_id);
+                push_u64(&mut buf, *offset);
+                push_u64(&mut buf, *event_id);
+                buf.extend_from_slice(data);
+            }
+            RtMsg::CollPayload {
+                team_id,
+                seq,
+                phase,
+                src_idx,
+                chunk,
+                nchunks,
+                data,
+            } => {
+                buf.push(K_COLL);
+                push_u64(&mut buf, *team_id);
+                push_u64(&mut buf, *seq);
+                push_u32(&mut buf, *phase);
+                push_u32(&mut buf, *src_idx);
+                push_u32(&mut buf, *chunk);
+                push_u32(&mut buf, *nchunks);
+                buf.extend_from_slice(data);
+            }
+        }
+        buf
+    }
+
+    /// Deserialize from bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed message — runtime traffic is internal, so
+    /// corruption is a bug, not an input condition.
+    pub fn decode(bytes: &[u8]) -> RtMsg {
+        let (kind, rest) = bytes.split_first().expect("empty runtime message");
+        let mut r = Reader(rest);
+        match *kind {
+            K_EVENT => RtMsg::EventNotify { event_id: r.u64() },
+            K_SHIP => RtMsg::Ship {
+                slot: r.u64(),
+                finish_id: r.u64(),
+            },
+            K_PUT_EV => RtMsg::PutWithEvent {
+                region_id: r.u64(),
+                offset: r.u64(),
+                event_id: r.u64(),
+                data: r.rest(),
+            },
+            K_COLL => RtMsg::CollPayload {
+                team_id: r.u64(),
+                seq: r.u64(),
+                phase: r.u32(),
+                src_idx: r.u32(),
+                chunk: r.u32(),
+                nchunks: r.u32(),
+                data: r.rest(),
+            },
+            k => panic!("unknown runtime message kind {k}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: RtMsg) {
+        assert_eq!(RtMsg::decode(&m.encode()), m);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(RtMsg::EventNotify { event_id: 42 });
+        roundtrip(RtMsg::Ship {
+            slot: 7,
+            finish_id: u64::MAX,
+        });
+        roundtrip(RtMsg::PutWithEvent {
+            region_id: 1,
+            offset: 1024,
+            event_id: 0,
+            data: vec![1, 2, 3, 4, 5],
+        });
+        roundtrip(RtMsg::CollPayload {
+            team_id: 9,
+            seq: 3,
+            phase: 2,
+            src_idx: 5,
+            chunk: 1,
+            nchunks: 4,
+            data: vec![0xff; 100],
+        });
+    }
+
+    #[test]
+    fn empty_payloads_roundtrip() {
+        roundtrip(RtMsg::PutWithEvent {
+            region_id: 0,
+            offset: 0,
+            event_id: 0,
+            data: vec![],
+        });
+        roundtrip(RtMsg::CollPayload {
+            team_id: 0,
+            seq: 0,
+            phase: 0,
+            src_idx: 0,
+            chunk: 0,
+            nchunks: 1,
+            data: vec![],
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown runtime message kind")]
+    fn decode_rejects_garbage() {
+        RtMsg::decode(&[200, 0, 0]);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn event_roundtrips(id in any::<u64>()) {
+                let m = RtMsg::EventNotify { event_id: id };
+                prop_assert_eq!(RtMsg::decode(&m.encode()), m);
+            }
+
+            #[test]
+            fn ship_roundtrips(slot in any::<u64>(), fid in any::<u64>()) {
+                let m = RtMsg::Ship { slot, finish_id: fid };
+                prop_assert_eq!(RtMsg::decode(&m.encode()), m);
+            }
+
+            #[test]
+            fn put_with_event_roundtrips(
+                region in any::<u64>(),
+                offset in any::<u64>(),
+                ev in any::<u64>(),
+                data in proptest::collection::vec(any::<u8>(), 0..256),
+            ) {
+                let m = RtMsg::PutWithEvent {
+                    region_id: region,
+                    offset,
+                    event_id: ev,
+                    data,
+                };
+                prop_assert_eq!(RtMsg::decode(&m.encode()), m);
+            }
+
+            #[test]
+            fn coll_payload_roundtrips(
+                team in any::<u64>(),
+                seq in any::<u64>(),
+                phase in any::<u32>(),
+                src in any::<u32>(),
+                chunk in any::<u32>(),
+                nchunks in any::<u32>(),
+                data in proptest::collection::vec(any::<u8>(), 0..256),
+            ) {
+                let m = RtMsg::CollPayload {
+                    team_id: team,
+                    seq,
+                    phase,
+                    src_idx: src,
+                    chunk,
+                    nchunks,
+                    data,
+                };
+                prop_assert_eq!(RtMsg::decode(&m.encode()), m);
+            }
+        }
+    }
+}

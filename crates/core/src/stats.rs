@@ -1,0 +1,233 @@
+//! Per-image time decomposition — the runtime's built-in stand-in for the
+//! paper's HPCToolkit profiles (Figures 4 and 8).
+//!
+//! Every runtime primitive wraps itself in [`Stats::timed`], so after a
+//! benchmark run each image can report how much wall-clock time went to
+//! coarray writes, event waits, event notifies, alltoalls, and so on — the
+//! exact categories the paper's decomposition figures use.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+/// The accounting categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StatCat {
+    /// Blocking remote coarray writes.
+    CoarrayWrite,
+    /// Blocking remote coarray reads.
+    CoarrayRead,
+    /// `event_wait` / `event_trywait` polling.
+    EventWait,
+    /// `event_notify`, including its release barrier and flush.
+    EventNotify,
+    /// Team alltoall (the FFT hot spot).
+    Alltoall,
+    /// Team barriers.
+    Barrier,
+    /// Team reductions / broadcasts.
+    Reduction,
+    /// `finish` termination detection and closing synchronization.
+    Finish,
+    /// Asynchronous-copy issue path.
+    CopyAsync,
+    /// Application compute time, recorded by the benchmark itself through
+    /// [`Stats::timed`].
+    Computation,
+}
+
+/// Indexable list of every category, in display order.
+pub const ALL_CATS: [StatCat; 10] = [
+    StatCat::Computation,
+    StatCat::CoarrayWrite,
+    StatCat::CoarrayRead,
+    StatCat::EventWait,
+    StatCat::EventNotify,
+    StatCat::Alltoall,
+    StatCat::Barrier,
+    StatCat::Reduction,
+    StatCat::Finish,
+    StatCat::CopyAsync,
+];
+
+fn idx(c: StatCat) -> usize {
+    ALL_CATS
+        .iter()
+        .position(|&x| x == c)
+        .expect("category in ALL_CATS")
+}
+
+/// Per-image accounting ledger. Not thread-safe by design — each image owns
+/// its own.
+#[derive(Debug, Default)]
+pub struct Stats {
+    nanos: [Cell<u64>; 10],
+    calls: [Cell<u64>; 10],
+    /// Depth guard so nested timed sections do not double-count: only the
+    /// outermost section accrues time.
+    depth: Cell<u32>,
+}
+
+impl Stats {
+    /// A zeroed ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run `f`, attributing its wall-clock time to `cat`. Nested `timed`
+    /// calls do not double-count: inner sections are charged to their own
+    /// category *only when entered at top level*; time inside an outer
+    /// section stays with the outer category.
+    pub fn timed<R>(&self, cat: StatCat, f: impl FnOnce() -> R) -> R {
+        if self.depth.get() > 0 {
+            // Count the call but let the enclosing section keep the time.
+            self.calls[idx(cat)].set(self.calls[idx(cat)].get() + 1);
+            return f();
+        }
+        self.depth.set(1);
+        let t = Instant::now();
+        let r = f();
+        let ns = t.elapsed().as_nanos() as u64;
+        self.depth.set(0);
+        let i = idx(cat);
+        self.nanos[i].set(self.nanos[i].get() + ns);
+        self.calls[i].set(self.calls[i].get() + 1);
+        r
+    }
+
+    /// Directly add `ns` nanoseconds to `cat` (for callers that measured
+    /// themselves).
+    pub fn add_ns(&self, cat: StatCat, ns: u64) {
+        let i = idx(cat);
+        self.nanos[i].set(self.nanos[i].get() + ns);
+        self.calls[i].set(self.calls[i].get() + 1);
+    }
+
+    /// Seconds accumulated under `cat`.
+    pub fn seconds(&self, cat: StatCat) -> f64 {
+        self.nanos[idx(cat)].get() as f64 * 1e-9
+    }
+
+    /// Number of sections/calls recorded under `cat`.
+    pub fn calls(&self, cat: StatCat) -> u64 {
+        self.calls[idx(cat)].get()
+    }
+
+    /// Reset every counter.
+    pub fn reset(&self) {
+        for c in &self.nanos {
+            c.set(0);
+        }
+        for c in &self.calls {
+            c.set(0);
+        }
+    }
+
+    /// Snapshot of all categories as `(category, seconds, calls)`.
+    pub fn snapshot(&self) -> Vec<(StatCat, f64, u64)> {
+        ALL_CATS
+            .iter()
+            .map(|&c| (c, self.seconds(c), self.calls(c)))
+            .collect()
+    }
+}
+
+/// A plain-data snapshot that can cross thread boundaries (per-image stats
+/// gathered by the launcher).
+#[derive(Debug, Clone, Default)]
+pub struct StatsReport {
+    /// `(category, seconds, calls)` rows in [`ALL_CATS`] order.
+    pub rows: Vec<(StatCat, f64, u64)>,
+}
+
+impl StatsReport {
+    /// Capture from a live ledger.
+    pub fn capture(stats: &Stats) -> Self {
+        StatsReport {
+            rows: stats.snapshot(),
+        }
+    }
+
+    /// Seconds for one category.
+    pub fn seconds(&self, cat: StatCat) -> f64 {
+        self.rows
+            .iter()
+            .find(|(c, _, _)| *c == cat)
+            .map(|&(_, s, _)| s)
+            .unwrap_or(0.0)
+    }
+
+    /// Elementwise mean across many reports (per-image → per-run).
+    pub fn mean(reports: &[StatsReport]) -> StatsReport {
+        let n = reports.len().max(1) as f64;
+        let rows = ALL_CATS
+            .iter()
+            .map(|&c| {
+                let secs: f64 = reports.iter().map(|r| r.seconds(c)).sum::<f64>() / n;
+                let calls: u64 = reports
+                    .iter()
+                    .flat_map(|r| r.rows.iter().filter(|(rc, _, _)| *rc == c))
+                    .map(|&(_, _, k)| k)
+                    .sum::<u64>()
+                    / reports.len().max(1) as u64;
+                (c, secs, calls)
+            })
+            .collect();
+        StatsReport { rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn timed_accumulates() {
+        let s = Stats::new();
+        s.timed(StatCat::Barrier, || std::thread::sleep(Duration::from_millis(5)));
+        s.timed(StatCat::Barrier, || std::thread::sleep(Duration::from_millis(5)));
+        assert!(s.seconds(StatCat::Barrier) >= 0.009);
+        assert_eq!(s.calls(StatCat::Barrier), 2);
+        assert_eq!(s.seconds(StatCat::Alltoall), 0.0);
+    }
+
+    #[test]
+    fn nesting_does_not_double_count() {
+        let s = Stats::new();
+        s.timed(StatCat::EventNotify, || {
+            s.timed(StatCat::Barrier, || {
+                std::thread::sleep(Duration::from_millis(5))
+            });
+        });
+        assert!(s.seconds(StatCat::EventNotify) >= 0.004);
+        assert_eq!(s.seconds(StatCat::Barrier), 0.0);
+        assert_eq!(s.calls(StatCat::Barrier), 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = Stats::new();
+        s.add_ns(StatCat::Alltoall, 1_000_000);
+        s.reset();
+        assert_eq!(s.seconds(StatCat::Alltoall), 0.0);
+        assert_eq!(s.calls(StatCat::Alltoall), 0);
+    }
+
+    #[test]
+    fn report_mean() {
+        let mk = |ns: u64| {
+            let s = Stats::new();
+            s.add_ns(StatCat::EventWait, ns);
+            StatsReport::capture(&s)
+        };
+        let m = StatsReport::mean(&[mk(1_000_000_000), mk(3_000_000_000)]);
+        assert!((m.seconds(StatCat::EventWait) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timed_returns_value() {
+        let s = Stats::new();
+        let v = s.timed(StatCat::Computation, || 42);
+        assert_eq!(v, 42);
+    }
+}

@@ -1,0 +1,373 @@
+//! The [`Fabric`] itself: job construction, endpoints, and the segment
+//! registry.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::RwLock;
+
+use crate::delay::DelayConfig;
+use crate::error::FabricError;
+use crate::packet::Packet;
+use crate::segment::{Segment, SegmentId};
+use crate::Result;
+
+/// Construction-time options for a [`Fabric`].
+#[derive(Debug, Clone, Copy)]
+pub struct FabricConfig {
+    /// A default delay model, available to substrates via
+    /// [`Endpoint::default_delays`]. Substrates with substrate-specific cost
+    /// tables (the normal case) carry their own [`DelayConfig`] instead.
+    pub delays: DelayConfig,
+    /// Number of independent mailbox *planes* per rank. Each communication
+    /// library instance owns one plane, so two runtimes (e.g. GASNet and
+    /// MPI in the paper's duplicate-runtimes scenario) can coexist on the
+    /// same rank without seeing each other's traffic. Default 1.
+    pub planes: usize,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            delays: DelayConfig::free(),
+            planes: 1,
+        }
+    }
+}
+
+struct Shared {
+    n: usize,
+    /// Senders indexed `plane * n + rank`.
+    senders: Vec<Sender<Packet>>,
+    segments: RwLock<HashMap<u64, Arc<Segment>>>,
+    next_segment: AtomicU64,
+    config: FabricConfig,
+}
+
+/// One parallel job: `n` ranks wired together by mailboxes and a shared
+/// segment registry.
+pub struct Fabric {
+    shared: Arc<Shared>,
+    receivers: Vec<Option<Receiver<Packet>>>,
+}
+
+impl Fabric {
+    /// Create a job of `size` ranks with default configuration.
+    pub fn new(size: usize) -> Self {
+        Self::with_config(size, FabricConfig::default())
+    }
+
+    /// Create a job of `size` ranks.
+    pub fn with_config(size: usize, config: FabricConfig) -> Self {
+        assert!(size > 0, "fabric must have at least one rank");
+        assert!(config.planes > 0, "fabric must have at least one plane");
+        let slots = size * config.planes;
+        let mut senders = Vec::with_capacity(slots);
+        let mut receivers = Vec::with_capacity(slots);
+        for _ in 0..slots {
+            let (tx, rx) = channel::unbounded();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        Fabric {
+            shared: Arc::new(Shared {
+                n: size,
+                senders,
+                segments: RwLock::new(HashMap::new()),
+                next_segment: AtomicU64::new(1),
+                config,
+            }),
+            receivers,
+        }
+    }
+
+    /// Number of ranks in the job.
+    pub fn size(&self) -> usize {
+        self.shared.n
+    }
+
+    /// Take the plane-0 endpoint for `rank`. Each endpoint can be taken
+    /// exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range or its endpoint was already taken.
+    pub fn take_endpoint(&mut self, rank: usize) -> Endpoint {
+        self.take_endpoint_on(rank, 0)
+    }
+
+    /// Take the endpoint for `rank` on mailbox `plane`.
+    pub fn take_endpoint_on(&mut self, rank: usize, plane: usize) -> Endpoint {
+        assert!(plane < self.shared.config.planes, "plane out of range");
+        let rx = self.receivers[plane * self.shared.n + rank]
+            .take()
+            .expect("endpoint already taken");
+        Endpoint {
+            rank,
+            plane,
+            shared: Arc::clone(&self.shared),
+            rx,
+        }
+    }
+
+    /// Take all endpoints, in rank order.
+    pub fn take_all(&mut self) -> Vec<Endpoint> {
+        (0..self.size()).map(|r| self.take_endpoint(r)).collect()
+    }
+
+    /// SPMD convenience launcher: spawn `size` threads, run `f` on each with
+    /// its endpoint, and return the per-rank results in rank order.
+    ///
+    /// Panics in any rank are propagated (the whole job aborts), matching
+    /// the fail-stop behaviour of an MPI job.
+    pub fn run<T, F>(size: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Endpoint) -> T + Send + Sync,
+    {
+        Self::run_with_config(size, FabricConfig::default(), f)
+    }
+
+    /// As [`Fabric::run`], with an explicit configuration.
+    pub fn run_with_config<T, F>(size: usize, config: FabricConfig, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Endpoint) -> T + Send + Sync,
+    {
+        let mut fabric = Fabric::with_config(size, config);
+        let endpoints = fabric.take_all();
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = endpoints
+                .into_iter()
+                .map(|ep| scope.spawn(move || f(ep)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
+        })
+    }
+}
+
+/// A rank's handle to the fabric: its mailbox plus the shared registries.
+pub struct Endpoint {
+    rank: usize,
+    plane: usize,
+    shared: Arc<Shared>,
+    rx: Receiver<Packet>,
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("rank", &self.rank)
+            .field("size", &self.shared.n)
+            .finish()
+    }
+}
+
+impl Endpoint {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Job size.
+    pub fn size(&self) -> usize {
+        self.shared.n
+    }
+
+    /// The fabric-level default delay model.
+    pub fn default_delays(&self) -> &DelayConfig {
+        &self.shared.config.delays
+    }
+
+    /// Mailbox plane this endpoint lives on.
+    pub fn plane(&self) -> usize {
+        self.plane
+    }
+
+    /// Deliver `pkt` to `to`'s mailbox on this endpoint's plane. FIFO per
+    /// (sender, receiver) pair; the hand-off is a release/acquire edge.
+    pub fn send(&self, to: usize, pkt: Packet) -> Result<()> {
+        if to >= self.shared.n {
+            return Err(FabricError::RankOutOfRange {
+                rank: to,
+                size: self.shared.n,
+            });
+        }
+        let tx = &self.shared.senders[self.plane * self.shared.n + to];
+        tx.send(pkt).map_err(|_| FabricError::Disconnected)
+    }
+
+    /// Non-blocking poll of this rank's mailbox.
+    pub fn try_recv(&self) -> Option<Packet> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Block until a packet arrives.
+    pub fn recv_blocking(&self) -> Result<Packet> {
+        self.rx.recv().map_err(|_| FabricError::Disconnected)
+    }
+
+    /// Block until a packet arrives or `timeout` elapses.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Packet> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Register a segment, making it remotely accessible; returns its id.
+    pub fn register_segment(&self, seg: Segment) -> SegmentId {
+        let id = self.shared.next_segment.fetch_add(1, Ordering::Relaxed);
+        self.shared.segments.write().insert(id, Arc::new(seg));
+        SegmentId(id)
+    }
+
+    /// Remove a segment from the registry. Outstanding `Arc` handles keep
+    /// the memory alive until the last user drops it.
+    pub fn unregister_segment(&self, id: SegmentId) -> Result<()> {
+        self.shared
+            .segments
+            .write()
+            .remove(&id.0)
+            .map(|_| ())
+            .ok_or(FabricError::UnknownSegment(id.0))
+    }
+
+    /// Resolve a segment id (local or remote — the registry is global).
+    pub fn segment(&self, id: SegmentId) -> Result<Arc<Segment>> {
+        self.shared
+            .segments
+            .read()
+            .get(&id.0)
+            .cloned()
+            .ok_or(FabricError::UnknownSegment(id.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn ping_pong_between_two_ranks() {
+        let results = Fabric::run(2, |ep| {
+            if ep.rank() == 0 {
+                ep.send(1, Packet::control(0, 1, 42, [0; 4])).unwrap();
+                let p = ep.recv_blocking().unwrap();
+                (p.src, p.tag)
+            } else {
+                let p = ep.recv_blocking().unwrap();
+                assert_eq!(p.tag, 42);
+                ep.send(0, Packet::control(1, 1, 43, [0; 4])).unwrap();
+                (p.src, p.tag)
+            }
+        });
+        assert_eq!(results, vec![(1, 43), (0, 42)]);
+    }
+
+    #[test]
+    fn fifo_per_pair() {
+        let results = Fabric::run(2, |ep| {
+            if ep.rank() == 0 {
+                for i in 0..100 {
+                    ep.send(1, Packet::control(0, 0, i, [0; 4])).unwrap();
+                }
+                Vec::new()
+            } else {
+                (0..100).map(|_| ep.recv_blocking().unwrap().tag).collect()
+            }
+        });
+        assert_eq!(results[1], (0..100).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn payload_travels_intact() {
+        let results = Fabric::run(2, |ep| {
+            if ep.rank() == 0 {
+                let data = Bytes::from((0..=255u8).collect::<Vec<u8>>());
+                ep.send(1, Packet::with_payload(0, 0, 0, [0; 4], data))
+                    .unwrap();
+                0usize
+            } else {
+                let p = ep.recv_blocking().unwrap();
+                p.payload.iter().map(|&b| b as usize).sum()
+            }
+        });
+        assert_eq!(results[1], (0..=255usize).sum::<usize>());
+    }
+
+    #[test]
+    fn remote_segment_access_without_owner_involvement() {
+        // Rank 0 registers a segment and parks; rank 1 writes it directly.
+        let results = Fabric::run(2, |ep| {
+            if ep.rank() == 0 {
+                let id = ep.register_segment(Segment::new(64));
+                ep.send(1, Packet::control(0, 0, id.0 as i64, [0; 4]))
+                    .unwrap();
+                // Owner thread does nothing else until the writer confirms.
+                let _ = ep.recv_blocking().unwrap();
+                let seg = ep.segment(id).unwrap();
+                seg.load_u64(0).unwrap()
+            } else {
+                let p = ep.recv_blocking().unwrap();
+                let id = SegmentId(p.tag as u64);
+                let seg = ep.segment(id).unwrap();
+                seg.store_u64(0, 0xdead_beef).unwrap();
+                ep.send(0, Packet::control(1, 0, 0, [0; 4])).unwrap();
+                0
+            }
+        });
+        assert_eq!(results[0], 0xdead_beef);
+    }
+
+    #[test]
+    fn unknown_segment_is_an_error() {
+        Fabric::run(1, |ep| {
+            assert!(matches!(
+                ep.segment(SegmentId(999)),
+                Err(FabricError::UnknownSegment(999))
+            ));
+        });
+    }
+
+    #[test]
+    fn unregister_removes_id_but_keeps_live_handles() {
+        Fabric::run(1, |ep| {
+            let id = ep.register_segment(Segment::new(8));
+            let handle = ep.segment(id).unwrap();
+            ep.unregister_segment(id).unwrap();
+            assert!(ep.segment(id).is_err());
+            handle.store_u64(0, 5).unwrap(); // still usable
+            assert!(ep.unregister_segment(id).is_err());
+        });
+    }
+
+    #[test]
+    fn send_to_bad_rank_errors() {
+        Fabric::run(1, |ep| {
+            assert!(matches!(
+                ep.send(7, Packet::control(0, 0, 0, [0; 4])),
+                Err(FabricError::RankOutOfRange { rank: 7, size: 1 })
+            ));
+        });
+    }
+
+    #[test]
+    fn run_returns_rank_ordered_results() {
+        let results = Fabric::run(8, |ep| ep.rank() * 10);
+        assert_eq!(results, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoint already taken")]
+    fn endpoints_are_single_take() {
+        let mut f = Fabric::new(2);
+        let _a = f.take_endpoint(0);
+        let _b = f.take_endpoint(0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Plain-old-data marker trait and byte-level views.
+//!
+//! Substrates move typed buffers (`&[f64]`, `&[u64]`, ...) through byte-
+//! oriented fabric primitives. [`Pod`] marks element types for which a
+//! byte-level reinterpretation is sound, mirroring what an MPI datatype
+//! engine does for predefined contiguous types.
+
+/// Marker for types that are valid for any bit pattern and contain no
+/// padding, so `&[T] -> &[u8]` and back are sound.
+///
+/// # Safety
+///
+/// Implementors must guarantee:
+/// * every bit pattern of `size_of::<T>()` bytes is a valid `T`,
+/// * `T` has no padding bytes,
+/// * `T` has no interior mutability and no drop glue (`T: Copy`).
+pub unsafe trait Pod: Copy + Send + Sync + 'static {}
+
+// Predefined "MPI datatypes".
+unsafe impl Pod for () {}
+unsafe impl Pod for u8 {}
+unsafe impl Pod for i8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for i16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for i64 {}
+unsafe impl Pod for usize {}
+unsafe impl Pod for isize {}
+unsafe impl Pod for f32 {}
+unsafe impl Pod for f64 {}
+unsafe impl<T: Pod, const N: usize> Pod for [T; N] {}
+
+/// Reinterpret a typed slice as bytes.
+pub fn as_bytes<T: Pod>(s: &[T]) -> &[u8] {
+    // SAFETY: `T: Pod` guarantees no padding and bit-pattern validity; the
+    // length arithmetic cannot overflow because the slice already exists.
+    unsafe { std::slice::from_raw_parts(s.as_ptr().cast::<u8>(), std::mem::size_of_val(s)) }
+}
+
+/// Reinterpret a typed slice as mutable bytes.
+pub fn as_bytes_mut<T: Pod>(s: &mut [T]) -> &mut [u8] {
+    // SAFETY: as `as_bytes`, plus exclusive access via `&mut`.
+    unsafe {
+        std::slice::from_raw_parts_mut(s.as_mut_ptr().cast::<u8>(), std::mem::size_of_val(s))
+    }
+}
+
+/// Copy a byte buffer into a freshly allocated typed vector.
+///
+/// # Panics
+///
+/// Panics if `bytes.len()` is not a multiple of `size_of::<T>()`; that is
+/// always a protocol bug in the caller.
+pub fn vec_from_bytes<T: Pod>(bytes: &[u8]) -> Vec<T> {
+    let elem = std::mem::size_of::<T>();
+    assert!(
+        elem == 0 || bytes.len() % elem == 0,
+        "byte length {} not a multiple of element size {}",
+        bytes.len(),
+        elem
+    );
+    let n = bytes.len().checked_div(elem).unwrap_or(0);
+    let mut out = Vec::<T>::with_capacity(n);
+    // SAFETY: capacity reserved above; Pod means any bit pattern is valid.
+    unsafe {
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr().cast::<u8>(), bytes.len());
+        out.set_len(n);
+    }
+    out
+}
+
+/// Copy bytes into an existing typed slice.
+///
+/// # Panics
+///
+/// Panics if the byte length does not exactly cover `dst`.
+pub fn copy_to_slice<T: Pod>(dst: &mut [T], bytes: &[u8]) {
+    assert_eq!(
+        std::mem::size_of_val(dst),
+        bytes.len(),
+        "destination size mismatch"
+    );
+    as_bytes_mut(dst).copy_from_slice(bytes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f64() {
+        let xs = [1.5f64, -2.25, 0.0, f64::MAX];
+        let bytes = as_bytes(&xs);
+        assert_eq!(bytes.len(), 32);
+        let back: Vec<f64> = vec_from_bytes(bytes);
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn roundtrip_u64() {
+        let xs = [u64::MAX, 0, 42];
+        let back: Vec<u64> = vec_from_bytes(as_bytes(&xs));
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn copy_to_slice_works() {
+        let src = [7u32, 8, 9];
+        let mut dst = [0u32; 3];
+        copy_to_slice(&mut dst, as_bytes(&src));
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn vec_from_bytes_rejects_ragged() {
+        let bytes = [0u8; 7];
+        let _: Vec<u64> = vec_from_bytes(&bytes);
+    }
+
+    #[test]
+    fn as_bytes_mut_roundtrip() {
+        let mut xs = [1u16, 2, 3];
+        as_bytes_mut(&mut xs)[0] = 0xff;
+        // Low byte replaced, high byte untouched (little-endian).
+        assert_eq!(xs[0], 0x00ff);
+    }
+
+    #[test]
+    fn nested_arrays_are_pod() {
+        let xs = [[1u8, 2], [3, 4]];
+        assert_eq!(as_bytes(&xs), &[1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the registered-memory segment: arbitrary
+//! sequences of byte-level puts must behave exactly like writes to a plain
+//! byte array, regardless of alignment.
+
+use caf_fabric::Segment;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// A random sequence of (offset, data) puts, then full readback,
+    /// matches a shadow byte array.
+    #[test]
+    fn puts_match_shadow_array(
+        writes in proptest::collection::vec(
+            (0usize..200, proptest::collection::vec(any::<u8>(), 0..64)),
+            0..24,
+        )
+    ) {
+        let cap = 256usize;
+        let seg = Segment::new(cap);
+        let mut shadow = vec![0u8; cap];
+        for (off, data) in &writes {
+            if off + data.len() <= cap {
+                seg.put(*off, data).unwrap();
+                shadow[*off..*off + data.len()].copy_from_slice(data);
+            } else {
+                prop_assert!(seg.put(*off, data).is_err());
+            }
+        }
+        let mut out = vec![0u8; cap];
+        seg.get(0, &mut out).unwrap();
+        prop_assert_eq!(out, shadow);
+    }
+
+    /// Partial reads at arbitrary offsets see exactly the shadow contents.
+    #[test]
+    fn reads_at_any_offset(
+        data in proptest::collection::vec(any::<u8>(), 1..128),
+        reads in proptest::collection::vec((0usize..128, 1usize..64), 1..12),
+    ) {
+        let seg = Segment::new(data.len());
+        seg.put(0, &data).unwrap();
+        for (off, len) in reads {
+            let mut out = vec![0u8; len];
+            if off + len <= data.len() {
+                seg.get(off, &mut out).unwrap();
+                prop_assert_eq!(&out[..], &data[off..off + len]);
+            } else {
+                prop_assert!(seg.get(off, &mut out).is_err());
+            }
+        }
+    }
+
+    /// fetch_add over random operand sequences equals the wrapping sum.
+    #[test]
+    fn fetch_add_accumulates(ops in proptest::collection::vec(any::<u64>(), 1..32)) {
+        let seg = Segment::new(8);
+        let mut expect = 0u64;
+        for v in &ops {
+            let prev = seg.fetch_add_u64(0, *v).unwrap();
+            prop_assert_eq!(prev, expect);
+            expect = expect.wrapping_add(*v);
+        }
+        prop_assert_eq!(seg.load_u64(0).unwrap(), expect);
+    }
+
+    /// Word atomics and byte puts interoperate: a store_u64 is observable
+    /// byte-by-byte in little-endian order and vice versa.
+    #[test]
+    fn words_and_bytes_interoperate(v in any::<u64>(), bytes in proptest::collection::vec(any::<u8>(), 8)) {
+        let seg = Segment::new(16);
+        seg.store_u64(0, v).unwrap();
+        let mut out = [0u8; 8];
+        seg.get(0, &mut out).unwrap();
+        prop_assert_eq!(out, v.to_le_bytes());
+
+        seg.put(8, &bytes).unwrap();
+        let w = seg.load_u64(8).unwrap();
+        prop_assert_eq!(w.to_le_bytes().to_vec(), bytes);
+    }
+}

@@ -1,0 +1,490 @@
+//! GASNet job initialization (`gasnet_init` + `gasnet_attach`) and per-rank
+//! library state.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use caf_fabric::delay::DelayConfig;
+use caf_fabric::{
+    Endpoint, Fabric, MemAccount, MemCategory, Packet, Segment, SegmentId,
+};
+
+use crate::am::HandlerTable;
+
+pub(crate) const KIND_AM_SHORT: u16 = 10;
+pub(crate) const KIND_AM_MEDIUM: u16 = 11;
+pub(crate) const KIND_AM_LONG: u16 = 12;
+pub(crate) const KIND_BARRIER: u16 = 13;
+pub(crate) const KIND_BOOTSTRAP: u16 = 14;
+
+/// Shared-Receive-Queue configuration (InfiniBand conduit behaviour).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SrqMode {
+    /// GASNet's default: enable SRQ automatically once the job is large
+    /// enough that SRQ reduces memory usage (threshold in
+    /// [`GasnetConfig::srq_auto_threshold`]).
+    Auto,
+    /// Never use SRQ (the paper's `CAF-GASNet-NOSRQ` configuration).
+    Disabled,
+    /// Always use SRQ regardless of job size.
+    Forced,
+}
+
+/// Configuration of one GASNet job.
+#[derive(Debug, Clone, Copy)]
+pub struct GasnetConfig {
+    /// Software-overhead table charged per operation.
+    pub delays: DelayConfig,
+    /// Bytes of remotely accessible segment each rank attaches.
+    pub segment_size: usize,
+    /// SRQ policy.
+    pub srq: SrqMode,
+    /// Job size at which [`SrqMode::Auto`] switches SRQ on.
+    pub srq_auto_threshold: usize,
+    /// Extra nanoseconds charged on every message *reception* while SRQ is
+    /// active (the slow receive path the paper identified).
+    pub srq_receive_penalty_ns: f64,
+    /// When set, puts of at least this many bytes are transported as long
+    /// AMs and only complete once the target polls — modelling CAF
+    /// implementations where "a coarray write operation may require the
+    /// involvement of the target process" (paper Figure 2 discussion).
+    pub put_via_am_threshold: Option<usize>,
+    /// Fixed library state mapped at init.
+    pub base_footprint: usize,
+    /// Per-peer connection state mapped at init without SRQ.
+    pub per_peer_state: usize,
+    /// Per-peer connection state with SRQ active (smaller — that is SRQ's
+    /// purpose).
+    pub per_peer_state_srq: usize,
+}
+
+impl Default for GasnetConfig {
+    fn default() -> Self {
+        GasnetConfig {
+            delays: DelayConfig::free(),
+            segment_size: 4 << 20,
+            srq: SrqMode::Auto,
+            srq_auto_threshold: 128,
+            srq_receive_penalty_ns: 0.0,
+            put_via_am_threshold: None,
+            // Scaled-down stand-ins; full-scale Figure-1 magnitudes live in
+            // the netmodel crate. GASNet maps far less than MPI.
+            base_footprint: 256 << 10,
+            per_peer_state: 4 << 10,
+            per_peer_state_srq: 1 << 10,
+        }
+    }
+}
+
+/// Launcher for SPMD jobs over the GASNet substrate.
+pub struct GasnetUniverse;
+
+impl GasnetUniverse {
+    /// Run `f` on `size` ranks with default configuration.
+    pub fn run<T, F>(size: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Gasnet) -> T + Send + Sync,
+    {
+        Self::run_with_config(size, GasnetConfig::default(), f)
+    }
+
+    /// Run `f` on `size` ranks with an explicit configuration.
+    pub fn run_with_config<T, F>(size: usize, config: GasnetConfig, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Gasnet) -> T + Send + Sync,
+    {
+        Fabric::run(size, |ep| {
+            let g = Gasnet::init(ep, config);
+            f(&g)
+        })
+    }
+}
+
+/// A rank's handle to the GASNet library. One per rank thread; not `Sync`.
+pub struct Gasnet {
+    pub(crate) ep: Endpoint,
+    pub(crate) config: GasnetConfig,
+    pub(crate) delays: DelayConfig,
+    pub(crate) srq_active: bool,
+    pub(crate) mem: Arc<MemAccount>,
+    pub(crate) seg_ids: Vec<SegmentId>,
+    pub(crate) seg_sizes: Vec<usize>,
+    pub(crate) local: Arc<Segment>,
+    pub(crate) handlers: HandlerTable,
+    /// Stash for non-AM packets pulled while polling.
+    pub(crate) pending: RefCell<VecDeque<Packet>>,
+    pub(crate) barrier_seq: Cell<u64>,
+    /// Open split-phase barrier: (sequence, next round awaited).
+    pub(crate) barrier_phase: Cell<Option<(u64, u64)>>,
+    /// AM-mediated put acknowledgement counters (see `rma::put`).
+    pub(crate) put_acks_expected: Cell<u64>,
+    pub(crate) put_acks_received: Cell<u64>,
+    /// Keeps accounted library allocations alive.
+    _state_pool: Vec<u8>,
+}
+
+impl Gasnet {
+    /// `gasnet_init` + `gasnet_attach`: allocate and exchange segments,
+    /// build library state.
+    pub fn init(ep: Endpoint, config: GasnetConfig) -> Self {
+        let size = ep.size();
+        let rank = ep.rank();
+        let srq_active = match config.srq {
+            SrqMode::Auto => size >= config.srq_auto_threshold,
+            SrqMode::Disabled => false,
+            SrqMode::Forced => true,
+        };
+
+        let mem = Arc::new(MemAccount::new());
+        let per_peer = if srq_active {
+            config.per_peer_state_srq
+        } else {
+            config.per_peer_state
+        };
+        let pool_bytes = config.base_footprint + per_peer * size;
+        let state_pool = vec![0u8; pool_bytes];
+        mem.map(MemCategory::SegmentMeta, config.base_footprint / 2);
+        mem.map(MemCategory::Matching, config.base_footprint / 2);
+        mem.map(MemCategory::PerPeerState, per_peer * size);
+        mem.map(MemCategory::UserData, config.segment_size);
+
+        // Attach the segment and bootstrap-exchange (id, size) with every
+        // peer over raw fabric packets (GASNet bootstraps out-of-band).
+        let id = ep.register_segment(Segment::new(config.segment_size));
+        let local = ep.segment(id).expect("just registered");
+        for peer in 0..size {
+            if peer != rank {
+                ep.send(
+                    peer,
+                    Packet::control(
+                        rank,
+                        KIND_BOOTSTRAP,
+                        0,
+                        [id.0, config.segment_size as u64, 0, 0],
+                    ),
+                )
+                .expect("bootstrap send");
+            }
+        }
+        let mut seg_ids = vec![SegmentId(0); size];
+        let mut seg_sizes = vec![0usize; size];
+        seg_ids[rank] = id;
+        seg_sizes[rank] = config.segment_size;
+        let mut stash = VecDeque::new();
+        let mut need = size - 1;
+        while need > 0 {
+            let pkt = ep.recv_blocking().expect("bootstrap recv");
+            if pkt.kind == KIND_BOOTSTRAP {
+                seg_ids[pkt.src] = SegmentId(pkt.h[0]);
+                seg_sizes[pkt.src] = pkt.h[1] as usize;
+                need -= 1;
+            } else {
+                stash.push_back(pkt);
+            }
+        }
+
+        Gasnet {
+            ep,
+            delays: config.delays,
+            config,
+            srq_active,
+            mem,
+            seg_ids,
+            seg_sizes,
+            local,
+            handlers: HandlerTable::with_reserved(),
+            pending: RefCell::new(stash),
+            barrier_seq: Cell::new(0),
+            barrier_phase: Cell::new(None),
+            put_acks_expected: Cell::new(0),
+            put_acks_received: Cell::new(0),
+            _state_pool: state_pool,
+        }
+    }
+
+    /// This rank's id (`gasnet_mynode`).
+    pub fn rank(&self) -> usize {
+        self.ep.rank()
+    }
+
+    /// Job size (`gasnet_nodes`).
+    pub fn size(&self) -> usize {
+        self.ep.size()
+    }
+
+    /// True when the SRQ slow path is active for this job.
+    pub fn srq_active(&self) -> bool {
+        self.srq_active
+    }
+
+    /// The memory accountant for this rank's library instance.
+    pub fn mem(&self) -> &MemAccount {
+        &self.mem
+    }
+
+    /// Segment size attached by `rank`.
+    pub fn segment_size_of(&self, rank: usize) -> usize {
+        self.seg_sizes[rank]
+    }
+
+    /// Extra reception cost while SRQ is active, in nanoseconds.
+    pub(crate) fn srq_penalty_ns(&self) -> f64 {
+        if self.srq_active {
+            self.config.srq_receive_penalty_ns
+        } else {
+            0.0
+        }
+    }
+
+    /// Dissemination barrier (`gasnet_barrier_notify` + `_wait`, fused).
+    /// Polls AMs while waiting, as GASNet's barrier does.
+    pub fn barrier(&self) {
+        self.barrier_notify();
+        self.barrier_wait();
+    }
+
+    /// `gasnet_barrier_notify`: enter the split-phase barrier. Sends the
+    /// first dissemination round and returns immediately; AMs keep being
+    /// serviced by subsequent polls. Must be paired with
+    /// [`Gasnet::barrier_wait`] (or repeated [`Gasnet::barrier_try`]).
+    pub fn barrier_notify(&self) {
+        assert!(
+            self.barrier_phase.get().is_none(),
+            "barrier_notify while a split-phase barrier is already open"
+        );
+        let seq = self.barrier_seq.get();
+        self.barrier_seq.set(seq + 1);
+        self.barrier_phase.set(Some((seq, 0)));
+        if self.size() > 1 {
+            self.send_barrier_round(seq, 0);
+        }
+    }
+
+    fn send_barrier_round(&self, seq: u64, round: u64) {
+        let n = self.size();
+        let me = self.rank();
+        let dist = 1usize << round;
+        let to = (me + dist) % n;
+        self.ep
+            .send(
+                to,
+                Packet::control(me, KIND_BARRIER, 0, [seq, round, 0, 0]),
+            )
+            .expect("barrier send");
+    }
+
+    fn barrier_round_done(&self, seq: u64, round: u64, blocking: bool) -> bool {
+        let n = self.size();
+        let me = self.rank();
+        let dist = 1usize << round;
+        let from = (me + n - dist) % n;
+        let pred = |p: &Packet| {
+            p.kind == KIND_BARRIER && p.src == from && p.h[0] == seq && p.h[1] == round
+        };
+        if blocking {
+            let _ = self.wait_for(pred);
+            return true;
+        }
+        // Nonblocking: poll AMs, scan the stash, drain arrivals.
+        self.poll();
+        let mut q = self.pending.borrow_mut();
+        if let Some(pos) = q.iter().position(pred) {
+            q.remove(pos);
+            return true;
+        }
+        false
+    }
+
+    /// `gasnet_barrier_wait`: complete the split-phase barrier opened by
+    /// [`Gasnet::barrier_notify`], blocking (and servicing AMs) until all
+    /// ranks have entered.
+    pub fn barrier_wait(&self) {
+        let (seq, mut round) = self
+            .barrier_phase
+            .get()
+            .expect("barrier_wait without barrier_notify");
+        let n = self.size();
+        while (1usize << round) < n {
+            self.barrier_round_done(seq, round, true);
+            round += 1;
+            if (1usize << round) < n {
+                self.send_barrier_round(seq, round);
+            }
+        }
+        self.barrier_phase.set(None);
+    }
+
+    /// `gasnet_barrier_try`: nonblocking completion attempt; returns true
+    /// once the barrier is complete. Services AMs on every call.
+    pub fn barrier_try(&self) -> bool {
+        let Some((seq, mut round)) = self.barrier_phase.get() else {
+            panic!("barrier_try without barrier_notify");
+        };
+        let n = self.size();
+        while (1usize << round) < n {
+            if !self.barrier_round_done(seq, round, false) {
+                self.barrier_phase.set(Some((seq, round)));
+                return false;
+            }
+            round += 1;
+            if (1usize << round) < n {
+                self.send_barrier_round(seq, round);
+            }
+        }
+        self.barrier_phase.set(None);
+        true
+    }
+
+    /// Block until a packet matching `pred` arrives, dispatching AMs and
+    /// stashing unrelated packets meanwhile. This is the polling loop every
+    /// blocking GASNet operation sits in.
+    pub(crate) fn wait_for(&self, pred: impl Fn(&Packet) -> bool) -> Packet {
+        // Check the stash first.
+        {
+            let mut q = self.pending.borrow_mut();
+            if let Some(pos) = q.iter().position(&pred) {
+                return q.remove(pos).expect("position from iter");
+            }
+        }
+        loop {
+            let pkt = self.ep.recv_blocking().expect("fabric torn down");
+            if pred(&pkt) {
+                return pkt;
+            }
+            if self.is_am(&pkt) {
+                self.dispatch_am(pkt);
+            } else {
+                self.pending.borrow_mut().push_back(pkt);
+            }
+        }
+    }
+
+    pub(crate) fn is_am(&self, pkt: &Packet) -> bool {
+        matches!(pkt.kind, KIND_AM_SHORT | KIND_AM_MEDIUM | KIND_AM_LONG)
+    }
+
+    /// Block until an AM packet arrives, *without* dispatching it;
+    /// unrelated packets are stashed for their blocking consumers.
+    ///
+    /// Exposed for runtimes layered on GASNet whose blocking waits (e.g. a
+    /// CAF `event_wait`) must drive AM progress themselves.
+    pub fn wait_am_packet(&self) -> Packet {
+        self.wait_for(|p| self.is_am(p))
+    }
+
+    /// Dispatch one packet previously returned by
+    /// [`Gasnet::wait_am_packet`], invoking its handler.
+    pub fn dispatch_packet(&self, pkt: Packet) {
+        assert!(self.is_am(&pkt), "dispatch_packet on a non-AM packet");
+        self.dispatch_am(pkt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_exchanges_segments() {
+        let res = GasnetUniverse::run(4, |g| {
+            (0..4).map(|r| g.segment_size_of(r)).collect::<Vec<_>>()
+        });
+        for r in res {
+            assert_eq!(r, vec![4 << 20; 4]);
+        }
+    }
+
+    #[test]
+    fn srq_auto_threshold_applies() {
+        let cfg = GasnetConfig {
+            srq_auto_threshold: 4,
+            ..GasnetConfig::default()
+        };
+        let small = GasnetUniverse::run_with_config(2, cfg, |g| g.srq_active());
+        let large = GasnetUniverse::run_with_config(4, cfg, |g| g.srq_active());
+        assert!(!small[0]);
+        assert!(large[0]);
+    }
+
+    #[test]
+    fn srq_reduces_per_peer_memory() {
+        let base = GasnetConfig {
+            srq_auto_threshold: 4,
+            ..GasnetConfig::default()
+        };
+        let on = GasnetUniverse::run_with_config(4, base, |g| {
+            g.mem().mapped(MemCategory::PerPeerState)
+        })[0];
+        let off = GasnetUniverse::run_with_config(
+            4,
+            GasnetConfig {
+                srq: SrqMode::Disabled,
+                ..base
+            },
+            |g| g.mem().mapped(MemCategory::PerPeerState),
+        )[0];
+        assert!(on < off, "SRQ must reduce per-peer memory: {on} !< {off}");
+    }
+
+    #[test]
+    fn gasnet_overhead_smaller_than_mpi_default() {
+        // The Figure-1 premise: GASNet maps less runtime memory than MPI.
+        let g = GasnetUniverse::run(4, |g| g.mem().runtime_overhead())[0];
+        let m = caf_mpisim::Universe::run(4, |m| m.mem().runtime_overhead())[0];
+        assert!(g < m, "GASNet {g} must be below MPI {m}");
+    }
+
+    #[test]
+    fn barrier_completes_repeatedly() {
+        for n in [1usize, 2, 3, 8] {
+            GasnetUniverse::run(n, |g| {
+                for _ in 0..5 {
+                    g.barrier();
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn split_phase_barrier_overlaps_computation() {
+        GasnetUniverse::run(4, |g| {
+            for _ in 0..3 {
+                g.barrier_notify();
+                // "Computation" between notify and wait.
+                let mut acc = 0u64;
+                for i in 0..1000u64 {
+                    acc = acc.wrapping_add(i * i);
+                }
+                std::hint::black_box(acc);
+                g.barrier_wait();
+            }
+        });
+    }
+
+    #[test]
+    fn barrier_try_eventually_succeeds() {
+        GasnetUniverse::run(3, |g| {
+            g.barrier_notify();
+            let mut spins = 0u64;
+            while !g.barrier_try() {
+                spins += 1;
+                std::hint::spin_loop();
+            }
+            let _ = spins;
+            // A second barrier still works after a try-completed one.
+            g.barrier();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank panicked")]
+    fn double_notify_rejected() {
+        GasnetUniverse::run(2, |g| {
+            g.barrier_notify();
+            g.barrier_notify();
+        });
+    }
+}

@@ -1,0 +1,121 @@
+//! Minimal double-precision complex arithmetic for the FFT kernel.
+
+use caf_fabric::Pod;
+
+/// A double-precision complex number. 16 bytes, no padding, any bit
+/// pattern valid — hence [`Pod`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+// SAFETY: two f64s, repr(C), no padding, every bit pattern valid, Copy.
+unsafe impl Pod for C64 {}
+
+impl C64 {
+    /// 0 + 0i.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// 1 + 0i.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+
+    /// Construct from parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        C64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex magnitude.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl std::ops::Add for C64 {
+    type Output = C64;
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Sub for C64 {
+    type Output = C64;
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::Mul for C64 {
+    type Output = C64;
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl std::ops::AddAssign for C64 {
+    fn add_assign(&mut self, rhs: C64) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::ops::MulAssign for C64 {
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        assert_eq!(a + b, C64::new(4.0, 1.0));
+        assert_eq!(a - b, C64::new(-2.0, 3.0));
+        assert_eq!(a * b, C64::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn cis_is_unit() {
+        for k in 0..16 {
+            let z = C64::cis(k as f64 * 0.5);
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn conj_negates_imaginary() {
+        assert_eq!(C64::new(1.0, 2.0).conj(), C64::new(1.0, -2.0));
+    }
+
+    #[test]
+    fn pod_roundtrip() {
+        use caf_fabric::pod::{as_bytes, vec_from_bytes};
+        let xs = [C64::new(1.0, -2.0), C64::new(0.5, 0.25)];
+        let back: Vec<C64> = vec_from_bytes(as_bytes(&xs));
+        assert_eq!(back, xs);
+    }
+}

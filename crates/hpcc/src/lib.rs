@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # caf-hpcc
+//!
+//! The paper's four evaluation applications, written against the `caf`
+//! public API exactly as the originals were written against CAF 2.0:
+//!
+//! * [`ra`] — HPC Challenge **RandomAccess**: random read-modify-write
+//!   updates routed through a hypercube of bulk exchanges built from
+//!   `coarray write` + `event_notify`/`event_wait` (the paper's
+//!   communication-library stress test, Figures 3–5);
+//! * [`fft`] — HPC Challenge **FFT**: a large 1-D complex DFT whose data
+//!   movement is entirely team alltoall (Figures 6–8);
+//! * [`hpl`] — **High-Performance Linpack**: blocked right-looking LU with
+//!   partial pivoting on a 1-D block-cyclic column distribution —
+//!   compute-bound, so substrate-insensitive (Figures 9–10);
+//! * [`cgpop`] — the **CGPOP** miniapp: the conjugate-gradient core of the
+//!   POP ocean model, a *hybrid MPI+CAF* code mixing coarray halo
+//!   exchanges (PUSH or PULL) with `MPI_Allreduce` global sums
+//!   (Figures 11–12).
+//!
+//! Every kernel has a serial reference implementation and correctness
+//! tests against it; the timed entry points return both wall-clock seconds
+//! and the benchmark's own performance metric.
+
+pub mod cgpop;
+pub mod complex;
+pub mod fft;
+pub mod hpl;
+pub mod linalg;
+pub mod ra;
+
+/// Outcome of one timed benchmark run on one image set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchResult {
+    /// Wall-clock seconds of the timed section (max across images).
+    pub seconds: f64,
+    /// Benchmark-defined performance metric (GUP/s, GFlop/s, TFlop/s, or
+    /// seconds — see each module).
+    pub metric: f64,
+}

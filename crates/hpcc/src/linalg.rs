@@ -1,0 +1,269 @@
+//! Small dense linear-algebra kernels (column-major, `f64`) — the local
+//! computation underneath the HPL benchmark. Hand-rolled replacements for
+//! the BLAS/LAPACK routines HPL calls: `dgemm`, `dtrsm` (unit-lower,
+//! left), `idamax`, `dswap`, and an unblocked `dgetf2` panel
+//! factorization.
+
+/// `C(m×n) -= A(m×k) · B(k×n)`, all column-major with leading dimensions
+/// `lda`, `ldb`, `ldc`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_minus(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    // j-k-i loop order: streams columns of C and A (column-major friendly).
+    for j in 0..n {
+        for l in 0..k {
+            let blj = b[j * ldb + l];
+            if blj == 0.0 {
+                continue;
+            }
+            let a_col = &a[l * lda..l * lda + m];
+            let c_col = &mut c[j * ldc..j * ldc + m];
+            for i in 0..m {
+                c_col[i] -= a_col[i] * blj;
+            }
+        }
+    }
+}
+
+/// Solve `L · X = B` in place, where `L` is `n×n` unit lower triangular
+/// (column-major, leading dimension `ldl`) and `B` is `n×nrhs`
+/// (column-major, leading dimension `ldb`).
+pub fn trsm_unit_lower(n: usize, nrhs: usize, l: &[f64], ldl: usize, b: &mut [f64], ldb: usize) {
+    for j in 0..nrhs {
+        for i in 0..n {
+            let bij = b[j * ldb + i];
+            if bij == 0.0 {
+                continue;
+            }
+            for r in i + 1..n {
+                b[j * ldb + r] -= l[i * ldl + r] * bij;
+            }
+        }
+    }
+}
+
+/// Index of the element with the largest absolute value in `x`.
+pub fn idamax(x: &[f64]) -> usize {
+    let mut best = 0;
+    let mut best_abs = x[0].abs();
+    for (i, &v) in x.iter().enumerate().skip(1) {
+        if v.abs() > best_abs {
+            best = i;
+            best_abs = v.abs();
+        }
+    }
+    best
+}
+
+/// Unblocked LU with partial pivoting on an `m×n` column-major panel
+/// (`m >= n`), leading dimension `lda`. Returns the pivot row chosen at
+/// each step (`piv[k]` is relative to row `k`: the global swap is row `k`
+/// with row `k + piv[k]`).
+pub fn getf2(m: usize, n: usize, a: &mut [f64], lda: usize, piv: &mut [usize]) {
+    assert!(m >= n, "panel must be tall");
+    for k in 0..n {
+        // Pivot search in column k, rows k..m.
+        let rel = idamax(&a[k * lda + k..k * lda + m]);
+        piv[k] = rel;
+        let p = k + rel;
+        if p != k {
+            for j in 0..n {
+                a.swap(j * lda + k, j * lda + p);
+            }
+        }
+        let akk = a[k * lda + k];
+        assert!(akk != 0.0, "singular panel at step {k}");
+        // Scale multipliers.
+        for i in k + 1..m {
+            a[k * lda + i] /= akk;
+        }
+        // Rank-1 update of the trailing panel.
+        for j in k + 1..n {
+            let akj = a[j * lda + k];
+            if akj == 0.0 {
+                continue;
+            }
+            for i in k + 1..m {
+                a[j * lda + i] -= a[k * lda + i] * akj;
+            }
+        }
+    }
+}
+
+/// Serial full LU with partial pivoting (reference). `a` is `n×n`
+/// column-major; returns the pivot sequence (same convention as
+/// [`getf2`]).
+pub fn serial_lu(n: usize, a: &mut [f64]) -> Vec<usize> {
+    let mut piv = vec![0usize; n];
+    getf2(n, n, a, n, &mut piv);
+    piv
+}
+
+/// Solve `A·x = b` given the in-place LU factors and pivots of
+/// [`serial_lu`].
+pub fn lu_solve(n: usize, lu: &[f64], piv: &[usize], b: &[f64]) -> Vec<f64> {
+    let mut x = b.to_vec();
+    // Apply pivots.
+    for (k, &pv) in piv.iter().enumerate().take(n) {
+        let p = k + pv;
+        if p != k {
+            x.swap(k, p);
+        }
+    }
+    // Forward: L y = P b (unit lower).
+    for k in 0..n {
+        let xk = x[k];
+        for i in k + 1..n {
+            x[i] -= lu[k * n + i] * xk;
+        }
+    }
+    // Backward: U x = y.
+    for k in (0..n).rev() {
+        x[k] /= lu[k * n + k];
+        let xk = x[k];
+        for i in 0..k {
+            x[i] -= lu[k * n + i] * xk;
+        }
+    }
+    x
+}
+
+/// Dense column-major `A·x`.
+pub fn matvec(n: usize, a: &[f64], x: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0; n];
+    for j in 0..n {
+        let xj = x[j];
+        if xj == 0.0 {
+            continue;
+        }
+        for i in 0..n {
+            y[i] += a[j * n + i] * xj;
+        }
+    }
+    y
+}
+
+/// Deterministic pseudo-random matrix entry in `[-0.5, 0.5)`.
+pub fn matrix_entry(i: usize, j: usize, seed: u64) -> f64 {
+    let mut x = (i as u64) << 32 ^ (j as u64) ^ seed.wrapping_mul(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_mat(n: usize, seed: u64) -> Vec<f64> {
+        let mut a = vec![0.0; n * n];
+        for j in 0..n {
+            for i in 0..n {
+                a[j * n + i] = matrix_entry(i, j, seed);
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn gemm_small_known() {
+        // A = [1 2; 3 4], B = [5 6; 7 8] (column-major), C = 0 → C -= AB.
+        let a = [1.0, 3.0, 2.0, 4.0];
+        let b = [5.0, 7.0, 6.0, 8.0];
+        let mut c = [0.0; 4];
+        gemm_minus(2, 2, 2, &a, 2, &b, 2, &mut c, 2);
+        assert_eq!(c, [-19.0, -43.0, -22.0, -50.0]);
+    }
+
+    #[test]
+    fn trsm_inverts_unit_lower() {
+        let n = 4;
+        let mut l = vec![0.0; n * n];
+        for j in 0..n {
+            l[j * n + j] = 1.0;
+            for i in j + 1..n {
+                l[j * n + i] = matrix_entry(i, j, 3);
+            }
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+        // b = L x
+        let mut b = vec![0.0; n];
+        for j in 0..n {
+            for i in 0..n {
+                let lij = if i == j {
+                    1.0
+                } else if i > j {
+                    l[j * n + i]
+                } else {
+                    0.0
+                };
+                b[i] += lij * x_true[j];
+            }
+        }
+        trsm_unit_lower(n, 1, &l, n, &mut b, n);
+        for i in 0..n {
+            assert!((b[i] - x_true[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lu_solve_recovers_solution() {
+        for n in [1usize, 2, 5, 16, 33] {
+            let a = rand_mat(n, 7);
+            let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+            let b = matvec(n, &a, &x_true);
+            let mut lu = a.clone();
+            let piv = serial_lu(n, &mut lu);
+            let x = lu_solve(n, &lu, &piv, &b);
+            for i in 0..n {
+                assert!(
+                    (x[i] - x_true[i]).abs() < 1e-8 * (n as f64),
+                    "n={n} i={i}: {} vs {}",
+                    x[i],
+                    x_true[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn idamax_finds_largest_abs() {
+        assert_eq!(idamax(&[1.0, -5.0, 3.0]), 1);
+        assert_eq!(idamax(&[0.0]), 0);
+    }
+
+    #[test]
+    fn getf2_matches_full_lu_on_square() {
+        let n = 8;
+        let a0 = rand_mat(n, 11);
+        let mut a1 = a0.clone();
+        let mut piv1 = vec![0usize; n];
+        getf2(n, n, &mut a1, n, &mut piv1);
+        let mut a2 = a0;
+        let piv2 = serial_lu(n, &mut a2);
+        assert_eq!(piv1, piv2);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn matrix_entry_is_bounded_and_deterministic() {
+        for i in 0..50 {
+            for j in 0..50 {
+                let v = matrix_entry(i, j, 1);
+                assert!((-0.5..0.5).contains(&v));
+                assert_eq!(v, matrix_entry(i, j, 1));
+            }
+        }
+        assert_ne!(matrix_entry(1, 2, 1), matrix_entry(2, 1, 1));
+    }
+}

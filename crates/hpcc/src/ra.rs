@@ -1,0 +1,301 @@
+//! HPC Challenge RandomAccess (GUPS) — random read-modify-write updates to
+//! a distributed table, routed with CAF 2.0's hypercube software-routing
+//! algorithm: `log2(P)` rounds of bulk exchanges built from **coarray
+//! writes** and **event notify/wait** (paper §4.1: "the CAF 2.0 primitives
+//! most heavily used in the RandomAccess benchmark are coarray write and
+//! event notify").
+//!
+//! Those two primitives are exactly where CAF-MPI and CAF-GASNet differ
+//! most — the per-op RMA overhead gap and the Θ(P) `MPI_Win_flush_all`
+//! inside `event_notify` — which is why the paper uses RandomAccess as the
+//! communication-library stress test (Figures 3–5) and profiles it into
+//! the Figure-4 decomposition.
+//!
+//! Performance is reported in GUP/s = total updates / seconds / 10⁹.
+
+use std::time::Instant;
+
+use caf::{Coarray, Image, Team};
+use caf_fabric::topology::{is_pow2, log2_exact};
+
+use crate::BenchResult;
+
+/// The HPCC RandomAccess LFSR polynomial.
+pub const POLY: u64 = 0x7;
+/// Period of the update stream.
+pub const PERIOD: i64 = 1_317_624_576_693_539_401;
+
+/// One step of the HPCC update stream.
+#[inline]
+pub fn lcg_next(x: u64) -> u64 {
+    (x << 1) ^ (((x as i64) < 0) as u64 * POLY)
+}
+
+/// The HPCC `HPCC_starts` function: the `n`-th element of the update
+/// stream in O(log n) via GF(2) matrix squaring.
+pub fn starts(n: i64) -> u64 {
+    let mut n = n;
+    while n < 0 {
+        n += PERIOD;
+    }
+    while n > PERIOD {
+        n -= PERIOD;
+    }
+    if n == 0 {
+        return 0x1;
+    }
+    let mut m2 = [0u64; 64];
+    let mut temp = 0x1u64;
+    for slot in m2.iter_mut() {
+        *slot = temp;
+        temp = lcg_next(lcg_next(temp));
+    }
+    let mut i: i32 = 62;
+    while i >= 0 && (n >> i) & 1 == 0 {
+        i -= 1;
+    }
+    let mut ran = 0x2u64;
+    while i > 0 {
+        let mut temp = 0u64;
+        for (j, m) in m2.iter().enumerate() {
+            if (ran >> j) & 1 == 1 {
+                temp ^= m;
+            }
+        }
+        ran = temp;
+        i -= 1;
+        if (n >> i) & 1 == 1 {
+            ran = lcg_next(ran);
+        }
+    }
+    ran
+}
+
+/// Serial reference: the exact table contents after all images' update
+/// streams are applied (XOR updates commute, so this is deterministic).
+pub fn serial_reference(
+    num_images: usize,
+    local_size: usize,
+    updates_per_image: usize,
+) -> Vec<u64> {
+    let table_size = local_size * num_images;
+    let mask = (table_size - 1) as u64;
+    let mut table: Vec<u64> = (0..table_size as u64).collect();
+    for img in 0..num_images {
+        let mut ran = starts((img * updates_per_image) as i64);
+        for _ in 0..updates_per_image {
+            ran = lcg_next(ran);
+            table[(ran & mask) as usize] ^= ran;
+        }
+    }
+    table
+}
+
+/// Result of a distributed RandomAccess run.
+#[derive(Debug, Clone)]
+pub struct RaOutcome {
+    /// Timing and GUP/s.
+    pub bench: BenchResult,
+    /// This image's final local table (for verification).
+    pub local_table: Vec<u64>,
+}
+
+/// Run RandomAccess over `team`: a table of `2^log2_local` entries per
+/// image, `updates_per_image` updates generated on each image and routed
+/// through the hypercube.
+///
+/// # Panics
+///
+/// Panics unless the team size is a power of two.
+pub fn run(
+    img: &Image,
+    team: &Team,
+    log2_local: u32,
+    updates_per_image: usize,
+) -> RaOutcome {
+    let p = team.size();
+    assert!(is_pow2(p), "RandomAccess requires a power-of-two team");
+    let d = log2_exact(p);
+    let me = team.rank();
+    let local_size = 1usize << log2_local;
+    let table_size = local_size * p;
+    let mask = (table_size - 1) as u64;
+
+    // Table coarray, initialized to the identity permutation.
+    let table: Coarray<u64> = img.coarray_alloc(team, local_size);
+    let init: Vec<u64> = (0..local_size as u64)
+        .map(|i| me as u64 * local_size as u64 + i)
+        .collect();
+    table.local_write(img, 0, &init);
+
+    // Per-round staging slots: [count][data ...], one slot per round so a
+    // fast partner in round k+1 can never clobber unconsumed round-k data.
+    let cap = 4 * updates_per_image + 64;
+    let staging: Coarray<u64> = img.coarray_alloc(team, d as usize * (cap + 1));
+    let round_events: Vec<caf::Event> = (0..d).map(|_| img.event_alloc(team)).collect();
+
+    img.barrier(team);
+    let t = Instant::now();
+
+    // Generate this image's update stream.
+    let mut pending: Vec<u64> = Vec::with_capacity(2 * updates_per_image);
+    let mut ran = starts((me * updates_per_image) as i64);
+    for _ in 0..updates_per_image {
+        ran = lcg_next(ran);
+        pending.push(ran);
+    }
+
+    // Hypercube routing: in round k, updates whose destination differs
+    // from me in bit k travel to partner = me ^ 2^k.
+    for k in 0..d {
+        let partner = me ^ (1usize << k);
+        let mut keep = Vec::with_capacity(pending.len());
+        let mut send = Vec::with_capacity(pending.len() + 1);
+        send.push(0); // count placeholder
+        for &u in &pending {
+            let dest = ((u & mask) as usize) >> log2_local;
+            if (dest >> k) & 1 == (me >> k) & 1 {
+                keep.push(u);
+            } else {
+                send.push(u);
+            }
+        }
+        let count = send.len() - 1;
+        assert!(count <= cap, "staging overflow: {count} > {cap}");
+        send[0] = count as u64;
+        let slot_base = k as usize * (cap + 1);
+        table_guard(&staging, img, partner, slot_base, &send);
+        img.event_notify(team, &round_events[k as usize], partner);
+
+        // Wait for the partner's bucket, then absorb it.
+        img.event_wait(&round_events[k as usize]);
+        let mut header = [0u64; 1];
+        staging.local_read(img, slot_base, &mut header);
+        let incoming = header[0] as usize;
+        if incoming > 0 {
+            let mut buf = vec![0u64; incoming];
+            staging.local_read(img, slot_base + 1, &mut buf);
+            keep.extend_from_slice(&buf);
+        }
+        pending = keep;
+    }
+
+    // All pending updates are now local: apply the XORs.
+    let mut local = table.local_vec(img);
+    let base = (me * local_size) as u64;
+    for &u in &pending {
+        let idx = (u & mask) - base;
+        local[idx as usize] ^= u;
+    }
+    table.local_write(img, 0, &local);
+
+    img.barrier(team);
+    let dt = t.elapsed().as_secs_f64();
+    let secs = img.allreduce(team, &[dt], |a, b| a.max(b))[0];
+    let total_updates = (updates_per_image * p) as f64;
+
+    let local_table = table.local_vec(img);
+    img.coarray_free(team, staging);
+    img.coarray_free(team, table);
+
+    RaOutcome {
+        bench: BenchResult {
+            seconds: secs,
+            metric: total_updates / secs * 1e-9,
+        },
+        local_table,
+    }
+}
+
+/// Thin wrapper so the staging write shows up as a `coarray_write` in the
+/// stats decomposition (it is *the* hot write of this benchmark).
+fn table_guard(staging: &Coarray<u64>, img: &Image, partner: usize, off: usize, data: &[u64]) {
+    staging.write(img, partner, off, data);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caf::{CafConfig, CafUniverse, SubstrateKind};
+
+    #[test]
+    fn stream_matches_known_values() {
+        // starts(0) is defined as 1; the stream must be reproducible and
+        // starts(n) must equal n steps from starts(0).
+        assert_eq!(starts(0), 1);
+        let mut x = starts(0);
+        for n in 1..200i64 {
+            x = lcg_next(x);
+            assert_eq!(starts(n), x, "starts({n})");
+        }
+    }
+
+    #[test]
+    fn lcg_has_no_short_cycle() {
+        let mut x = 1u64;
+        for _ in 0..10_000 {
+            x = lcg_next(x);
+            assert_ne!(x, 0);
+        }
+        assert_ne!(x, 1);
+    }
+
+    #[test]
+    fn distributed_matches_serial_reference() {
+        for kind in [SubstrateKind::Mpi, SubstrateKind::Gasnet] {
+            for p in [1usize, 2, 4] {
+                let expect = serial_reference(p, 256, 500);
+                let locals = CafUniverse::run_with_config(
+                    p,
+                    CafConfig::on(kind),
+                    |img| {
+                        let team = img.team_world();
+                        run(img, &team, 8, 500).local_table
+                    },
+                );
+                let got: Vec<u64> = locals.into_iter().flatten().collect();
+                assert_eq!(got, expect, "substrate {kind:?} P={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn gups_metric_is_positive() {
+        CafUniverse::run(4, |img| {
+            let team = img.team_world();
+            let out = run(img, &team, 8, 1000);
+            assert!(out.bench.metric > 0.0);
+            assert!(out.bench.seconds > 0.0);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "image panicked")]
+    fn non_pow2_team_rejected() {
+        CafUniverse::run(3, |img| {
+            let team = img.team_world();
+            let _ = run(img, &team, 4, 10);
+        });
+    }
+
+    #[test]
+    fn updates_touch_remote_images() {
+        // Sanity: with 4 images the router must actually move data — the
+        // reference differs from what purely-local application would give.
+        let p = 4;
+        let expect = serial_reference(p, 64, 400);
+        let mut local_only: Vec<u64> = (0..(64 * p) as u64).collect();
+        for im in 0..p {
+            let mut ran = starts((im * 400) as i64);
+            let base = im * 64;
+            for _ in 0..400 {
+                ran = lcg_next(ran);
+                let idx = (ran & (64 * p - 1) as u64) as usize;
+                if idx >= base && idx < base + 64 {
+                    local_only[idx] ^= ran;
+                }
+            }
+        }
+        assert_ne!(expect, local_only);
+    }
+}

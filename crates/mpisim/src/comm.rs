@@ -1,0 +1,115 @@
+//! Communicators: ordered process groups with an isolated matching space.
+
+use std::sync::Arc;
+
+/// A communicator: an ordered group of global ranks plus a context id that
+/// isolates its point-to-point and collective traffic.
+///
+/// `Comm` is a cheap handle (two words + an `Arc`); clones refer to the same
+/// group. Ranks *within* the communicator index the `ranks` list; fabric
+/// packets always carry global ranks.
+#[derive(Debug, Clone)]
+pub struct Comm {
+    pub(crate) id: u64,
+    pub(crate) ranks: Arc<[usize]>,
+    pub(crate) my_idx: usize,
+}
+
+impl Comm {
+    pub(crate) fn new(id: u64, ranks: Arc<[usize]>, my_idx: usize) -> Self {
+        debug_assert!(my_idx < ranks.len());
+        Comm { id, ranks, my_idx }
+    }
+
+    /// Context id of this communicator.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// This process's rank within the communicator.
+    pub fn rank(&self) -> usize {
+        self.my_idx
+    }
+
+    /// Number of processes in the communicator.
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Translate a communicator rank to a global (world) rank.
+    pub fn global_rank(&self, comm_rank: usize) -> usize {
+        self.ranks[comm_rank]
+    }
+
+    /// Translate a global rank back to a rank in this communicator, if the
+    /// process is a member.
+    pub fn comm_rank_of_global(&self, global: usize) -> Option<usize> {
+        self.ranks.iter().position(|&g| g == global)
+    }
+
+    /// The member global ranks, in communicator order.
+    pub fn members(&self) -> &[usize] {
+        &self.ranks
+    }
+}
+
+/// Deterministic context-id derivation: every member of a parent
+/// communicator computes the same child id from the parent id and the
+/// parent's creation counter, without communication. (Real MPI agrees on
+/// context ids with a collective; the derivation here is the fixed point
+/// that collective would reach.)
+pub(crate) fn derive_comm_id(parent_id: u64, child_index: u64, color: u64) -> u64 {
+    splitmix64(parent_id ^ splitmix64(child_index) ^ splitmix64(color.wrapping_add(0x9e37)))
+}
+
+/// SplitMix64 — a tiny, well-distributed 64-bit mixer.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comm(ranks: &[usize], my_idx: usize) -> Comm {
+        Comm::new(42, ranks.to_vec().into(), my_idx)
+    }
+
+    #[test]
+    fn rank_translation_roundtrips() {
+        let c = comm(&[5, 9, 2], 1);
+        assert_eq!(c.rank(), 1);
+        assert_eq!(c.size(), 3);
+        assert_eq!(c.global_rank(2), 2);
+        assert_eq!(c.comm_rank_of_global(9), Some(1));
+        assert_eq!(c.comm_rank_of_global(7), None);
+    }
+
+    #[test]
+    fn derived_ids_are_distinct() {
+        let a = derive_comm_id(0, 0, 0);
+        let b = derive_comm_id(0, 1, 0);
+        let c = derive_comm_id(0, 0, 1);
+        let d = derive_comm_id(a, 0, 0);
+        let ids = [a, b, c, d];
+        for i in 0..ids.len() {
+            for j in 0..i {
+                assert_ne!(ids[i], ids[j], "collision between {i} and {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        assert_eq!(derive_comm_id(7, 3, 1), derive_comm_id(7, 3, 1));
+    }
+
+    #[test]
+    fn splitmix_mixes() {
+        assert_ne!(splitmix64(0), 0);
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+}

@@ -1,0 +1,270 @@
+//! Dynamic windows — `MPI_Win_create_dynamic` / `MPI_Win_attach` /
+//! `MPI_Win_detach` (paper §2.2: "creates a window without memory
+//! attached; one can dynamically attach memory later").
+//!
+//! Addressing: real MPI uses absolute virtual addresses inside dynamic
+//! windows. This substrate hands out an opaque [`DynAddr`] at attach time
+//! (the moral equivalent of the address the target would broadcast), and
+//! accesses resolve it through the fabric's global segment registry — so,
+//! as in real MPI, the origin needs only the address, never a
+//! collectively created translation table.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use caf_fabric::pod::{as_bytes, as_bytes_mut};
+use caf_fabric::{FabricError, Pod, Result, Segment, SegmentId};
+
+use crate::comm::Comm;
+use crate::universe::Mpi;
+
+/// An address within a dynamic window: which attached region, plus the
+/// byte offset of its base. Obtained from [`Mpi::win_attach`] and shipped
+/// to origins by any means (typically a send or an allgather), exactly
+/// like the `MPI_Get_address` + broadcast idiom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DynAddr {
+    pub(crate) seg: u64,
+}
+
+impl DynAddr {
+    /// Encode as a transportable u64 (for sending through messages).
+    pub fn to_bits(self) -> u64 {
+        self.seg
+    }
+
+    /// Decode from [`DynAddr::to_bits`].
+    pub fn from_bits(bits: u64) -> Self {
+        DynAddr { seg: bits }
+    }
+}
+
+/// A dynamic window: an epoch + attach table, no memory of its own.
+pub struct DynWindow {
+    pub(crate) comm: Comm,
+    pub(crate) locked_all: AtomicBool,
+    /// Regions this rank has attached: address → (segment id, bytes).
+    pub(crate) attached: RefCell<HashMap<u64, (SegmentId, usize)>>,
+}
+
+impl std::fmt::Debug for DynWindow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynWindow")
+            .field("comm", &self.comm.id())
+            .field("attached", &self.attached.borrow().len())
+            .finish()
+    }
+}
+
+impl Mpi {
+    /// `MPI_Win_create_dynamic` — collective over `comm`.
+    pub fn win_create_dynamic(&self, comm: &Comm) -> Result<DynWindow> {
+        // Collective in MPI; synchronize so usage cannot race creation.
+        self.barrier(comm)?;
+        Ok(DynWindow {
+            comm: comm.clone(),
+            locked_all: AtomicBool::new(false),
+            attached: RefCell::new(HashMap::new()),
+        })
+    }
+
+    /// `MPI_Win_attach` — local: expose `bytes` bytes of freshly allocated
+    /// memory in the dynamic window; returns its address. (Real MPI
+    /// attaches caller-owned memory; this substrate allocates the region
+    /// for the caller, which is equivalent for every runtime use.)
+    pub fn win_attach(&self, win: &DynWindow, bytes: usize) -> Result<DynAddr> {
+        let id = self.ep.register_segment(Segment::new(bytes));
+        self.mem.map(caf_fabric::MemCategory::UserData, bytes);
+        win.attached.borrow_mut().insert(id.0, (id, bytes));
+        Ok(DynAddr { seg: id.0 })
+    }
+
+    /// `MPI_Win_detach` — local: withdraw a previously attached region.
+    pub fn win_detach(&self, win: &DynWindow, addr: DynAddr) -> Result<()> {
+        let (id, bytes) = win
+            .attached
+            .borrow_mut()
+            .remove(&addr.seg)
+            .ok_or(FabricError::UnknownSegment(addr.seg))?;
+        self.mem.unmap(caf_fabric::MemCategory::UserData, bytes);
+        self.ep.unregister_segment(id)
+    }
+
+    /// `MPI_Win_lock_all` on a dynamic window.
+    pub fn dyn_lock_all(&self, win: &DynWindow) {
+        win.locked_all.store(true, Ordering::Relaxed);
+    }
+
+    /// `MPI_Win_unlock_all` on a dynamic window.
+    pub fn dyn_unlock_all(&self, win: &DynWindow) {
+        win.locked_all.store(false, Ordering::Relaxed);
+    }
+
+    fn dyn_segment(&self, win: &DynWindow, addr: DynAddr) -> Result<std::sync::Arc<Segment>> {
+        assert!(
+            win.locked_all.load(Ordering::Relaxed),
+            "RMA on a dynamic window outside a passive-target epoch"
+        );
+        self.ep.segment(SegmentId(addr.seg))
+    }
+
+    /// `MPI_Put` into a dynamic window at `(addr, disp)`.
+    pub fn dyn_put<T: Pod>(
+        &self,
+        win: &DynWindow,
+        addr: DynAddr,
+        disp: usize,
+        data: &[T],
+    ) -> Result<()> {
+        let seg = self.dyn_segment(win, addr)?;
+        self.delays
+            .charge(caf_fabric::DelayOp::RmaPut, std::mem::size_of_val(data));
+        seg.put(disp, as_bytes(data))
+    }
+
+    /// `MPI_Get` from a dynamic window at `(addr, disp)`.
+    pub fn dyn_get<T: Pod>(
+        &self,
+        win: &DynWindow,
+        addr: DynAddr,
+        disp: usize,
+        out: &mut [T],
+    ) -> Result<()> {
+        let seg = self.dyn_segment(win, addr)?;
+        self.delays
+            .charge(caf_fabric::DelayOp::RmaGet, std::mem::size_of_val(out));
+        seg.get(disp, as_bytes_mut(out))
+    }
+
+    /// Local load/store access to a region this rank attached.
+    pub fn dyn_read_local<T: Pod>(
+        &self,
+        win: &DynWindow,
+        addr: DynAddr,
+        disp: usize,
+        out: &mut [T],
+    ) -> Result<()> {
+        let (id, _) = *win
+            .attached
+            .borrow()
+            .get(&addr.seg)
+            .ok_or(FabricError::UnknownSegment(addr.seg))?;
+        self.ep.segment(id)?.get(disp, as_bytes_mut(out))
+    }
+
+    /// `MPI_Win_flush` / `flush_all` equivalent for dynamic windows: the
+    /// implementation cannot know which attached regions were touched, so
+    /// it charges one flush handshake per rank (same Θ(P) as regular
+    /// windows).
+    pub fn dyn_flush_all(&self, win: &DynWindow) -> Result<()> {
+        for _ in 0..win.comm.size() {
+            self.delays.charge(caf_fabric::DelayOp::FlushPerTarget, 0);
+        }
+        std::sync::atomic::fence(Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    #[test]
+    fn attach_exchange_access() {
+        Universe::run(2, |mpi| {
+            let comm = mpi.world();
+            let win = mpi.win_create_dynamic(&comm).unwrap();
+            mpi.dyn_lock_all(&win);
+
+            // Each rank attaches a region and broadcasts its address.
+            let addr = mpi.win_attach(&win, 64).unwrap();
+            let addrs = mpi.allgather(&comm, &[addr.to_bits()]).unwrap();
+            let peer = 1 - mpi.rank();
+            let peer_addr = DynAddr::from_bits(addrs[peer]);
+
+            mpi.dyn_put(&win, peer_addr, 8, &[mpi.rank() as u64 + 50])
+                .unwrap();
+            mpi.dyn_flush_all(&win).unwrap();
+            mpi.barrier(&comm).unwrap();
+
+            let mut got = [0u64];
+            mpi.dyn_read_local(&win, addr, 8, &mut got).unwrap();
+            assert_eq!(got[0], peer as u64 + 50);
+
+            // Remote read too.
+            let mut probe = [0u64];
+            mpi.dyn_get(&win, peer_addr, 8, &mut probe).unwrap();
+            assert_eq!(probe[0], mpi.rank() as u64 + 50);
+
+            mpi.barrier(&comm).unwrap();
+            mpi.dyn_unlock_all(&win);
+            mpi.win_detach(&win, addr).unwrap();
+        });
+    }
+
+    #[test]
+    fn multiple_attachments_are_independent() {
+        Universe::run(1, |mpi| {
+            let comm = mpi.world();
+            let win = mpi.win_create_dynamic(&comm).unwrap();
+            mpi.dyn_lock_all(&win);
+            let a = mpi.win_attach(&win, 16).unwrap();
+            let b = mpi.win_attach(&win, 16).unwrap();
+            assert_ne!(a, b);
+            mpi.dyn_put(&win, a, 0, &[1u64]).unwrap();
+            mpi.dyn_put(&win, b, 0, &[2u64]).unwrap();
+            let mut va = [0u64];
+            let mut vb = [0u64];
+            mpi.dyn_read_local(&win, a, 0, &mut va).unwrap();
+            mpi.dyn_read_local(&win, b, 0, &mut vb).unwrap();
+            assert_eq!((va[0], vb[0]), (1, 2));
+            mpi.dyn_unlock_all(&win);
+        });
+    }
+
+    #[test]
+    fn detach_invalidates_address() {
+        Universe::run(1, |mpi| {
+            let comm = mpi.world();
+            let win = mpi.win_create_dynamic(&comm).unwrap();
+            mpi.dyn_lock_all(&win);
+            let a = mpi.win_attach(&win, 16).unwrap();
+            mpi.win_detach(&win, a).unwrap();
+            assert!(mpi.dyn_put(&win, a, 0, &[1u64]).is_err());
+            assert!(mpi.win_detach(&win, a).is_err());
+            mpi.dyn_unlock_all(&win);
+        });
+    }
+
+    #[test]
+    fn epoch_enforced_on_dynamic_windows() {
+        let r = std::panic::catch_unwind(|| {
+            Universe::run(1, |mpi| {
+                let comm = mpi.world();
+                let win = mpi.win_create_dynamic(&comm).unwrap();
+                let a = mpi.win_attach(&win, 8).unwrap();
+                // No lock_all → panic.
+                let _ = mpi.dyn_put(&win, a, 0, &[1u64]);
+            });
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn attach_accounts_memory() {
+        Universe::run(1, |mpi| {
+            let comm = mpi.world();
+            let win = mpi.win_create_dynamic(&comm).unwrap();
+            let before = mpi.mem().mapped(caf_fabric::MemCategory::UserData);
+            let a = mpi.win_attach(&win, 1024).unwrap();
+            assert_eq!(
+                mpi.mem().mapped(caf_fabric::MemCategory::UserData),
+                before + 1024
+            );
+            mpi.win_detach(&win, a).unwrap();
+            assert_eq!(mpi.mem().mapped(caf_fabric::MemCategory::UserData), before);
+        });
+    }
+}

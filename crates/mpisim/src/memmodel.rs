@@ -1,0 +1,231 @@
+//! The MPI-2 **separate** memory model, for contrast with the unified
+//! model the rest of this substrate (and the paper's CAF-MPI runtime)
+//! relies on.
+//!
+//! Paper §2.2: "MPI-2 RMA assumes no coherence in the memory subsystem or
+//! network interface, resulting in logically distinct *public* and
+//! *private* copies of a window. This conservative model (the separate
+//! model) is a poor match for systems where coherent memory subsystems
+//! are available. The new unified memory model added in MPI-3 … allows
+//! for higher concurrency in access to the window data."
+//!
+//! [`SeparateWindow`] makes the difference observable: remote `put`s land
+//! in the **public** copy; local loads read the **private** copy, which
+//! only sees remote updates after an explicit [`Mpi::win_sync`]
+//! (`MPI_WIN_SYNC`). A unified-model window (the default [`super::Window`])
+//! has no such staleness.
+
+use parking_lot::Mutex;
+
+use caf_fabric::pod::{as_bytes, as_bytes_mut};
+use caf_fabric::{DelayOp, MemCategory, Pod, Result, Segment, SegmentId};
+
+use crate::comm::Comm;
+use crate::universe::Mpi;
+
+/// An RMA window under the MPI-2 *separate* memory model: remote access
+/// goes to the public copy, local load/store to the private copy, and
+/// `win_sync` reconciles them.
+pub struct SeparateWindow {
+    comm: Comm,
+    segs: std::sync::Arc<[SegmentId]>,
+    sizes: std::sync::Arc<[usize]>,
+    /// The private copy of this rank's region.
+    private: Mutex<Vec<u8>>,
+}
+
+impl std::fmt::Debug for SeparateWindow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeparateWindow")
+            .field("comm", &self.comm.id())
+            .field("bytes", &self.private.lock().len())
+            .finish()
+    }
+}
+
+impl Mpi {
+    /// Collectively allocate a window under the separate memory model
+    /// (what `MPI_Win_create` on pre-coherent hardware gives you).
+    pub fn win_allocate_separate(&self, comm: &Comm, bytes: usize) -> Result<SeparateWindow> {
+        let id = self.ep.register_segment(Segment::new(bytes));
+        self.mem.map(MemCategory::UserData, 2 * bytes); // public + private
+        let pairs = self.allgather(comm, &[[id.0, bytes as u64]])?;
+        Ok(SeparateWindow {
+            comm: comm.clone(),
+            segs: pairs.iter().map(|p| SegmentId(p[0])).collect(),
+            sizes: pairs.iter().map(|p| p[1] as usize).collect(),
+            private: Mutex::new(vec![0u8; bytes]),
+        })
+    }
+
+    /// Collectively free a separate-model window.
+    pub fn win_free_separate(&self, win: SeparateWindow) -> Result<()> {
+        self.barrier(&win.comm)?;
+        let me = win.comm.rank();
+        self.mem.unmap(MemCategory::UserData, 2 * win.sizes[me]);
+        self.ep.unregister_segment(win.segs[me])
+    }
+
+    /// One-sided put into `target`'s **public** copy.
+    pub fn sep_put<T: Pod>(
+        &self,
+        win: &SeparateWindow,
+        target: usize,
+        disp: usize,
+        data: &[T],
+    ) -> Result<()> {
+        self.delays
+            .charge(DelayOp::RmaPut, std::mem::size_of_val(data));
+        self.ep.segment(win.segs[target])?.put(disp, as_bytes(data))
+    }
+
+    /// One-sided get from `target`'s **public** copy.
+    pub fn sep_get<T: Pod>(
+        &self,
+        win: &SeparateWindow,
+        target: usize,
+        disp: usize,
+        out: &mut [T],
+    ) -> Result<()> {
+        self.delays
+            .charge(DelayOp::RmaGet, std::mem::size_of_val(out));
+        self.ep
+            .segment(win.segs[target])?
+            .get(disp, as_bytes_mut(out))
+    }
+
+    /// Local **store**: updates the private copy and propagates it to the
+    /// public copy (store visibility rule of the separate model after the
+    /// next synchronization; this substrate propagates eagerly, which is
+    /// a legal strengthening).
+    pub fn sep_store_local<T: Pod>(
+        &self,
+        win: &SeparateWindow,
+        disp: usize,
+        data: &[T],
+    ) -> Result<()> {
+        let bytes = as_bytes(data);
+        {
+            let mut private = win.private.lock();
+            private[disp..disp + bytes.len()].copy_from_slice(bytes);
+        }
+        let me = win.comm.rank();
+        self.ep.segment(win.segs[me])?.put(disp, bytes)
+    }
+
+    /// Local **load**: reads the private copy — which does *not* see
+    /// remote puts until [`Mpi::win_sync`]. This is the staleness the
+    /// unified model abolishes.
+    pub fn sep_load_local<T: Pod>(
+        &self,
+        win: &SeparateWindow,
+        disp: usize,
+        out: &mut [T],
+    ) -> Result<()> {
+        let bytes = as_bytes_mut(out);
+        let private = win.private.lock();
+        bytes.copy_from_slice(&private[disp..disp + bytes.len()]);
+        Ok(())
+    }
+
+    /// `MPI_WIN_SYNC`: reconcile the private copy with the public copy.
+    pub fn win_sync(&self, win: &SeparateWindow) -> Result<()> {
+        let me = win.comm.rank();
+        let seg = self.ep.segment(win.segs[me])?;
+        let mut private = win.private.lock();
+        seg.get(0, &mut private)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+    use crate::{Src, Tag};
+
+    #[test]
+    fn remote_puts_invisible_until_win_sync() {
+        Universe::run(2, |mpi| {
+            let comm = mpi.world();
+            let win = mpi.win_allocate_separate(&comm, 16).unwrap();
+            if mpi.rank() == 0 {
+                mpi.sep_put(&win, 1, 0, &[0xBEEFu64]).unwrap();
+                mpi.send(&comm, 1, 0, &[1u8]).unwrap();
+            } else {
+                let _ = mpi.recv::<u8>(&comm, Src::Rank(0), Tag::Is(0)).unwrap();
+                // The put has certainly landed in the public copy...
+                let mut public = [0u64];
+                mpi.sep_get(&win, 1, 0, &mut public).unwrap();
+                assert_eq!(public[0], 0xBEEF);
+                // ...but a local load still sees the stale private copy.
+                let mut private = [0u64];
+                mpi.sep_load_local(&win, 0, &mut private).unwrap();
+                assert_eq!(private[0], 0, "separate model: stale until sync");
+                // WIN_SYNC reconciles.
+                mpi.win_sync(&win).unwrap();
+                mpi.sep_load_local(&win, 0, &mut private).unwrap();
+                assert_eq!(private[0], 0xBEEF);
+            }
+            mpi.barrier(&comm).unwrap();
+            mpi.win_free_separate(win).unwrap();
+        });
+    }
+
+    #[test]
+    fn local_stores_visible_remotely() {
+        Universe::run(2, |mpi| {
+            let comm = mpi.world();
+            let win = mpi.win_allocate_separate(&comm, 8).unwrap();
+            if mpi.rank() == 1 {
+                mpi.sep_store_local(&win, 0, &[7.5f64]).unwrap();
+            }
+            mpi.barrier(&comm).unwrap();
+            if mpi.rank() == 0 {
+                let mut v = [0.0f64];
+                mpi.sep_get(&win, 1, 0, &mut v).unwrap();
+                assert_eq!(v[0], 7.5);
+            }
+            mpi.barrier(&comm).unwrap();
+            mpi.win_free_separate(win).unwrap();
+        });
+    }
+
+    #[test]
+    fn unified_window_has_no_staleness() {
+        // The contrast: the same program on a unified-model window sees
+        // the put immediately — no win_sync required.
+        Universe::run(2, |mpi| {
+            let comm = mpi.world();
+            let win = mpi.win_allocate(&comm, 16).unwrap();
+            mpi.win_lock_all(&win);
+            if mpi.rank() == 0 {
+                mpi.put(&win, 1, 0, &[0xBEEFu64]).unwrap();
+                mpi.win_flush(&win, 1).unwrap();
+                mpi.send(&comm, 1, 0, &[1u8]).unwrap();
+            } else {
+                let _ = mpi.recv::<u8>(&comm, Src::Rank(0), Tag::Is(0)).unwrap();
+                let mut v = [0u64];
+                mpi.win_read_local(&win, 0, &mut v).unwrap();
+                assert_eq!(v[0], 0xBEEF, "unified model: immediately visible");
+            }
+            mpi.win_unlock_all(&win).unwrap();
+            mpi.win_free(win).unwrap();
+        });
+    }
+
+    #[test]
+    fn separate_window_accounts_double_memory() {
+        Universe::run(1, |mpi| {
+            let comm = mpi.world();
+            let before = mpi.mem().mapped(MemCategory::UserData);
+            let win = mpi.win_allocate_separate(&comm, 1024).unwrap();
+            assert_eq!(
+                mpi.mem().mapped(MemCategory::UserData),
+                before + 2048,
+                "public + private copies"
+            );
+            mpi.win_free_separate(win).unwrap();
+            assert_eq!(mpi.mem().mapped(MemCategory::UserData), before);
+        });
+    }
+}

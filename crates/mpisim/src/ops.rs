@@ -1,0 +1,232 @@
+//! Reduction and accumulate operations over predefined element types.
+
+use caf_fabric::Pod;
+
+/// Scalar element types usable in reductions and accumulates — the
+/// "predefined MPI datatypes" of this substrate.
+pub trait Scalar: Pod + PartialOrd {
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Element addition.
+    fn add(self, rhs: Self) -> Self;
+    /// Element multiplication.
+    fn mul(self, rhs: Self) -> Self;
+    /// Element maximum.
+    fn max_of(self, rhs: Self) -> Self {
+        if self >= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+    /// Element minimum.
+    fn min_of(self, rhs: Self) -> Self {
+        if self <= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+macro_rules! impl_scalar_int {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            const ZERO: Self = 0;
+            const ONE: Self = 1;
+            fn add(self, rhs: Self) -> Self { self.wrapping_add(rhs) }
+            fn mul(self, rhs: Self) -> Self { self.wrapping_mul(rhs) }
+        }
+    )*};
+}
+impl_scalar_int!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+macro_rules! impl_scalar_float {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            fn add(self, rhs: Self) -> Self { self + rhs }
+            fn mul(self, rhs: Self) -> Self { self * rhs }
+        }
+    )*};
+}
+impl_scalar_float!(f32, f64);
+
+/// The predefined accumulate/reduce operations (`MPI_SUM`, `MPI_PROD`, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccOp {
+    /// `MPI_SUM`
+    Sum,
+    /// `MPI_PROD`
+    Prod,
+    /// `MPI_MAX`
+    Max,
+    /// `MPI_MIN`
+    Min,
+    /// `MPI_REPLACE` (accumulate only)
+    Replace,
+    /// `MPI_NO_OP` (get_accumulate fetch-only)
+    NoOp,
+    /// `MPI_BXOR` — integer element types only; on floats it combines bit
+    /// patterns, which is what the RandomAccess benchmark wants on `u64`.
+    Bxor,
+    /// `MPI_BAND`
+    Band,
+    /// `MPI_BOR`
+    Bor,
+}
+
+impl AccOp {
+    /// Apply the op to a scalar pair: `target OP source`.
+    pub fn apply<T: Scalar>(self, target: T, source: T) -> T {
+        match self {
+            AccOp::Sum => target.add(source),
+            AccOp::Prod => target.mul(source),
+            AccOp::Max => target.max_of(source),
+            AccOp::Min => target.min_of(source),
+            AccOp::Replace => source,
+            AccOp::NoOp => target,
+            AccOp::Bxor | AccOp::Band | AccOp::Bor => {
+                panic!("bitwise AccOp must be applied through apply_bits")
+            }
+        }
+    }
+
+    /// Apply the op on raw 8-byte bit patterns, interpreting them as the
+    /// bit representation of `T`. Used by the one-sided accumulate engine,
+    /// which performs CAS loops on whole words.
+    pub fn apply_bits<T: Scalar + BitsRepr>(self, target_bits: u64, source_bits: u64) -> u64 {
+        match self {
+            AccOp::Bxor => target_bits ^ source_bits,
+            AccOp::Band => target_bits & source_bits,
+            AccOp::Bor => target_bits | source_bits,
+            _ => {
+                let t = T::from_bits(target_bits);
+                let s = T::from_bits(source_bits);
+                T::to_bits(self.apply(t, s))
+            }
+        }
+    }
+}
+
+/// 8-byte element types addressable by the one-sided atomic engine
+/// (`fetch_and_op`, `compare_and_swap`, `accumulate`). Real MPI permits any
+/// predefined type; this substrate restricts one-sided atomics to 8-byte
+/// elements, which covers every use in the CAF runtime and benchmarks.
+pub trait BitsRepr: Scalar {
+    /// Bit pattern of the value.
+    fn to_bits(v: Self) -> u64;
+    /// Value with the given bit pattern.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl BitsRepr for u64 {
+    fn to_bits(v: Self) -> u64 {
+        v
+    }
+    fn from_bits(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl BitsRepr for i64 {
+    fn to_bits(v: Self) -> u64 {
+        v as u64
+    }
+    fn from_bits(bits: u64) -> Self {
+        bits as i64
+    }
+}
+
+impl BitsRepr for usize {
+    fn to_bits(v: Self) -> u64 {
+        v as u64
+    }
+    fn from_bits(bits: u64) -> Self {
+        bits as usize
+    }
+}
+
+impl BitsRepr for f64 {
+    fn to_bits(v: Self) -> u64 {
+        v.to_bits()
+    }
+    fn from_bits(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+}
+
+/// Elementwise in-place reduction: `acc[i] = OP(acc[i], src[i])` with a
+/// user combiner. This is the engine behind the two-sided collectives.
+pub fn combine_into<T: Copy>(acc: &mut [T], src: &[T], f: impl Fn(T, T) -> T) {
+    assert_eq!(acc.len(), src.len(), "reduction length mismatch");
+    for (a, s) in acc.iter_mut().zip(src) {
+        *a = f(*a, *s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_ops_on_ints() {
+        assert_eq!(AccOp::Sum.apply(3u64, 4), 7);
+        assert_eq!(AccOp::Prod.apply(3i64, -4), -12);
+        assert_eq!(AccOp::Max.apply(3u32, 4), 4);
+        assert_eq!(AccOp::Min.apply(3i32, -4), -4);
+        assert_eq!(AccOp::Replace.apply(3u64, 9), 9);
+        assert_eq!(AccOp::NoOp.apply(3u64, 9), 3);
+    }
+
+    #[test]
+    fn scalar_ops_on_floats() {
+        assert_eq!(AccOp::Sum.apply(1.5f64, 2.25), 3.75);
+        assert_eq!(AccOp::Max.apply(1.5f64, -2.0), 1.5);
+    }
+
+    #[test]
+    fn wrapping_integer_sum() {
+        assert_eq!(AccOp::Sum.apply(u64::MAX, 1), 0);
+    }
+
+    #[test]
+    fn bitwise_via_bits() {
+        assert_eq!(AccOp::Bxor.apply_bits::<u64>(0b1100, 0b1010), 0b0110);
+        assert_eq!(AccOp::Band.apply_bits::<u64>(0b1100, 0b1010), 0b1000);
+        assert_eq!(AccOp::Bor.apply_bits::<u64>(0b1100, 0b1010), 0b1110);
+    }
+
+    #[test]
+    fn float_sum_via_bits() {
+        let t = 1.5f64.to_bits();
+        let s = 2.5f64.to_bits();
+        assert_eq!(
+            f64::from_bits(AccOp::Sum.apply_bits::<f64>(t, s)),
+            4.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "apply_bits")]
+    fn bitwise_scalar_path_rejected() {
+        AccOp::Bxor.apply(1u64, 2);
+    }
+
+    #[test]
+    fn combine_into_elementwise() {
+        let mut acc = [1, 2, 3];
+        combine_into(&mut acc, &[10, 20, 30], |a, b| a + b);
+        assert_eq!(acc, [11, 22, 33]);
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        assert_eq!(i64::from_bits(i64::to_bits(-5)), -5);
+        assert_eq!(f64::from_bits(f64::to_bits(-0.5)), -0.5);
+        assert_eq!(usize::from_bits(usize::to_bits(7)), 7);
+    }
+}

@@ -1,0 +1,593 @@
+//! Two-sided messaging: send/recv with `(source, tag, communicator)`
+//! matching, wildcards, and request-generating variants.
+
+use bytes::Bytes;
+
+use caf_fabric::delay::DelayOp;
+use caf_fabric::pod::{as_bytes, vec_from_bytes};
+use caf_fabric::{Packet, Pod, Result};
+
+use crate::comm::Comm;
+use crate::universe::Mpi;
+
+/// Packet kind for user-level point-to-point traffic.
+pub(crate) const KIND_P2P: u16 = 1;
+/// Packet kind for internal collective traffic.
+pub(crate) const KIND_COLL: u16 = 2;
+/// Packet kind for synchronous-send acknowledgements.
+pub(crate) const KIND_SSEND_ACK: u16 = 3;
+
+/// Source selector for a receive (`MPI_ANY_SOURCE` or a specific rank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Src {
+    /// Match a message from any source (`MPI_ANY_SOURCE`).
+    Any,
+    /// Match only messages from this communicator rank.
+    Rank(usize),
+}
+
+/// Tag selector for a receive (`MPI_ANY_TAG` or a specific tag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tag {
+    /// Match any tag (`MPI_ANY_TAG`).
+    Any,
+    /// Match only this tag.
+    Is(i64),
+}
+
+/// Completion information of a receive (`MPI_Status`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Communicator rank of the sender.
+    pub source: usize,
+    /// Tag of the matched message.
+    pub tag: i64,
+    /// Payload size in bytes.
+    pub bytes: usize,
+}
+
+/// Handle for a nonblocking send. Sends complete eagerly on this substrate
+/// (the library buffers the payload at injection), so the handle exists for
+/// API fidelity: `wait` certifies local completion.
+#[derive(Debug)]
+#[must_use = "requests must be completed with wait()"]
+pub struct SendRequest(pub(crate) ());
+
+impl SendRequest {
+    /// Wait for local completion (immediate on this substrate).
+    pub fn wait(self) {}
+
+    /// Nonblocking completion test.
+    pub fn test(&self) -> bool {
+        true
+    }
+}
+
+/// Handle for a nonblocking receive of `T` elements.
+#[derive(Debug)]
+#[must_use = "requests must be completed with wait()"]
+pub struct RecvRequest<T: Pod> {
+    pub(crate) comm: Comm,
+    pub(crate) src: Src,
+    pub(crate) tag: Tag,
+    pub(crate) done: Option<(Vec<T>, Status)>,
+}
+
+impl<T: Pod> RecvRequest<T> {
+    /// Block until the message arrives; returns the data and its status.
+    pub fn wait(mut self, mpi: &Mpi) -> (Vec<T>, Status) {
+        if let Some(r) = self.done.take() {
+            return r;
+        }
+        mpi.recv::<T>(&self.comm, self.src, self.tag)
+            .expect("recv failed")
+    }
+
+    /// Nonblocking test; on success the result is buffered and `wait`
+    /// returns immediately.
+    pub fn test(&mut self, mpi: &Mpi) -> bool {
+        if self.done.is_some() {
+            return true;
+        }
+        if let Some(pkt) = mpi.try_match_p2p(&self.comm, self.src, self.tag) {
+            self.done = Some(unpack::<T>(&self.comm, pkt));
+            return true;
+        }
+        false
+    }
+}
+
+fn unpack<T: Pod>(comm: &Comm, pkt: Packet) -> (Vec<T>, Status) {
+    let status = Status {
+        source: pkt.h[1] as usize,
+        tag: pkt.tag,
+        bytes: pkt.payload.len(),
+    };
+    debug_assert_eq!(pkt.h[0], comm.id);
+    (vec_from_bytes::<T>(&pkt.payload), status)
+}
+
+/// Marker in `h[2]` requesting a matched-acknowledgement (`MPI_Ssend`).
+const SSEND_FLAG: u64 = 1;
+
+impl Mpi {
+    /// Generic ordered matcher: return the first packet (in arrival order)
+    /// satisfying `pred`, stashing non-matching packets on the unexpected
+    /// queue. Blocking.
+    pub(crate) fn match_packet(&self, pred: impl Fn(&Packet) -> bool) -> Packet {
+        {
+            let mut q = self.unexpected.borrow_mut();
+            if let Some(pos) = q.iter().position(&pred) {
+                return q.remove(pos).expect("position came from iter");
+            }
+        }
+        loop {
+            let pkt = self
+                .ep
+                .recv_blocking()
+                .expect("fabric torn down while receiving");
+            if pred(&pkt) {
+                return pkt;
+            }
+            self.unexpected.borrow_mut().push_back(pkt);
+        }
+    }
+
+    /// Nonblocking variant of [`Mpi::match_packet`].
+    pub(crate) fn try_match_packet(&self, pred: impl Fn(&Packet) -> bool) -> Option<Packet> {
+        {
+            let mut q = self.unexpected.borrow_mut();
+            if let Some(pos) = q.iter().position(&pred) {
+                return q.remove(pos);
+            }
+        }
+        while let Some(pkt) = self.ep.try_recv() {
+            if pred(&pkt) {
+                return Some(pkt);
+            }
+            self.unexpected.borrow_mut().push_back(pkt);
+        }
+        None
+    }
+
+    fn p2p_pred<'a>(
+        &self,
+        comm: &'a Comm,
+        src: Src,
+        tag: Tag,
+    ) -> impl Fn(&Packet) -> bool + 'a {
+        let comm_id = comm.id;
+        move |p: &Packet| {
+            p.kind == KIND_P2P
+                && p.h[0] == comm_id
+                && match src {
+                    Src::Any => true,
+                    Src::Rank(r) => p.h[1] as usize == r,
+                }
+                && match tag {
+                    Tag::Any => true,
+                    Tag::Is(t) => p.tag == t,
+                }
+        }
+    }
+
+    pub(crate) fn try_match_p2p(&self, comm: &Comm, src: Src, tag: Tag) -> Option<Packet> {
+        self.try_match_packet(self.p2p_pred(comm, src, tag))
+    }
+
+    /// Blocking standard-mode send (eager: completes locally at return).
+    pub fn send<T: Pod>(&self, comm: &Comm, dest: usize, tag: i64, buf: &[T]) -> Result<()> {
+        let bytes = as_bytes(buf);
+        self.delays.charge(DelayOp::P2pInject, bytes.len());
+        let pkt = Packet::with_payload(
+            self.ep.rank(),
+            KIND_P2P,
+            tag,
+            [comm.id, comm.rank() as u64, 0, 0],
+            Bytes::copy_from_slice(bytes),
+        );
+        self.ep.send(comm.global_rank(dest), pkt)
+    }
+
+    /// Nonblocking send; the library buffers the payload, so the returned
+    /// request is already locally complete (`MPI_Isend` on an eager path).
+    pub fn isend<T: Pod>(
+        &self,
+        comm: &Comm,
+        dest: usize,
+        tag: i64,
+        buf: &[T],
+    ) -> Result<SendRequest> {
+        self.send(comm, dest, tag, buf)?;
+        Ok(SendRequest(()))
+    }
+
+    /// Blocking receive returning a freshly allocated buffer.
+    pub fn recv<T: Pod>(&self, comm: &Comm, src: Src, tag: Tag) -> Result<(Vec<T>, Status)> {
+        let pkt = self.match_packet(self.p2p_pred(comm, src, tag));
+        self.delays.charge(DelayOp::P2pReceive, pkt.payload.len());
+        if pkt.h[2] == SSEND_FLAG {
+            // Synchronous-mode sender is blocked on the match: ack it.
+            self.ep.send(
+                pkt.src,
+                Packet::control(self.ep.rank(), KIND_SSEND_ACK, 0, [pkt.h[3], 0, 0, 0]),
+            )?;
+        }
+        Ok(unpack::<T>(comm, pkt))
+    }
+
+    /// Synchronous-mode send (`MPI_Ssend`): completes only once the
+    /// receiver has *matched* the message — the strongest two-sided
+    /// completion guarantee, useful for enforcing rendezvous semantics in
+    /// tests and protocols.
+    pub fn ssend<T: Pod>(&self, comm: &Comm, dest: usize, tag: i64, buf: &[T]) -> Result<()> {
+        let bytes = as_bytes(buf);
+        self.delays.charge(DelayOp::P2pInject, bytes.len());
+        let seq = {
+            let s = self.ssend_seq.get();
+            self.ssend_seq.set(s + 1);
+            s
+        };
+        let pkt = Packet::with_payload(
+            self.ep.rank(),
+            KIND_P2P,
+            tag,
+            [comm.id, comm.rank() as u64, SSEND_FLAG, seq],
+            Bytes::copy_from_slice(bytes),
+        );
+        self.ep.send(comm.global_rank(dest), pkt)?;
+        // Block until the matching ack arrives (other traffic is stashed).
+        let _ = self.match_packet(move |p| p.kind == KIND_SSEND_ACK && p.h[0] == seq);
+        Ok(())
+    }
+
+    /// Blocking receive into a caller-provided buffer. The message must fit
+    /// exactly; a size mismatch is a protocol error and panics (real MPI
+    /// would raise `MPI_ERR_TRUNCATE`).
+    pub fn recv_into<T: Pod>(
+        &self,
+        comm: &Comm,
+        src: Src,
+        tag: Tag,
+        buf: &mut [T],
+    ) -> Result<Status> {
+        let (data, status) = self.recv::<T>(comm, src, tag)?;
+        assert_eq!(
+            data.len(),
+            buf.len(),
+            "recv_into: message of {} elements does not fit buffer of {}",
+            data.len(),
+            buf.len()
+        );
+        buf.copy_from_slice(&data);
+        Ok(status)
+    }
+
+    /// Nonblocking receive.
+    pub fn irecv<T: Pod>(&self, comm: &Comm, src: Src, tag: Tag) -> RecvRequest<T> {
+        RecvRequest {
+            comm: comm.clone(),
+            src,
+            tag,
+            done: None,
+        }
+    }
+
+    /// Combined send+receive (`MPI_Sendrecv`): injects the outgoing message
+    /// first, then blocks on the incoming one — deadlock-free under the
+    /// eager protocol.
+    pub fn sendrecv<T: Pod, U: Pod>(
+        &self,
+        comm: &Comm,
+        dest: usize,
+        send_tag: i64,
+        sendbuf: &[T],
+        src: Src,
+        recv_tag: Tag,
+    ) -> Result<(Vec<U>, Status)> {
+        self.send(comm, dest, send_tag, sendbuf)?;
+        self.recv::<U>(comm, src, recv_tag)
+    }
+
+    /// Blocking probe (`MPI_Probe`): wait until a matching message is
+    /// available and return its status without consuming it.
+    pub fn probe(&self, comm: &Comm, src: Src, tag: Tag) -> Status {
+        let pkt = self.match_packet(self.p2p_pred(comm, src, tag));
+        let st = Status {
+            source: pkt.h[1] as usize,
+            tag: pkt.tag,
+            bytes: pkt.payload.len(),
+        };
+        self.unexpected.borrow_mut().push_front(pkt);
+        st
+    }
+
+    /// `MPI_Waitany` over receive requests: block until one completes;
+    /// returns its index and result. Fairness: repeatedly tests in order,
+    /// driving progress between sweeps.
+    pub fn waitany<T: Pod>(&self, reqs: &mut Vec<RecvRequest<T>>) -> (usize, Vec<T>, Status) {
+        assert!(!reqs.is_empty(), "waitany on an empty request set");
+        loop {
+            for i in 0..reqs.len() {
+                if reqs[i].test(self) {
+                    let req = reqs.remove(i);
+                    let (data, st) = req.wait(self);
+                    return (i, data, st);
+                }
+            }
+            // Nothing ready: block for the next packet of any kind, then
+            // retest (the packet was stashed by the matcher).
+            let pkt = self
+                .ep
+                .recv_blocking()
+                .expect("fabric torn down while receiving");
+            self.unexpected.borrow_mut().push_back(pkt);
+        }
+    }
+
+    /// Nonblocking probe: status of the next matching message, if any has
+    /// arrived, without consuming it.
+    pub fn iprobe(&self, comm: &Comm, src: Src, tag: Tag) -> Option<Status> {
+        // Peek: match, then put the packet back at the *front* so a
+        // subsequent recv sees it first (preserving order).
+        let pkt = self.try_match_packet(self.p2p_pred(comm, src, tag))?;
+        let st = Status {
+            source: pkt.h[1] as usize,
+            tag: pkt.tag,
+            bytes: pkt.payload.len(),
+        };
+        self.unexpected.borrow_mut().push_front(pkt);
+        Some(st)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    #[test]
+    fn send_recv_typed() {
+        Universe::run(2, |mpi| {
+            let w = mpi.world();
+            if mpi.rank() == 0 {
+                mpi.send(&w, 1, 5, &[1.5f64, 2.5]).unwrap();
+            } else {
+                let (data, st) = mpi.recv::<f64>(&w, Src::Rank(0), Tag::Is(5)).unwrap();
+                assert_eq!(data, vec![1.5, 2.5]);
+                assert_eq!(st.source, 0);
+                assert_eq!(st.tag, 5);
+                assert_eq!(st.bytes, 16);
+            }
+        });
+    }
+
+    #[test]
+    fn tag_matching_reorders_across_tags() {
+        Universe::run(2, |mpi| {
+            let w = mpi.world();
+            if mpi.rank() == 0 {
+                mpi.send(&w, 1, 1, &[10u64]).unwrap();
+                mpi.send(&w, 1, 2, &[20u64]).unwrap();
+            } else {
+                // Receive tag 2 first even though tag 1 arrived first.
+                let (b, _) = mpi.recv::<u64>(&w, Src::Rank(0), Tag::Is(2)).unwrap();
+                let (a, _) = mpi.recv::<u64>(&w, Src::Rank(0), Tag::Is(1)).unwrap();
+                assert_eq!((a[0], b[0]), (10, 20));
+            }
+        });
+    }
+
+    #[test]
+    fn any_source_matches_first_arrival() {
+        Universe::run(3, |mpi| {
+            let w = mpi.world();
+            if mpi.rank() > 0 {
+                mpi.send(&w, 0, 7, &[mpi.rank() as u64]).unwrap();
+            } else {
+                let mut seen = Vec::new();
+                for _ in 0..2 {
+                    let (d, st) = mpi.recv::<u64>(&w, Src::Any, Tag::Is(7)).unwrap();
+                    assert_eq!(d[0] as usize, st.source);
+                    seen.push(st.source);
+                }
+                seen.sort_unstable();
+                assert_eq!(seen, vec![1, 2]);
+            }
+        });
+    }
+
+    #[test]
+    fn same_tag_same_source_is_fifo() {
+        Universe::run(2, |mpi| {
+            let w = mpi.world();
+            if mpi.rank() == 0 {
+                for i in 0..50u64 {
+                    mpi.send(&w, 1, 3, &[i]).unwrap();
+                }
+            } else {
+                for i in 0..50u64 {
+                    let (d, _) = mpi.recv::<u64>(&w, Src::Rank(0), Tag::Is(3)).unwrap();
+                    assert_eq!(d[0], i);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn irecv_test_then_wait() {
+        Universe::run(2, |mpi| {
+            let w = mpi.world();
+            if mpi.rank() == 0 {
+                // Delay so rank 1's first test() very likely fails.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                mpi.send(&w, 1, 9, &[42u32]).unwrap();
+            } else {
+                let mut req = mpi.irecv::<u32>(&w, Src::Rank(0), Tag::Is(9));
+                let mut polls = 0u64;
+                while !req.test(mpi) {
+                    polls += 1;
+                    std::hint::spin_loop();
+                }
+                let (d, st) = req.wait(mpi);
+                assert_eq!(d, vec![42]);
+                assert_eq!(st.source, 0);
+                // Not a correctness condition, but a sanity signal that we
+                // actually polled.
+                assert!(polls > 0 || st.bytes == 4);
+            }
+        });
+    }
+
+    #[test]
+    fn sendrecv_exchanges_between_pair() {
+        let results = Universe::run(2, |mpi| {
+            let w = mpi.world();
+            let peer = 1 - mpi.rank();
+            let (got, _) = mpi
+                .sendrecv::<u64, u64>(
+                    &w,
+                    peer,
+                    0,
+                    &[mpi.rank() as u64 * 100],
+                    Src::Rank(peer),
+                    Tag::Is(0),
+                )
+                .unwrap();
+            got[0]
+        });
+        assert_eq!(results, vec![100, 0]);
+    }
+
+    #[test]
+    fn iprobe_peeks_without_consuming() {
+        Universe::run(2, |mpi| {
+            let w = mpi.world();
+            if mpi.rank() == 0 {
+                mpi.send(&w, 1, 4, &[7u8, 8, 9]).unwrap();
+            } else {
+                let st = loop {
+                    if let Some(st) = mpi.iprobe(&w, Src::Any, Tag::Any) {
+                        break st;
+                    }
+                };
+                assert_eq!(st.bytes, 3);
+                let (d, _) = mpi.recv::<u8>(&w, Src::Rank(0), Tag::Is(4)).unwrap();
+                assert_eq!(d, vec![7, 8, 9]);
+            }
+        });
+    }
+
+    #[test]
+    fn ssend_completes_only_after_match() {
+        use std::time::{Duration, Instant};
+        let times = Universe::run(2, |mpi| {
+            let w = mpi.world();
+            if mpi.rank() == 0 {
+                let t = Instant::now();
+                mpi.ssend(&w, 1, 3, &[1u64, 2]).unwrap();
+                t.elapsed()
+            } else {
+                // Delay the matching receive; the ssend must wait it out.
+                std::thread::sleep(Duration::from_millis(60));
+                let (d, _) = mpi.recv::<u64>(&w, Src::Rank(0), Tag::Is(3)).unwrap();
+                assert_eq!(d, vec![1, 2]);
+                Duration::ZERO
+            }
+        });
+        assert!(
+            times[0] >= Duration::from_millis(30),
+            "ssend returned before the match: {:?}",
+            times[0]
+        );
+    }
+
+    #[test]
+    fn ssends_interleave_with_regular_traffic() {
+        Universe::run(2, |mpi| {
+            let w = mpi.world();
+            if mpi.rank() == 0 {
+                mpi.send(&w, 1, 1, &[9u8]).unwrap();
+                mpi.ssend(&w, 1, 2, &[8u8]).unwrap();
+                mpi.send(&w, 1, 3, &[7u8]).unwrap();
+            } else {
+                // Receive out of order; acks must still route correctly.
+                let (c, _) = mpi.recv::<u8>(&w, Src::Rank(0), Tag::Is(2)).unwrap();
+                let (a, _) = mpi.recv::<u8>(&w, Src::Rank(0), Tag::Is(1)).unwrap();
+                let (b, _) = mpi.recv::<u8>(&w, Src::Rank(0), Tag::Is(3)).unwrap();
+                assert_eq!((a[0], c[0], b[0]), (9, 8, 7));
+            }
+        });
+    }
+
+    #[test]
+    fn blocking_probe_waits_for_message() {
+        Universe::run(2, |mpi| {
+            let w = mpi.world();
+            if mpi.rank() == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                mpi.send(&w, 1, 6, &[1u16, 2, 3]).unwrap();
+            } else {
+                let st = mpi.probe(&w, Src::Any, Tag::Any);
+                assert_eq!(st.tag, 6);
+                assert_eq!(st.bytes, 6);
+                // Probe did not consume: recv still sees it.
+                let (d, _) = mpi.recv::<u16>(&w, Src::Rank(0), Tag::Is(6)).unwrap();
+                assert_eq!(d, vec![1, 2, 3]);
+            }
+        });
+    }
+
+    #[test]
+    fn waitany_returns_first_arrival() {
+        Universe::run(3, |mpi| {
+            let w = mpi.world();
+            if mpi.rank() == 0 {
+                let mut reqs = vec![
+                    mpi.irecv::<u64>(&w, Src::Rank(1), Tag::Is(1)),
+                    mpi.irecv::<u64>(&w, Src::Rank(2), Tag::Is(2)),
+                ];
+                let mut seen = Vec::new();
+                let (_, d, st) = mpi.waitany(&mut reqs);
+                seen.push((st.source, d[0]));
+                let (_, d, st) = mpi.waitany(&mut reqs);
+                seen.push((st.source, d[0]));
+                seen.sort_unstable();
+                assert_eq!(seen, vec![(1, 10), (2, 20)]);
+                assert!(reqs.is_empty());
+            } else {
+                let v = mpi.rank() as u64 * 10;
+                mpi.send(&w, 0, mpi.rank() as i64, &[v]).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn isend_request_completes() {
+        Universe::run(2, |mpi| {
+            let w = mpi.world();
+            if mpi.rank() == 0 {
+                let r = mpi.isend(&w, 1, 0, &[1u8]).unwrap();
+                assert!(r.test());
+                r.wait();
+            } else {
+                let _ = mpi.recv::<u8>(&w, Src::Rank(0), Tag::Is(0)).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank panicked")]
+    fn recv_into_rejects_truncation() {
+        // Two ranks; rank 1 panics on truncation, which aborts the job.
+        Universe::run(2, |mpi| {
+            let w = mpi.world();
+            if mpi.rank() == 0 {
+                mpi.send(&w, 1, 0, &[1u64, 2, 3]).unwrap();
+            } else {
+                let mut small = [0u64; 2];
+                let _ = mpi.recv_into(&w, Src::Rank(0), Tag::Is(0), &mut small);
+            }
+        });
+    }
+}

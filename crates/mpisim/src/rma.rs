@@ -1,0 +1,707 @@
+//! One-sided communication: windows, passive-target epochs, PUT/GET,
+//! request-generating variants, one-sided atomics, and flush.
+//!
+//! Every data-plane operation accesses the target's registered segment
+//! directly — the target thread is never involved. This is the MPI-3
+//! passive-target model the paper builds coarrays on (§3.1): lock all
+//! targets once at window allocation, `put`/`get` freely, `flush` for
+//! remote completion, unlock only at deallocation.
+
+use std::sync::atomic::{fence, AtomicBool, Ordering};
+use std::sync::Arc;
+
+use caf_fabric::delay::DelayOp;
+use caf_fabric::pod::{as_bytes, as_bytes_mut, vec_from_bytes};
+use caf_fabric::{FabricError, MemCategory, Pod, Result, Segment, SegmentId};
+
+use crate::comm::Comm;
+use crate::ops::{AccOp, BitsRepr};
+use crate::request::RmaRequest;
+use crate::universe::Mpi;
+
+/// An RMA window: one registered segment per rank of a communicator.
+///
+/// The handle is per-rank (like an `MPI_Win`); epoch state is local to the
+/// handle. Remote references through a window are `(window, rank,
+/// displacement)` triples — exactly the remote-reference representation the
+/// paper's CAF-MPI runtime adopts.
+pub struct Window {
+    pub(crate) id: u64,
+    pub(crate) comm: Comm,
+    pub(crate) segs: Arc<[SegmentId]>,
+    pub(crate) sizes: Arc<[usize]>,
+    pub(crate) local: Arc<Segment>,
+    pub(crate) locked_all: AtomicBool,
+}
+
+impl std::fmt::Debug for Window {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Window")
+            .field("id", &self.id)
+            .field("comm", &self.comm.id())
+            .field("size", &self.comm.size())
+            .finish()
+    }
+}
+
+impl Window {
+    /// Window identifier (unique per communicator lineage).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The communicator the window spans.
+    pub fn comm(&self) -> &Comm {
+        &self.comm
+    }
+
+    /// Size in bytes of `rank`'s exposed region.
+    pub fn size_of(&self, rank: usize) -> usize {
+        self.sizes[rank]
+    }
+
+    /// Direct handle to the local region (used for load/store access to
+    /// one's own coarray data under the unified memory model).
+    pub fn local_segment(&self) -> &Arc<Segment> {
+        &self.local
+    }
+
+    fn assert_epoch(&self) {
+        assert!(
+            self.locked_all.load(Ordering::Relaxed),
+            "RMA operation outside a passive-target epoch (call win_lock_all first)"
+        );
+    }
+}
+
+impl Mpi {
+    /// `MPI_Win_allocate` — collective: every rank exposes `bytes` bytes of
+    /// library-allocated memory.
+    pub fn win_allocate(&self, comm: &Comm, bytes: usize) -> Result<Window> {
+        let seg = Segment::new(bytes);
+        let id = self.ep.register_segment(seg);
+        let local = self.ep.segment(id)?;
+        self.mem.map(MemCategory::UserData, bytes);
+        self.mem.map(MemCategory::SegmentMeta, 64 * comm.size());
+
+        let pairs = self.allgather(comm, &[[id.0, bytes as u64]])?;
+        let segs: Vec<SegmentId> = pairs.iter().map(|p| SegmentId(p[0])).collect();
+        let sizes: Vec<usize> = pairs.iter().map(|p| p[1] as usize).collect();
+        let child = self.next_child_index(comm);
+        let win_id = crate::comm::derive_comm_id(comm.id(), child, 0x77);
+        Ok(Window {
+            id: win_id,
+            comm: comm.clone(),
+            segs: segs.into(),
+            sizes: sizes.into(),
+            local,
+            locked_all: AtomicBool::new(false),
+        })
+    }
+
+    /// `MPI_Win_free` — collective; tears down the local exposure.
+    pub fn win_free(&self, win: Window) -> Result<()> {
+        self.win_free_shared(&win)
+    }
+
+    /// As [`Mpi::win_free`], for windows held behind shared handles
+    /// (`Arc<Window>`). The caller must not use the window afterwards.
+    pub fn win_free_shared(&self, win: &Window) -> Result<()> {
+        self.barrier(&win.comm)?;
+        let me = win.comm.rank();
+        self.mem.unmap(MemCategory::UserData, win.sizes[me]);
+        self.mem.unmap(MemCategory::SegmentMeta, 64 * win.comm.size());
+        self.ep.unregister_segment(win.segs[me])
+    }
+
+    /// `MPI_Win_lock_all` — open a shared passive-target epoch to every
+    /// rank of the window.
+    pub fn win_lock_all(&self, win: &Window) {
+        win.locked_all.store(true, Ordering::Relaxed);
+    }
+
+    /// `MPI_Win_unlock_all` — close the epoch, completing all operations.
+    pub fn win_unlock_all(&self, win: &Window) -> Result<()> {
+        win.assert_epoch();
+        self.win_flush_all(win)?;
+        win.locked_all.store(false, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn target_segment(&self, win: &Window, target: usize) -> Result<Arc<Segment>> {
+        if target >= win.comm.size() {
+            return Err(FabricError::RankOutOfRange {
+                rank: target,
+                size: win.comm.size(),
+            });
+        }
+        self.ep.segment(win.segs[target])
+    }
+
+    /// `MPI_Put` — one-sided write of `data` at byte displacement `disp` in
+    /// `target`'s window region. Locally complete at return; remotely
+    /// complete after a flush (on this substrate the data is applied
+    /// immediately, but portable callers must still flush — and the CAF
+    /// runtime does).
+    pub fn put<T: Pod>(&self, win: &Window, target: usize, disp: usize, data: &[T]) -> Result<()> {
+        win.assert_epoch();
+        let bytes = as_bytes(data);
+        self.delays.charge(DelayOp::RmaPut, bytes.len());
+        self.target_segment(win, target)?.put(disp, bytes)
+    }
+
+    /// `MPI_Get` — one-sided read from `target`'s window region.
+    pub fn get<T: Pod>(
+        &self,
+        win: &Window,
+        target: usize,
+        disp: usize,
+        out: &mut [T],
+    ) -> Result<()> {
+        win.assert_epoch();
+        let seg = self.target_segment(win, target)?;
+        let bytes = as_bytes_mut(out);
+        self.delays.charge(DelayOp::RmaGet, bytes.len());
+        seg.get(disp, bytes)
+    }
+
+    /// `MPI_Rput` — request-generating put. The returned request certifies
+    /// **local completion only** (MPI-3 §11.3); remote completion still
+    /// requires a flush. This asymmetry is the reason the paper's runtime
+    /// falls back to active messages when a remote-completion event is
+    /// requested for a PUT (§3.3, case 4).
+    pub fn rput<T: Pod>(
+        &self,
+        win: &Window,
+        target: usize,
+        disp: usize,
+        data: &[T],
+    ) -> Result<RmaRequest<()>> {
+        self.put(win, target, disp, data)?;
+        Ok(RmaRequest::completed_put())
+    }
+
+    /// `MPI_Rget` — request-generating get; completion of the request
+    /// certifies local *and* remote completion.
+    pub fn rget<T: Pod>(
+        &self,
+        win: &Window,
+        target: usize,
+        disp: usize,
+        count: usize,
+    ) -> Result<RmaRequest<T>> {
+        let mut buf = vec_from_bytes::<T>(&vec![0u8; count * std::mem::size_of::<T>()]);
+        self.get(win, target, disp, &mut buf)?;
+        Ok(RmaRequest::completed_get(buf))
+    }
+
+    /// Strided one-sided write: `count` elements of `data` land at
+    /// `disp + i·stride_elems·size_of::<T>()` — the `MPI_Put` with an
+    /// `MPI_Type_vector` target datatype that a CAF array section
+    /// `A(lo:hi:step)[img]` compiles to.
+    pub fn put_vector<T: Pod>(
+        &self,
+        win: &Window,
+        target: usize,
+        disp: usize,
+        stride_elems: usize,
+        data: &[T],
+    ) -> Result<()> {
+        win.assert_epoch();
+        let seg = self.target_segment(win, target)?;
+        let esz = std::mem::size_of::<T>();
+        self.delays
+            .charge(DelayOp::RmaPut, std::mem::size_of_val(data));
+        for (i, v) in data.iter().enumerate() {
+            seg.put(disp + i * stride_elems * esz, as_bytes(std::slice::from_ref(v)))?;
+        }
+        Ok(())
+    }
+
+    /// Strided one-sided read: the gather counterpart of
+    /// [`Mpi::put_vector`].
+    pub fn get_vector<T: Pod>(
+        &self,
+        win: &Window,
+        target: usize,
+        disp: usize,
+        stride_elems: usize,
+        out: &mut [T],
+    ) -> Result<()> {
+        win.assert_epoch();
+        let seg = self.target_segment(win, target)?;
+        let esz = std::mem::size_of::<T>();
+        self.delays
+            .charge(DelayOp::RmaGet, std::mem::size_of_val(out));
+        for (i, v) in out.iter_mut().enumerate() {
+            seg.get(
+                disp + i * stride_elems * esz,
+                as_bytes_mut(std::slice::from_mut(v)),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// `MPI_Raccumulate` — request-generating accumulate; like `rput`,
+    /// the request certifies **local completion only** (MPI-3 §11.3).
+    pub fn raccumulate<T: BitsRepr>(
+        &self,
+        win: &Window,
+        target: usize,
+        disp: usize,
+        data: &[T],
+        op: AccOp,
+    ) -> Result<RmaRequest<()>> {
+        self.accumulate(win, target, disp, data, op)?;
+        Ok(RmaRequest::completed_put())
+    }
+
+    /// `MPI_Rget_accumulate` — request-generating fetch-and-accumulate;
+    /// the request certifies local *and* remote completion and carries
+    /// the fetched previous contents.
+    pub fn rget_accumulate<T: BitsRepr>(
+        &self,
+        win: &Window,
+        target: usize,
+        disp: usize,
+        data: &[T],
+        op: AccOp,
+    ) -> Result<RmaRequest<T>> {
+        let prev = self.get_accumulate(win, target, disp, data, op)?;
+        Ok(RmaRequest::completed_get(prev))
+    }
+
+    /// `MPI_Win_shared_query` — the shared-memory window accessor of
+    /// `MPI_WIN_ALLOCATE_SHARED`. On this in-process substrate every
+    /// window's memory is shared, so any rank's region can be mapped for
+    /// direct load/store access (the fast path the paper notes
+    /// `MPI_WIN_ALLOCATE` enables, §2.2).
+    pub fn win_shared_query(&self, win: &Window, rank: usize) -> Result<Arc<Segment>> {
+        self.target_segment(win, rank)
+    }
+
+    /// `MPI_Accumulate` — elementwise atomic `target = target OP source`.
+    /// Element types are restricted to 8-byte scalars (see [`BitsRepr`]).
+    pub fn accumulate<T: BitsRepr>(
+        &self,
+        win: &Window,
+        target: usize,
+        disp: usize,
+        data: &[T],
+        op: AccOp,
+    ) -> Result<()> {
+        win.assert_epoch();
+        let seg = self.target_segment(win, target)?;
+        self.delays
+            .charge(DelayOp::RmaAtomic, std::mem::size_of_val(data));
+        for (i, &v) in data.iter().enumerate() {
+            let off = disp + i * 8;
+            seg.fetch_update_u64(off, |old| op.apply_bits::<T>(old, T::to_bits(v)))?;
+        }
+        Ok(())
+    }
+
+    /// `MPI_Get_accumulate` — fetch the previous contents while applying
+    /// the op. With [`AccOp::NoOp`] this is an atomic read.
+    pub fn get_accumulate<T: BitsRepr>(
+        &self,
+        win: &Window,
+        target: usize,
+        disp: usize,
+        data: &[T],
+        op: AccOp,
+    ) -> Result<Vec<T>> {
+        win.assert_epoch();
+        let seg = self.target_segment(win, target)?;
+        self.delays
+            .charge(DelayOp::RmaAtomic, std::mem::size_of_val(data));
+        let mut prev = Vec::with_capacity(data.len());
+        for (i, &v) in data.iter().enumerate() {
+            let off = disp + i * 8;
+            let old = seg.fetch_update_u64(off, |old| op.apply_bits::<T>(old, T::to_bits(v)))?;
+            prev.push(T::from_bits(old));
+        }
+        Ok(prev)
+    }
+
+    /// `MPI_Fetch_and_op` — single-element fast path of `get_accumulate`.
+    pub fn fetch_and_op<T: BitsRepr>(
+        &self,
+        win: &Window,
+        target: usize,
+        disp: usize,
+        value: T,
+        op: AccOp,
+    ) -> Result<T> {
+        win.assert_epoch();
+        let seg = self.target_segment(win, target)?;
+        self.delays.charge(DelayOp::RmaAtomic, 8);
+        let old = seg.fetch_update_u64(disp, |old| op.apply_bits::<T>(old, T::to_bits(value)))?;
+        Ok(T::from_bits(old))
+    }
+
+    /// `MPI_Compare_and_swap` — returns the value observed before the swap.
+    pub fn compare_and_swap<T: BitsRepr>(
+        &self,
+        win: &Window,
+        target: usize,
+        disp: usize,
+        expected: T,
+        new: T,
+    ) -> Result<T> {
+        win.assert_epoch();
+        let seg = self.target_segment(win, target)?;
+        self.delays.charge(DelayOp::RmaAtomic, 8);
+        let prev = seg.compare_exchange_u64(disp, T::to_bits(expected), T::to_bits(new))?;
+        Ok(T::from_bits(prev))
+    }
+
+    /// `MPI_Win_flush` — complete all outstanding operations from this
+    /// origin to `target`, at the origin *and* the target.
+    pub fn win_flush(&self, win: &Window, target: usize) -> Result<()> {
+        win.assert_epoch();
+        if target >= win.comm.size() {
+            return Err(FabricError::RankOutOfRange {
+                rank: target,
+                size: win.comm.size(),
+            });
+        }
+        self.delays.charge(DelayOp::FlushPerTarget, 0);
+        fence(Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// `MPI_Win_flush_all` — complete outstanding operations to **every**
+    /// target. Like all MPICH derivatives at the time of the paper, this
+    /// flushes each rank of the window's communicator in turn, so its cost
+    /// grows linearly with the job size (paper §4.1 — the root cause of
+    /// CAF-MPI's `event_notify` overhead in RandomAccess).
+    pub fn win_flush_all(&self, win: &Window) -> Result<()> {
+        win.assert_epoch();
+        for _target in 0..win.comm.size() {
+            self.delays.charge(DelayOp::FlushPerTarget, 0);
+        }
+        fence(Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Resolve the segment backing `rank`'s exposed region — the direct
+    /// load/store access the unified memory model permits. Used by
+    /// runtimes layered on this library to access window memory from
+    /// whichever process is executing (e.g. CAF function shipping).
+    pub fn win_segment(&self, win: &Window, rank: usize) -> Result<Arc<Segment>> {
+        self.target_segment(win, rank)
+    }
+
+    /// Read from this rank's own window region (a local "load" under the
+    /// unified memory model).
+    pub fn win_read_local<T: Pod>(&self, win: &Window, disp: usize, out: &mut [T]) -> Result<()> {
+        win.local.get(disp, as_bytes_mut(out))
+    }
+
+    /// Write to this rank's own window region (a local "store").
+    pub fn win_write_local<T: Pod>(&self, win: &Window, disp: usize, data: &[T]) -> Result<()> {
+        win.local.put(disp, as_bytes(data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    fn with_window<T: Send>(
+        n: usize,
+        bytes: usize,
+        f: impl Fn(&Mpi, &Window) -> T + Send + Sync,
+    ) -> Vec<T> {
+        Universe::run(n, |mpi| {
+            let w = mpi.world();
+            let win = mpi.win_allocate(&w, bytes).unwrap();
+            mpi.win_lock_all(&win);
+            let r = f(mpi, &win);
+            mpi.win_unlock_all(&win).unwrap();
+            mpi.win_free(win).unwrap();
+            r
+        })
+    }
+
+    #[test]
+    fn put_then_remote_reads_after_sync() {
+        let res = with_window(2, 64, |mpi, win| {
+            if mpi.rank() == 0 {
+                mpi.put(win, 1, 8, &[1.5f64, 2.5]).unwrap();
+                mpi.win_flush(win, 1).unwrap();
+            }
+            mpi.barrier(win.comm()).unwrap();
+            let mut out = [0.0f64; 2];
+            mpi.win_read_local(win, 8, &mut out).unwrap();
+            out
+        });
+        assert_eq!(res[1], [1.5, 2.5]);
+    }
+
+    #[test]
+    fn get_reads_remote_data() {
+        let res = with_window(2, 64, |mpi, win| {
+            mpi.win_write_local(win, 0, &[(mpi.rank() as u64 + 1) * 11])
+                .unwrap();
+            mpi.barrier(win.comm()).unwrap();
+            let peer = 1 - mpi.rank();
+            let mut out = [0u64; 1];
+            mpi.get(win, peer, 0, &mut out).unwrap();
+            out[0]
+        });
+        assert_eq!(res, vec![22, 11]);
+    }
+
+    #[test]
+    fn one_sided_needs_no_target_participation() {
+        // Target computes (never calls MPI) while origin puts and flushes.
+        let res = with_window(2, 8, |mpi, win| {
+            if mpi.rank() == 0 {
+                mpi.put(win, 1, 0, &[7u64]).unwrap();
+                mpi.win_flush(win, 1).unwrap();
+                // Signal via a different mechanism only after flush.
+                mpi.send(&mpi.world(), 1, 0, &[1u8]).unwrap();
+                0
+            } else {
+                use crate::p2p::{Src, Tag};
+                let _ = mpi
+                    .recv::<u8>(&mpi.world(), Src::Rank(0), Tag::Is(0))
+                    .unwrap();
+                let mut out = [0u64; 1];
+                mpi.win_read_local(win, 0, &mut out).unwrap();
+                out[0]
+            }
+        });
+        assert_eq!(res[1], 7);
+    }
+
+    #[test]
+    fn rput_certifies_local_rget_remote() {
+        use crate::request::RmaCompletion;
+        with_window(2, 16, |mpi, win| {
+            if mpi.rank() == 0 {
+                let rp = mpi.rput(win, 1, 0, &[3u64]).unwrap();
+                assert_eq!(rp.completion(), RmaCompletion::LocalOnly);
+                rp.wait();
+                mpi.win_flush(win, 1).unwrap();
+            }
+            mpi.barrier(win.comm()).unwrap();
+            if mpi.rank() == 1 {
+                let rg = mpi.rget::<u64>(win, 1, 0, 1).unwrap();
+                assert_eq!(rg.completion(), RmaCompletion::LocalAndRemote);
+                assert_eq!(rg.wait(), vec![3]);
+            }
+        });
+    }
+
+    #[test]
+    fn accumulate_sums_atomically_from_all_ranks() {
+        let n = 8;
+        let res = with_window(n, 8, |mpi, win| {
+            for _ in 0..100 {
+                mpi.accumulate(win, 0, 0, &[1u64], AccOp::Sum).unwrap();
+            }
+            mpi.win_flush(win, 0).unwrap();
+            mpi.barrier(win.comm()).unwrap();
+            let mut out = [0u64; 1];
+            mpi.win_read_local(win, 0, &mut out).unwrap();
+            out[0]
+        });
+        assert_eq!(res[0], (n * 100) as u64);
+    }
+
+    #[test]
+    fn accumulate_float_sum() {
+        let res = with_window(4, 8, |mpi, win| {
+            mpi.accumulate(win, 0, 0, &[0.25f64], AccOp::Sum).unwrap();
+            mpi.barrier(win.comm()).unwrap();
+            let mut out = [0.0f64; 1];
+            mpi.win_read_local(win, 0, &mut out).unwrap();
+            out[0]
+        });
+        assert_eq!(res[0], 1.0);
+    }
+
+    #[test]
+    fn fetch_and_op_returns_previous() {
+        let res = with_window(4, 8, |mpi, win| {
+            let prev = mpi.fetch_and_op(win, 0, 0, 1u64, AccOp::Sum).unwrap();
+            mpi.barrier(win.comm()).unwrap();
+            prev
+        });
+        // The four previous values must be a permutation of 0..4.
+        let mut prevs = res.clone();
+        prevs.sort_unstable();
+        assert_eq!(prevs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn compare_and_swap_elects_one_winner() {
+        let res = with_window(8, 8, |mpi, win| {
+            let seen = mpi
+                .compare_and_swap(win, 0, 0, 0u64, mpi.rank() as u64 + 1)
+                .unwrap();
+            mpi.barrier(win.comm()).unwrap();
+            seen
+        });
+        let winners = res.iter().filter(|&&s| s == 0).count();
+        assert_eq!(winners, 1, "exactly one CAS must win: {res:?}");
+    }
+
+    #[test]
+    fn get_accumulate_noop_is_atomic_read() {
+        let res = with_window(2, 16, |mpi, win| {
+            mpi.win_write_local(win, 0, &[5u64, 6]).unwrap();
+            mpi.barrier(win.comm()).unwrap();
+            let peer = 1 - mpi.rank();
+            mpi.get_accumulate(win, peer, 0, &[0u64, 0], AccOp::NoOp)
+                .unwrap()
+        });
+        assert_eq!(res[0], vec![5, 6]);
+        assert_eq!(res[1], vec![5, 6]);
+    }
+
+    #[test]
+    fn flush_all_visits_every_rank() {
+        // With a nonzero per-target cost, flush_all time grows with P.
+        use crate::universe::MpiConfig;
+        use caf_fabric::delay::{DelayConfig, OpCost};
+        let mut delays = DelayConfig::free();
+        delays.flush_per_target = OpCost::fixed(50_000.0); // 50 µs
+        let cfg = MpiConfig {
+            delays,
+            ..MpiConfig::default()
+        };
+        let time_for = |n: usize| -> f64 {
+            let times = Universe::run_with_config(n, cfg, |mpi| {
+                let w = mpi.world();
+                let win = mpi.win_allocate(&w, 8).unwrap();
+                mpi.win_lock_all(&win);
+                let t = std::time::Instant::now();
+                mpi.win_flush_all(&win).unwrap();
+                let el = t.elapsed().as_secs_f64();
+                win.locked_all.store(false, Ordering::Relaxed);
+                mpi.win_free(win).unwrap();
+                el
+            });
+            times.iter().sum::<f64>() / times.len() as f64
+        };
+        let t2 = time_for(2);
+        let t8 = time_for(8);
+        assert!(
+            t8 > 2.5 * t2,
+            "flush_all must scale with ranks: t2={t2} t8={t8}"
+        );
+    }
+
+    #[test]
+    fn epoch_discipline_is_enforced() {
+        let r = std::panic::catch_unwind(|| {
+            Universe::run(1, |mpi| {
+                let w = mpi.world();
+                let win = mpi.win_allocate(&w, 8).unwrap();
+                // No lock_all: must panic.
+                let _ = mpi.put(&win, 0, 0, &[1u64]);
+            });
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn oob_put_is_an_error() {
+        with_window(2, 16, |mpi, win| {
+            if mpi.rank() == 0 {
+                assert!(matches!(
+                    mpi.put(win, 1, 12, &[1u64]),
+                    Err(FabricError::OutOfBounds { .. })
+                ));
+            }
+        });
+    }
+
+    #[test]
+    fn vector_put_get_respects_stride() {
+        with_window(2, 128, |mpi, win| {
+            if mpi.rank() == 0 {
+                // Write 4 elements at stride 3 starting at element 1.
+                mpi.put_vector(win, 1, 8, 3, &[10u64, 11, 12, 13]).unwrap();
+                mpi.win_flush(win, 1).unwrap();
+            }
+            mpi.barrier(win.comm()).unwrap();
+            if mpi.rank() == 1 {
+                let mut all = [0u64; 16];
+                mpi.win_read_local(win, 0, &mut all).unwrap();
+                assert_eq!(all[1], 10);
+                assert_eq!(all[4], 11);
+                assert_eq!(all[7], 12);
+                assert_eq!(all[10], 13);
+                assert_eq!(all[2], 0, "gaps untouched");
+            }
+            mpi.barrier(win.comm()).unwrap();
+            // Strided read back from rank 0's side.
+            if mpi.rank() == 0 {
+                let mut out = [0u64; 4];
+                mpi.get_vector(win, 1, 8, 3, &mut out).unwrap();
+                assert_eq!(out, [10, 11, 12, 13]);
+            }
+        });
+    }
+
+    #[test]
+    fn raccumulate_and_rget_accumulate() {
+        with_window(2, 16, |mpi, win| {
+            if mpi.rank() == 0 {
+                let r = mpi.raccumulate(win, 1, 0, &[5u64], AccOp::Sum).unwrap();
+                r.wait();
+                mpi.win_flush(win, 1).unwrap();
+                let rga = mpi
+                    .rget_accumulate(win, 1, 0, &[3u64], AccOp::Sum)
+                    .unwrap();
+                assert_eq!(rga.wait(), vec![5]);
+            }
+            mpi.barrier(win.comm()).unwrap();
+            if mpi.rank() == 1 {
+                let mut v = [0u64];
+                mpi.win_read_local(win, 0, &mut v).unwrap();
+                assert_eq!(v[0], 8);
+            }
+        });
+    }
+
+    #[test]
+    fn shared_query_gives_direct_access() {
+        with_window(2, 16, |mpi, win| {
+            if mpi.rank() == 0 {
+                // Load/store directly through the shared mapping.
+                let seg = mpi.win_shared_query(win, 1).unwrap();
+                seg.store_u64(0, 0xfeed).unwrap();
+            }
+            mpi.barrier(win.comm()).unwrap();
+            if mpi.rank() == 1 {
+                let mut v = [0u64];
+                mpi.win_read_local(win, 0, &mut v).unwrap();
+                assert_eq!(v[0], 0xfeed);
+            }
+        });
+    }
+
+    #[test]
+    fn windows_with_heterogeneous_sizes() {
+        let res = Universe::run(3, |mpi| {
+            let w = mpi.world();
+            let bytes = (mpi.rank() + 1) * 16;
+            let win = mpi.win_allocate(&w, bytes).unwrap();
+            mpi.win_lock_all(&win);
+            let sizes: Vec<usize> = (0..3).map(|r| win.size_of(r)).collect();
+            mpi.win_unlock_all(&win).unwrap();
+            mpi.win_free(win).unwrap();
+            sizes
+        });
+        for r in res {
+            assert_eq!(r, vec![16, 32, 48]);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the one-sided layer: random disjoint put/get
+//! programs against a shadow state, and accumulate streams against their
+//! serial folds.
+
+use caf_mpisim::{AccOp, Universe};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Random disjoint puts from both ranks of a pair; every cell must
+    /// match the shadow afterwards, read both locally and remotely.
+    #[test]
+    fn disjoint_puts_match_shadow(
+        ops in proptest::collection::vec(
+            // (origin, target, slot, value); slots 0..16 per rank.
+            (0usize..2, 0usize..2, 0usize..16, any::<u64>()),
+            1..32,
+        )
+    ) {
+        // Keep the outcome deterministic: one writer per (target, slot).
+        let mut seen = std::collections::HashSet::new();
+        let ops: Vec<_> = ops
+            .into_iter()
+            .filter(|&(_, t, s, _)| seen.insert((t, s)))
+            .collect();
+        let mut shadow = [[0u64; 16]; 2];
+        for &(_, t, s, v) in &ops {
+            shadow[t][s] = v;
+        }
+        let ops2 = ops.clone();
+        let locals = Universe::run(2, move |mpi| {
+            let comm = mpi.world();
+            let win = mpi.win_allocate(&comm, 16 * 8).unwrap();
+            mpi.win_lock_all(&win);
+            for &(origin, target, slot, value) in &ops2 {
+                if mpi.rank() == origin {
+                    mpi.put(&win, target, slot * 8, &[value]).unwrap();
+                }
+            }
+            mpi.win_flush_all(&win).unwrap();
+            mpi.barrier(&comm).unwrap();
+            let mut local = [0u64; 16];
+            mpi.win_read_local(&win, 0, &mut local).unwrap();
+            // Cross-check with a remote read of the peer.
+            let peer = 1 - mpi.rank();
+            let mut remote = [0u64; 16];
+            mpi.get(&win, peer, 0, &mut remote).unwrap();
+            mpi.barrier(&comm).unwrap();
+            mpi.win_unlock_all(&win).unwrap();
+            mpi.win_free(win).unwrap();
+            (local, remote)
+        });
+        for rank in 0..2 {
+            prop_assert_eq!(locals[rank].0, shadow[rank]);
+            prop_assert_eq!(locals[rank].1, shadow[1 - rank]);
+        }
+    }
+
+    /// Concurrent accumulate streams from every rank equal the serial
+    /// fold (SUM on u64 wraps; XOR composes).
+    #[test]
+    fn accumulate_streams_fold(
+        n in 1usize..5,
+        values in proptest::collection::vec(any::<u64>(), 8),
+        use_xor in any::<bool>(),
+    ) {
+        let vals = values.clone();
+        let op = if use_xor { AccOp::Bxor } else { AccOp::Sum };
+        let results = Universe::run(n, move |mpi| {
+            let comm = mpi.world();
+            let win = mpi.win_allocate(&comm, 8).unwrap();
+            mpi.win_lock_all(&win);
+            for &v in &vals {
+                mpi.accumulate(&win, 0, 0, &[v], op).unwrap();
+            }
+            mpi.win_flush(&win, 0).unwrap();
+            mpi.barrier(&comm).unwrap();
+            let mut out = [0u64];
+            mpi.win_read_local(&win, 0, &mut out).unwrap();
+            mpi.barrier(&comm).unwrap();
+            mpi.win_unlock_all(&win).unwrap();
+            mpi.win_free(win).unwrap();
+            out[0]
+        });
+        let per_rank = if use_xor {
+            values.iter().fold(0u64, |a, &v| a ^ v)
+        } else {
+            values.iter().fold(0u64, |a, &v| a.wrapping_add(v))
+        };
+        let expect = if use_xor {
+            // XOR of n identical streams: cancels pairwise.
+            if n % 2 == 0 { 0 } else { per_rank }
+        } else {
+            (0..n).fold(0u64, |a, _| a.wrapping_add(per_rank))
+        };
+        prop_assert_eq!(results[0], expect);
+    }
+
+    /// fetch_and_op returns a permutation of partial sums: sorted previous
+    /// values must be exactly the prefix sums of the increment.
+    #[test]
+    fn fetch_and_op_previous_values_are_prefix_sums(n in 1usize..6, inc in 1u64..1000) {
+        let results = Universe::run(n, move |mpi| {
+            let comm = mpi.world();
+            let win = mpi.win_allocate(&comm, 8).unwrap();
+            mpi.win_lock_all(&win);
+            let prev = mpi.fetch_and_op(&win, 0, 0, inc, AccOp::Sum).unwrap();
+            mpi.barrier(&comm).unwrap();
+            mpi.win_unlock_all(&win).unwrap();
+            mpi.win_free(win).unwrap();
+            prev
+        });
+        let mut prevs = results;
+        prevs.sort_unstable();
+        let expect: Vec<u64> = (0..n as u64).map(|k| k * inc).collect();
+        prop_assert_eq!(prevs, expect);
+    }
+
+    /// Strided puts hit exactly the strided cells and nothing else.
+    #[test]
+    fn strided_puts_touch_only_their_cells(
+        stride in 1usize..5,
+        count in 1usize..6,
+        start in 0usize..4,
+        value in any::<u64>(),
+    ) {
+        let len = 32usize;
+        prop_assume!(start + (count - 1) * stride < len);
+        let data = vec![value; count];
+        let d2 = data.clone();
+        let cells = Universe::run(2, move |mpi| {
+            let comm = mpi.world();
+            let win = mpi.win_allocate(&comm, len * 8).unwrap();
+            mpi.win_lock_all(&win);
+            if mpi.rank() == 0 {
+                mpi.put_vector(&win, 1, start * 8, stride, &d2).unwrap();
+                mpi.win_flush(&win, 1).unwrap();
+            }
+            mpi.barrier(&comm).unwrap();
+            let mut local = vec![0u64; len];
+            mpi.win_read_local(&win, 0, &mut local).unwrap();
+            mpi.barrier(&comm).unwrap();
+            mpi.win_unlock_all(&win).unwrap();
+            mpi.win_free(win).unwrap();
+            local
+        });
+        let mut shadow = vec![0u64; len];
+        for i in 0..count {
+            shadow[start + i * stride] = value;
+        }
+        prop_assert_eq!(&cells[1], &shadow);
+        prop_assert!(cells[0].iter().all(|&v| v == 0));
+    }
+}

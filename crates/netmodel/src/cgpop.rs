@@ -1,0 +1,111 @@
+//! CGPOP performance model (Figures 11, 12).
+//!
+//! The POP benchmark problem is decomposed into a fixed pool of **360
+//! ocean blocks**; with `P` processes each one computes `ceil(360/P)`
+//! blocks. Execution time is therefore a stair-step function —
+//!
+//! ```text
+//! t(P) = c · ceil(360 / P) + o
+//! ```
+//!
+//! — which is exactly the shape of the paper's curves (e.g. Fusion:
+//! ~157 s at 120 *and* 168 processes, because both need 3 blocks). The
+//! four variants (PUSH/PULL × MPI/GASNet) differ by fractions of a
+//! percent: both use `MPI_REDUCE` for the global sums, and raw puts and
+//! gets are equally efficient on both substrates (§4.4).
+
+use crate::platform::{Platform, Substrate};
+
+/// The fixed block pool of the benchmark problem.
+pub const BLOCKS: usize = 360;
+
+/// Halo-exchange style (matches `caf_hpcc::cgpop::ExchangeMode`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Coarray-write exchange.
+    Push,
+    /// Coarray-read exchange.
+    Pull,
+}
+
+/// Per-block compute seconds and fixed overhead for a platform.
+pub fn platform_params(plat: &Platform) -> (f64, f64) {
+    match plat.name {
+        "Fusion" => (45.6, 5.0),
+        "Edison" => (158.0, 8.0),
+        _ => (100.0, 6.0),
+    }
+}
+
+/// Variant multiplier (all ≈ 1; PULL on GASNet/ibv was the slowest in
+/// the paper's Fusion data).
+pub fn variant_factor(sub: Substrate, mode: Mode) -> f64 {
+    match (sub, mode) {
+        (Substrate::Mpi, Mode::Push) => 1.000,
+        (Substrate::Mpi, Mode::Pull) => 1.003,
+        (Substrate::Gasnet, Mode::Push) => 0.997,
+        (Substrate::Gasnet, Mode::Pull) => 1.022,
+    }
+}
+
+/// Modeled execution time in seconds at job size `p`.
+pub fn exec_time(plat: &Platform, sub: Substrate, mode: Mode, p: usize) -> f64 {
+    let (c, o) = platform_params(plat);
+    (c * BLOCKS.div_ceil(p) as f64 + o) * variant_factor(sub, mode)
+}
+
+/// Series over a sweep of job sizes.
+pub fn time_series(plat: &Platform, sub: Substrate, mode: Mode, ps: &[usize]) -> Vec<f64> {
+    ps.iter().map(|&p| exec_time(plat, sub, mode, p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paperdata as pd;
+    use crate::platform::{EDISON, FUSION};
+    use crate::shape_error;
+
+    #[test]
+    fn fusion_stairsteps_match_paper() {
+        let m = time_series(&FUSION, Substrate::Mpi, Mode::Push, &pd::CGPOP_P);
+        assert!(shape_error(&m, &pd::CGPOP_FUSION_MPI_PUSH) < 1.35);
+    }
+
+    #[test]
+    fn edison_stairsteps_match_paper() {
+        let m = time_series(&EDISON, Substrate::Mpi, Mode::Push, &pd::CGPOP_P);
+        assert!(shape_error(&m, &pd::CGPOP_EDISON_MPI_PUSH) < 1.35);
+    }
+
+    #[test]
+    fn plateaus_are_reproduced() {
+        // 120 and 168 processes both need 3 blocks → same time.
+        assert_eq!(
+            exec_time(&FUSION, Substrate::Mpi, Mode::Push, 120),
+            exec_time(&FUSION, Substrate::Mpi, Mode::Push, 168)
+        );
+        // 216..312 need 2 → same time; 360 needs 1 → big drop.
+        assert_eq!(
+            exec_time(&FUSION, Substrate::Mpi, Mode::Push, 216),
+            exec_time(&FUSION, Substrate::Mpi, Mode::Push, 312)
+        );
+        assert!(
+            exec_time(&FUSION, Substrate::Mpi, Mode::Push, 360)
+                < 0.6 * exec_time(&FUSION, Substrate::Mpi, Mode::Push, 312)
+        );
+    }
+
+    #[test]
+    fn all_variants_within_three_percent() {
+        for sub in [Substrate::Mpi, Substrate::Gasnet] {
+            for mode in [Mode::Push, Mode::Pull] {
+                for &p in &pd::CGPOP_P {
+                    let v = exec_time(&EDISON, sub, mode, p);
+                    let b = exec_time(&EDISON, Substrate::Mpi, Mode::Push, p);
+                    assert!((v / b - 1.0).abs() < 0.03);
+                }
+            }
+        }
+    }
+}

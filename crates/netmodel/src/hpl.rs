@@ -1,0 +1,86 @@
+//! HPL performance model (Figures 9, 10).
+//!
+//! HPL is compute-bound: `TFlop/s ≈ P · rate · eff(P)`, with a mild
+//! parallel-efficiency decay from panel broadcasts and load imbalance.
+//! The substrate term is a constant within a few percent — the paper's
+//! point ("the performance difference of using different communication
+//! library has little effect on HPL").
+
+use crate::platform::{Platform, Substrate};
+
+/// Per-curve efficiency-decay and substrate constants.
+#[derive(Debug, Clone, Copy)]
+pub struct HplParams {
+    /// Sustained per-core rate at 16 processes (flops/s).
+    pub rate16: f64,
+    /// Efficiency decay per doubling beyond 16 processes.
+    pub decay: f64,
+    /// Substrate multiplier (≈ 1).
+    pub substrate_factor: f64,
+}
+
+/// Fitted parameters for `(platform, substrate)`.
+pub fn params(plat: &Platform, sub: Substrate) -> HplParams {
+    let (rate16, decay) = match plat.name {
+        "Fusion" => (2.19e9, 0.048),
+        "Edison" => (7.09e9, 0.0775),
+        _ => (3.0e9, 0.06),
+    };
+    let substrate_factor = match (plat.name, sub) {
+        ("Fusion", Substrate::Gasnet) => 0.95,
+        ("Edison", Substrate::Gasnet) => 1.01,
+        _ => 1.0,
+    };
+    HplParams {
+        rate16,
+        decay,
+        substrate_factor,
+    }
+}
+
+/// Modeled TFlop/s at job size `p`.
+pub fn tflops(plat: &Platform, sub: Substrate, p: usize) -> f64 {
+    let prm = params(plat, sub);
+    let lg = (p as f64 / 16.0).log2().max(0.0);
+    let eff = 1.0 / (1.0 + prm.decay * lg);
+    p as f64 * prm.rate16 * eff * prm.substrate_factor * 1e-12
+}
+
+/// Series over a sweep of job sizes.
+pub fn tflops_series(plat: &Platform, sub: Substrate, ps: &[usize]) -> Vec<f64> {
+    ps.iter().map(|&p| tflops(plat, sub, p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paperdata as pd;
+    use crate::platform::{EDISON, FUSION};
+    use crate::shape_error;
+
+    #[test]
+    fn fusion_matches_paper() {
+        let mpi = tflops_series(&FUSION, Substrate::Mpi, &pd::HPL_FUSION_P);
+        assert!(shape_error(&mpi, &pd::HPL_FUSION_MPI) < 1.15);
+        // Absolute agreement too (the model is anchored here).
+        for (m, r) in mpi.iter().zip(&pd::HPL_FUSION_MPI) {
+            assert!((m / r).max(r / m) < 1.2, "{m} vs {r}");
+        }
+    }
+
+    #[test]
+    fn edison_matches_paper() {
+        let mpi = tflops_series(&EDISON, Substrate::Mpi, &pd::HPL_EDISON_P);
+        assert!(shape_error(&mpi, &pd::HPL_EDISON_MPI) < 1.15);
+    }
+
+    #[test]
+    fn substrates_indistinguishable() {
+        for plat in [&FUSION, &EDISON] {
+            for &p in &[16usize, 64, 256, 1024] {
+                let r = tflops(plat, Substrate::Mpi, p) / tflops(plat, Substrate::Gasnet, p);
+                assert!((0.9..1.1).contains(&r), "{} P={p}: {r}", plat.name);
+            }
+        }
+    }
+}

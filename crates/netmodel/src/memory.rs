@@ -1,0 +1,59 @@
+//! Mapped-memory model (Figure 1).
+//!
+//! GASNet keeps segment metadata in user-space buffers and grows slowly
+//! (≈ logarithmically — connection state is lazy); an MPI library maps a
+//! large fixed footprint plus per-peer eager/connection state (≈ linear
+//! in P). An application that initializes **both** runtimes pays the sum
+//! — the duplicate-runtimes cost the paper's interoperable design
+//! removes.
+
+/// Modeled GASNet-only mapped memory, in MB, at job size `p`.
+pub fn gasnet_mb(p: usize) -> f64 {
+    13.4 + 3.25 * (p as f64).log2()
+}
+
+/// Modeled MPI-only mapped memory, in MB, at job size `p`.
+pub fn mpi_mb(p: usize) -> f64 {
+    106.5 + 0.0333 * p as f64
+}
+
+/// Modeled duplicate-runtimes mapped memory, in MB, at job size `p`.
+pub fn duplicate_mb(p: usize) -> f64 {
+    gasnet_mb(p) + mpi_mb(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paperdata as pd;
+
+    #[test]
+    fn matches_figure1_within_ten_percent() {
+        for (i, &p) in pd::MEM_P.iter().enumerate() {
+            let checks = [
+                (gasnet_mb(p), pd::MEM_GASNET_ONLY[i]),
+                (mpi_mb(p), pd::MEM_MPI_ONLY[i]),
+                (duplicate_mb(p), pd::MEM_DUPLICATE[i]),
+            ];
+            for (model, paper) in checks {
+                assert!(
+                    (model / paper - 1.0).abs() < 0.10,
+                    "P={p}: {model} vs {paper}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn both_runtimes_grow_with_job_size() {
+        assert!(gasnet_mb(4096) > gasnet_mb(16));
+        assert!(mpi_mb(4096) > mpi_mb(16));
+    }
+
+    #[test]
+    fn gasnet_stays_below_mpi() {
+        for p in [16usize, 256, 4096] {
+            assert!(gasnet_mb(p) < mpi_mb(p));
+        }
+    }
+}

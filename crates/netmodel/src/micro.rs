@@ -1,0 +1,115 @@
+//! Microbenchmark model (the Mira and Edison rate panels).
+//!
+//! Point-to-point rates are simply the inverse of the per-op cost
+//! (essentially flat in P — that is what the panels show); the
+//! EVENT_NOTIFY microbenchmark runs with no outstanding RMA, so it
+//! measures the notify *base* path; alltoall rates come from the
+//! platform's alltoall cost model, which carries the congestion terms.
+
+use crate::platform::{Platform, Substrate};
+
+/// Which microbenchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroOp {
+    /// Remote coarray read rate.
+    Read,
+    /// Remote coarray write rate.
+    Write,
+    /// `event_notify` rate (no outstanding RMA).
+    Notify,
+    /// Alltoall rate (small payload).
+    Alltoall,
+}
+
+/// Modeled rate (operations per second) at job size `p`.
+pub fn rate(plat: &Platform, sub: Substrate, op: MicroOp, p: usize) -> f64 {
+    match op {
+        MicroOp::Read => 1e9 / plat.get_ns(sub),
+        MicroOp::Write => 1e9 / plat.put_ns(sub),
+        MicroOp::Notify => match sub {
+            // The microbenchmark issues notify with nothing outstanding:
+            // flush_all degenerates to its base cost.
+            Substrate::Mpi => 1e9 / plat.mpi_notify_base_ns,
+            Substrate::Gasnet => 1e9 / plat.gasnet_notify_ns,
+        },
+        MicroOp::Alltoall => 1.0 / plat.alltoall_s(sub, p, 8.0),
+    }
+}
+
+/// Rate series over a sweep of job sizes.
+pub fn rate_series(plat: &Platform, sub: Substrate, op: MicroOp, ps: &[usize]) -> Vec<f64> {
+    ps.iter().map(|&p| rate(plat, sub, op, p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paperdata as pd;
+    use crate::platform::{EDISON, MIRA};
+    use crate::shape_error;
+
+    fn within(model: f64, reference: f64, factor: f64) -> bool {
+        (model / reference).max(reference / model) < factor
+    }
+
+    #[test]
+    fn mira_p2p_rates_anchor() {
+        assert!(within(
+            rate(&MIRA, Substrate::Gasnet, MicroOp::Read, 64),
+            pd::MIRA_GASNET_READ[2],
+            1.4
+        ));
+        assert!(within(
+            rate(&MIRA, Substrate::Mpi, MicroOp::Write, 64),
+            pd::MIRA_MPI_WRITE[2],
+            1.4
+        ));
+        assert!(within(
+            rate(&MIRA, Substrate::Mpi, MicroOp::Notify, 64),
+            pd::MIRA_MPI_NOTIFY[2],
+            1.4
+        ));
+        assert!(within(
+            rate(&MIRA, Substrate::Gasnet, MicroOp::Notify, 64),
+            pd::MIRA_GASNET_NOTIFY[2],
+            1.4
+        ));
+    }
+
+    #[test]
+    fn mira_alltoall_series_shape() {
+        let mpi = rate_series(&MIRA, Substrate::Mpi, MicroOp::Alltoall, &pd::MIRA_P);
+        let g = rate_series(&MIRA, Substrate::Gasnet, MicroOp::Alltoall, &pd::MIRA_P);
+        assert!(shape_error(&mpi, &pd::MIRA_MPI_A2A) < 1.8);
+        assert!(shape_error(&g, &pd::MIRA_GASNET_A2A) < 1.8);
+        // The MPI/GASNet alltoall gap widens with P (tuned collective).
+        assert!(mpi[8] / g[8] > mpi[0] / g[0]);
+    }
+
+    #[test]
+    fn edison_alltoall_series_shape() {
+        let mpi = rate_series(&EDISON, Substrate::Mpi, MicroOp::Alltoall, &pd::EDISON_MICRO_P);
+        let g = rate_series(
+            &EDISON,
+            Substrate::Gasnet,
+            MicroOp::Alltoall,
+            &pd::EDISON_MICRO_P,
+        );
+        assert!(shape_error(&mpi, &pd::EDISON_MPI_A2A) < 2.0);
+        assert!(shape_error(&g, &pd::EDISON_GASNET_A2A) < 2.0);
+    }
+
+    #[test]
+    fn gasnet_p2p_beats_mpi_p2p() {
+        for plat in [&MIRA, &EDISON] {
+            for op in [MicroOp::Read, MicroOp::Write] {
+                assert!(
+                    rate(plat, Substrate::Gasnet, op, 64) > rate(plat, Substrate::Mpi, op, 64),
+                    "{} {:?}",
+                    plat.name,
+                    op
+                );
+            }
+        }
+    }
+}

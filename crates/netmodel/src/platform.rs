@@ -1,0 +1,332 @@
+//! Platform descriptions (the paper's Table 1) and per-(platform,
+//! substrate) cost tables anchored to the paper's microbenchmark panels.
+
+/// Which runtime the model is costing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Substrate {
+    /// CAF-MPI (MVAPICH2 on Fusion, CRAY-MPICH on Edison, MPICH on Mira).
+    Mpi,
+    /// CAF-GASNet (ibv conduit on Fusion, aries on Edison, pami on Mira).
+    Gasnet,
+}
+
+/// Alltoall cost model for one substrate on one platform:
+/// `t(p) = base + (p−1) · per_msg · (1 + log_growth · log2(p / 32))`,
+/// the last factor capturing congestion (or, negative, hardware
+/// collective acceleration).
+#[derive(Debug, Clone, Copy)]
+pub struct A2aCost {
+    /// Fixed cost per call (ns).
+    pub base_ns: f64,
+    /// Per-destination message overhead (ns).
+    pub per_msg_ns: f64,
+    /// Relative growth of the per-message cost per doubling beyond 32
+    /// ranks.
+    pub log_growth: f64,
+}
+
+impl A2aCost {
+    /// Seconds for one alltoall over `p` ranks with `block_bytes` per
+    /// destination, given a per-byte wire cost.
+    pub fn seconds(&self, p: usize, block_bytes: f64, per_byte_ns: f64) -> f64 {
+        let lg = ((p as f64 / 32.0).log2()).max(0.0);
+        let pm = self.per_msg_ns * (1.0 + self.log_growth * lg);
+        (self.base_ns + (p - 1) as f64 * (pm + block_bytes * per_byte_ns)) * 1e-9
+    }
+}
+
+/// One experimental platform (a row of the paper's Table 1, plus the
+/// modelling constants derived from its microbenchmarks).
+#[derive(Debug, Clone, Copy)]
+pub struct Platform {
+    /// Machine name.
+    pub name: &'static str,
+    /// Number of nodes (Table 1).
+    pub nodes: usize,
+    /// Cores per node (Table 1, sockets × cores).
+    pub cores_per_node: usize,
+    /// GiB of memory per node (Table 1).
+    pub mem_per_node_gib: usize,
+    /// Interconnect (Table 1).
+    pub interconnect: &'static str,
+    /// MPI implementation (Table 1).
+    pub mpi_version: &'static str,
+
+    // -- modelling constants (ns unless noted) -------------------------
+    /// MPI one-sided put overhead per op.
+    pub mpi_put_ns: f64,
+    /// MPI one-sided get overhead per op.
+    pub mpi_get_ns: f64,
+    /// MPI event-notify fixed part (waitall + isend) with no outstanding
+    /// RMA (the microbenchmark regime).
+    pub mpi_notify_base_ns: f64,
+    /// MPI `flush_all` cost per rank (the Θ(P) driver, visible when RMA
+    /// is outstanding — the RandomAccess regime).
+    pub mpi_flush_per_rank_ns: f64,
+    /// GASNet put overhead per op.
+    pub gasnet_put_ns: f64,
+    /// GASNet get overhead per op.
+    pub gasnet_get_ns: f64,
+    /// GASNet event-notify overhead per op (AMRequestShort).
+    pub gasnet_notify_ns: f64,
+    /// MPI per-byte cost of bulk transfers (ns/byte).
+    pub mpi_per_byte_ns: f64,
+    /// GASNet per-byte cost of bulk transfers (ns/byte).
+    pub gasnet_per_byte_ns: f64,
+    /// MPI_ALLTOALL model (small payloads).
+    pub mpi_a2a: A2aCost,
+    /// Hand-rolled GASNet alltoall model (small payloads).
+    pub gasnet_a2a: A2aCost,
+    /// GASNet SRQ: job size at which the ibv conduit's auto heuristic
+    /// enables SRQ (`usize::MAX` on non-InfiniBand machines), and the
+    /// multiplicative penalty on the AM/bulk receive path.
+    pub srq_threshold: usize,
+    /// See `srq_threshold`.
+    pub srq_penalty: f64,
+    /// Sustained per-core compute rate for HPL-like DGEMM (flops/s).
+    pub core_gflops_dense: f64,
+    /// Sustained per-core compute rate for FFT butterflies (flops/s).
+    pub core_gflops_fft: f64,
+}
+
+/// Fusion: the paper's InfiniBand cluster at Argonne (Table 1 row 1).
+pub const FUSION: Platform = Platform {
+    name: "Fusion",
+    nodes: 320,
+    cores_per_node: 8,
+    mem_per_node_gib: 36,
+    interconnect: "InfiniBand QDR",
+    mpi_version: "MVAPICH2-1.9",
+    mpi_put_ns: 4_100.0,
+    mpi_get_ns: 4_300.0,
+    mpi_notify_base_ns: 1_600.0,
+    mpi_flush_per_rank_ns: 330.0,
+    gasnet_put_ns: 1_900.0,
+    gasnet_get_ns: 2_300.0,
+    gasnet_notify_ns: 1_700.0,
+    mpi_per_byte_ns: 0.45,
+    gasnet_per_byte_ns: 0.40,
+    mpi_a2a: A2aCost {
+        base_ns: 22_000.0,
+        per_msg_ns: 2_100.0,
+        log_growth: 0.35,
+    },
+    gasnet_a2a: A2aCost {
+        base_ns: 0.0,
+        per_msg_ns: 1_400.0,
+        log_growth: 1.15,
+    },
+    srq_threshold: 128,
+    srq_penalty: 2.0,
+    core_gflops_dense: 2.3e9,
+    core_gflops_fft: 0.40e9,
+};
+
+/// Edison: the paper's Cray XC30 at NERSC (Table 1 row 2). Cray MPI
+/// implemented MPI-3 RMA over send/receive at the time, so MPI one-sided
+/// overheads are relatively high; Aries has no SRQ.
+pub const EDISON: Platform = Platform {
+    name: "Edison",
+    nodes: 5_200,
+    cores_per_node: 24,
+    mem_per_node_gib: 64,
+    interconnect: "Cray Aries",
+    mpi_version: "CRAY-MPICH-6.0.2",
+    mpi_put_ns: 4_760.0,
+    mpi_get_ns: 4_830.0,
+    mpi_notify_base_ns: 1_430.0,
+    mpi_flush_per_rank_ns: 270.0,
+    gasnet_put_ns: 1_730.0,
+    gasnet_get_ns: 2_240.0,
+    gasnet_notify_ns: 1_480.0,
+    mpi_per_byte_ns: 0.30,
+    gasnet_per_byte_ns: 0.26,
+    mpi_a2a: A2aCost {
+        base_ns: 20_000.0,
+        per_msg_ns: 1_950.0,
+        log_growth: 0.35,
+    },
+    gasnet_a2a: A2aCost {
+        base_ns: 0.0,
+        per_msg_ns: 1_330.0,
+        log_growth: 1.19,
+    },
+    srq_threshold: usize::MAX,
+    srq_penalty: 1.0,
+    core_gflops_dense: 7.1e9,
+    core_gflops_fft: 0.55e9,
+};
+
+/// Mira: the Blue Gene/Q used for the microbenchmark panel.
+pub const MIRA: Platform = Platform {
+    name: "Mira",
+    nodes: 49_152,
+    cores_per_node: 16,
+    mem_per_node_gib: 16,
+    interconnect: "BG/Q 5D torus",
+    mpi_version: "MPICH (PAMI)",
+    mpi_put_ns: 19_600.0,
+    mpi_get_ns: 16_300.0,
+    mpi_notify_base_ns: 11_200.0,
+    mpi_flush_per_rank_ns: 120.0,
+    gasnet_put_ns: 4_700.0,
+    gasnet_get_ns: 3_800.0,
+    gasnet_notify_ns: 10_300.0,
+    mpi_per_byte_ns: 0.55,
+    gasnet_per_byte_ns: 0.50,
+    mpi_a2a: A2aCost {
+        base_ns: 35_000.0,
+        per_msg_ns: 400.0,
+        log_growth: 0.0,
+    },
+    gasnet_a2a: A2aCost {
+        base_ns: 0.0,
+        per_msg_ns: 24_400.0,
+        log_growth: 0.0,
+    },
+    srq_threshold: usize::MAX, // no SRQ on BG/Q
+    srq_penalty: 1.0,
+    core_gflops_dense: 3.2e9,
+    core_gflops_fft: 0.25e9,
+};
+
+impl Platform {
+    /// Point-to-point put overhead for `sub`.
+    pub fn put_ns(&self, sub: Substrate) -> f64 {
+        match sub {
+            Substrate::Mpi => self.mpi_put_ns,
+            Substrate::Gasnet => self.gasnet_put_ns,
+        }
+    }
+
+    /// Point-to-point get overhead for `sub`.
+    pub fn get_ns(&self, sub: Substrate) -> f64 {
+        match sub {
+            Substrate::Mpi => self.mpi_get_ns,
+            Substrate::Gasnet => self.gasnet_get_ns,
+        }
+    }
+
+    /// Per-byte bulk transfer cost for `sub`.
+    pub fn per_byte_ns(&self, sub: Substrate) -> f64 {
+        match sub {
+            Substrate::Mpi => self.mpi_per_byte_ns,
+            Substrate::Gasnet => self.gasnet_per_byte_ns,
+        }
+    }
+
+    /// `event_notify` cost at job size `p` with outstanding RMA: the Θ(P)
+    /// flush_all on MPI, a constant AM on GASNet.
+    pub fn notify_ns(&self, sub: Substrate, p: usize) -> f64 {
+        match sub {
+            Substrate::Mpi => self.mpi_notify_base_ns + self.mpi_flush_per_rank_ns * p as f64,
+            Substrate::Gasnet => self.gasnet_notify_ns,
+        }
+    }
+
+    /// SRQ multiplier on the GASNet receive path at job size `p`
+    /// (`no_srq = true` models the paper's NOSRQ configuration).
+    pub fn srq_factor(&self, sub: Substrate, p: usize, no_srq: bool) -> f64 {
+        if sub == Substrate::Gasnet && !no_srq && p >= self.srq_threshold {
+            self.srq_penalty
+        } else {
+            1.0
+        }
+    }
+
+    /// Time for one alltoall of `block_bytes` per destination pair over
+    /// `p` ranks, per image.
+    pub fn alltoall_s(&self, sub: Substrate, p: usize, block_bytes: f64) -> f64 {
+        let model = match sub {
+            Substrate::Mpi => self.mpi_a2a,
+            Substrate::Gasnet => self.gasnet_a2a,
+        };
+        model.seconds(p, block_bytes, self.per_byte_ns(sub))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn within(model: f64, reference: f64, factor: f64) -> bool {
+        (model / reference).max(reference / model) < factor
+    }
+
+    #[test]
+    fn table1_rows_match_paper() {
+        assert_eq!(FUSION.nodes, 320);
+        assert_eq!(FUSION.cores_per_node, 8);
+        assert_eq!(FUSION.mem_per_node_gib, 36);
+        assert_eq!(FUSION.mpi_version, "MVAPICH2-1.9");
+        assert_eq!(EDISON.nodes, 5_200);
+        assert_eq!(EDISON.cores_per_node, 24);
+        assert_eq!(EDISON.mem_per_node_gib, 64);
+        assert_eq!(EDISON.interconnect, "Cray Aries");
+    }
+
+    #[test]
+    fn notify_scales_linearly_on_mpi_only() {
+        let a = FUSION.notify_ns(Substrate::Mpi, 16);
+        let b = FUSION.notify_ns(Substrate::Mpi, 4096);
+        assert!(b > 10.0 * a, "flush_all must dominate at scale");
+        assert_eq!(
+            FUSION.notify_ns(Substrate::Gasnet, 16),
+            FUSION.notify_ns(Substrate::Gasnet, 4096)
+        );
+    }
+
+    #[test]
+    fn srq_is_an_infiniband_feature() {
+        // Fusion (InfiniBand): SRQ kicks in at 128 unless disabled.
+        assert_eq!(FUSION.srq_factor(Substrate::Gasnet, 64, false), 1.0);
+        assert!(FUSION.srq_factor(Substrate::Gasnet, 128, false) > 1.5);
+        assert_eq!(FUSION.srq_factor(Substrate::Gasnet, 128, true), 1.0);
+        assert_eq!(FUSION.srq_factor(Substrate::Mpi, 128, false), 1.0);
+        // Edison (Aries) and Mira (BG/Q): never.
+        assert_eq!(EDISON.srq_factor(Substrate::Gasnet, 4096, false), 1.0);
+        assert_eq!(MIRA.srq_factor(Substrate::Gasnet, 4096, false), 1.0);
+    }
+
+    #[test]
+    fn gasnet_rma_cheaper_everywhere() {
+        for plat in [FUSION, EDISON, MIRA] {
+            assert!(plat.put_ns(Substrate::Gasnet) < plat.put_ns(Substrate::Mpi));
+            assert!(plat.get_ns(Substrate::Gasnet) < plat.get_ns(Substrate::Mpi));
+        }
+    }
+
+    #[test]
+    fn edison_p2p_anchors_match_micro_panel() {
+        // Paper Edison panel: MPI read ≈ 207 k ops/s → 4.8 µs; GASNet
+        // write ≈ 579 k ops/s → 1.73 µs; etc.
+        assert!(within(EDISON.mpi_get_ns, 1e9 / 207_555.0, 1.15));
+        assert!(within(EDISON.gasnet_put_ns, 1e9 / 579_038.8, 1.15));
+        assert!(within(EDISON.gasnet_get_ns, 1e9 / 445_434.3, 1.15));
+        assert!(within(EDISON.mpi_notify_base_ns, 1e9 / 700_770.8, 1.15));
+    }
+
+    #[test]
+    fn edison_alltoall_crossover_reproduced() {
+        // Micro panel: GASNet alltoall faster at 32 cores, MPI faster by
+        // 256 (tiny payload).
+        let mpi = |p| EDISON.alltoall_s(Substrate::Mpi, p, 8.0);
+        let g = |p| EDISON.alltoall_s(Substrate::Gasnet, p, 8.0);
+        assert!(g(32) < mpi(32));
+        assert!(g(256) > mpi(256));
+        // Anchors within 2× of the published rates.
+        assert!(within(1.0 / mpi(32), 12_396.0, 2.0));
+        assert!(within(1.0 / mpi(4096), 29.4, 2.0));
+        assert!(within(1.0 / g(32), 24_178.0, 2.0));
+        assert!(within(1.0 / g(4096), 19.7, 2.0));
+    }
+
+    #[test]
+    fn mira_alltoall_anchors_match_micro_panel() {
+        let rate = |sub, p| 1.0 / MIRA.alltoall_s(sub, p, 8.0);
+        assert!(within(rate(Substrate::Mpi, 16), 24_096.0, 2.0));
+        assert!(within(rate(Substrate::Mpi, 4096), 602.7, 2.0));
+        assert!(within(rate(Substrate::Gasnet, 16), 3_716.0, 2.0));
+        assert!(within(rate(Substrate::Gasnet, 4096), 9.92, 2.0));
+    }
+}

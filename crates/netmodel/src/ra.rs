@@ -1,0 +1,241 @@
+//! RandomAccess performance model (Figures 3, 4, 5).
+//!
+//! Structure: each image generates `N` updates and routes them through
+//! `d = log2(P)` hypercube rounds. A round moves ~`N/2` updates in bulk
+//! messages of `CHUNK` updates, each followed by an `event_notify`; the
+//! receiving side waits on events. Per-round time:
+//!
+//! ```text
+//! t_round(P) = base · congestion(P) · srq(P)  +  n_msgs · notify(P)
+//! ```
+//!
+//! * `base` — per-update generation + bucketing + transfer at small scale
+//!   (fitted to the paper's smallest-P point);
+//! * `congestion(P)` — network contention beyond 64 ranks (fitted to the
+//!   paper's largest-P point of the *constant-notify* GASNet curve);
+//! * `srq(P)` — the Fusion ibv conduit's SRQ receive penalty (≥ 128
+//!   ranks, unless NOSRQ);
+//! * `notify(P)` — constant for GASNet; `base + flush_per_rank · P` for
+//!   MPI (`MPI_Win_flush_all` is Θ(P) in MPICH derivatives — §4.1).
+//!
+//! `GUPS(P) = P · N / (d · t_round) / 10⁹`.
+
+use crate::platform::{Platform, Substrate};
+
+/// Updates generated per image (weak scaling, fixed per image).
+pub const N_PER_IMAGE: f64 = (1u64 << 24) as f64;
+/// Updates per bulk message.
+pub const CHUNK: f64 = 8192.0;
+/// Job size beyond which congestion grows.
+const CONGESTION_KNEE: f64 = 64.0;
+
+/// Fitted per-round base seconds and congestion growth for one curve.
+#[derive(Debug, Clone, Copy)]
+pub struct RaParams {
+    /// Per-round time at small scale (seconds).
+    pub base_s: f64,
+    /// Fractional growth of `base_s` per doubling beyond 64 ranks.
+    pub congestion_per_doubling: f64,
+}
+
+/// Fitted parameters for `(platform, substrate)`.
+pub fn params(plat: &Platform, sub: Substrate) -> RaParams {
+    match (plat.name, sub) {
+        ("Fusion", Substrate::Mpi) => RaParams {
+            base_s: 0.73,
+            congestion_per_doubling: 0.0,
+        },
+        ("Fusion", Substrate::Gasnet) => RaParams {
+            base_s: 0.55,
+            congestion_per_doubling: 0.31,
+        },
+        ("Edison", Substrate::Mpi) => RaParams {
+            base_s: 0.546,
+            congestion_per_doubling: 0.13,
+        },
+        ("Edison", Substrate::Gasnet) => RaParams {
+            base_s: 0.308,
+            congestion_per_doubling: 0.217,
+        },
+        _ => RaParams {
+            base_s: 0.6,
+            congestion_per_doubling: 0.15,
+        },
+    }
+}
+
+/// Modeled per-round seconds.
+pub fn t_round(plat: &Platform, sub: Substrate, p: usize, no_srq: bool) -> f64 {
+    let prm = params(plat, sub);
+    let lg = (p as f64 / CONGESTION_KNEE).log2().max(0.0);
+    let congestion = 1.0 + prm.congestion_per_doubling * lg;
+    let srq = plat.srq_factor(sub, p, no_srq);
+    let n_msgs = N_PER_IMAGE / 2.0 / CHUNK;
+    prm.base_s * congestion * srq + n_msgs * plat.notify_ns(sub, p) * 1e-9
+}
+
+/// Modeled GUP/s at job size `p`.
+pub fn gups(plat: &Platform, sub: Substrate, p: usize, no_srq: bool) -> f64 {
+    let d = (p as f64).log2().max(1.0);
+    p as f64 * N_PER_IMAGE / (d * t_round(plat, sub, p, no_srq)) / 1e9
+}
+
+/// Series over a sweep of job sizes.
+pub fn gups_series(plat: &Platform, sub: Substrate, ps: &[usize], no_srq: bool) -> Vec<f64> {
+    ps.iter().map(|&p| gups(plat, sub, p, no_srq)).collect()
+}
+
+/// Projected CAF-MPI GUP/s with the paper's §5/§7 improvement applied:
+/// a per-target (or request-based `MPI_WIN_RFLUSH`) completion instead of
+/// the Θ(P) `MPI_Win_flush_all` inside `event_notify`. The notify term
+/// collapses to its base cost — "this would improve the performance of
+/// operations that rely heavily on CAF events, such as the RandomAccess
+/// benchmark" (§7).
+pub fn gups_rflush(plat: &Platform, p: usize) -> f64 {
+    let prm = params(plat, Substrate::Mpi);
+    let lg = (p as f64 / CONGESTION_KNEE).log2().max(0.0);
+    let congestion = 1.0 + prm.congestion_per_doubling * lg;
+    let n_msgs = N_PER_IMAGE / 2.0 / CHUNK;
+    let t_round = prm.base_s * congestion + n_msgs * plat.mpi_notify_base_ns * 1e-9;
+    let d = (p as f64).log2().max(1.0);
+    p as f64 * N_PER_IMAGE / (d * t_round) / 1e9
+}
+
+/// Series form of [`gups_rflush`].
+pub fn gups_rflush_series(plat: &Platform, ps: &[usize]) -> Vec<f64> {
+    ps.iter().map(|&p| gups_rflush(plat, p)).collect()
+}
+
+/// The Figure-4 time decomposition at `p` cores on `plat`, in seconds:
+/// `[computation, coarray_write, event_wait, event_notify]`.
+///
+/// Mechanism terms: computation and coarray_write scale with the
+/// profiled-run update count; event_notify comes from the notify model;
+/// event_wait is the hypercube idle time, proportional to the active
+/// time with a substrate-specific imbalance factor (cheap notification →
+/// receivers spin longer, which is why CAF-GASNet's profile is dominated
+/// by `event_wait`).
+pub fn decomposition(plat: &Platform, sub: Substrate, p: usize) -> [f64; 4] {
+    // The paper's profiled run is larger than the model's default N; use
+    // the 2^28-updates-per-image configuration of the profiled run.
+    let n = (1u64 << 28) as f64;
+    let d = (p as f64).log2();
+    let msgs_per_round = n / 2.0 / 4096.0;
+    let (comp_ns_per_upd, write_ns_per_upd, imbalance) = match sub {
+        // Fitted to the Figure-4 profile: MPI's two-sided AM layer does
+        // more per-update bookkeeping; its waiters return sooner because
+        // notifications are serialized by the flush, while GASNet's cheap
+        // notify leaves its receivers spinning in event_wait.
+        Substrate::Mpi => (92.1, 54.2, 1.508),
+        Substrate::Gasnet => (52.1, 18.0, 8.14),
+    };
+    let comp = n * d * comp_ns_per_upd * 1e-9 / d; // generation once, not per round
+    let comp = comp * d.sqrt(); // bucketing repeats per round at lower cost
+    let write = n * d * write_ns_per_upd * 1e-9;
+    let notify = msgs_per_round * d * plat.notify_ns(sub, p) * 1e-9;
+    let wait = imbalance * (comp + write) / 2.0 + notify * 0.3;
+    [comp, write, wait, notify]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paperdata as pd;
+    use crate::platform::{EDISON, FUSION};
+    use crate::shape_error;
+
+    #[test]
+    fn fusion_mpi_shape_matches_paper() {
+        let model = gups_series(&FUSION, Substrate::Mpi, &pd::FUSION_P, false);
+        let err = shape_error(&model, &pd::RA_FUSION_MPI);
+        assert!(err < 1.6, "shape error {err}");
+    }
+
+    #[test]
+    fn fusion_gasnet_srq_dip_reproduced() {
+        let model = gups_series(&FUSION, Substrate::Gasnet, &pd::FUSION_P, false);
+        // Dip: 128-core point below the 64-core point.
+        assert!(model[4] < model[3], "{model:?}");
+        let err = shape_error(&model, &pd::RA_FUSION_GASNET);
+        assert!(err < 1.7, "shape error {err}");
+    }
+
+    #[test]
+    fn fusion_nosrq_tracks_mpi() {
+        let nosrq = gups_series(&FUSION, Substrate::Gasnet, &pd::FUSION_P, true);
+        let err = shape_error(&nosrq, &pd::RA_FUSION_GASNET_NOSRQ);
+        assert!(err < 1.7, "shape error {err}");
+        // No dip without SRQ.
+        assert!(nosrq[4] > nosrq[3]);
+        // And roughly CAF-MPI's level at scale (paper: "performs roughly
+        // the same as CAF-MPI").
+        let mpi = gups(&FUSION, Substrate::Mpi, 2048, false);
+        let ratio = nosrq[8] / mpi;
+        assert!((0.5..2.0).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn gasnet_wins_small_scale_on_fusion() {
+        for p in [8usize, 16, 32, 64] {
+            assert!(
+                gups(&FUSION, Substrate::Gasnet, p, false)
+                    > gups(&FUSION, Substrate::Mpi, p, false),
+                "P={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn edison_shapes_match_paper() {
+        let mpi = gups_series(&EDISON, Substrate::Mpi, &pd::EDISON_P, false);
+        let g = gups_series(&EDISON, Substrate::Gasnet, &pd::EDISON_P, false);
+        assert!(shape_error(&mpi, &pd::RA_EDISON_MPI) < 1.6);
+        assert!(shape_error(&g, &pd::RA_EDISON_GASNET) < 1.8);
+        // GASNet scales away from CAF-MPI on Edison.
+        assert!(g[8] / mpi[8] > 1.8);
+    }
+
+    #[test]
+    fn notify_term_grows_linearly_for_mpi() {
+        let t1 = t_round(&EDISON, Substrate::Mpi, 256, false);
+        let t2 = t_round(&EDISON, Substrate::Mpi, 4096, false);
+        // The flush_all term alone adds ≥ (4096-256)·flush·msgs.
+        let msgs = N_PER_IMAGE / 2.0 / CHUNK;
+        let added = msgs * EDISON.mpi_flush_per_rank_ns * (4096.0 - 256.0) * 1e-9;
+        assert!(t2 - t1 > 0.8 * added);
+    }
+
+    #[test]
+    fn rflush_projection_beats_flush_all_at_scale() {
+        // The §7 claim: removing the Θ(P) flush term helps most where
+        // RandomAccess hurts most.
+        for plat in [&FUSION, &EDISON] {
+            let gain_small =
+                gups_rflush(plat, 16) / gups(plat, Substrate::Mpi, 16, false);
+            let gain_large =
+                gups_rflush(plat, 4096) / gups(plat, Substrate::Mpi, 4096, false);
+            assert!(gain_large > gain_small, "{}", plat.name);
+            assert!(gain_large > 1.2, "{}: {gain_large}", plat.name);
+            // And never a slowdown.
+            assert!(gain_small >= 0.999);
+        }
+    }
+
+    #[test]
+    fn decomposition_matches_figure4_story() {
+        let mpi = decomposition(&FUSION, Substrate::Mpi, 2048);
+        let gas = decomposition(&FUSION, Substrate::Gasnet, 2048);
+        // CAF-MPI spends heavily in event_notify, GASNet almost nothing.
+        assert!(mpi[3] > 20.0 * gas[3], "{mpi:?} vs {gas:?}");
+        // GASNet's dominant category is event_wait.
+        assert!(gas[2] > gas[0] && gas[2] > gas[1] && gas[2] > gas[3]);
+        // MPI writes cost more than GASNet writes (per-op overhead gap).
+        assert!(mpi[1] > 1.5 * gas[1]);
+        // Totals are the same order as the paper's (≈717 s vs ≈509 s).
+        let tm: f64 = mpi.iter().sum();
+        let tg: f64 = gas.iter().sum();
+        assert!((300.0..1500.0).contains(&tm), "{tm}");
+        assert!((200.0..1100.0).contains(&tg), "{tg}");
+        assert!(tm > tg);
+    }
+}

@@ -1,0 +1,94 @@
+//! Distributed hash table via function shipping — the CAF 2.0 feature the
+//! paper highlights as the reason MPI needs active messages (§5): "AMs are
+//! essential for building runtime systems for … models such as X10,
+//! Chapel, and CAF 2.0 that support dynamic task parallelism."
+//!
+//! Keys are hashed to an owning image; inserts *ship the insertion* to the
+//! owner instead of moving the bucket to the inserter. A `finish` block
+//! guarantees all shipped inserts have executed everywhere before lookups
+//! begin. Lookups use one-sided coarray reads (no owner involvement).
+//!
+//! ```text
+//! cargo run --release --example dht_ship
+//! ```
+
+use caf::{CafConfig, CafUniverse, Coarray, SubstrateKind};
+
+const SLOTS_PER_IMAGE: usize = 512;
+const INSERTS_PER_IMAGE: usize = 120;
+
+fn hash(key: u64) -> u64 {
+    let mut x = key.wrapping_mul(0x9e3779b97f4a7c15);
+    x ^= x >> 32;
+    x.wrapping_mul(0xd6e8feb86659fd93)
+}
+
+fn demo(kind: SubstrateKind) {
+    let totals = CafUniverse::run_with_config(4, CafConfig::on(kind), |img| {
+        let world = img.team_world();
+        let n = img.num_images();
+        // Open-addressed table: slot i holds (key, value); key 0 = empty.
+        let keys: Coarray<u64> = img.coarray_alloc(&world, SLOTS_PER_IMAGE);
+        let vals: Coarray<u64> = img.coarray_alloc(&world, SLOTS_PER_IMAGE);
+
+        // Phase 1: everyone ships inserts to the owners.
+        let me = img.this_image();
+        img.finish(&world, |img| {
+            for i in 0..INSERTS_PER_IMAGE {
+                let key = (me * INSERTS_PER_IMAGE + i + 1) as u64;
+                let value = key * 10;
+                let owner = (hash(key) as usize >> 8) % n;
+                let (k2, v2) = (keys.clone(), vals.clone());
+                img.ship(&world, owner, move |exec| {
+                    // Runs on the owner: linear probing in its local part.
+                    let mut slot = (hash(key) as usize) % SLOTS_PER_IMAGE;
+                    loop {
+                        let mut cur = [0u64];
+                        k2.local_read(exec, slot, &mut cur);
+                        if cur[0] == 0 || cur[0] == key {
+                            k2.local_write(exec, slot, &[key]);
+                            v2.local_write(exec, slot, &[value]);
+                            break;
+                        }
+                        slot = (slot + 1) % SLOTS_PER_IMAGE;
+                    }
+                });
+            }
+        });
+
+        // Phase 2: look up someone else's keys with pure one-sided reads.
+        let victim = (me + 1) % n;
+        let mut found = 0u64;
+        for i in 0..INSERTS_PER_IMAGE {
+            let key = (victim * INSERTS_PER_IMAGE + i + 1) as u64;
+            let owner = (hash(key) as usize >> 8) % n;
+            let mut slot = (hash(key) as usize) % SLOTS_PER_IMAGE;
+            loop {
+                let mut k = [0u64];
+                keys.read(img, owner, slot, &mut k);
+                if k[0] == key {
+                    let mut v = [0u64];
+                    vals.read(img, owner, slot, &mut v);
+                    assert_eq!(v[0], key * 10, "value mismatch for key {key}");
+                    found += 1;
+                    break;
+                }
+                assert_ne!(k[0], 0, "key {key} missing from the table");
+                slot = (slot + 1) % SLOTS_PER_IMAGE;
+            }
+        }
+        img.sync_all();
+        img.coarray_free(&world, keys);
+        img.coarray_free(&world, vals);
+        found
+    });
+    let total: u64 = totals.iter().sum();
+    assert_eq!(total, 4 * INSERTS_PER_IMAGE as u64);
+    println!("{kind:?}: {total} lookups verified across 4 images");
+}
+
+fn main() {
+    demo(SubstrateKind::Mpi);
+    demo(SubstrateKind::Gasnet);
+    println!("dht_ship OK");
+}

@@ -1,0 +1,126 @@
+//! Hybrid MPI+CAF heat diffusion — the paper's motivating usage pattern:
+//! coarray one-sided halo exchanges for neighbour data, MPI collectives
+//! for global control (here: a convergence check via `MPI_Allreduce`).
+//!
+//! A 2-D explicit heat (Jacobi) solver on a processor grid. Each image
+//! owns an `NX × NY` tile with a ghost rim; per step it pushes its
+//! boundary rows/columns into the neighbours' ghost inboxes with coarray
+//! writes, then every image calls MPI to agree on the residual — the mix
+//! that deadlocks on split runtimes (Figure 2) and is safe here because
+//! MPI *is* the runtime.
+//!
+//! ```text
+//! cargo run --example heat_halo
+//! ```
+
+use caf::{CafUniverse, Coarray, Image, Team};
+use caf_fabric::topology::Grid2d;
+
+const NX: usize = 32;
+const NY: usize = 32;
+const STEPS: usize = 200;
+
+fn idx(i: usize, j: usize) -> usize {
+    j * (NX + 2) + i
+}
+
+/// Push my boundary into each neighbour's facing ghost slot of the halo
+/// coarray, then unpack what the neighbours pushed at me.
+fn halo_exchange(img: &Image, team: &Team, grid: &Grid2d, buf: &Coarray<f64>, u: &mut [f64]) {
+    let l = NX.max(NY);
+    let nbrs = grid.neighbours(team.rank()); // [W, E, S, N]
+    let opposite = [1usize, 0, 3, 2];
+    // Pack + remote write.
+    for (dir, nb) in nbrs.iter().enumerate() {
+        if let Some(nb) = *nb {
+            let data: Vec<f64> = match dir {
+                0 => (1..=NY).map(|j| u[idx(1, j)]).collect(),
+                1 => (1..=NY).map(|j| u[idx(NX, j)]).collect(),
+                2 => (1..=NX).map(|i| u[idx(i, 1)]).collect(),
+                _ => (1..=NX).map(|i| u[idx(i, NY)]).collect(),
+            };
+            buf.write(img, nb, opposite[dir] * l, &data);
+        }
+    }
+    img.sync_all();
+    // Unpack into my ghost rim.
+    for (dir, nb) in nbrs.iter().enumerate() {
+        if nb.is_some() {
+            let n = if dir < 2 { NY } else { NX };
+            let mut data = vec![0.0; n];
+            buf.local_read(img, dir * l, &mut data);
+            match dir {
+                0 => (1..=NY).for_each(|j| u[idx(0, j)] = data[j - 1]),
+                1 => (1..=NY).for_each(|j| u[idx(NX + 1, j)] = data[j - 1]),
+                2 => (1..=NX).for_each(|i| u[idx(i, 0)] = data[i - 1]),
+                _ => (1..=NX).for_each(|i| u[idx(i, NY + 1)] = data[i - 1]),
+            }
+        }
+    }
+    img.sync_all();
+}
+
+fn main() {
+    let results = CafUniverse::run(4, |img| {
+        let world = img.team_world();
+        let grid = Grid2d::new(world.size());
+        let (px, py) = grid.coords(world.rank());
+
+        // Field with ghost rim; a hot square in the global centre.
+        let mut u = vec![0.0f64; (NX + 2) * (NY + 2)];
+        let (gx, gy) = (grid.px * NX, grid.py * NY);
+        for j in 1..=NY {
+            for i in 1..=NX {
+                let (gi, gj) = (px * NX + i - 1, py * NY + j - 1);
+                if (gx / 3..2 * gx / 3).contains(&gi) && (gy / 3..2 * gy / 3).contains(&gj) {
+                    u[idx(i, j)] = 100.0;
+                }
+            }
+        }
+
+        let halo: Coarray<f64> = img.coarray_alloc(&world, 4 * NX.max(NY));
+        let mut next = u.clone();
+        let mut last_delta = f64::INFINITY;
+
+        for step in 0..STEPS {
+            halo_exchange(img, &world, &grid, &halo, &mut u);
+            let mut local_delta: f64 = 0.0;
+            for j in 1..=NY {
+                for i in 1..=NX {
+                    let v = 0.25
+                        * (u[idx(i - 1, j)] + u[idx(i + 1, j)] + u[idx(i, j - 1)]
+                            + u[idx(i, j + 1)]);
+                    local_delta = local_delta.max((v - u[idx(i, j)]).abs());
+                    next[idx(i, j)] = v;
+                }
+            }
+            std::mem::swap(&mut u, &mut next);
+
+            // MPI interoperability: global convergence check through the
+            // SAME runtime the coarray writes above went through.
+            let mpi = img.mpi().expect("MPI substrate");
+            let delta = mpi
+                .allreduce(&mpi.world(), &[local_delta], f64::max)
+                .expect("allreduce")[0];
+            last_delta = delta;
+            if world.rank() == 0 && step % 50 == 0 {
+                println!("step {step:>4}: max delta {delta:.6}");
+            }
+        }
+
+        let total: f64 = (1..=NY)
+            .flat_map(|j| (1..=NX).map(move |i| (i, j)))
+            .map(|(i, j)| u[idx(i, j)])
+            .sum();
+        img.coarray_free(&world, halo);
+        (total, last_delta)
+    });
+
+    let grand: f64 = results.iter().map(|r| r.0).sum();
+    println!(
+        "final: total heat {grand:.2}, max residual {:.6}",
+        results[0].1
+    );
+    assert!(results[0].1 < 10.0, "diffusion must be converging");
+    println!("heat_halo OK");
+}

@@ -1,0 +1,57 @@
+//! Quickstart: coarrays, events, teams, and function shipping on both
+//! substrates.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use caf::{CafConfig, CafUniverse, Coarray, SubstrateKind};
+
+fn demo(kind: SubstrateKind) {
+    println!("--- substrate: {kind:?} ---");
+    let sums = CafUniverse::run_with_config(4, CafConfig::on(kind), |img| {
+        let world = img.team_world();
+        let me = img.this_image();
+
+        // A coarray: 4 u64 slots on every image.
+        let ca: Coarray<u64> = img.coarray_alloc(&world, 4);
+
+        // One-sided: write my id into my right neighbour's slot 0.
+        let right = (me + 1) % img.num_images();
+        ca.write(img, right, 0, &[me as u64 + 100]);
+        img.sync_all();
+
+        // Events: tell the left neighbour its data has long arrived.
+        let ev = img.event_alloc(&world);
+        img.event_notify(&world, &ev, (me + img.num_images() - 1) % img.num_images());
+        img.event_wait(&ev);
+
+        // Teams: split into halves and reduce within each.
+        let half = img.team_split(&world, (me / 2) as u64, me as i64);
+        let local = ca.local_vec(img)[0];
+        let sum = img.allreduce(&half, &[local], |a, b| a + b)[0];
+
+        // Function shipping inside a finish block: increment a slot on
+        // image 0 from everywhere.
+        img.finish(&world, |img| {
+            let ca2 = ca.clone();
+            img.ship(&world, 0, move |exec| {
+                let v = ca2.local_vec(exec)[1];
+                ca2.local_write(exec, 1, &[v + 1]);
+            });
+        });
+
+        if me == 0 {
+            assert_eq!(ca.local_vec(img)[1], 4, "all four shipped increments ran");
+        }
+        img.coarray_free(&world, ca);
+        sum
+    });
+    println!("per-image half-team sums: {sums:?}");
+}
+
+fn main() {
+    demo(SubstrateKind::Mpi);
+    demo(SubstrateKind::Gasnet);
+    println!("quickstart OK");
+}

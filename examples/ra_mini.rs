@@ -1,0 +1,49 @@
+//! Miniature RandomAccess: run the paper's communication stress test on
+//! both substrates at a few image counts and print GUP/s plus the per-
+//! primitive time decomposition (the Figure-4 categories) measured by the
+//! runtime's built-in stats.
+//!
+//! ```text
+//! cargo run --release --example ra_mini
+//! ```
+
+use caf::{CafUniverse, StatCat, SubstrateKind};
+use caf_bench::fusion_like;
+use caf_hpcc::ra;
+
+fn main() {
+    println!(
+        "{:>8} {:>12} {:>12} | {:>10} {:>10} {:>10} {:>10}",
+        "images", "substrate", "GUP/s", "write(s)", "wait(s)", "notify(s)", "barrier(s)"
+    );
+    for p in [2usize, 4, 8] {
+        for kind in [SubstrateKind::Mpi, SubstrateKind::Gasnet] {
+            let rows = CafUniverse::run_with_config(p, fusion_like(kind), |img| {
+                let team = img.team_world();
+                let out = ra::run(img, &team, 10, 20_000);
+                (
+                    out.bench.metric,
+                    img.stats().seconds(StatCat::CoarrayWrite),
+                    img.stats().seconds(StatCat::EventWait),
+                    img.stats().seconds(StatCat::EventNotify),
+                    img.stats().seconds(StatCat::Barrier),
+                )
+            });
+            let (gups, w, ew, en, ba) = rows[0];
+            println!(
+                "{:>8} {:>12} {:>12.5} | {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+                p,
+                match kind {
+                    SubstrateKind::Mpi => "CAF-MPI",
+                    SubstrateKind::Gasnet => "CAF-GASNet",
+                },
+                gups,
+                w,
+                ew,
+                en,
+                ba
+            );
+        }
+    }
+    println!("ra_mini OK");
+}

@@ -1,0 +1,142 @@
+//! The paper's Figure 2: a CAF program that performs a coarray write and
+//! then enters an MPI barrier "may deadlock because CAF cannot make
+//! progress when the process blocks in MPI" — *if* the coarray write
+//! needs target-side involvement.
+//!
+//! These tests demonstrate both sides:
+//!
+//! * under **CAF-MPI** a coarray write is a genuine one-sided
+//!   `MPI_Put` + flush and completes while the target computes, never
+//!   polls, or sits in an MPI call — the pattern is safe;
+//! * under a **CAF-GASNet configuration whose puts ride long AMs**
+//!   (`put_via_am_threshold`), the write only completes once the target
+//!   makes *GASNet* progress — which a process blocked in an MPI call
+//!   never does. (The test bounds the stall with a sleep instead of a
+//!   real barrier so it terminates.)
+
+use std::time::{Duration, Instant};
+
+use caf::{CafConfig, CafUniverse, Coarray, GasnetConfig, SubstrateKind};
+
+const STALL: Duration = Duration::from_millis(150);
+
+/// Figure 2 verbatim under CAF-MPI: write, then everyone meets in a
+/// barrier *through the same MPI library*. Must complete.
+#[test]
+fn figure2_pattern_is_safe_on_caf_mpi() {
+    CafUniverse::run(2, |img| {
+        let world = img.team_world();
+        let a: Coarray<f64> = img.coarray_alloc(&world, 8);
+        if img.this_image() == 0 {
+            // A(:)[1] = A(:)
+            a.write(img, 1, 0, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        }
+        // CALL MPI_BARRIER(MPI_COMM_WORLD) — the same runtime.
+        let mpi = img.mpi().expect("MPI substrate");
+        mpi.barrier(&mpi.world()).expect("barrier");
+        if img.this_image() == 1 {
+            assert_eq!(a.local_vec(img)[7], 8.0);
+        }
+        img.coarray_free(&world, a);
+    });
+}
+
+/// The write completes while the target never touches the runtime at all
+/// (pure computation) — one-sidedness in the strictest sense.
+#[test]
+fn caf_mpi_write_completes_without_target_progress() {
+    let elapsed = CafUniverse::run(2, |img| {
+        let world = img.team_world();
+        let a: Coarray<u64> = img.coarray_alloc(&world, 4);
+        img.sync_all();
+        let e = if img.this_image() == 0 {
+            let t = Instant::now();
+            a.write(img, 1, 0, &[42, 43, 44, 45]);
+            t.elapsed()
+        } else {
+            // Target: busy computation, no runtime calls at all.
+            std::thread::sleep(STALL);
+            Duration::ZERO
+        };
+        img.sync_all();
+        if img.this_image() == 1 {
+            assert_eq!(a.local_vec(img), vec![42, 43, 44, 45]);
+        }
+        img.coarray_free(&world, a);
+        e
+    });
+    assert!(
+        elapsed[0] < STALL / 2,
+        "one-sided write must not wait for the target: {:?}",
+        elapsed[0]
+    );
+}
+
+/// The hazard the paper warns about: with AM-mediated puts, the writer
+/// stalls exactly as long as the target withholds GASNet progress (here:
+/// a sleep standing in for "blocked inside an MPI call").
+#[test]
+fn gasnet_am_put_stalls_until_target_polls() {
+    let cfg = CafConfig {
+        substrate: SubstrateKind::Gasnet,
+        gasnet: GasnetConfig {
+            put_via_am_threshold: Some(1),
+            ..GasnetConfig::default()
+        },
+        ..CafConfig::default()
+    };
+    let elapsed = CafUniverse::run_with_config(2, cfg, |img| {
+        let world = img.team_world();
+        let a: Coarray<u64> = img.coarray_alloc(&world, 4);
+        img.sync_all();
+        let e = if img.this_image() == 0 {
+            let t = Instant::now();
+            a.write(img, 1, 0, &[7, 8, 9, 10]); // blocks on the target's poll
+            t.elapsed()
+        } else {
+            // "Blocked in MPI": no GASNet progress for STALL...
+            std::thread::sleep(STALL);
+            // ...then the first runtime call drives progress.
+            img.poll();
+            Duration::ZERO
+        };
+        img.sync_all();
+        if img.this_image() == 1 {
+            assert_eq!(a.local_vec(img), vec![7, 8, 9, 10]);
+        }
+        img.coarray_free(&world, a);
+        e
+    });
+    assert!(
+        elapsed[0] >= STALL / 2,
+        "AM-mediated write must wait for target progress: {:?}",
+        elapsed[0]
+    );
+}
+
+/// Control: the same GASNet substrate with RDMA puts (the default) does
+/// not stall — the hazard is specifically the AM-mediated configuration.
+#[test]
+fn gasnet_rdma_put_does_not_stall() {
+    let elapsed = CafUniverse::run_with_config(
+        2,
+        CafConfig::on(SubstrateKind::Gasnet),
+        |img| {
+            let world = img.team_world();
+            let a: Coarray<u64> = img.coarray_alloc(&world, 4);
+            img.sync_all();
+            let e = if img.this_image() == 0 {
+                let t = Instant::now();
+                a.write(img, 1, 0, &[1, 2, 3, 4]);
+                t.elapsed()
+            } else {
+                std::thread::sleep(STALL);
+                Duration::ZERO
+            };
+            img.sync_all();
+            img.coarray_free(&world, a);
+            e
+        },
+    );
+    assert!(elapsed[0] < STALL / 2, "{:?}", elapsed[0]);
+}

@@ -1,0 +1,122 @@
+//! Hybrid MPI+CAF interoperability — the paper's whole point: one
+//! runtime, one progress engine, MPI calls and coarray operations freely
+//! interleaved in a single application.
+
+use caf::{CafConfig, CafUniverse, Coarray, SubstrateKind};
+use caf_mpisim::{Src, Tag};
+
+/// Interleave MPI two-sided messaging with coarray one-sided writes on
+/// the same data, through the same library.
+#[test]
+fn mpi_sends_and_coarray_writes_interleave() {
+    CafUniverse::run(4, |img| {
+        let world = img.team_world();
+        let me = img.this_image();
+        let n = img.num_images();
+        let ca: Coarray<u64> = img.coarray_alloc(&world, n);
+        let mpi = img.mpi().expect("MPI substrate");
+        let comm = mpi.world();
+
+        // Phase 1 (MPI): ring-pass a token.
+        if me == 0 {
+            mpi.send(&comm, 1, 5, &[100u64]).unwrap();
+            let (tok, _) = mpi.recv::<u64>(&comm, Src::Rank(n - 1), Tag::Is(5)).unwrap();
+            assert_eq!(tok[0], 100 + (n as u64 - 1));
+        } else {
+            let (tok, _) = mpi.recv::<u64>(&comm, Src::Rank(me - 1), Tag::Is(5)).unwrap();
+            mpi.send(&comm, (me + 1) % n, 5, &[tok[0] + 1]).unwrap();
+        }
+
+        // Phase 2 (CAF): everyone writes its id into everyone's table.
+        for t in 0..n {
+            ca.write(img, t, me, &[me as u64 * 10]);
+        }
+        img.sync_all();
+        let local = ca.local_vec(img);
+        for (s, &v) in local.iter().enumerate() {
+            assert_eq!(v, s as u64 * 10);
+        }
+
+        // Phase 3 (MPI again): reduce over coarray-delivered data.
+        let sum = mpi
+            .allreduce(&comm, &[local.iter().sum::<u64>()], |a, b| a + b)
+            .unwrap();
+        assert_eq!(sum[0] as usize, n * (0..n).map(|s| s * 10).sum::<usize>());
+
+        img.coarray_free(&world, ca);
+    });
+}
+
+/// An MPI library co-resident with the GASNet runtime (duplicate
+/// runtimes) also works — at the memory cost Figure 1 quantifies.
+#[test]
+fn duplicate_runtimes_interoperate_but_cost_memory() {
+    let cfg = CafConfig {
+        hybrid_mpi: true,
+        ..CafConfig::on(SubstrateKind::Gasnet)
+    };
+    let overhead_dup = CafUniverse::run_with_config(2, cfg, |img| {
+        let world = img.team_world();
+        let ca: Coarray<f64> = img.coarray_alloc(&world, 2);
+        ca.write(img, 1 - img.this_image(), 0, &[2.5, 3.5]);
+        img.sync_all();
+
+        // The MPI side is a *separate* library with its own resources.
+        let mpi = img.mpi().expect("hybrid_mpi configured");
+        let s = mpi
+            .allreduce(&mpi.world(), &[ca.local_vec(img)[0]], |a, b| a + b)
+            .unwrap();
+        assert_eq!(s[0], 5.0);
+        img.coarray_free(&world, ca);
+        img.runtime_memory_overhead()
+    });
+
+    let overhead_single =
+        CafUniverse::run(2, |img| img.runtime_memory_overhead());
+    // The interoperable design's saving: one runtime instead of two.
+    assert!(
+        overhead_dup[0] > overhead_single[0],
+        "duplicate runtimes must map more memory: {} !> {}",
+        overhead_dup[0],
+        overhead_single[0]
+    );
+}
+
+/// MPI collectives and CAF collectives interleave on the same images.
+#[test]
+fn mpi_and_caf_collectives_interleave() {
+    CafUniverse::run(6, |img| {
+        let world = img.team_world();
+        let mpi = img.mpi().unwrap();
+        let comm = mpi.world();
+        for round in 0..5u64 {
+            let caf_sum = img.allreduce(&world, &[round], |a, b| a + b)[0];
+            let mpi_sum = mpi.allreduce(&comm, &[round], |a, b| a + b).unwrap()[0];
+            assert_eq!(caf_sum, mpi_sum);
+            assert_eq!(caf_sum, round * 6);
+            mpi.barrier(&comm).unwrap();
+            img.sync_all();
+        }
+    });
+}
+
+/// A CAF event posted while the target sits in an MPI receive: the
+/// notification rides the same progress engine, so the target's next
+/// runtime call sees it.
+#[test]
+fn events_and_mpi_blocking_calls_coexist() {
+    CafUniverse::run(2, |img| {
+        let world = img.team_world();
+        let ev = img.event_alloc(&world);
+        let mpi = img.mpi().unwrap();
+        let comm = mpi.world();
+        if img.this_image() == 0 {
+            img.event_notify(&world, &ev, 1);
+            mpi.send(&comm, 1, 9, &[1u8]).unwrap();
+        } else {
+            // Block in MPI first; the event arrives independently.
+            let _ = mpi.recv::<u8>(&comm, Src::Rank(0), Tag::Is(9)).unwrap();
+            img.event_wait(&ev);
+        }
+    });
+}

@@ -1,0 +1,138 @@
+//! Cross-validation: the analytic model's *mechanisms* must be visible in
+//! real execution. Where `caf-netmodel` predicts a trend from a mechanism
+//! (flush_all Θ(P), constant GASNet notify, tuned vs hand-rolled
+//! alltoall), the same trend must appear when the actual runtimes execute
+//! with cost tables enabled.
+
+use caf::{CafUniverse, StatCat, SubstrateKind};
+use caf_bench::fusion_like;
+use std::time::Instant;
+
+/// Seconds of `event_notify` per call at job size `p` on a substrate.
+fn notify_cost_per_call(p: usize, kind: SubstrateKind, calls: usize) -> f64 {
+    let rows = CafUniverse::run_with_config(p, fusion_like(kind), move |img| {
+        let w = img.team_world();
+        let ev = img.event_alloc(&w);
+        // Allocate a few windows so flush_all has work shape.
+        let cas: Vec<caf::Coarray<u64>> = (0..3).map(|_| img.coarray_alloc(&w, 8)).collect();
+        img.sync_all();
+        let me = img.this_image();
+        let secs = if me == 0 {
+            let t = Instant::now();
+            for _ in 0..calls {
+                cas[0].write(img, 1, 0, &[1]);
+                img.event_notify(&w, &ev, 1);
+            }
+            t.elapsed().as_secs_f64()
+        } else {
+            if me == 1 {
+                for _ in 0..calls {
+                    img.event_wait(&ev);
+                }
+            }
+            0.0
+        };
+        img.sync_all();
+        for ca in cas {
+            img.coarray_free(&w, ca);
+        }
+        secs
+    });
+    rows[0] / calls as f64
+}
+
+/// Mechanism 1 (paper §4.1): MPI `event_notify` cost grows with job size
+/// (flush_all is Θ(P)); GASNet's does not grow comparably.
+#[test]
+fn notify_scaling_matches_model_mechanism() {
+    let calls = 300;
+    // Best of 3 to de-noise scheduling jitter.
+    let best = |p, kind| {
+        (0..3)
+            .map(|_| notify_cost_per_call(p, kind, calls))
+            .fold(f64::INFINITY, f64::min)
+    };
+    let mpi_small = best(2, SubstrateKind::Mpi);
+    let mpi_large = best(12, SubstrateKind::Mpi);
+    let gas_small = best(2, SubstrateKind::Gasnet);
+    let gas_large = best(12, SubstrateKind::Gasnet);
+
+    let mpi_growth = mpi_large / mpi_small;
+    let gas_growth = gas_large / gas_small;
+    assert!(
+        mpi_growth > 1.3,
+        "MPI notify must grow with P: {mpi_small:.2e} -> {mpi_large:.2e}"
+    );
+    assert!(
+        mpi_growth > gas_growth * 1.1,
+        "MPI notify growth ({mpi_growth:.2}) must exceed GASNet's ({gas_growth:.2})"
+    );
+}
+
+/// Mechanism 2 (paper §4.2): the alltoall gap favours the MPI substrate
+/// and is the FFT driver. Measured directly on the collective.
+#[test]
+fn alltoall_gap_matches_model_mechanism() {
+    let time_a2a = |kind| {
+        let rows = CafUniverse::run_with_config(8, fusion_like(kind), |img| {
+            let w = img.team_world();
+            let send: Vec<f64> = (0..8 * 512).map(|i| i as f64).collect();
+            img.sync_all();
+            let t = Instant::now();
+            for _ in 0..10 {
+                let _ = img.alltoall(&w, &send, 512);
+            }
+            let d = t.elapsed().as_secs_f64();
+            img.sync_all();
+            d
+        });
+        rows[0]
+    };
+    let mpi = (0..3).map(|_| time_a2a(SubstrateKind::Mpi)).fold(f64::INFINITY, f64::min);
+    let gas = (0..3)
+        .map(|_| time_a2a(SubstrateKind::Gasnet))
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        gas > mpi,
+        "hand-rolled GASNet alltoall ({gas:.4}s) must cost more than MPI's ({mpi:.4}s)"
+    );
+}
+
+/// Mechanism 3 (Figure 1): memory ordering GASNet < MPI < duplicate holds
+/// in real accounting at every job size, as the model assumes.
+#[test]
+fn memory_ordering_matches_model() {
+    for p in [2usize, 4, 8] {
+        let (g, m, d) = caf_bench::real_memory(p);
+        assert!(g < m && m < d, "P={p}: {g} / {m} / {d}");
+    }
+    // Growth with P, both runtimes (the model's log/linear terms).
+    let (g2, m2, _) = caf_bench::real_memory(2);
+    let (g16, m16, _) = caf_bench::real_memory(16);
+    assert!(g16 > g2);
+    assert!(m16 > m2);
+}
+
+/// The per-primitive stats ledger respects conservation: category times
+/// sum to no more than the wall clock of the run that produced them.
+#[test]
+fn stats_are_conservative() {
+    let rows = CafUniverse::run_collect_stats(
+        4,
+        fusion_like(SubstrateKind::Mpi),
+        |img| {
+            let w = img.team_world();
+            let t = Instant::now();
+            let _ = caf_hpcc::fft::run(img, &w, 13);
+            t.elapsed().as_secs_f64()
+        },
+    );
+    for (wall, report) in rows {
+        let total: f64 = report.rows.iter().map(|&(_, s, _)| s).sum();
+        assert!(
+            total <= wall * 1.05 + 0.01,
+            "categories ({total:.4}s) exceed wall clock ({wall:.4}s)"
+        );
+        assert!(report.seconds(StatCat::Alltoall) > 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Soak tests: larger image counts, many live coarrays, mixed operation
+//! streams — the conditions under which ordering or bookkeeping bugs in
+//! the runtime would surface.
+
+use caf::{AsyncOpts, CafUniverse, Coarray, SubstrateKind};
+use caf_bench::fast;
+
+/// Deterministic per-image RNG.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+}
+
+/// 16 images, 8 live coarrays, 2000 mixed random one-sided ops per image,
+/// then a full cross-check of every cell against a serially computed
+/// expectation.
+#[test]
+fn mixed_onesided_soak() {
+    const P: usize = 16;
+    const CAS: usize = 8;
+    const LEN: usize = 32;
+    const OPS: usize = 2000;
+
+    // Pre-generate the op streams (writer, ca, target, slot, value) with
+    // last-writer-per-cell determinism: each cell is owned by exactly one
+    // writer stream to keep the expected state well-defined.
+    let mut plan: Vec<(usize, usize, usize, usize, u64)> = Vec::new();
+    let mut expect = vec![vec![vec![0u64; LEN]; P]; CAS]; // [ca][image][slot]
+    let mut rng = Rng(0xD15EA5E);
+    for op in 0..OPS {
+        let writer = (rng.next() as usize) % P;
+        let ca = (rng.next() as usize) % CAS;
+        let target = (rng.next() as usize) % P;
+        let slot = (rng.next() as usize) % LEN;
+        // Cell ownership: only the canonical writer for a cell writes it.
+        let owner = (ca * 31 + target * 7 + slot) % P;
+        if writer != owner {
+            continue;
+        }
+        let value = rng.next() | 1;
+        expect[ca][target][slot] = value; // later ops overwrite (stream order per owner)
+        plan.push((writer, ca, target, slot, value));
+        let _ = op;
+    }
+
+    for kind in [SubstrateKind::Mpi, SubstrateKind::Gasnet] {
+        let plan = plan.clone();
+        let expect = expect.clone();
+        CafUniverse::run_with_config(P, fast(kind), move |img| {
+            let w = img.team_world();
+            let cas: Vec<Coarray<u64>> = (0..CAS).map(|_| img.coarray_alloc(&w, LEN)).collect();
+            let me = img.this_image();
+            for &(writer, ca, target, slot, value) in &plan {
+                if writer == me {
+                    // Mix blocking writes and async puts (completed by the
+                    // trailing cofence + flush + barrier).
+                    if value % 3 == 0 {
+                        img.copy_async_put(&cas[ca], target, slot, &[value], AsyncOpts::none());
+                    } else {
+                        cas[ca].write(img, target, slot, &[value]);
+                    }
+                }
+            }
+            // Complete the implicit async puts remotely, then synchronize
+            // (an empty fast-finish is exactly flush_all + barrier).
+            img.finish_fast(&w, |_| {});
+            for (ci, ca) in cas.iter().enumerate() {
+                let local = ca.local_vec(img);
+                for (slot, &v) in local.iter().enumerate() {
+                    assert_eq!(
+                        v, expect[ci][me][slot],
+                        "{kind:?} ca={ci} image={me} slot={slot}"
+                    );
+                }
+            }
+            img.sync_all();
+            for ca in cas {
+                img.coarray_free(&w, ca);
+            }
+        });
+    }
+}
+
+/// Event storm: every image notifies every other image K times on a
+/// shared event; total posts must balance exactly.
+#[test]
+fn event_storm_balances() {
+    const P: usize = 12;
+    const K: usize = 50;
+    for kind in [SubstrateKind::Mpi, SubstrateKind::Gasnet] {
+        CafUniverse::run_with_config(P, fast(kind), |img| {
+            let w = img.team_world();
+            let ev = img.event_alloc(&w);
+            for t in 0..P {
+                if t != img.this_image() {
+                    for _ in 0..K {
+                        img.event_notify(&w, &ev, t);
+                    }
+                }
+            }
+            // Expect (P-1)*K posts; consume them all.
+            for _ in 0..(P - 1) * K {
+                img.event_wait(&ev);
+            }
+            assert!(!img.event_trywait(&ev), "no excess posts");
+            img.sync_all();
+        });
+    }
+}
+
+/// Shipping storm inside one finish: every image ships K counters to
+/// random targets; the global sum must be exact.
+#[test]
+fn shipping_storm_counts_exactly() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    const P: usize = 8;
+    const K: usize = 100;
+    for kind in [SubstrateKind::Mpi, SubstrateKind::Gasnet] {
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        CafUniverse::run_with_config(P, fast(kind), move |img| {
+            let w = img.team_world();
+            let mut rng = Rng(img.this_image() as u64 + 77);
+            let h = Arc::clone(&h);
+            img.finish(&w, |img| {
+                for _ in 0..K {
+                    let target = (rng.next() as usize) % P;
+                    let h2 = Arc::clone(&h);
+                    img.ship(&w, target, move |_| {
+                        h2.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed) as usize, P * K, "{kind:?}");
+    }
+}
+
+/// Team churn: repeated splits into fresh teams with coarrays allocated
+/// and freed on each — exercises id derivation and the GASNet arena.
+#[test]
+fn team_and_coarray_churn() {
+    for kind in [SubstrateKind::Mpi, SubstrateKind::Gasnet] {
+        CafUniverse::run_with_config(8, fast(kind), |img| {
+            let w = img.team_world();
+            for round in 0..6u64 {
+                let color = (img.this_image() as u64 + round) % 2;
+                let sub = img.team_split(&w, color, img.this_image() as i64);
+                let ca: Coarray<u64> = img.coarray_alloc(&sub, 16);
+                let peer = (sub.rank() + 1) % sub.size();
+                ca.write(img, peer, 0, &[round * 100 + sub.rank() as u64]);
+                img.barrier(&sub);
+                let got = ca.local_vec(img)[0];
+                let writer = (sub.rank() + sub.size() - 1) % sub.size();
+                assert_eq!(got, round * 100 + writer as u64);
+                img.coarray_free(&sub, ca);
+                img.sync_all();
+            }
+        });
+    }
+}
