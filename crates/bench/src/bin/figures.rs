@@ -1,25 +1,50 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! figures                # all figures, model vs paper
-//! figures fig3 fig6      # a subset by id
-//! figures table1         # Table 1
-//! figures real           # append small-scale real-execution sections
-//! figures --json         # emit the selected figures as JSON
+//! figures                      # all figures, model vs paper
+//! figures fig3 fig6            # a subset by id
+//! figures table1               # Table 1
+//! figures real                 # append small-scale real-execution sections
+//! figures --json               # emit the selected figures as JSON
+//! figures trace                # traced real RA run: decomposition from caf-trace
+//! figures fig4 --from-trace    # Figure 4 derived from a real traced run
+//! figures trace --trace-out t.json   # also export Chrome trace_event JSON
 //! ```
 
 use caf::SubstrateKind;
-use caf_bench::{real_cgpop, real_fft, real_hpl, real_memory, real_ra};
+use caf_bench::{real_cgpop, real_fft, real_hpl, real_memory, real_ra, traced_ra};
 use caf_hpcc::cgpop::ExchangeMode;
 use caf_netmodel::figures;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = Vec::new();
+    let mut trace_out: Option<String> = None;
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--trace-out" {
+            match it.next() {
+                Some(path) => trace_out = Some(path),
+                None => {
+                    eprintln!("--trace-out requires a file argument");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            args.push(a);
+        }
+    }
     let want_real = args.iter().any(|a| a == "real");
     let want_json = args.iter().any(|a| a == "--json");
+    let from_trace = args.iter().any(|a| a == "--from-trace");
+    // "trace" acts as a pseudo figure id: `figures trace` prints only the
+    // traced sections.
+    let want_trace = args.iter().any(|a| a == "trace");
     let filters: Vec<&String> = args
         .iter()
-        .filter(|a| a.as_str() != "real" && a.as_str() != "--json")
+        .filter(|a| {
+            a.as_str() != "real" && a.as_str() != "--json" && a.as_str() != "--from-trace"
+        })
         .collect();
     let selected = |id: &str| filters.is_empty() || filters.iter().any(|f| f.as_str() == id);
 
@@ -43,13 +68,67 @@ fn main() {
     }
 
     for fig in figures::all_figures() {
-        if selected(fig.id) {
+        // With --from-trace, Figure 4 comes from the real traced run below
+        // instead of the model.
+        if selected(fig.id) && !(from_trace && fig.id == "fig4") {
             println!("{}", fig.render());
         }
     }
 
+    if want_trace || (from_trace && selected("fig4")) || trace_out.is_some() {
+        trace_sections(trace_out.as_deref());
+    }
+
     if want_real {
         real_sections();
+    }
+}
+
+/// Run the Figure-4 workload (miniature RandomAccess, `ra_mini`
+/// parameters) under an active `caf-trace` session on both substrates and
+/// print the trace-derived time decomposition. With `--trace-out FILE`,
+/// also export each run as Chrome `trace_event` JSON (one file per
+/// substrate, the substrate name inserted before the extension).
+fn trace_sections(trace_out: Option<&str>) {
+    use caf_trace::Cat;
+    println!("== Figure 4 from trace (real traced RandomAccess run, 8 images) ==");
+    let mut notify_share = Vec::new();
+    for kind in [SubstrateKind::Mpi, SubstrateKind::Gasnet] {
+        let (row, trace) = traced_ra(8, kind, 9, 4000, 10);
+        let d = trace.decomposition();
+        println!(
+            "-- {} ({:.5} GUP/s; {} events, {} dropped, {} stalls) --",
+            row.substrate,
+            row.metric,
+            trace.events.len(),
+            trace.dropped_events,
+            trace.stalls.len()
+        );
+        print!("{}", d.render());
+        for stall in &trace.stalls {
+            println!("stall: {stall}");
+        }
+        if let Some(path) = trace_out {
+            let path = substrate_path(path, row.substrate);
+            std::fs::write(&path, trace.to_chrome_json())
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!("chrome trace written to {path}");
+        }
+        notify_share.push((row.substrate, d.median_share(Cat::EventNotify)));
+        println!();
+    }
+    println!("event_notify median share (the Theta(P) flush_all signature, paper Fig 4):");
+    for (substrate, share) in notify_share {
+        println!("{:>12}: {:>5.1}%", substrate, share * 100.0);
+    }
+}
+
+/// `out.json` + `CAF-MPI` -> `out.caf-mpi.json`.
+fn substrate_path(path: &str, substrate: &str) -> String {
+    let tag = substrate.to_lowercase();
+    match path.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() => format!("{stem}.{tag}.{ext}"),
+        _ => format!("{path}.{tag}"),
     }
 }
 

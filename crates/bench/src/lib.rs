@@ -112,6 +112,49 @@ pub fn real_ra(p: usize, kind: SubstrateKind, log2_local: u32, updates: usize) -
     }
 }
 
+/// As [`real_ra`], recording the whole run into a `caf-trace` session.
+///
+/// Runs with the [`fusion_fullscale`] cost tables so the Figure-4
+/// asymmetry (CAF-MPI's Θ(P) `flush_all` inside `event_notify`)
+/// reproduces deterministically at laptop scale. Returns the measurement
+/// row plus the merged trace, from which
+/// [`caf_trace::Trace::decomposition`] reproduces the Figure-4 profile
+/// and [`caf_trace::Trace::to_chrome_json`] exports a
+/// `chrome://tracing` / Perfetto timeline. Fails if another trace
+/// session is already active in the process.
+pub fn traced_ra(
+    p: usize,
+    kind: SubstrateKind,
+    log2_local: u32,
+    updates: usize,
+    reps: usize,
+) -> (RealRow, caf_trace::Trace) {
+    let session = caf_trace::Session::start(caf_trace::TraceConfig {
+        // RA emits packet-level instants for every routed chunk; give
+        // each image headroom so a laptop-scale run never wraps.
+        ring_capacity: 1 << 18,
+        announce_stalls: false,
+        ..caf_trace::TraceConfig::default()
+    })
+    .expect("another trace session is active");
+    // Repetitions multiply the notify/wait sample count, so per-image
+    // medians of the decomposition are stable against scheduling noise.
+    let out = CafUniverse::run_with_config(p, fusion_fullscale(kind), |img| {
+        let team = img.team_world();
+        (0..reps.max(1))
+            .map(|_| ra::run(img, &team, log2_local, updates).bench)
+            .last()
+            .expect("at least one repetition")
+    });
+    let row = RealRow {
+        p,
+        substrate: label(kind),
+        metric: out[0].metric,
+        seconds: out[0].seconds,
+    };
+    (row, session.finish())
+}
+
 /// Real FFT run of `2^log2_size` points.
 pub fn real_fft(p: usize, kind: SubstrateKind, log2_size: u32) -> RealRow {
     let out = CafUniverse::run_with_config(p, fusion_like(kind), |img| {

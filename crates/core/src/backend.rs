@@ -77,6 +77,14 @@ impl Backend {
     /// wait/notify chains).
     pub fn send_rtmsg(&self, target: usize, msg: &RtMsg) {
         let bytes = msg.encode();
+        if caf_trace::enabled() {
+            caf_trace::instant(
+                caf_trace::Op::RtMsgSend,
+                Some(target),
+                bytes.len() as u64,
+                None,
+            );
+        }
         match self {
             Backend::Mpi(b) => {
                 b.mpi
@@ -117,6 +125,7 @@ impl Backend {
     /// progress on the substrate (paper §3.4: "the blocking polling
     /// operation allows the MPI runtime to make progress internally").
     pub fn recv_rtmsg_blocking(&self) -> RtMsg {
+        let _span = caf_trace::span(caf_trace::Op::RtMsgRecvBlocking);
         match self {
             Backend::Mpi(b) => {
                 let (bytes, _st) = b

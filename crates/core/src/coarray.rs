@@ -233,6 +233,14 @@ impl<T: Pod> Coarray<T> {
         elem_off * std::mem::size_of::<T>()
     }
 
+    /// Global image index of team member `member` (for trace attribution).
+    fn global_member(&self, member: usize) -> usize {
+        match &*self.region {
+            RegionInner::Mpi { win } => win.comm().global_rank(member),
+            RegionInner::Gasnet { members, .. } => members[member],
+        }
+    }
+
     /// The substrate-level remote reference for `member`'s part.
     pub fn remote_ref(&self, member: usize) -> RemoteRef {
         match &*self.region {
@@ -253,7 +261,8 @@ impl<T: Pod> Coarray<T> {
     /// Blocking remote read: `out = A(elem_off .. elem_off+|out|)[member]`.
     pub fn read(&self, img: &Image, member: usize, elem_off: usize, out: &mut [T]) {
         let disp = self.byte_off(elem_off, out.len());
-        img.stats().timed(StatCat::CoarrayRead, || {
+        let bytes = std::mem::size_of_val(out) as u64;
+        img.stats().timed_t(StatCat::CoarrayRead, Some(self.global_member(member)), bytes, || {
             match (&img.backend, &*self.region) {
                 (Backend::Mpi(b), RegionInner::Mpi { win }) => {
                     b.mpi.get(win, member, disp, out).expect("coarray read");
@@ -271,7 +280,8 @@ impl<T: Pod> Coarray<T> {
     /// visible at return (put + flush on MPI, paper §3.1).
     pub fn write(&self, img: &Image, member: usize, elem_off: usize, data: &[T]) {
         let disp = self.byte_off(elem_off, data.len());
-        img.stats().timed(StatCat::CoarrayWrite, || {
+        let bytes = std::mem::size_of_val(data) as u64;
+        img.stats().timed_t(StatCat::CoarrayWrite, Some(self.global_member(member)), bytes, || {
             match (&img.backend, &*self.region) {
                 (Backend::Mpi(b), RegionInner::Mpi { win }) => {
                     b.mpi.put(win, member, disp, data).expect("coarray write");
@@ -357,7 +367,8 @@ impl<T: Pod> Coarray<T> {
         if sec.count == 0 {
             return;
         }
-        img.stats().timed(StatCat::CoarrayRead, || {
+        let bytes = std::mem::size_of_val(out) as u64;
+        img.stats().timed_t(StatCat::CoarrayRead, Some(self.global_member(member)), bytes, || {
             match (&img.backend, &*self.region) {
                 (Backend::Mpi(b), RegionInner::Mpi { win }) => {
                     b.mpi
@@ -380,7 +391,8 @@ impl<T: Pod> Coarray<T> {
         if sec.count == 0 {
             return;
         }
-        img.stats().timed(StatCat::CoarrayWrite, || {
+        let bytes = std::mem::size_of_val(data) as u64;
+        img.stats().timed_t(StatCat::CoarrayWrite, Some(self.global_member(member)), bytes, || {
             match (&img.backend, &*self.region) {
                 (Backend::Mpi(b), RegionInner::Mpi { win }) => {
                     b.mpi

@@ -76,7 +76,7 @@ impl Image {
         target: usize,
         flush: NotifyFlush,
     ) {
-        self.stats().timed(StatCat::EventNotify, || {
+        self.stats().timed_t(StatCat::EventNotify, Some(team.global_rank(target)), 0, || {
             // Release barrier: local completion of implicitly synchronized
             // asynchronous operations...
             self.complete_implicit_local();

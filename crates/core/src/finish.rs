@@ -101,6 +101,9 @@ impl Image {
             return;
         }
         let slot = self.ship_reg.park(Box::new(f));
+        if caf_trace::enabled() {
+            caf_trace::instant(caf_trace::Op::Ship, Some(global), 0, None);
+        }
         self.backend
             .send_rtmsg(global, &RtMsg::Ship { slot, finish_id: fid });
     }

@@ -49,22 +49,61 @@ pub const ALL_CATS: [StatCat; 10] = [
     StatCat::CopyAsync,
 ];
 
-fn idx(c: StatCat) -> usize {
-    ALL_CATS
-        .iter()
-        .position(|&x| x == c)
-        .expect("category in ALL_CATS")
+const fn idx(c: StatCat) -> usize {
+    // Must agree with ALL_CATS order; checked by `idx_matches_all_cats`.
+    match c {
+        StatCat::Computation => 0,
+        StatCat::CoarrayWrite => 1,
+        StatCat::CoarrayRead => 2,
+        StatCat::EventWait => 3,
+        StatCat::EventNotify => 4,
+        StatCat::Alltoall => 5,
+        StatCat::Barrier => 6,
+        StatCat::Reduction => 7,
+        StatCat::Finish => 8,
+        StatCat::CopyAsync => 9,
+    }
+}
+
+/// The trace operation a category's timed sections are recorded under.
+const fn trace_op(c: StatCat) -> caf_trace::Op {
+    match c {
+        StatCat::Computation => caf_trace::Op::Computation,
+        StatCat::CoarrayWrite => caf_trace::Op::CoarrayWrite,
+        StatCat::CoarrayRead => caf_trace::Op::CoarrayRead,
+        StatCat::EventWait => caf_trace::Op::EventWait,
+        StatCat::EventNotify => caf_trace::Op::EventNotify,
+        StatCat::Alltoall => caf_trace::Op::Alltoall,
+        StatCat::Barrier => caf_trace::Op::Barrier,
+        StatCat::Reduction => caf_trace::Op::Reduction,
+        StatCat::Finish => caf_trace::Op::Finish,
+        StatCat::CopyAsync => caf_trace::Op::CopyAsync,
+    }
 }
 
 /// Per-image accounting ledger. Not thread-safe by design — each image owns
 /// its own.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Stats {
     nanos: [Cell<u64>; 10],
     calls: [Cell<u64>; 10],
     /// Depth guard so nested timed sections do not double-count: only the
     /// outermost section accrues time.
     depth: Cell<u32>,
+    /// When false, `timed` runs its closure without reading the clock or
+    /// touching the ledger (trace spans are still emitted if tracing is on).
+    enabled: Cell<bool>,
+}
+
+impl Default for Stats {
+    fn default() -> Self {
+        Stats {
+            nanos: Default::default(),
+            calls: Default::default(),
+            depth: Cell::new(0),
+            enabled: Cell::new(true),
+        }
+    }
 }
 
 impl Stats {
@@ -73,11 +112,40 @@ impl Stats {
         Self::default()
     }
 
+    /// Turn the wall-clock accounting on or off. Disabled, `timed` costs
+    /// one branch per call — no `Instant::now`, no ledger writes. Tracing
+    /// (the `caf-trace` session, if one is active) is unaffected.
+    pub fn set_accounting(&self, on: bool) {
+        self.enabled.set(on);
+    }
+
+    /// Whether wall-clock accounting is currently on.
+    pub fn accounting_enabled(&self) -> bool {
+        self.enabled.get()
+    }
+
     /// Run `f`, attributing its wall-clock time to `cat`. Nested `timed`
     /// calls do not double-count: inner sections are charged to their own
     /// category *only when entered at top level*; time inside an outer
     /// section stays with the outer category.
     pub fn timed<R>(&self, cat: StatCat, f: impl FnOnce() -> R) -> R {
+        self.timed_t(cat, None, 0, f)
+    }
+
+    /// As [`Stats::timed`], also tagging the emitted trace span with a
+    /// target image and payload size (used by remote coarray accesses and
+    /// notifies, where the blocked-on edge matters for stall diagnosis).
+    pub fn timed_t<R>(
+        &self,
+        cat: StatCat,
+        target: Option<usize>,
+        bytes: u64,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        let _span = caf_trace::span_t(trace_op(cat), target, bytes, None);
+        if !self.enabled.get() {
+            return f();
+        }
         if self.depth.get() > 0 {
             // Count the call but let the enclosing section keep the time.
             self.calls[idx(cat)].set(self.calls[idx(cat)].get() + 1);
@@ -229,5 +297,29 @@ mod tests {
         let s = Stats::new();
         let v = s.timed(StatCat::Computation, || 42);
         assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn idx_matches_all_cats() {
+        for (i, &c) in ALL_CATS.iter().enumerate() {
+            assert_eq!(idx(c), i, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn disabled_accounting_records_nothing() {
+        let s = Stats::new();
+        assert!(s.accounting_enabled());
+        s.set_accounting(false);
+        let v = s.timed(StatCat::Barrier, || {
+            std::thread::sleep(Duration::from_millis(2));
+            7
+        });
+        assert_eq!(v, 7);
+        assert_eq!(s.seconds(StatCat::Barrier), 0.0);
+        assert_eq!(s.calls(StatCat::Barrier), 0);
+        s.set_accounting(true);
+        s.timed(StatCat::Barrier, || {});
+        assert_eq!(s.calls(StatCat::Barrier), 1);
     }
 }

@@ -200,23 +200,48 @@ impl Endpoint {
                 size: self.shared.n,
             });
         }
+        if caf_trace::enabled() {
+            caf_trace::instant(
+                caf_trace::Op::PacketInject,
+                Some(to),
+                pkt.wire_size() as u64,
+                None,
+            );
+        }
         let tx = &self.shared.senders[self.plane * self.shared.n + to];
         tx.send(pkt).map_err(|_| FabricError::Disconnected)
     }
 
+    fn trace_delivery(&self, pkt: &Packet) {
+        if caf_trace::enabled() {
+            caf_trace::instant(
+                caf_trace::Op::PacketDeliver,
+                Some(pkt.src),
+                pkt.wire_size() as u64,
+                None,
+            );
+        }
+    }
+
     /// Non-blocking poll of this rank's mailbox.
     pub fn try_recv(&self) -> Option<Packet> {
-        self.rx.try_recv().ok()
+        let pkt = self.rx.try_recv().ok()?;
+        self.trace_delivery(&pkt);
+        Some(pkt)
     }
 
     /// Block until a packet arrives.
     pub fn recv_blocking(&self) -> Result<Packet> {
-        self.rx.recv().map_err(|_| FabricError::Disconnected)
+        let pkt = self.rx.recv().map_err(|_| FabricError::Disconnected)?;
+        self.trace_delivery(&pkt);
+        Ok(pkt)
     }
 
     /// Block until a packet arrives or `timeout` elapses.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<Packet> {
-        self.rx.recv_timeout(timeout).ok()
+        let pkt = self.rx.recv_timeout(timeout).ok()?;
+        self.trace_delivery(&pkt);
+        Some(pkt)
     }
 
     /// Register a segment, making it remotely accessible; returns its id.

@@ -92,6 +92,9 @@ impl Segment {
     /// the same word follow MPI's "undefined result" rule.
     pub fn put(&self, offset: usize, data: &[u8]) -> Result<()> {
         self.check(offset, data.len())?;
+        if caf_trace::enabled() {
+            caf_trace::instant(caf_trace::Op::SegmentPut, None, data.len() as u64, None);
+        }
         let mut off = offset;
         let mut src = data;
 
@@ -135,6 +138,9 @@ impl Segment {
     /// Read `out.len()` bytes from byte `offset` (a remote or local GET).
     pub fn get(&self, offset: usize, out: &mut [u8]) -> Result<()> {
         self.check(offset, out.len())?;
+        if caf_trace::enabled() {
+            caf_trace::instant(caf_trace::Op::SegmentGet, None, out.len() as u64, None);
+        }
         let mut off = offset;
         let mut dst = &mut out[..];
 

@@ -213,13 +213,28 @@ impl Gasnet {
                 self.pending.borrow_mut().push_back(pkt);
             }
         }
+        // Only productive polls are recorded (`bytes` = AMs dispatched);
+        // empty polls run in spin loops and would flood the ring.
+        if dispatched > 0 && caf_trace::enabled() {
+            caf_trace::instant(caf_trace::Op::AmPoll, None, dispatched as u64, None);
+        }
         dispatched
     }
 
     /// Decode and run one AM packet.
     pub(crate) fn dispatch_am(&self, pkt: Packet) {
+        let _span = caf_trace::span_t(
+            caf_trace::Op::AmDispatch,
+            Some(pkt.src),
+            pkt.payload.len() as u64,
+            None,
+        );
         self.delays.charge(DelayOp::AmDispatch, pkt.payload.len());
-        spin_for_ns(self.srq_penalty_ns());
+        let srq_ns = self.srq_penalty_ns();
+        if srq_ns > 0.0 && caf_trace::enabled() {
+            caf_trace::instant(caf_trace::Op::SrqSlowPath, Some(pkt.src), srq_ns as u64, None);
+        }
+        spin_for_ns(srq_ns);
         let nargs = pkt.h[0] as usize;
         let args: Vec<u64> = vec_from_bytes(&pkt.payload[..nargs * 8]);
         let handler_idx = pkt.tag as usize;

@@ -55,6 +55,14 @@ impl Gasnet {
         {
             return self.put_via_am(node, offset, bytes);
         }
+        if caf_trace::enabled() {
+            caf_trace::instant(
+                caf_trace::Op::GasnetPut,
+                Some(node),
+                bytes.len() as u64,
+                None,
+            );
+        }
         self.delays.charge(DelayOp::RmaPut, bytes.len());
         self.ep.segment(self.seg_ids[node])?.put(offset, bytes)
     }
@@ -67,6 +75,15 @@ impl Gasnet {
         // The long-AM deposit writes the data; the reserved handler at the
         // target replies with an ack once it polls.
         self.am_request_long_raw(node, H_PUT_ACK_REQ, &[seq], bytes, offset)?;
+        // This wait is the Figure-2 hazard: it completes only when `node`
+        // polls, so the open span gives the stall watchdog its blocked-on
+        // edge (origin image → target image).
+        let _span = caf_trace::span_t(
+            caf_trace::Op::AmPutAckWait,
+            Some(node),
+            bytes.len() as u64,
+            None,
+        );
         while self.put_acks_received.get() < self.put_acks_expected.get() {
             let pkt = self.wait_for(|p| self.is_am(p));
             self.dispatch_am(pkt);
@@ -107,6 +124,14 @@ impl Gasnet {
     pub fn get<T: Pod>(&self, node: usize, offset: usize, out: &mut [T]) -> Result<()> {
         let seg = self.ep.segment(self.seg_ids[node])?;
         let bytes = as_bytes_mut(out);
+        if caf_trace::enabled() {
+            caf_trace::instant(
+                caf_trace::Op::GasnetGet,
+                Some(node),
+                bytes.len() as u64,
+                None,
+            );
+        }
         self.delays.charge(DelayOp::RmaGet, bytes.len());
         seg.get(offset, bytes)
     }

@@ -302,6 +302,7 @@ impl Gasnet {
     /// [`Gasnet::barrier_notify`], blocking (and servicing AMs) until all
     /// ranks have entered.
     pub fn barrier_wait(&self) {
+        let _span = caf_trace::span(caf_trace::Op::GasnetBarrier);
         let (seq, mut round) = self
             .barrier_phase
             .get()

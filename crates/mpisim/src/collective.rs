@@ -62,6 +62,7 @@ impl Mpi {
         if n == 1 {
             return Ok(());
         }
+        let _span = caf_trace::span(caf_trace::Op::MpiBarrier);
         let seq = self.next_coll_seq(comm);
         let me = comm.rank();
         let mut round = 0u32;
@@ -84,6 +85,12 @@ impl Mpi {
         if n == 1 {
             return Ok(());
         }
+        let _span = caf_trace::span_t(
+            caf_trace::Op::MpiBcast,
+            Some(comm.global_rank(root)),
+            std::mem::size_of_val(data.as_slice()) as u64,
+            None,
+        );
         let seq = self.next_coll_seq(comm);
         let me = comm.rank();
         let vrank = (me + n - root) % n;
@@ -121,6 +128,12 @@ impl Mpi {
         if n == 1 {
             return Ok(Some(acc));
         }
+        let _span = caf_trace::span_t(
+            caf_trace::Op::MpiReduce,
+            Some(comm.global_rank(root)),
+            std::mem::size_of_val(sendbuf) as u64,
+            None,
+        );
         let seq = self.next_coll_seq(comm);
         let me = comm.rank();
         let vrank = (me + n - root) % n;
@@ -156,6 +169,12 @@ impl Mpi {
         if n == 1 {
             return Ok(acc);
         }
+        let _span = caf_trace::span_t(
+            caf_trace::Op::MpiReduce,
+            None,
+            std::mem::size_of_val(sendbuf) as u64,
+            None,
+        );
         if is_pow2(n) {
             let seq = self.next_coll_seq(comm);
             let me = comm.rank();
@@ -188,6 +207,12 @@ impl Mpi {
         sendbuf: &[T],
     ) -> Result<Option<Vec<T>>> {
         let n = comm.size();
+        let _span = caf_trace::span_t(
+            caf_trace::Op::MpiGather,
+            Some(comm.global_rank(root)),
+            std::mem::size_of_val(sendbuf) as u64,
+            None,
+        );
         let seq = self.next_coll_seq(comm);
         let me = comm.rank();
         if me != root {
@@ -235,6 +260,12 @@ impl Mpi {
     /// `MPI_Allgather` — ring algorithm, n−1 steps, each forwarding the
     /// block received in the previous step.
     pub fn allgather<T: Pod>(&self, comm: &Comm, sendbuf: &[T]) -> Result<Vec<T>> {
+        let _span = caf_trace::span_t(
+            caf_trace::Op::MpiGather,
+            None,
+            std::mem::size_of_val(sendbuf) as u64,
+            None,
+        );
         let n = comm.size();
         let len = sendbuf.len();
         let mut out = vec![sendbuf[0]; len * n];
@@ -309,6 +340,12 @@ impl Mpi {
     /// sizes, shifted ring otherwise). `sendbuf` holds `n` equal blocks of
     /// `block` elements in destination-rank order.
     pub fn alltoall<T: Pod>(&self, comm: &Comm, sendbuf: &[T], block: usize) -> Result<Vec<T>> {
+        let _span = caf_trace::span_t(
+            caf_trace::Op::MpiAlltoall,
+            None,
+            std::mem::size_of_val(sendbuf) as u64,
+            None,
+        );
         let n = comm.size();
         assert_eq!(sendbuf.len(), n * block, "alltoall buffer size mismatch");
         let me = comm.rank();
@@ -346,6 +383,12 @@ impl Mpi {
         sendbuf: &[T],
         block: usize,
     ) -> Result<Vec<T>> {
+        let _span = caf_trace::span_t(
+            caf_trace::Op::MpiAlltoall,
+            None,
+            std::mem::size_of_val(sendbuf) as u64,
+            None,
+        );
         let n = comm.size();
         assert_eq!(sendbuf.len(), n * block, "alltoall buffer size mismatch");
         let me = comm.rank();
@@ -380,6 +423,12 @@ impl Mpi {
         sendcounts: &[usize],
         recvcounts: &[usize],
     ) -> Result<Vec<T>> {
+        let _span = caf_trace::span_t(
+            caf_trace::Op::MpiAlltoall,
+            None,
+            std::mem::size_of_val(sendbuf) as u64,
+            None,
+        );
         let n = comm.size();
         assert_eq!(sendcounts.len(), n);
         assert_eq!(recvcounts.len(), n);

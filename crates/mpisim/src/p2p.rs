@@ -178,6 +178,14 @@ impl Mpi {
     /// Blocking standard-mode send (eager: completes locally at return).
     pub fn send<T: Pod>(&self, comm: &Comm, dest: usize, tag: i64, buf: &[T]) -> Result<()> {
         let bytes = as_bytes(buf);
+        if caf_trace::enabled() {
+            caf_trace::instant(
+                caf_trace::Op::MpiSend,
+                Some(comm.global_rank(dest)),
+                bytes.len() as u64,
+                None,
+            );
+        }
         self.delays.charge(DelayOp::P2pInject, bytes.len());
         let pkt = Packet::with_payload(
             self.ep.rank(),
@@ -204,7 +212,17 @@ impl Mpi {
 
     /// Blocking receive returning a freshly allocated buffer.
     pub fn recv<T: Pod>(&self, comm: &Comm, src: Src, tag: Tag) -> Result<(Vec<T>, Status)> {
+        let mut span = caf_trace::span_t(
+            caf_trace::Op::MpiRecv,
+            match src {
+                Src::Any => None,
+                Src::Rank(r) => Some(comm.global_rank(r)),
+            },
+            0,
+            None,
+        );
         let pkt = self.match_packet(self.p2p_pred(comm, src, tag));
+        span.set_bytes(pkt.payload.len() as u64);
         self.delays.charge(DelayOp::P2pReceive, pkt.payload.len());
         if pkt.h[2] == SSEND_FLAG {
             // Synchronous-mode sender is blocked on the match: ack it.

@@ -128,6 +128,17 @@ impl Mpi {
         Ok(())
     }
 
+    fn trace_rma_atomic(&self, win: &Window, target: usize, bytes: usize) {
+        if caf_trace::enabled() {
+            caf_trace::instant(
+                caf_trace::Op::RmaAtomic,
+                Some(win.comm.global_rank(target)),
+                bytes as u64,
+                Some(win.id),
+            );
+        }
+    }
+
     fn target_segment(&self, win: &Window, target: usize) -> Result<Arc<Segment>> {
         if target >= win.comm.size() {
             return Err(FabricError::RankOutOfRange {
@@ -146,6 +157,14 @@ impl Mpi {
     pub fn put<T: Pod>(&self, win: &Window, target: usize, disp: usize, data: &[T]) -> Result<()> {
         win.assert_epoch();
         let bytes = as_bytes(data);
+        if caf_trace::enabled() {
+            caf_trace::instant(
+                caf_trace::Op::RmaPut,
+                Some(win.comm.global_rank(target)),
+                bytes.len() as u64,
+                Some(win.id),
+            );
+        }
         self.delays.charge(DelayOp::RmaPut, bytes.len());
         self.target_segment(win, target)?.put(disp, bytes)
     }
@@ -161,6 +180,14 @@ impl Mpi {
         win.assert_epoch();
         let seg = self.target_segment(win, target)?;
         let bytes = as_bytes_mut(out);
+        if caf_trace::enabled() {
+            caf_trace::instant(
+                caf_trace::Op::RmaGet,
+                Some(win.comm.global_rank(target)),
+                bytes.len() as u64,
+                Some(win.id),
+            );
+        }
         self.delays.charge(DelayOp::RmaGet, bytes.len());
         seg.get(disp, bytes)
     }
@@ -292,6 +319,7 @@ impl Mpi {
     ) -> Result<()> {
         win.assert_epoch();
         let seg = self.target_segment(win, target)?;
+        self.trace_rma_atomic(win, target, std::mem::size_of_val(data));
         self.delays
             .charge(DelayOp::RmaAtomic, std::mem::size_of_val(data));
         for (i, &v) in data.iter().enumerate() {
@@ -313,6 +341,7 @@ impl Mpi {
     ) -> Result<Vec<T>> {
         win.assert_epoch();
         let seg = self.target_segment(win, target)?;
+        self.trace_rma_atomic(win, target, std::mem::size_of_val(data));
         self.delays
             .charge(DelayOp::RmaAtomic, std::mem::size_of_val(data));
         let mut prev = Vec::with_capacity(data.len());
@@ -335,6 +364,7 @@ impl Mpi {
     ) -> Result<T> {
         win.assert_epoch();
         let seg = self.target_segment(win, target)?;
+        self.trace_rma_atomic(win, target, 8);
         self.delays.charge(DelayOp::RmaAtomic, 8);
         let old = seg.fetch_update_u64(disp, |old| op.apply_bits::<T>(old, T::to_bits(value)))?;
         Ok(T::from_bits(old))
@@ -351,6 +381,7 @@ impl Mpi {
     ) -> Result<T> {
         win.assert_epoch();
         let seg = self.target_segment(win, target)?;
+        self.trace_rma_atomic(win, target, 8);
         self.delays.charge(DelayOp::RmaAtomic, 8);
         let prev = seg.compare_exchange_u64(disp, T::to_bits(expected), T::to_bits(new))?;
         Ok(T::from_bits(prev))
@@ -366,6 +397,14 @@ impl Mpi {
                 size: win.comm.size(),
             });
         }
+        if caf_trace::enabled() {
+            caf_trace::instant(
+                caf_trace::Op::WinFlush,
+                Some(win.comm.global_rank(target)),
+                0,
+                Some(win.id),
+            );
+        }
         self.delays.charge(DelayOp::FlushPerTarget, 0);
         fence(Ordering::SeqCst);
         Ok(())
@@ -378,6 +417,14 @@ impl Mpi {
     /// CAF-MPI's `event_notify` overhead in RandomAccess).
     pub fn win_flush_all(&self, win: &Window) -> Result<()> {
         win.assert_epoch();
+        // The span's `bytes` field carries the per-target flush count —
+        // the Θ(P) signature a trace viewer should surface.
+        let _span = caf_trace::span_t(
+            caf_trace::Op::WinFlushAll,
+            None,
+            win.comm.size() as u64,
+            Some(win.id),
+        );
         for _target in 0..win.comm.size() {
             self.delays.charge(DelayOp::FlushPerTarget, 0);
         }

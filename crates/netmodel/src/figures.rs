@@ -9,7 +9,7 @@ use crate::{fft, hpl, memory, micro, ra};
 
 /// One plotted series: paired model and paper values over the x sweep
 /// (paper values may be absent for points the paper did not report).
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend label.
     pub label: String,
@@ -52,7 +52,7 @@ impl Series {
 }
 
 /// One regenerated figure or table.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     /// Identifier, e.g. `"fig3"`.
     pub id: &'static str,
@@ -69,9 +69,61 @@ pub struct Figure {
 }
 
 impl Figure {
-    /// Serialize to a JSON object (for plotting pipelines).
+    /// Serialize to a pretty-printed JSON object (for plotting
+    /// pipelines). Hand-rolled so the model crate carries no
+    /// serialization dependency.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("figure serializes")
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn num(v: f64) -> String {
+            if !v.is_finite() {
+                "null".to_string()
+            } else if v == v.trunc() && v.abs() < 1e15 {
+                format!("{v:.1}")
+            } else {
+                format!("{v}")
+            }
+        }
+        fn list<T, F: Fn(&T) -> String>(items: &[T], f: F) -> String {
+            let inner: Vec<String> = items.iter().map(f).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"id\": \"{}\",", esc(self.id));
+        let _ = writeln!(out, "  \"title\": \"{}\",", esc(&self.title));
+        let _ = writeln!(out, "  \"xlabel\": \"{}\",", esc(self.xlabel));
+        let _ = writeln!(out, "  \"ylabel\": \"{}\",", esc(self.ylabel));
+        let _ = writeln!(out, "  \"xs\": {},", list(&self.xs, |x| x.to_string()));
+        let _ = writeln!(out, "  \"series\": [");
+        for (si, s) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "    {{");
+            let _ = writeln!(out, "      \"label\": \"{}\",", esc(&s.label));
+            let _ = writeln!(out, "      \"model\": {},", list(&s.model, |v| num(*v)));
+            let _ = writeln!(
+                out,
+                "      \"paper\": {}",
+                list(&s.paper, |v| v.map_or_else(|| "null".to_string(), num))
+            );
+            let comma = if si + 1 < self.series.len() { "," } else { "" };
+            let _ = writeln!(out, "    }}{comma}");
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = write!(out, "}}");
+        out
     }
 
     /// Render as a plain-text table: one row per x, `model/paper` pairs

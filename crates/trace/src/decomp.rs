@@ -1,0 +1,275 @@
+//! Aggregation of a merged trace into the paper's Fig 4/8 time
+//! decomposition: per-image seconds attributed to the ten runtime
+//! primitive categories.
+
+use crate::op::EventKind;
+use crate::session::Trace;
+
+/// Number of decomposition categories.
+pub const NCAT: usize = 10;
+
+/// Decomposition category — mirrors the runtime's `StatCat` (and the
+/// legend of the paper's Figs 4 and 8) exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cat {
+    /// Application compute.
+    Computation,
+    /// Remote coarray writes.
+    CoarrayWrite,
+    /// Remote coarray reads.
+    CoarrayRead,
+    /// `event_wait`.
+    EventWait,
+    /// `event_notify` (includes the pre-notify flush).
+    EventNotify,
+    /// Alltoall exchanges.
+    Alltoall,
+    /// Barriers.
+    Barrier,
+    /// Reductions.
+    Reduction,
+    /// `finish` termination detection.
+    Finish,
+    /// Asynchronous copies.
+    CopyAsync,
+}
+
+impl Cat {
+    /// All categories in display order (matches `StatCat::ALL_CATS`).
+    pub const ALL: [Cat; NCAT] = [
+        Cat::Computation,
+        Cat::CoarrayWrite,
+        Cat::CoarrayRead,
+        Cat::EventWait,
+        Cat::EventNotify,
+        Cat::Alltoall,
+        Cat::Barrier,
+        Cat::Reduction,
+        Cat::Finish,
+        Cat::CopyAsync,
+    ];
+
+    /// Position in [`Cat::ALL`] (constant-time).
+    pub const fn index(self) -> usize {
+        match self {
+            Cat::Computation => 0,
+            Cat::CoarrayWrite => 1,
+            Cat::CoarrayRead => 2,
+            Cat::EventWait => 3,
+            Cat::EventNotify => 4,
+            Cat::Alltoall => 5,
+            Cat::Barrier => 6,
+            Cat::Reduction => 7,
+            Cat::Finish => 8,
+            Cat::CopyAsync => 9,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Cat::Computation => "Computation",
+            Cat::CoarrayWrite => "CoarrayWrite",
+            Cat::CoarrayRead => "CoarrayRead",
+            Cat::EventWait => "EventWait",
+            Cat::EventNotify => "EventNotify",
+            Cat::Alltoall => "Alltoall",
+            Cat::Barrier => "Barrier",
+            Cat::Reduction => "Reduction",
+            Cat::Finish => "Finish",
+            Cat::CopyAsync => "CopyAsync",
+        }
+    }
+}
+
+/// Per-image, per-category seconds and call counts computed from a
+/// trace — the same numbers `caf::stats` accumulates eagerly, making
+/// `stats` a thin view over trace data.
+#[derive(Debug, Clone, Default)]
+pub struct Decomposition {
+    /// Images present, sorted.
+    pub images: Vec<usize>,
+    /// `seconds[i][cat.index()]` for `images[i]`.
+    pub seconds: Vec<[f64; NCAT]>,
+    /// `calls[i][cat.index()]` for `images[i]`.
+    pub calls: Vec<[u64; NCAT]>,
+}
+
+impl Decomposition {
+    /// Seconds image `image` spent in `cat` (0.0 if absent).
+    pub fn seconds_for(&self, image: usize, cat: Cat) -> f64 {
+        match self.images.binary_search(&image) {
+            Ok(i) => self.seconds[i][cat.index()],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Mean seconds per image in `cat`.
+    pub fn mean_seconds(&self, cat: Cat) -> f64 {
+        if self.images.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.seconds.iter().map(|row| row[cat.index()]).sum();
+        sum / self.images.len() as f64
+    }
+
+    /// Total calls across images in `cat`.
+    pub fn total_calls(&self, cat: Cat) -> u64 {
+        self.calls.iter().map(|row| row[cat.index()]).sum()
+    }
+
+    /// Median per-image seconds in `cat` (0.0 with no images). At
+    /// microsecond scale a single preempted image can swamp the mean, so
+    /// cross-substrate comparisons should use medians.
+    pub fn median_seconds(&self, cat: Cat) -> f64 {
+        if self.images.is_empty() {
+            return 0.0;
+        }
+        let mut v: Vec<f64> = self.seconds.iter().map(|row| row[cat.index()]).collect();
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    }
+
+    /// `cat`'s share of the summed per-category median time (0.0 when
+    /// the trace attributed no time at all).
+    pub fn median_share(&self, cat: Cat) -> f64 {
+        let total: f64 = Cat::ALL.iter().map(|&c| self.median_seconds(c)).sum();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.median_seconds(cat) / total
+        }
+    }
+
+    /// `cat`'s share of the summed per-category mean time (0.0 when the
+    /// trace attributed no time at all).
+    pub fn share(&self, cat: Cat) -> f64 {
+        let total: f64 = Cat::ALL.iter().map(|&c| self.mean_seconds(c)).sum();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.mean_seconds(cat) / total
+        }
+    }
+
+    /// Plain-text table: one row per category with mean seconds, share,
+    /// and call counts.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>14} {:>12} {:>8} {:>12} {:>8} {:>10}",
+            "category", "mean (s)", "share", "median (s)", "share", "calls"
+        );
+        for &cat in &Cat::ALL {
+            let _ = writeln!(
+                out,
+                "{:>14} {:>12.6} {:>7.1}% {:>12.6} {:>7.1}% {:>10}",
+                cat.name(),
+                self.mean_seconds(cat),
+                self.share(cat) * 100.0,
+                self.median_seconds(cat),
+                self.median_share(cat) * 100.0,
+                self.total_calls(cat)
+            );
+        }
+        out
+    }
+}
+
+impl Trace {
+    /// Roll the trace up into the Fig 4/8 decomposition. Only top-level
+    /// category spans count (a category span nested inside another
+    /// category span is attributed to the outer one), mirroring the
+    /// double-count guard of `caf::stats`.
+    pub fn decomposition(&self) -> Decomposition {
+        let mut images: Vec<usize> = self
+            .events
+            .iter()
+            .filter(|e| e.image != usize::MAX)
+            .map(|e| e.image)
+            .collect();
+        images.sort_unstable();
+        images.dedup();
+        let mut seconds = vec![[0.0f64; NCAT]; images.len()];
+        let mut calls = vec![[0u64; NCAT]; images.len()];
+        for e in &self.events {
+            if !e.top_cat || e.kind != EventKind::Span {
+                continue;
+            }
+            let Some(cat) = e.op.cat() else { continue };
+            let Ok(i) = images.binary_search(&e.image) else {
+                continue;
+            };
+            seconds[i][cat.index()] += e.dur_ns as f64 / 1e9;
+            calls[i][cat.index()] += 1;
+        }
+        Decomposition {
+            images,
+            seconds,
+            calls,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+    use crate::session::TraceEvent;
+
+    fn ev(image: usize, op: Op, kind: EventKind, dur_ns: u64, top_cat: bool) -> TraceEvent {
+        TraceEvent {
+            image,
+            op,
+            kind,
+            t0_ns: 0,
+            dur_ns,
+            target: None,
+            bytes: 0,
+            window: None,
+            depth: 0,
+            top_cat,
+        }
+    }
+
+    #[test]
+    fn rollup_counts_only_top_level_category_spans() {
+        let trace = Trace {
+            events: vec![
+                ev(0, Op::EventNotify, EventKind::Span, 2_000_000_000, true),
+                // Nested category span: excluded.
+                ev(0, Op::Barrier, EventKind::Span, 500_000_000, false),
+                // Substrate op: never a category.
+                ev(0, Op::WinFlushAll, EventKind::Span, 1_000_000_000, false),
+                // Instant events never carry duration.
+                ev(0, Op::RmaPut, EventKind::Instant, 0, false),
+                ev(1, Op::EventNotify, EventKind::Span, 1_000_000_000, true),
+                ev(1, Op::Computation, EventKind::Span, 3_000_000_000, true),
+            ],
+            stalls: vec![],
+            dropped_events: 0,
+        };
+        let d = trace.decomposition();
+        assert_eq!(d.images, vec![0, 1]);
+        assert!((d.seconds_for(0, Cat::EventNotify) - 2.0).abs() < 1e-9);
+        assert_eq!(d.seconds_for(0, Cat::Barrier), 0.0);
+        assert!((d.mean_seconds(Cat::EventNotify) - 1.5).abs() < 1e-9);
+        assert!((d.median_seconds(Cat::EventNotify) - 2.0).abs() < 1e-9);
+        assert_eq!(d.total_calls(Cat::EventNotify), 2);
+        let mshare_sum: f64 = Cat::ALL.iter().map(|&c| d.median_share(c)).sum();
+        assert!((mshare_sum - 1.0).abs() < 1e-9);
+        let share_sum: f64 = Cat::ALL.iter().map(|&c| d.share(c)).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+        let table = d.render();
+        assert!(table.contains("EventNotify"));
+    }
+
+    #[test]
+    fn cat_index_matches_all_order() {
+        for (i, c) in Cat::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+}

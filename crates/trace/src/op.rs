@@ -1,0 +1,242 @@
+//! Traced operations across the four runtime layers.
+
+use crate::decomp::Cat;
+
+/// One traced operation. Variants cover the hot paths of all four layers:
+/// `caf` core, `mpisim`, `gasnetsim`, and the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum Op {
+    // --- caf core (the ten StatCat categories) ---
+    /// Application compute bracketed by the benchmark harness.
+    Computation = 0,
+    /// Remote coarray write (`a(..)[p] = v`).
+    CoarrayWrite,
+    /// Remote coarray read (`v = a(..)[p]`).
+    CoarrayRead,
+    /// `event_wait` blocking on a count.
+    EventWait,
+    /// `event_notify` (includes the pre-notify flush).
+    EventNotify,
+    /// CAF-level alltoall.
+    Alltoall,
+    /// CAF-level barrier (`sync all`).
+    Barrier,
+    /// CAF-level reduction.
+    Reduction,
+    /// `finish` termination detection.
+    Finish,
+    /// Asynchronous copy (`copy_async`).
+    CopyAsync,
+    // --- caf core (non-StatCat) ---
+    /// Function shipping (`ship`) send side.
+    Ship,
+    /// Runtime control message send.
+    RtMsgSend,
+    /// Blocking receive of a runtime control message.
+    RtMsgRecvBlocking,
+    // --- mpisim ---
+    /// Two-sided send / isend injection.
+    MpiSend,
+    /// Blocking two-sided receive (includes matching).
+    MpiRecv,
+    /// MPI barrier.
+    MpiBarrier,
+    /// MPI broadcast.
+    MpiBcast,
+    /// MPI reduce / allreduce.
+    MpiReduce,
+    /// MPI allgather / gather.
+    MpiGather,
+    /// MPI alltoall.
+    MpiAlltoall,
+    /// One-sided put into an RMA window.
+    RmaPut,
+    /// One-sided get from an RMA window.
+    RmaGet,
+    /// One-sided accumulate / fetch-op / compare-and-swap.
+    RmaAtomic,
+    /// `MPI_Win_flush` to one target.
+    WinFlush,
+    /// `MPI_Win_flush_all` — the Θ(P) loop over every rank.
+    WinFlushAll,
+    // --- gasnetsim ---
+    /// Active-message handler dispatch at the target.
+    AmDispatch,
+    /// `gasnet_AMPoll` that dispatched at least one AM.
+    AmPoll,
+    /// SRQ slow path charged on AM receive.
+    SrqSlowPath,
+    /// AM-mediated put waiting for the target's acknowledgement
+    /// (the Figure 2 hazard: completion requires the target to poll).
+    AmPutAckWait,
+    /// GASNet barrier (dissemination rounds).
+    GasnetBarrier,
+    /// GASNet RDMA put.
+    GasnetPut,
+    /// GASNet RDMA get.
+    GasnetGet,
+    // --- fabric ---
+    /// Packet handed to a mailbox.
+    PacketInject,
+    /// Packet taken out of a mailbox.
+    PacketDeliver,
+    /// Byte store into a registered segment.
+    SegmentPut,
+    /// Byte load from a registered segment.
+    SegmentGet,
+}
+
+/// Number of [`Op`] variants (for decode bounds checks).
+pub(crate) const NOPS: u16 = Op::SegmentGet as u16 + 1;
+
+impl Op {
+    /// Display name (used verbatim in Chrome trace output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Computation => "Computation",
+            Op::CoarrayWrite => "CoarrayWrite",
+            Op::CoarrayRead => "CoarrayRead",
+            Op::EventWait => "EventWait",
+            Op::EventNotify => "EventNotify",
+            Op::Alltoall => "Alltoall",
+            Op::Barrier => "Barrier",
+            Op::Reduction => "Reduction",
+            Op::Finish => "Finish",
+            Op::CopyAsync => "CopyAsync",
+            Op::Ship => "Ship",
+            Op::RtMsgSend => "RtMsgSend",
+            Op::RtMsgRecvBlocking => "RtMsgRecvBlocking",
+            Op::MpiSend => "MpiSend",
+            Op::MpiRecv => "MpiRecv",
+            Op::MpiBarrier => "MpiBarrier",
+            Op::MpiBcast => "MpiBcast",
+            Op::MpiReduce => "MpiReduce",
+            Op::MpiGather => "MpiGather",
+            Op::MpiAlltoall => "MpiAlltoall",
+            Op::RmaPut => "RmaPut",
+            Op::RmaGet => "RmaGet",
+            Op::RmaAtomic => "RmaAtomic",
+            Op::WinFlush => "WinFlush",
+            Op::WinFlushAll => "WinFlushAll",
+            Op::AmDispatch => "AmDispatch",
+            Op::AmPoll => "AmPoll",
+            Op::SrqSlowPath => "SrqSlowPath",
+            Op::AmPutAckWait => "AmPutAckWait",
+            Op::GasnetBarrier => "GasnetBarrier",
+            Op::GasnetPut => "GasnetPut",
+            Op::GasnetGet => "GasnetGet",
+            Op::PacketInject => "PacketInject",
+            Op::PacketDeliver => "PacketDeliver",
+            Op::SegmentPut => "SegmentPut",
+            Op::SegmentGet => "SegmentGet",
+        }
+    }
+
+    /// Runtime layer, used as the Chrome `cat` field.
+    pub fn layer(self) -> &'static str {
+        use Op::*;
+        match self {
+            Computation | CoarrayWrite | CoarrayRead | EventWait | EventNotify | Alltoall
+            | Barrier | Reduction | Finish | CopyAsync | Ship | RtMsgSend | RtMsgRecvBlocking => {
+                "caf"
+            }
+            MpiSend | MpiRecv | MpiBarrier | MpiBcast | MpiReduce | MpiGather | MpiAlltoall
+            | RmaPut | RmaGet | RmaAtomic | WinFlush | WinFlushAll => "mpi",
+            AmDispatch | AmPoll | SrqSlowPath | AmPutAckWait | GasnetBarrier | GasnetPut
+            | GasnetGet => "gasnet",
+            PacketInject | PacketDeliver | SegmentPut | SegmentGet => "fabric",
+        }
+    }
+
+    /// The decomposition category this op rolls up into (the paper's
+    /// Fig 4/8 legend), if any. Only the ten `StatCat`-mirroring ops
+    /// participate; substrate-internal ops are attributed to whichever
+    /// category encloses them.
+    pub fn cat(self) -> Option<Cat> {
+        Some(match self {
+            Op::Computation => Cat::Computation,
+            Op::CoarrayWrite => Cat::CoarrayWrite,
+            Op::CoarrayRead => Cat::CoarrayRead,
+            Op::EventWait => Cat::EventWait,
+            Op::EventNotify => Cat::EventNotify,
+            Op::Alltoall => Cat::Alltoall,
+            Op::Barrier => Cat::Barrier,
+            Op::Reduction => Cat::Reduction,
+            Op::Finish => Cat::Finish,
+            Op::CopyAsync => Cat::CopyAsync,
+            _ => return None,
+        })
+    }
+
+    /// Whether an open span of this op means the image is *waiting* on
+    /// remote progress — the set the stall watchdog considers.
+    pub fn is_blocking(self) -> bool {
+        use Op::*;
+        matches!(
+            self,
+            EventWait
+                | EventNotify
+                | Alltoall
+                | Barrier
+                | Reduction
+                | Finish
+                | CoarrayWrite
+                | CoarrayRead
+                | RtMsgRecvBlocking
+                | MpiRecv
+                | MpiBarrier
+                | MpiBcast
+                | MpiReduce
+                | MpiGather
+                | MpiAlltoall
+                | WinFlush
+                | WinFlushAll
+                | AmPutAckWait
+                | GasnetBarrier
+        )
+    }
+
+    pub(crate) fn from_u16(v: u16) -> Option<Op> {
+        if v < NOPS {
+            // SAFETY: repr(u16) fieldless enum with contiguous
+            // discriminants 0..NOPS, checked above.
+            Some(unsafe { std::mem::transmute::<u16, Op>(v) })
+        } else {
+            None
+        }
+    }
+}
+
+/// Whether an event was recorded as a bracketed span or a point event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Completed [`crate::span`] with a duration.
+    Span,
+    /// Point event from [`crate::instant`].
+    Instant,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_roundtrips_through_u16() {
+        for v in 0..NOPS {
+            let op = Op::from_u16(v).unwrap();
+            assert_eq!(op as u16, v);
+            assert!(!op.name().is_empty());
+            assert!(!op.layer().is_empty());
+        }
+        assert!(Op::from_u16(NOPS).is_none());
+    }
+
+    #[test]
+    fn exactly_ten_cat_ops() {
+        let n = (0..NOPS)
+            .filter(|&v| Op::from_u16(v).unwrap().cat().is_some())
+            .count();
+        assert_eq!(n, crate::NCAT);
+    }
+}

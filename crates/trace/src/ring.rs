@@ -1,0 +1,209 @@
+//! Fixed-capacity single-writer ring buffer of trace records.
+//!
+//! Each record is six `AtomicU64` words, so the owning image thread can
+//! record with plain atomic stores (no locks, no allocation) while the
+//! merge pass — which runs after the traced job's threads are joined —
+//! reads the same words back. On overflow the oldest records are
+//! overwritten; the push counter keeps the survivors' order exact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::op::{EventKind, Op};
+
+pub(crate) const WORDS: usize = 6;
+
+/// Sentinel for "no target image" / "no window id".
+pub(crate) const NONE_SENTINEL: u64 = u64::MAX;
+
+/// One decoded trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Record {
+    pub op: Op,
+    pub kind: EventKind,
+    /// True when the op maps to a decomposition category and no
+    /// enclosing span did — i.e. this record is the one the Fig 4/8
+    /// roll-up should count.
+    pub top_cat: bool,
+    pub depth: u8,
+    pub t0_ns: u64,
+    pub dur_ns: u64,
+    pub target: Option<usize>,
+    pub bytes: u64,
+    pub window: Option<u64>,
+}
+
+pub(crate) struct Ring {
+    slots: Box<[[AtomicU64; WORDS]]>,
+    /// Total pushes ever; `head % capacity` is the next write index.
+    head: AtomicU64,
+}
+
+const KIND_SPAN: u64 = 1 << 24;
+const TOP_CAT: u64 = 1 << 25;
+
+impl Ring {
+    pub fn new(capacity: usize) -> Ring {
+        assert!(capacity > 0, "ring capacity must be positive");
+        let slots = (0..capacity)
+            .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Ring {
+            slots,
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Total records ever pushed (including overwritten ones).
+    #[cfg(test)]
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Record one event. Single-writer: only the owning thread calls this.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push(
+        &self,
+        op: Op,
+        kind: EventKind,
+        top_cat: bool,
+        depth: u8,
+        t0_ns: u64,
+        dur_ns: u64,
+        target: Option<usize>,
+        bytes: u64,
+        window: Option<u64>,
+    ) {
+        let head = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(head % self.slots.len() as u64) as usize];
+        let mut w0 = op as u64 | (u64::from(depth) << 16);
+        if matches!(kind, EventKind::Span) {
+            w0 |= KIND_SPAN;
+        }
+        if top_cat {
+            w0 |= TOP_CAT;
+        }
+        slot[0].store(w0, Ordering::Relaxed);
+        slot[1].store(t0_ns, Ordering::Relaxed);
+        slot[2].store(dur_ns, Ordering::Relaxed);
+        slot[3].store(target.map_or(NONE_SENTINEL, |t| t as u64), Ordering::Relaxed);
+        slot[4].store(bytes, Ordering::Relaxed);
+        slot[5].store(window.unwrap_or(NONE_SENTINEL), Ordering::Relaxed);
+        self.head.store(head + 1, Ordering::Release);
+    }
+
+    /// Read back the surviving records, oldest first. Records that were
+    /// overwritten by wraparound are gone; `dropped()` says how many.
+    pub fn drain(&self) -> Vec<Record> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let live = head.min(cap);
+        let mut out = Vec::with_capacity(live as usize);
+        for i in (head - live)..head {
+            let slot = &self.slots[(i % cap) as usize];
+            let w0 = slot[0].load(Ordering::Relaxed);
+            let Some(op) = Op::from_u16((w0 & 0xffff) as u16) else {
+                continue;
+            };
+            let target = match slot[3].load(Ordering::Relaxed) {
+                NONE_SENTINEL => None,
+                t => Some(t as usize),
+            };
+            let window = match slot[5].load(Ordering::Relaxed) {
+                NONE_SENTINEL => None,
+                w => Some(w),
+            };
+            out.push(Record {
+                op,
+                kind: if w0 & KIND_SPAN != 0 {
+                    EventKind::Span
+                } else {
+                    EventKind::Instant
+                },
+                top_cat: w0 & TOP_CAT != 0,
+                depth: ((w0 >> 16) & 0xff) as u8,
+                t0_ns: slot[1].load(Ordering::Relaxed),
+                dur_ns: slot[2].load(Ordering::Relaxed),
+                target,
+                bytes: slot[4].load(Ordering::Relaxed),
+                window,
+            });
+        }
+        out
+    }
+
+    /// Records lost to wraparound.
+    pub fn dropped(&self) -> u64 {
+        let head = self.head.load(Ordering::Acquire);
+        head.saturating_sub(self.slots.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn push_n(ring: &Ring, n: u64) {
+        for i in 0..n {
+            ring.push(
+                Op::RmaPut,
+                EventKind::Instant,
+                false,
+                0,
+                i,
+                0,
+                Some(1),
+                8,
+                Some(3),
+            );
+        }
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let ring = Ring::new(8);
+        ring.push(
+            Op::EventNotify,
+            EventKind::Span,
+            true,
+            2,
+            100,
+            50,
+            Some(4),
+            64,
+            None,
+        );
+        let recs = ring.drain();
+        assert_eq!(recs.len(), 1);
+        let r = &recs[0];
+        assert_eq!(r.op, Op::EventNotify);
+        assert_eq!(r.kind, EventKind::Span);
+        assert!(r.top_cat);
+        assert_eq!(r.depth, 2);
+        assert_eq!((r.t0_ns, r.dur_ns), (100, 50));
+        assert_eq!(r.target, Some(4));
+        assert_eq!(r.bytes, 64);
+        assert_eq!(r.window, None);
+    }
+
+    #[test]
+    fn wraparound_keeps_newest_in_order() {
+        let ring = Ring::new(4);
+        push_n(&ring, 11);
+        assert_eq!(ring.pushed(), 11);
+        assert_eq!(ring.dropped(), 7);
+        let recs = ring.drain();
+        assert_eq!(recs.len(), 4);
+        // The four newest, oldest-first.
+        let t0s: Vec<u64> = recs.iter().map(|r| r.t0_ns).collect();
+        assert_eq!(t0s, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything() {
+        let ring = Ring::new(16);
+        push_n(&ring, 5);
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(ring.drain().len(), 5);
+    }
+}

@@ -1,0 +1,375 @@
+//! The global trace session: the enable flag every probe checks, the
+//! registry collecting per-thread buffers, and the merge into one
+//! timeline.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::collector::{Collector, SpanGuard};
+use crate::op::{EventKind, Op};
+use crate::stall::{self, StallReport};
+
+/// The near-zero disabled path: every probe is gated on this single
+/// relaxed load.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Bumped on session start *and* finish so stale thread-local
+/// collectors from a previous session are never written into a new one.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+
+static CURRENT: Mutex<Option<Arc<SessionShared>>> = Mutex::new(None);
+
+thread_local! {
+    static TLS: RefCell<Option<(u64, Arc<Collector>)>> = const { RefCell::new(None) };
+}
+
+/// Whether a trace session is currently recording.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// Run `f` against this thread's collector, creating and registering it
+/// with the active session on first use. No-op (returns `None`) when
+/// tracing is disabled.
+fn with_collector<R>(f: impl FnOnce(&Arc<Collector>) -> R) -> Option<R> {
+    if !enabled() {
+        return None;
+    }
+    TLS.with(|tls| {
+        let mut tls = tls.borrow_mut();
+        let gen_now = GENERATION.load(Ordering::Acquire);
+        let stale = !matches!(&*tls, Some((g, _)) if *g == gen_now);
+        if stale {
+            let shared = lock(&CURRENT).clone()?;
+            if shared.gen != gen_now {
+                return None; // session is mid-start/finish; skip this probe
+            }
+            let col = Arc::new(Collector::new(shared.cfg.ring_capacity));
+            lock(&shared.collectors).push(Arc::clone(&col));
+            *tls = Some((gen_now, col));
+        }
+        let (_, col) = tls.as_ref().expect("collector just installed");
+        Some(f(col))
+    })
+}
+
+/// Declare this thread's image index; recorded events and stall reports
+/// are attributed to it. Call early (e.g. in image init).
+pub fn set_image(rank: usize) {
+    let _ = with_collector(|c| c.image.store(rank as u64, Ordering::Relaxed));
+}
+
+/// Open a span for `op`; it is recorded with its duration when the
+/// returned guard drops. Inert when tracing is disabled.
+#[inline]
+pub fn span(op: Op) -> SpanGuard {
+    span_t(op, None, 0, None)
+}
+
+/// [`span`] with a target image, payload size, and window/segment id.
+#[inline]
+pub fn span_t(op: Op, target: Option<usize>, bytes: u64, window: Option<u64>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::disabled();
+    }
+    with_collector(|c| c.open_span(op, target, bytes, window)).unwrap_or_else(SpanGuard::disabled)
+}
+
+/// Record a point event. Inert when tracing is disabled.
+#[inline]
+pub fn instant(op: Op, target: Option<usize>, bytes: u64, window: Option<u64>) {
+    if !enabled() {
+        return;
+    }
+    let _ = with_collector(|c| c.record_instant(op, target, bytes, window));
+}
+
+/// Configuration for a trace session.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Events retained per image before the oldest are overwritten.
+    pub ring_capacity: usize,
+    /// Blocking ops open at least this long produce a [`StallReport`];
+    /// `None` disables the watchdog.
+    pub stall_threshold: Option<Duration>,
+    /// How often the watchdog samples open spans.
+    pub stall_poll_period: Duration,
+    /// Print each stall report to stderr as it is detected.
+    pub announce_stalls: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            ring_capacity: 1 << 16,
+            stall_threshold: Some(Duration::from_millis(100)),
+            stall_poll_period: Duration::from_millis(10),
+            announce_stalls: true,
+        }
+    }
+}
+
+/// Why a session could not be started.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Another [`Session`] is already recording in this process.
+    SessionActive,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::SessionActive => write!(f, "a trace session is already active"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+pub(crate) struct SessionShared {
+    pub gen: u64,
+    pub cfg: TraceConfig,
+    pub collectors: Mutex<Vec<Arc<Collector>>>,
+    pub stalls: Mutex<Vec<StallReport>>,
+}
+
+/// An active recording session. Only one can exist per process; finish
+/// it (after the traced job's threads have been joined) to obtain the
+/// merged [`Trace`].
+pub struct Session {
+    shared: Arc<SessionShared>,
+    watchdog: Option<(Arc<AtomicBool>, JoinHandle<()>)>,
+    active: bool,
+}
+
+impl Session {
+    /// Begin recording. Fails if a session is already active.
+    pub fn start(cfg: TraceConfig) -> Result<Session, TraceError> {
+        let mut cur = lock(&CURRENT);
+        if cur.is_some() {
+            return Err(TraceError::SessionActive);
+        }
+        let gen = GENERATION.fetch_add(1, Ordering::AcqRel) + 1;
+        let shared = Arc::new(SessionShared {
+            gen,
+            cfg: cfg.clone(),
+            collectors: Mutex::new(Vec::new()),
+            stalls: Mutex::new(Vec::new()),
+        });
+        *cur = Some(Arc::clone(&shared));
+        drop(cur);
+        ENABLED.store(true, Ordering::SeqCst);
+        let watchdog = cfg.stall_threshold.map(|threshold| {
+            let stop = Arc::new(AtomicBool::new(false));
+            let handle = stall::spawn_watchdog(
+                Arc::clone(&shared),
+                Arc::clone(&stop),
+                threshold,
+                cfg.stall_poll_period,
+                cfg.announce_stalls,
+            );
+            (stop, handle)
+        });
+        Ok(Session {
+            shared,
+            watchdog,
+            active: true,
+        })
+    }
+
+    /// Stall reports accumulated so far (live view; the watchdog keeps
+    /// running until [`Session::finish`]).
+    pub fn stall_reports(&self) -> Vec<StallReport> {
+        lock(&self.shared.stalls).clone()
+    }
+
+    /// Stop recording and merge every per-image buffer into one
+    /// time-sorted trace. Call after the traced job's threads have been
+    /// joined; events recorded by still-running threads afterwards are
+    /// not included.
+    pub fn finish(mut self) -> Trace {
+        self.teardown();
+        let mut events = Vec::new();
+        let mut dropped = 0u64;
+        for col in lock(&self.shared.collectors).iter() {
+            let image = col.image_index().unwrap_or(usize::MAX);
+            dropped += col.ring.dropped();
+            for r in col.records() {
+                events.push(TraceEvent {
+                    image,
+                    op: r.op,
+                    kind: r.kind,
+                    t0_ns: r.t0_ns,
+                    dur_ns: r.dur_ns,
+                    target: r.target,
+                    bytes: r.bytes,
+                    window: r.window,
+                    depth: r.depth,
+                    top_cat: r.top_cat,
+                });
+            }
+        }
+        // Stable by start time: ties keep per-image recording order.
+        events.sort_by_key(|e| (e.t0_ns, e.image));
+        Trace {
+            events,
+            stalls: lock(&self.shared.stalls).clone(),
+            dropped_events: dropped,
+        }
+    }
+
+    fn teardown(&mut self) {
+        if !self.active {
+            return;
+        }
+        self.active = false;
+        ENABLED.store(false, Ordering::SeqCst);
+        if let Some((stop, handle)) = self.watchdog.take() {
+            stop.store(true, Ordering::SeqCst);
+            let _ = handle.join();
+        }
+        *lock(&CURRENT) = None;
+        // Invalidate surviving thread-local collectors.
+        GENERATION.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}
+
+/// One event of the merged timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Recording image (`usize::MAX` if the thread never identified).
+    pub image: usize,
+    /// What ran.
+    pub op: Op,
+    /// Span (has `dur_ns`) or instant.
+    pub kind: EventKind,
+    /// Start time on the shared trace clock.
+    pub t0_ns: u64,
+    /// Duration (zero for instants).
+    pub dur_ns: u64,
+    /// Target image of the operation, if any.
+    pub target: Option<usize>,
+    /// Payload bytes moved, if meaningful.
+    pub bytes: u64,
+    /// RMA window / segment id, if any.
+    pub window: Option<u64>,
+    /// Span nesting depth at which this was recorded.
+    pub depth: u8,
+    /// Whether the Fig 4/8 decomposition counts this event (it maps to
+    /// a category and no enclosing span did).
+    pub top_cat: bool,
+}
+
+/// A finished, merged trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// All events, sorted by start time.
+    pub events: Vec<TraceEvent>,
+    /// Stall reports raised during the session.
+    pub stalls: Vec<StallReport>,
+    /// Events lost to ring-buffer wraparound across all images.
+    pub dropped_events: u64,
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// Sessions are process-global; the crate's session-using tests
+    /// serialize on this.
+    pub(crate) static SESSION_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_probes_are_inert() {
+        let _guard = lock(&SESSION_TEST_LOCK);
+        assert!(!enabled());
+        instant(Op::RmaPut, Some(1), 8, None);
+        let g = span(Op::Barrier);
+        drop(g);
+        // Nothing to assert beyond "did not panic / did not allocate a
+        // session": no session exists, so no state changed.
+        assert!(lock(&CURRENT).is_none());
+    }
+
+    #[test]
+    fn session_records_and_merges_across_threads() {
+        let _guard = lock(&SESSION_TEST_LOCK);
+        let session = Session::start(TraceConfig {
+            stall_threshold: None,
+            ..TraceConfig::default()
+        })
+        .expect("no other session");
+        assert!(enabled());
+        let handles: Vec<_> = (0..3)
+            .map(|img| {
+                std::thread::spawn(move || {
+                    set_image(img);
+                    for i in 0..4 {
+                        let mut s = span_t(Op::CoarrayWrite, Some((img + 1) % 3), 8, None);
+                        s.set_bytes(16 + i);
+                        drop(s);
+                    }
+                    instant(Op::RmaPut, Some(0), 8, Some(7));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let trace = session.finish();
+        assert!(!enabled());
+        assert_eq!(trace.events.len(), 3 * 5);
+        assert_eq!(trace.dropped_events, 0);
+        // Merged ordering: start times are globally non-decreasing.
+        for pair in trace.events.windows(2) {
+            assert!(pair[0].t0_ns <= pair[1].t0_ns);
+        }
+        // Every image contributed, attributed correctly.
+        for img in 0..3 {
+            let mine: Vec<_> = trace.events.iter().filter(|e| e.image == img).collect();
+            assert_eq!(mine.len(), 5);
+            assert!(mine.iter().all(|e| e.depth == 0));
+        }
+        // Per-image recording order survives the merge (bytes ascend).
+        for img in 0..3 {
+            let b: Vec<u64> = trace
+                .events
+                .iter()
+                .filter(|e| e.image == img && e.kind == EventKind::Span)
+                .map(|e| e.bytes)
+                .collect();
+            assert_eq!(b, vec![16, 17, 18, 19]);
+        }
+    }
+
+    #[test]
+    fn second_session_is_rejected_while_active() {
+        let _guard = lock(&SESSION_TEST_LOCK);
+        let s1 = Session::start(TraceConfig::default()).unwrap();
+        assert_eq!(
+            Session::start(TraceConfig::default()).err(),
+            Some(TraceError::SessionActive)
+        );
+        drop(s1); // Drop (without finish) must still tear down.
+        assert!(!enabled());
+        let s2 = Session::start(TraceConfig::default()).unwrap();
+        s2.finish();
+    }
+}

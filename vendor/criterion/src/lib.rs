@@ -1,0 +1,231 @@
+//! Minimal in-tree stand-in for the `criterion` crate.
+//!
+//! Implements the API surface this workspace's benches use — benchmark
+//! groups with chained configuration, `bench_function` /
+//! `bench_with_input`, `Bencher::iter` / `iter_custom`, throughput
+//! annotations, and the `criterion_group!` / `criterion_main!` macros.
+//! Measurement is deliberately simple: a fixed small number of samples
+//! with the mean printed per benchmark. No statistics, no HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Samples per benchmark (kept small: the workloads spawn whole
+/// simulated universes per iteration).
+const SAMPLES: u32 = 3;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _c: self,
+        }
+    }
+}
+
+/// Throughput annotation attached to subsequent benchmarks in a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Operations per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only identifier.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; sampling is fixed at [`SAMPLES`].
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; no warm-up is performed.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; measurement is per-sample, not timed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark closure against a [`Bencher`].
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..SAMPLES {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            total += b.elapsed;
+            iters += b.iters;
+        }
+        self.report(&id.to_string(), total, iters);
+        self
+    }
+
+    /// Run a benchmark closure with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group (reports are emitted eagerly; this is a no-op).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, total: Duration, iters: u64) {
+        let iters = iters.max(1);
+        let per_iter = total / iters as u32;
+        match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+                let rate = n as f64 / per_iter.as_secs_f64();
+                println!(
+                    "{}/{}: {:?}/iter ({:.3e} elem/s)",
+                    self.name, id, per_iter, rate
+                );
+            }
+            Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+                let rate = n as f64 / per_iter.as_secs_f64();
+                println!(
+                    "{}/{}: {:?}/iter ({:.3e} B/s)",
+                    self.name, id, per_iter, rate
+                );
+            }
+            _ => println!("{}/{}: {:?}/iter", self.name, id, per_iter),
+        }
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`, called once per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        drop(black_box(out));
+    }
+
+    /// Hand the iteration count to `f`, which returns the measured time
+    /// for that many iterations.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed += f(1);
+        self.iters += 1;
+    }
+}
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running one or more [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1));
+        group.throughput(Throughput::Elements(4));
+        let mut calls = 0;
+        group.bench_function(BenchmarkId::new("f", 2), |b| {
+            b.iter(|| calls += 1);
+        });
+        group.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                assert_eq!(iters, 1);
+                Duration::from_micros(5)
+            });
+        });
+        group.finish();
+        assert_eq!(calls, SAMPLES);
+    }
+}

@@ -1,0 +1,298 @@
+//! Minimal in-tree stand-in for the `crossbeam` crate, providing the two
+//! pieces this workspace uses: an unbounded MPMC channel whose `Sender`
+//! and `Receiver` are both `Sync` (unlike `std::sync::mpsc`), and a
+//! concurrent `SegQueue`. Built on `Mutex` + `Condvar`; correctness over
+//! raw throughput, which is fine for a simulated fabric.
+
+pub mod channel {
+    //! Unbounded MPMC channel with `crossbeam-channel`'s API shape.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty.
+        Empty,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Deadline elapsed with no message.
+        Timeout,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Sending half; clonable and `Sync`.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Receiving half; clonable and `Sync`.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Inner<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            match self.state.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `t`; fails only if every `Receiver` has been dropped.
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            let mut st = self.inner.lock();
+            if st.receivers == 0 {
+                return Err(SendError(t));
+            }
+            st.queue.push_back(t);
+            drop(st);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.lock().senders += 1;
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.inner.lock();
+            st.senders -= 1;
+            let last = st.senders == 0;
+            drop(st);
+            if last {
+                self.inner.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.inner.lock();
+            match st.queue.pop_front() {
+                Some(t) => Ok(t),
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocking receive; fails once the channel is empty and all
+        /// senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.inner.lock();
+            loop {
+                if let Some(t) = st.queue.pop_front() {
+                    return Ok(t);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = match self.inner.ready.wait(st) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+            }
+        }
+
+        /// Blocking receive with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.inner.lock();
+            loop {
+                if let Some(t) = st.queue.pop_front() {
+                    return Ok(t);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (g, _res) = match self.inner.ready.wait_timeout(st, deadline - now) {
+                    Ok(r) => r,
+                    Err(p) => p.into_inner(),
+                };
+                st = g;
+            }
+        }
+
+        /// Number of queued messages (racy snapshot).
+        pub fn len(&self) -> usize {
+            self.inner.lock().queue.len()
+        }
+
+        /// Whether the queue is currently empty (racy snapshot).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.lock().receivers += 1;
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.inner.lock().receivers -= 1;
+        }
+    }
+}
+
+pub mod queue {
+    //! Concurrent queue with `crossbeam-queue`'s `SegQueue` API shape.
+
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Unbounded MPMC FIFO queue usable through a shared reference.
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Create an empty queue.
+        pub fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            match self.inner.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            }
+        }
+
+        /// Push to the back.
+        pub fn push(&self, t: T) {
+            self.lock().push_back(t);
+        }
+
+        /// Pop from the front.
+        pub fn pop(&self) -> Option<T> {
+            self.lock().pop_front()
+        }
+
+        /// Number of queued elements (racy snapshot).
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        /// Whether the queue is currently empty (racy snapshot).
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{self, RecvTimeoutError, TryRecvError};
+    use super::queue::SegQueue;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn channel_send_recv_across_threads() {
+        let (tx, rx) = channel::unbounded();
+        let tx = Arc::new(tx); // Sender must be usable via Arc (Sync).
+        let tx2 = Arc::clone(&tx);
+        let h = std::thread::spawn(move || tx2.send(42).unwrap());
+        assert_eq!(rx.recv().unwrap(), 42);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn try_recv_and_disconnect() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = channel::unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn segqueue_fifo() {
+        let q = SegQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+}
