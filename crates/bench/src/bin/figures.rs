@@ -9,6 +9,7 @@
 //! figures trace                # traced real RA run: decomposition from caf-trace
 //! figures fig4 --from-trace    # Figure 4 derived from a real traced run
 //! figures trace --trace-out t.json   # also export Chrome trace_event JSON
+//! figures check                # replay kernels under the caf-check sanitizer
 //! ```
 
 use caf::SubstrateKind;
@@ -37,9 +38,11 @@ fn main() {
     let want_real = args.iter().any(|a| a == "real");
     let want_json = args.iter().any(|a| a == "--json");
     let from_trace = args.iter().any(|a| a == "--from-trace");
-    // "trace" acts as a pseudo figure id: `figures trace` prints only the
-    // traced sections.
+    // "trace" and "check" act as pseudo figure ids: `figures trace`
+    // prints only the traced sections, `figures check` only the
+    // sanitizer sections.
     let want_trace = args.iter().any(|a| a == "trace");
+    let want_check = args.iter().any(|a| a == "check");
     let filters: Vec<&String> = args
         .iter()
         .filter(|a| {
@@ -82,6 +85,70 @@ fn main() {
     if want_real {
         real_sections();
     }
+
+    if want_check {
+        check_sections();
+    }
+}
+
+/// Replay the RandomAccess and FFT kernels on both substrates with the
+/// `caf-check` sanitizer armed (epoch legality + happens-before races),
+/// then audit a recorded trace with the offline checker. Exits nonzero
+/// if anything is flagged, so CI can gate on it.
+#[cfg(feature = "check")]
+fn check_sections() {
+    use caf_bench::checked::{checked_fft, checked_ra};
+    println!("== caf-check sanitizer (RMA epoch legality + vector-clock races) ==");
+    let mut flagged = 0usize;
+    for kind in [SubstrateKind::Mpi, SubstrateKind::Gasnet] {
+        for (name, report) in [
+            ("RandomAccess", checked_ra(4, kind, 8, 2000)),
+            ("FFT", checked_fft(4, kind, 12)),
+        ] {
+            let label = match kind {
+                SubstrateKind::Mpi => "CAF-MPI",
+                SubstrateKind::Gasnet => "CAF-GASNet",
+            };
+            if report.is_clean() {
+                println!("{label:>12} {name:<14} clean");
+            } else {
+                println!(
+                    "{label:>12} {name:<14} {} violation(s), {} dropped",
+                    report.violations.len(),
+                    report.dropped
+                );
+                print!("{}", report.render());
+                flagged += report.violations.len() + report.dropped;
+            }
+        }
+    }
+
+    // Offline pass: audit a trace recorded *without* the sanitizer.
+    let (_, trace) = traced_ra(4, SubstrateKind::Mpi, 8, 1000, 1);
+    let offline = caf_check::check_trace(&trace);
+    if offline.is_clean() {
+        println!("{:>12} {:<14} clean ({} events audited)", "offline", "RA trace", trace.events.len());
+    } else {
+        println!(
+            "{:>12} {:<14} {} violation(s)",
+            "offline",
+            "RA trace",
+            offline.violations.len()
+        );
+        print!("{}", offline.render());
+        flagged += offline.violations.len();
+    }
+
+    if flagged > 0 {
+        eprintln!("caf-check: {flagged} finding(s)");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(not(feature = "check"))]
+fn check_sections() {
+    eprintln!("`figures check` needs the sanitizer compiled in: rebuild with --features check");
+    std::process::exit(2);
 }
 
 /// Run the Figure-4 workload (miniature RandomAccess, `ra_mini`

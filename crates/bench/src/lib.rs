@@ -228,6 +228,76 @@ pub fn real_memory(p: usize) -> (usize, usize, usize) {
     (gasnet_only, mpi_only, duplicate)
 }
 
+/// Sanitized runs: replay the benchmark kernels under an armed
+/// `caf-check` session (`cargo ... --features check`, or the `figures
+/// check` subcommand). Kept out of the measurement paths — the hooks are
+/// a single relaxed load when disarmed, but an armed session serializes
+/// every RMA call through the checker.
+#[cfg(feature = "check")]
+pub mod checked {
+    use super::*;
+    use caf_check::{CheckConfig, CheckSession, Report};
+
+    /// Run `body` on `p` images of `kind` with the sanitizer armed and
+    /// return its report. Uses the cost-free [`fast`] configuration:
+    /// legality does not depend on the cost tables, and the checker
+    /// already serializes the interesting calls.
+    pub fn checked_run(
+        p: usize,
+        kind: SubstrateKind,
+        body: impl Fn(&Image) + Send + Sync,
+    ) -> Report {
+        let _guard = caf_check::SESSION_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let session = CheckSession::start(CheckConfig::default())
+            .expect("another check session is active");
+        CafUniverse::run_with_config(p, fast(kind), |img| body(img));
+        session.finish()
+    }
+
+    /// RandomAccess under the sanitizer.
+    pub fn checked_ra(p: usize, kind: SubstrateKind, log2_local: u32, updates: usize) -> Report {
+        checked_run(p, kind, |img| {
+            let team = img.team_world();
+            ra::run(img, &team, log2_local, updates);
+        })
+    }
+
+    /// FFT under the sanitizer.
+    pub fn checked_fft(p: usize, kind: SubstrateKind, log2_size: u32) -> Report {
+        checked_run(p, kind, |img| {
+            let team = img.team_world();
+            fft::run(img, &team, log2_size);
+        })
+    }
+
+    /// HPL under the sanitizer.
+    pub fn checked_hpl(p: usize, kind: SubstrateKind, n: usize, nb: usize) -> Report {
+        checked_run(p, kind, |img| {
+            let team = img.team_world();
+            hpl::run(img, &team, n, nb, 42);
+        })
+    }
+
+    /// CGPOP under the sanitizer.
+    pub fn checked_cgpop(p: usize, kind: SubstrateKind, mode: ExchangeMode) -> Report {
+        checked_run(p, kind, move |img| {
+            let team = img.team_world();
+            cgpop::run(
+                img,
+                &team,
+                CgpopParams {
+                    nx: 16,
+                    ny: 16,
+                    iters: 12,
+                },
+                mode,
+            );
+        })
+    }
+}
+
 /// Run `op_count` timed operations on image 0 of a `p`-image job and
 /// return image 0's elapsed time (helper for `iter_custom`-style micro
 /// benches).

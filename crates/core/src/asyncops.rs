@@ -111,6 +111,15 @@ impl Image {
         dst_event: Option<Event>,
     ) {
         let disp = elem_off * std::mem::size_of::<T>();
+        #[cfg(feature = "check")]
+        caf_check::hooks::hb_access(
+            self.this_image(),
+            ca.region.id(),
+            ca.global_member(member),
+            disp as u64,
+            std::mem::size_of_val(data) as u64,
+            true,
+        );
         match (&self.backend, &*ca.region) {
             (Backend::Mpi(b), RegionInner::Mpi { win }) => {
                 match dst_event {
@@ -131,8 +140,15 @@ impl Image {
                         let target = win.comm().global_rank(member);
                         if target == self.this_image() {
                             b.mpi.win_write_local(win, disp, data).expect("self put");
-                            self.post_event_local(dst.id);
+                            self.post_event_local_hb(dst.id);
                         } else {
+                            #[cfg(feature = "check")]
+                            caf_check::hooks::hb_send(
+                                self.this_image(),
+                                caf_check::hooks::NS_EVENT,
+                                dst.id,
+                                target,
+                            );
                             self.backend.send_rtmsg(
                                 target,
                                 &RtMsg::PutWithEvent {
@@ -156,8 +172,15 @@ impl Image {
                     bg.g.wait_syncnbi_puts();
                     let target = members[member];
                     if target == self.this_image() {
-                        self.post_event_local(dst.id);
+                        self.post_event_local_hb(dst.id);
                     } else {
+                        #[cfg(feature = "check")]
+                        caf_check::hooks::hb_send(
+                            self.this_image(),
+                            caf_check::hooks::NS_EVENT,
+                            dst.id,
+                            target,
+                        );
                         self.backend
                             .send_rtmsg(target, &RtMsg::EventNotify { event_id: dst.id });
                     }
@@ -168,7 +191,7 @@ impl Image {
         // The source buffer was consumed synchronously on this substrate;
         // its event can post immediately (local completion).
         if let Some(src) = src_event {
-            self.post_event_local(src.id);
+            self.post_event_local_hb(src.id);
         }
     }
 
@@ -187,6 +210,15 @@ impl Image {
         self.stats().timed(StatCat::CopyAsync, || {
             let mut out = crate::zeroed_vec::<T>(len);
             let disp = elem_off * std::mem::size_of::<T>();
+            #[cfg(feature = "check")]
+            caf_check::hooks::hb_access(
+                self.this_image(),
+                ca.region.id(),
+                ca.global_member(member),
+                disp as u64,
+                (len * std::mem::size_of::<T>()) as u64,
+                false,
+            );
             match (&self.backend, &*ca.region) {
                 (Backend::Mpi(b), RegionInner::Mpi { win }) => {
                     let req = b.mpi.rget::<T>(win, member, disp, len).expect("rget");
@@ -199,10 +231,10 @@ impl Image {
                 _ => panic!("coarray does not belong to this substrate"),
             }
             if let Some(src) = opts.src_event {
-                self.post_event_local(src.id);
+                self.post_event_local_hb(src.id);
             }
             if let Some(dst) = opts.dst_event {
-                self.post_event_local(dst.id);
+                self.post_event_local_hb(dst.id);
             }
             out
         })
@@ -229,7 +261,7 @@ impl Image {
     /// the implicit lists and posts `ev` locally.
     pub fn cofence_with_event(&self, ev: &Event) {
         self.cofence();
-        self.post_event_local(ev.id);
+        self.post_event_local_hb(ev.id);
     }
 
     /// Number of implicitly synchronized puts issued since the last
@@ -300,10 +332,10 @@ impl Image {
     ) {
         self.broadcast(team, root, data);
         if let Some(ev) = data_event {
-            self.post_event_local(ev.id);
+            self.post_event_local_hb(ev.id);
         }
         if let Some(ev) = op_event {
-            self.post_event_local(ev.id);
+            self.post_event_local_hb(ev.id);
         }
     }
 
@@ -318,10 +350,10 @@ impl Image {
     ) -> Vec<T> {
         let out = self.allgather(team, data);
         if let Some(ev) = data_event {
-            self.post_event_local(ev.id);
+            self.post_event_local_hb(ev.id);
         }
         if let Some(ev) = op_event {
-            self.post_event_local(ev.id);
+            self.post_event_local_hb(ev.id);
         }
         out
     }
@@ -340,10 +372,10 @@ impl Image {
     ) -> Vec<T> {
         let out = self.allreduce(team, data, f);
         if let Some(ev) = data_event {
-            self.post_event_local(ev.id);
+            self.post_event_local_hb(ev.id);
         }
         if let Some(ev) = op_event {
-            self.post_event_local(ev.id);
+            self.post_event_local_hb(ev.id);
         }
         out
     }
@@ -359,10 +391,10 @@ impl Image {
     ) -> Vec<T> {
         let out = self.alltoall(team, data, block);
         if let Some(ev) = data_event {
-            self.post_event_local(ev.id);
+            self.post_event_local_hb(ev.id);
         }
         if let Some(ev) = op_event {
-            self.post_event_local(ev.id);
+            self.post_event_local_hb(ev.id);
         }
         out
     }

@@ -195,6 +195,14 @@ impl Image {
     /// Collectively free a coarray. All images of the allocating team must
     /// participate; outstanding clones of the handle become invalid.
     pub fn coarray_free<T: Pod>(&self, team: &Team, ca: Coarray<T>) {
+        // The free is collective and programs may rely on it as a sync
+        // point, but its interior barrier is substrate-level — record the
+        // round explicitly so the race detector sees the edge, then drop
+        // the region's shadow history (ids may be recycled).
+        #[cfg(feature = "check")]
+        let region_id = ca.region.id();
+        #[cfg(feature = "check")]
+        caf_check::hooks::hb_coll_enter(self.this_image(), team.id());
         match (&self.backend, &*ca.region) {
             (Backend::Mpi(b), RegionInner::Mpi { win }) => {
                 b.windows.borrow_mut().remove(&win.id());
@@ -208,6 +216,11 @@ impl Image {
                 b.arena.free(offsets[me], *bytes);
             }
             _ => panic!("coarray does not belong to this substrate"),
+        }
+        #[cfg(feature = "check")]
+        {
+            caf_check::hooks::hb_coll_exit(self.this_image(), team.id(), team.size());
+            caf_check::hooks::hb_region_free(region_id);
         }
     }
 }
@@ -234,7 +247,7 @@ impl<T: Pod> Coarray<T> {
     }
 
     /// Global image index of team member `member` (for trace attribution).
-    fn global_member(&self, member: usize) -> usize {
+    pub(crate) fn global_member(&self, member: usize) -> usize {
         match &*self.region {
             RegionInner::Mpi { win } => win.comm().global_rank(member),
             RegionInner::Gasnet { members, .. } => members[member],
@@ -262,7 +275,22 @@ impl<T: Pod> Coarray<T> {
     pub fn read(&self, img: &Image, member: usize, elem_off: usize, out: &mut [T]) {
         let disp = self.byte_off(elem_off, out.len());
         let bytes = std::mem::size_of_val(out) as u64;
-        img.stats().timed_t(StatCat::CoarrayRead, Some(self.global_member(member)), bytes, || {
+        #[cfg(feature = "check")]
+        caf_check::hooks::hb_access(
+            img.this_image(),
+            self.region.id(),
+            self.global_member(member),
+            disp as u64,
+            bytes,
+            false,
+        );
+        img.stats().timed_d(
+            StatCat::CoarrayRead,
+            Some(self.global_member(member)),
+            bytes,
+            Some(self.region.id()),
+            Some(disp as u64),
+            || {
             match (&img.backend, &*self.region) {
                 (Backend::Mpi(b), RegionInner::Mpi { win }) => {
                     b.mpi.get(win, member, disp, out).expect("coarray read");
@@ -273,7 +301,8 @@ impl<T: Pod> Coarray<T> {
                 }
                 _ => panic!("coarray does not belong to this substrate"),
             }
-        });
+        },
+        );
     }
 
     /// Blocking remote write: `A(elem_off ..)[member] = data`, globally
@@ -281,7 +310,22 @@ impl<T: Pod> Coarray<T> {
     pub fn write(&self, img: &Image, member: usize, elem_off: usize, data: &[T]) {
         let disp = self.byte_off(elem_off, data.len());
         let bytes = std::mem::size_of_val(data) as u64;
-        img.stats().timed_t(StatCat::CoarrayWrite, Some(self.global_member(member)), bytes, || {
+        #[cfg(feature = "check")]
+        caf_check::hooks::hb_access(
+            img.this_image(),
+            self.region.id(),
+            self.global_member(member),
+            disp as u64,
+            bytes,
+            true,
+        );
+        img.stats().timed_d(
+            StatCat::CoarrayWrite,
+            Some(self.global_member(member)),
+            bytes,
+            Some(self.region.id()),
+            Some(disp as u64),
+            || {
             match (&img.backend, &*self.region) {
                 (Backend::Mpi(b), RegionInner::Mpi { win }) => {
                     b.mpi.put(win, member, disp, data).expect("coarray write");
@@ -293,7 +337,8 @@ impl<T: Pod> Coarray<T> {
                 }
                 _ => panic!("coarray does not belong to this substrate"),
             }
-        });
+        },
+        );
     }
 
     /// Read this image's local part.
@@ -303,15 +348,22 @@ impl<T: Pod> Coarray<T> {
     /// not the shipper's.
     pub fn local_read(&self, img: &Image, elem_off: usize, out: &mut [T]) {
         let disp = self.byte_off(elem_off, out.len());
+        #[cfg(feature = "check")]
+        caf_check::hooks::hb_access(
+            img.this_image(),
+            self.region.id(),
+            img.this_image(),
+            disp as u64,
+            std::mem::size_of_val(out) as u64,
+            false,
+        );
         match (&img.backend, &*self.region) {
             (Backend::Mpi(b), RegionInner::Mpi { win }) => {
                 let me = win
                     .comm()
                     .comm_rank_of_global(img.this_image())
                     .expect("image not a member of this coarray's team");
-                let seg = b.mpi.win_segment(win, me).expect("local segment");
-                seg.get(disp, caf_fabric::pod::as_bytes_mut(out))
-                    .expect("local read");
+                b.mpi.win_read_local_at(win, me, disp, out).expect("local read");
             }
             (Backend::Gasnet(b), RegionInner::Gasnet { offsets, members, .. }) => {
                 let me = members
@@ -328,15 +380,22 @@ impl<T: Pod> Coarray<T> {
     /// meaning of "local" under function shipping).
     pub fn local_write(&self, img: &Image, elem_off: usize, data: &[T]) {
         let disp = self.byte_off(elem_off, data.len());
+        #[cfg(feature = "check")]
+        caf_check::hooks::hb_access(
+            img.this_image(),
+            self.region.id(),
+            img.this_image(),
+            disp as u64,
+            std::mem::size_of_val(data) as u64,
+            true,
+        );
         match (&img.backend, &*self.region) {
             (Backend::Mpi(b), RegionInner::Mpi { win }) => {
                 let me = win
                     .comm()
                     .comm_rank_of_global(img.this_image())
                     .expect("image not a member of this coarray's team");
-                let seg = b.mpi.win_segment(win, me).expect("local segment");
-                seg.put(disp, caf_fabric::pod::as_bytes(data))
-                    .expect("local write");
+                b.mpi.win_write_local_at(win, me, disp, data).expect("local write");
             }
             (Backend::Gasnet(b), RegionInner::Gasnet { offsets, members, .. }) => {
                 let me = members
@@ -368,7 +427,15 @@ impl<T: Pod> Coarray<T> {
             return;
         }
         let bytes = std::mem::size_of_val(out) as u64;
-        img.stats().timed_t(StatCat::CoarrayRead, Some(self.global_member(member)), bytes, || {
+        #[cfg(feature = "check")]
+        self.section_accesses(img, member, sec, false);
+        img.stats().timed_d(
+            StatCat::CoarrayRead,
+            Some(self.global_member(member)),
+            bytes,
+            Some(self.region.id()),
+            Some(disp as u64),
+            || {
             match (&img.backend, &*self.region) {
                 (Backend::Mpi(b), RegionInner::Mpi { win }) => {
                     b.mpi
@@ -381,7 +448,8 @@ impl<T: Pod> Coarray<T> {
                 }
                 _ => panic!("coarray does not belong to this substrate"),
             }
-        });
+        },
+        );
     }
 
     /// Blocking strided remote write of a section
@@ -392,7 +460,15 @@ impl<T: Pod> Coarray<T> {
             return;
         }
         let bytes = std::mem::size_of_val(data) as u64;
-        img.stats().timed_t(StatCat::CoarrayWrite, Some(self.global_member(member)), bytes, || {
+        #[cfg(feature = "check")]
+        self.section_accesses(img, member, sec, true);
+        img.stats().timed_d(
+            StatCat::CoarrayWrite,
+            Some(self.global_member(member)),
+            bytes,
+            Some(self.region.id()),
+            Some(disp as u64),
+            || {
             match (&img.backend, &*self.region) {
                 (Backend::Mpi(b), RegionInner::Mpi { win }) => {
                     b.mpi
@@ -406,7 +482,27 @@ impl<T: Pod> Coarray<T> {
                 }
                 _ => panic!("coarray does not belong to this substrate"),
             }
-        });
+        },
+        );
+    }
+
+    /// Record one shadow access per section element — stride gaps are
+    /// untouched bytes and must not be claimed, or disjoint interleaved
+    /// sections would be flagged as overlapping.
+    #[cfg(feature = "check")]
+    fn section_accesses(&self, img: &Image, member: usize, sec: Section, write: bool) {
+        let esz = std::mem::size_of::<T>();
+        let owner = self.global_member(member);
+        for i in 0..sec.count {
+            caf_check::hooks::hb_access(
+                img.this_image(),
+                self.region.id(),
+                owner,
+                ((sec.offset + i * sec.stride) * esz) as u64,
+                esz as u64,
+                write,
+            );
+        }
     }
 
     /// One-sided atomic fetch-and-add on an 8-byte element of `member`'s

@@ -26,14 +26,34 @@ use crate::team::{GTeam, GTeamState, Team, TeamInner};
 const GCOLL_CHUNK: usize = AM_MAX_MEDIUM - 64;
 
 impl Image {
+    /// Bracket a collective's body with the race detector's round
+    /// bookkeeping: members entering round `n` of a team have their entry
+    /// clocks joined by every member at exit. The GASNet collectives are
+    /// hand-rolled from AMs the detector cannot see, so the edge must be
+    /// recorded here, at the portable layer.
+    fn hb_collective<R>(&self, team: &Team, f: impl FnOnce() -> R) -> R {
+        #[cfg(not(feature = "check"))]
+        let _ = team;
+        #[cfg(feature = "check")]
+        caf_check::hooks::hb_coll_enter(self.this_image(), team.id());
+        let out = f();
+        #[cfg(feature = "check")]
+        caf_check::hooks::hb_coll_exit(self.this_image(), team.id(), team.size());
+        out
+    }
+
     /// Team barrier (`sync team` / `sync all` on the world team).
     pub fn barrier(&self, team: &Team) {
-        self.stats().timed(StatCat::Barrier, || match (&self.backend, &team.inner) {
-            (Backend::Mpi(b), TeamInner::Mpi(comm)) => {
-                b.mpi.barrier(comm).expect("barrier");
-            }
-            (Backend::Gasnet(_), TeamInner::Gasnet(t)) => self.gbarrier(t),
-            _ => panic!("team does not belong to this substrate"),
+        self.hb_collective(team, || {
+            self.stats().timed_d(StatCat::Barrier, None, 0, None, Some(team.id()), || {
+                match (&self.backend, &team.inner) {
+                    (Backend::Mpi(b), TeamInner::Mpi(comm)) => {
+                        b.mpi.barrier(comm).expect("barrier");
+                    }
+                    (Backend::Gasnet(_), TeamInner::Gasnet(t)) => self.gbarrier(t),
+                    _ => panic!("team does not belong to this substrate"),
+                }
+            });
         });
     }
 
@@ -45,14 +65,16 @@ impl Image {
 
     /// Team broadcast from `root` (team rank).
     pub fn broadcast<T: Pod>(&self, team: &Team, root: usize, data: &mut Vec<T>) {
-        self.stats()
-            .timed(StatCat::Reduction, || match (&self.backend, &team.inner) {
+        self.hb_collective(team, || {
+            self.stats()
+                .timed_d(StatCat::Reduction, None, 0, None, Some(team.id()), || match (&self.backend, &team.inner) {
                 (Backend::Mpi(b), TeamInner::Mpi(comm)) => {
                     b.mpi.bcast(comm, root, data).expect("bcast");
                 }
                 (Backend::Gasnet(_), TeamInner::Gasnet(t)) => self.gbcast(t, root, data),
                 _ => panic!("team does not belong to this substrate"),
             });
+        });
     }
 
     /// Team reduction to `root` with a commutative-associative combiner.
@@ -63,20 +85,23 @@ impl Image {
         data: &[T],
         f: impl Fn(T, T) -> T,
     ) -> Option<Vec<T>> {
-        self.stats()
-            .timed(StatCat::Reduction, || match (&self.backend, &team.inner) {
-                (Backend::Mpi(b), TeamInner::Mpi(comm)) => {
-                    b.mpi.reduce(comm, root, data, f).expect("reduce")
-                }
-                (Backend::Gasnet(_), TeamInner::Gasnet(t)) => self.greduce(t, root, data, f),
-                _ => panic!("team does not belong to this substrate"),
-            })
+        self.hb_collective(team, || {
+            self.stats()
+                .timed_d(StatCat::Reduction, None, 0, None, Some(team.id()), || match (&self.backend, &team.inner) {
+                    (Backend::Mpi(b), TeamInner::Mpi(comm)) => {
+                        b.mpi.reduce(comm, root, data, f).expect("reduce")
+                    }
+                    (Backend::Gasnet(_), TeamInner::Gasnet(t)) => self.greduce(t, root, data, f),
+                    _ => panic!("team does not belong to this substrate"),
+                })
+        })
     }
 
     /// Team allreduce.
     pub fn allreduce<T: Pod>(&self, team: &Team, data: &[T], f: impl Fn(T, T) -> T) -> Vec<T> {
-        self.stats()
-            .timed(StatCat::Reduction, || match (&self.backend, &team.inner) {
+        self.hb_collective(team, || {
+            self.stats()
+                .timed_d(StatCat::Reduction, None, 0, None, Some(team.id()), || match (&self.backend, &team.inner) {
                 (Backend::Mpi(b), TeamInner::Mpi(comm)) => {
                     b.mpi.allreduce(comm, data, f).expect("allreduce")
                 }
@@ -91,26 +116,30 @@ impl Image {
                 }
                 _ => panic!("team does not belong to this substrate"),
             })
+        })
     }
 
     /// Team allgather of equal-length contributions, concatenated in team
     /// order.
     pub fn allgather<T: Pod>(&self, team: &Team, data: &[T]) -> Vec<T> {
-        self.stats()
-            .timed(StatCat::Reduction, || match (&self.backend, &team.inner) {
-                (Backend::Mpi(b), TeamInner::Mpi(comm)) => {
-                    b.mpi.allgather(comm, data).expect("allgather")
-                }
-                (Backend::Gasnet(_), TeamInner::Gasnet(t)) => self.gallgather(t, data),
-                _ => panic!("team does not belong to this substrate"),
-            })
+        self.hb_collective(team, || {
+            self.stats()
+                .timed_d(StatCat::Reduction, None, 0, None, Some(team.id()), || match (&self.backend, &team.inner) {
+                    (Backend::Mpi(b), TeamInner::Mpi(comm)) => {
+                        b.mpi.allgather(comm, data).expect("allgather")
+                    }
+                    (Backend::Gasnet(_), TeamInner::Gasnet(t)) => self.gallgather(t, data),
+                    _ => panic!("team does not belong to this substrate"),
+                })
+        })
     }
 
     /// Variable-length team allgather: contributions may differ in length
     /// per image; the result concatenates them in team order.
     pub fn allgatherv<T: Pod>(&self, team: &Team, data: &[T]) -> Vec<T> {
-        self.stats()
-            .timed(StatCat::Reduction, || match (&self.backend, &team.inner) {
+        self.hb_collective(team, || {
+            self.stats()
+                .timed_d(StatCat::Reduction, None, 0, None, Some(team.id()), || match (&self.backend, &team.inner) {
                 (Backend::Mpi(b), TeamInner::Mpi(comm)) => {
                     b.mpi.allgatherv(comm, data).expect("allgatherv")
                 }
@@ -144,6 +173,7 @@ impl Image {
                 }
                 _ => panic!("team does not belong to this substrate"),
             })
+        })
     }
 
     /// Team alltoall: `data` holds `team.size()` blocks of `block` elements
@@ -154,14 +184,16 @@ impl Image {
     /// §4.2: "CAF-GASNet implements alltoall with GASNet's PUT, GET, and
     /// Active Messages... not as well tuned as MPI_ALLTOALL").
     pub fn alltoall<T: Pod>(&self, team: &Team, data: &[T], block: usize) -> Vec<T> {
-        self.stats()
-            .timed(StatCat::Alltoall, || match (&self.backend, &team.inner) {
-                (Backend::Mpi(b), TeamInner::Mpi(comm)) => {
-                    b.mpi.alltoall(comm, data, block).expect("alltoall")
-                }
-                (Backend::Gasnet(_), TeamInner::Gasnet(t)) => self.galltoall(t, data, block),
-                _ => panic!("team does not belong to this substrate"),
-            })
+        self.hb_collective(team, || {
+            self.stats()
+                .timed_d(StatCat::Alltoall, None, 0, None, Some(team.id()), || match (&self.backend, &team.inner) {
+                    (Backend::Mpi(b), TeamInner::Mpi(comm)) => {
+                        b.mpi.alltoall(comm, data, block).expect("alltoall")
+                    }
+                    (Backend::Gasnet(_), TeamInner::Gasnet(t)) => self.galltoall(t, data, block),
+                    _ => panic!("team does not belong to this substrate"),
+                })
+        })
     }
 
     /// Fortran 2008 `sync images`: pairwise synchronization with each
@@ -215,7 +247,7 @@ impl Image {
     /// Split `team` by color, ordering each part by `(key, rank)` —
     /// CAF 2.0's `team_split`.
     pub fn team_split(&self, team: &Team, color: u64, key: i64) -> Team {
-        match (&self.backend, &team.inner) {
+        self.hb_collective(team, || match (&self.backend, &team.inner) {
             (Backend::Mpi(b), TeamInner::Mpi(comm)) => Team {
                 inner: TeamInner::Mpi(b.mpi.comm_split(comm, color, key).expect("team_split")),
             },
@@ -245,7 +277,7 @@ impl Image {
                 }
             }
             _ => panic!("team does not belong to this substrate"),
-        }
+        })
     }
 
     // ----- hand-rolled GASNet collectives ------------------------------

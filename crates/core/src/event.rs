@@ -76,7 +76,13 @@ impl Image {
         target: usize,
         flush: NotifyFlush,
     ) {
-        self.stats().timed_t(StatCat::EventNotify, Some(team.global_rank(target)), 0, || {
+        self.stats().timed_d(
+            StatCat::EventNotify,
+            Some(team.global_rank(target)),
+            0,
+            None,
+            Some(ev.id),
+            || {
             // Release barrier: local completion of implicitly synchronized
             // asynchronous operations...
             self.complete_implicit_local();
@@ -88,20 +94,37 @@ impl Image {
             }
             if team.global_rank(target) == self.this_image() {
                 // Self-notification short-circuits the AM layer.
-                self.post_event_local(ev.id);
+                self.post_event_local_hb(ev.id);
             } else {
+                // The sanitizer records the notifier's clock at the send
+                // (the receive edge is recorded by the consuming wait, not
+                // by message delivery — posts pair FIFO with consumers).
+                #[cfg(feature = "check")]
+                caf_check::hooks::hb_send(
+                    self.this_image(),
+                    caf_check::hooks::NS_EVENT,
+                    ev.id,
+                    team.global_rank(target),
+                );
                 self.backend
                     .send_rtmsg(team.global_rank(target), &RtMsg::EventNotify { event_id: ev.id });
             }
-        });
+        },
+        );
     }
 
     /// Block until `ev` has been posted at this image, then consume one
     /// post (`event_wait`). The blocking poll drives runtime progress:
     /// shipped functions and other events arriving meanwhile are handled.
     pub fn event_wait(&self, ev: &Event) {
-        self.stats().timed(StatCat::EventWait, || loop {
+        self.stats().timed_d(StatCat::EventWait, None, 0, None, Some(ev.id), || loop {
             if self.take_post(ev.id) {
+                #[cfg(feature = "check")]
+                caf_check::hooks::hb_recv(
+                    self.this_image(),
+                    caf_check::hooks::NS_EVENT,
+                    ev.id,
+                );
                 return;
             }
             let msg = self.backend.recv_rtmsg_blocking();
@@ -111,9 +134,18 @@ impl Image {
 
     /// Nonblocking test: consume one post if available (`event_trywait`).
     pub fn event_trywait(&self, ev: &Event) -> bool {
-        self.stats().timed(StatCat::EventWait, || {
+        self.stats().timed_d(StatCat::EventWait, None, 0, None, Some(ev.id), || {
             self.poll();
-            self.take_post(ev.id)
+            let got = self.take_post(ev.id);
+            #[cfg(feature = "check")]
+            if got {
+                caf_check::hooks::hb_recv(
+                    self.this_image(),
+                    caf_check::hooks::NS_EVENT,
+                    ev.id,
+                );
+            }
+            got
         })
     }
 

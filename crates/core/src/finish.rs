@@ -102,8 +102,12 @@ impl Image {
         }
         let slot = self.ship_reg.park(Box::new(f));
         if caf_trace::enabled() {
-            caf_trace::instant(caf_trace::Op::Ship, Some(global), 0, None);
+            caf_trace::instant_d(caf_trace::Op::Ship, Some(global), 0, None, Some(slot));
         }
+        // The executor joins the shipper's clock before running the
+        // closure (token = the globally unique registry slot).
+        #[cfg(feature = "check")]
+        caf_check::hooks::hb_send(self.this_image(), caf_check::hooks::NS_SHIP, slot, global);
         self.backend
             .send_rtmsg(global, &RtMsg::Ship { slot, finish_id: fid });
     }

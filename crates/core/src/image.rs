@@ -308,6 +308,11 @@ impl Image {
             RtMsg::EventNotify { event_id } => self.post_event_local(event_id),
             RtMsg::Ship { slot, finish_id } => {
                 let f = self.ship_reg.claim(slot);
+                // Join the shipper's clock before the closure runs: the
+                // ship-registry slot is globally unique, so it doubles as
+                // the happens-before channel token.
+                #[cfg(feature = "check")]
+                caf_check::hooks::hb_recv(self.this_image(), caf_check::hooks::NS_SHIP, slot);
                 // Functions shipped *by* this function belong to the same
                 // finish block (Yang's accounting), so propagate its id as
                 // the innermost scope for the duration of the execution.
@@ -381,6 +386,22 @@ impl Image {
         for op in ready {
             op(self);
         }
+    }
+
+    /// As [`Image::post_event_local`], also recording the happens-before
+    /// send edge the sanitizer pairs with the consuming wait. Use this
+    /// wherever the *poster's* causal past must be visible to the waiter
+    /// (never on the AM-delivery path, which posts on behalf of a sender
+    /// that already recorded its edge).
+    pub(crate) fn post_event_local_hb(&self, event_id: u64) {
+        #[cfg(feature = "check")]
+        caf_check::hooks::hb_send(
+            self.this_image(),
+            caf_check::hooks::NS_EVENT,
+            event_id,
+            self.this_image(),
+        );
+        self.post_event_local(event_id);
     }
 
     /// Collectively derive a fresh token on `team` (used for event, finish,

@@ -142,7 +142,22 @@ impl Stats {
         bytes: u64,
         f: impl FnOnce() -> R,
     ) -> R {
-        let _span = caf_trace::span_t(trace_op(cat), target, bytes, None);
+        self.timed_d(cat, target, bytes, None, None, f)
+    }
+
+    /// As [`Stats::timed_t`], also tagging the span with a window/region
+    /// id and a displacement-or-sync-token word — the coordinates the
+    /// offline checker (`caf-check`) replays.
+    pub fn timed_d<R>(
+        &self,
+        cat: StatCat,
+        target: Option<usize>,
+        bytes: u64,
+        window: Option<u64>,
+        disp: Option<u64>,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        let _span = caf_trace::span_d(trace_op(cat), target, bytes, window, disp);
         if !self.enabled.get() {
             return f();
         }

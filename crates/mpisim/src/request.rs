@@ -35,6 +35,13 @@ pub enum RmaCompletion {
 pub struct RmaRequest<T: Pod> {
     data: Option<Vec<T>>,
     completion: RmaCompletion,
+    /// caf-check tracking token (0 = untracked). A tracked request
+    /// dropped without `wait()` is the Fig 2 put-ack hazard: nothing
+    /// ever certifies the operation's completion.
+    #[allow(dead_code)]
+    check_token: u64,
+    #[allow(dead_code)]
+    waited: bool,
 }
 
 impl<T: Pod> RmaRequest<T> {
@@ -42,7 +49,16 @@ impl<T: Pod> RmaRequest<T> {
         RmaRequest {
             data: Some(data),
             completion: RmaCompletion::LocalAndRemote,
+            check_token: 0,
+            waited: false,
         }
+    }
+
+    /// Attach a caf-check request token (see `hooks::request_open`).
+    #[cfg(feature = "check")]
+    pub(crate) fn with_check_token(mut self, token: u64) -> Self {
+        self.check_token = token;
+        self
     }
 
     /// What completing this request certifies.
@@ -57,7 +73,19 @@ impl<T: Pod> RmaRequest<T> {
 
     /// Wait for completion and take the fetched data (`MPI_Wait`).
     pub fn wait(mut self) -> Vec<T> {
+        self.waited = true;
+        #[cfg(feature = "check")]
+        caf_check::hooks::request_wait(self.check_token);
         self.data.take().unwrap_or_default()
+    }
+}
+
+impl<T: Pod> Drop for RmaRequest<T> {
+    fn drop(&mut self) {
+        #[cfg(feature = "check")]
+        if !self.waited && self.check_token != 0 && !std::thread::panicking() {
+            caf_check::hooks::request_drop(self.check_token);
+        }
     }
 }
 
@@ -66,6 +94,8 @@ impl RmaRequest<()> {
         RmaRequest {
             data: None,
             completion: RmaCompletion::LocalOnly,
+            check_token: 0,
+            waited: false,
         }
     }
 }

@@ -74,6 +74,20 @@ impl Window {
     }
 }
 
+#[cfg(feature = "check")]
+impl Mpi {
+    /// Best-effort global rank of `target` for check diagnostics
+    /// (out-of-range targets are reported raw; the data path returns an
+    /// error right after the hook fires).
+    fn check_global(&self, win: &Window, target: usize) -> usize {
+        if target < win.comm.size() {
+            win.comm.global_rank(target)
+        } else {
+            target
+        }
+    }
+}
+
 impl Mpi {
     /// `MPI_Win_allocate` — collective: every rank exposes `bytes` bytes of
     /// library-allocated memory.
@@ -107,6 +121,11 @@ impl Mpi {
     /// As [`Mpi::win_free`], for windows held behind shared handles
     /// (`Arc<Window>`). The caller must not use the window afterwards.
     pub fn win_free_shared(&self, win: &Window) -> Result<()> {
+        #[cfg(feature = "check")]
+        caf_check::hooks::win_free(win.id, self.rank(), win.locked_all.load(Ordering::Relaxed));
+        if caf_trace::enabled() {
+            caf_trace::instant(caf_trace::Op::WinFree, None, 0, Some(win.id));
+        }
         self.barrier(&win.comm)?;
         let me = win.comm.rank();
         self.mem.unmap(MemCategory::UserData, win.sizes[me]);
@@ -117,13 +136,30 @@ impl Mpi {
     /// `MPI_Win_lock_all` — open a shared passive-target epoch to every
     /// rank of the window.
     pub fn win_lock_all(&self, win: &Window) {
+        #[cfg(feature = "check")]
+        caf_check::hooks::win_lock_all(win.id, self.rank());
+        if caf_trace::enabled() {
+            caf_trace::instant(caf_trace::Op::WinLockAll, None, 0, Some(win.id));
+        }
         win.locked_all.store(true, Ordering::Relaxed);
     }
 
     /// `MPI_Win_unlock_all` — close the epoch, completing all operations.
     pub fn win_unlock_all(&self, win: &Window) -> Result<()> {
+        #[cfg(feature = "check")]
+        caf_check::hooks::win_unlock_all(
+            win.id,
+            self.rank(),
+            win.locked_all.load(Ordering::Relaxed),
+        );
         win.assert_epoch();
         self.win_flush_all(win)?;
+        // Traced after the interior flush: in the recorded timeline the
+        // epoch closes once its completing flush is done, which is what
+        // the offline checker replays.
+        if caf_trace::enabled() {
+            caf_trace::instant(caf_trace::Op::WinUnlockAll, None, 0, Some(win.id));
+        }
         win.locked_all.store(false, Ordering::Relaxed);
         Ok(())
     }
@@ -155,14 +191,26 @@ impl Mpi {
     /// immediately, but portable callers must still flush — and the CAF
     /// runtime does).
     pub fn put<T: Pod>(&self, win: &Window, target: usize, disp: usize, data: &[T]) -> Result<()> {
-        win.assert_epoch();
         let bytes = as_bytes(data);
+        #[cfg(feature = "check")]
+        caf_check::hooks::rma_put(
+            win.id,
+            self.rank(),
+            self.check_global(win, target),
+            disp as u64,
+            bytes.len() as u64,
+            bytes.as_ptr() as u64,
+            bytes.len() as u64,
+            win.locked_all.load(Ordering::Relaxed),
+        );
+        win.assert_epoch();
         if caf_trace::enabled() {
-            caf_trace::instant(
+            caf_trace::instant_d(
                 caf_trace::Op::RmaPut,
                 Some(win.comm.global_rank(target)),
                 bytes.len() as u64,
                 Some(win.id),
+                Some(disp as u64),
             );
         }
         self.delays.charge(DelayOp::RmaPut, bytes.len());
@@ -177,15 +225,27 @@ impl Mpi {
         disp: usize,
         out: &mut [T],
     ) -> Result<()> {
+        let bytes = as_bytes_mut(out);
+        #[cfg(feature = "check")]
+        caf_check::hooks::rma_get(
+            win.id,
+            self.rank(),
+            self.check_global(win, target),
+            disp as u64,
+            bytes.len() as u64,
+            bytes.as_ptr() as u64,
+            bytes.len() as u64,
+            win.locked_all.load(Ordering::Relaxed),
+        );
         win.assert_epoch();
         let seg = self.target_segment(win, target)?;
-        let bytes = as_bytes_mut(out);
         if caf_trace::enabled() {
-            caf_trace::instant(
+            caf_trace::instant_d(
                 caf_trace::Op::RmaGet,
                 Some(win.comm.global_rank(target)),
                 bytes.len() as u64,
                 Some(win.id),
+                Some(disp as u64),
             );
         }
         self.delays.charge(DelayOp::RmaGet, bytes.len());
@@ -205,7 +265,16 @@ impl Mpi {
         data: &[T],
     ) -> Result<RmaRequest<()>> {
         self.put(win, target, disp, data)?;
-        Ok(RmaRequest::completed_put())
+        let req = RmaRequest::completed_put();
+        #[cfg(feature = "check")]
+        let req = req.with_check_token(caf_check::hooks::request_open(
+            win.id,
+            self.rank(),
+            data.as_ptr() as u64,
+            std::mem::size_of_val(data) as u64,
+            "rput",
+        ));
+        Ok(req)
     }
 
     /// `MPI_Rget` — request-generating get; completion of the request
@@ -219,7 +288,18 @@ impl Mpi {
     ) -> Result<RmaRequest<T>> {
         let mut buf = vec_from_bytes::<T>(&vec![0u8; count * std::mem::size_of::<T>()]);
         self.get(win, target, disp, &mut buf)?;
-        Ok(RmaRequest::completed_get(buf))
+        #[cfg(feature = "check")]
+        let token = caf_check::hooks::request_open(
+            win.id,
+            self.rank(),
+            buf.as_ptr() as u64,
+            std::mem::size_of_val(buf.as_slice()) as u64,
+            "rget",
+        );
+        let req = RmaRequest::completed_get(buf);
+        #[cfg(feature = "check")]
+        let req = req.with_check_token(token);
+        Ok(req)
     }
 
     /// Strided one-sided write: `count` elements of `data` land at
@@ -234,9 +314,26 @@ impl Mpi {
         stride_elems: usize,
         data: &[T],
     ) -> Result<()> {
+        let esz = std::mem::size_of::<T>();
+        #[cfg(feature = "check")]
+        if caf_check::enabled() {
+            let (origin, tgt) = (self.rank(), self.check_global(win, target));
+            let open = win.locked_all.load(Ordering::Relaxed);
+            for (i, v) in data.iter().enumerate() {
+                caf_check::hooks::rma_put(
+                    win.id,
+                    origin,
+                    tgt,
+                    (disp + i * stride_elems * esz) as u64,
+                    esz as u64,
+                    (v as *const T) as u64,
+                    esz as u64,
+                    open,
+                );
+            }
+        }
         win.assert_epoch();
         let seg = self.target_segment(win, target)?;
-        let esz = std::mem::size_of::<T>();
         self.delays
             .charge(DelayOp::RmaPut, std::mem::size_of_val(data));
         for (i, v) in data.iter().enumerate() {
@@ -255,9 +352,26 @@ impl Mpi {
         stride_elems: usize,
         out: &mut [T],
     ) -> Result<()> {
+        let esz = std::mem::size_of::<T>();
+        #[cfg(feature = "check")]
+        if caf_check::enabled() {
+            let (origin, tgt) = (self.rank(), self.check_global(win, target));
+            let open = win.locked_all.load(Ordering::Relaxed);
+            for (i, v) in out.iter().enumerate() {
+                caf_check::hooks::rma_get(
+                    win.id,
+                    origin,
+                    tgt,
+                    (disp + i * stride_elems * esz) as u64,
+                    esz as u64,
+                    (v as *const T) as u64,
+                    esz as u64,
+                    open,
+                );
+            }
+        }
         win.assert_epoch();
         let seg = self.target_segment(win, target)?;
-        let esz = std::mem::size_of::<T>();
         self.delays
             .charge(DelayOp::RmaGet, std::mem::size_of_val(out));
         for (i, v) in out.iter_mut().enumerate() {
@@ -280,7 +394,16 @@ impl Mpi {
         op: AccOp,
     ) -> Result<RmaRequest<()>> {
         self.accumulate(win, target, disp, data, op)?;
-        Ok(RmaRequest::completed_put())
+        let req = RmaRequest::completed_put();
+        #[cfg(feature = "check")]
+        let req = req.with_check_token(caf_check::hooks::request_open(
+            win.id,
+            self.rank(),
+            data.as_ptr() as u64,
+            std::mem::size_of_val(data) as u64,
+            "raccumulate",
+        ));
+        Ok(req)
     }
 
     /// `MPI_Rget_accumulate` — request-generating fetch-and-accumulate;
@@ -295,7 +418,18 @@ impl Mpi {
         op: AccOp,
     ) -> Result<RmaRequest<T>> {
         let prev = self.get_accumulate(win, target, disp, data, op)?;
-        Ok(RmaRequest::completed_get(prev))
+        #[cfg(feature = "check")]
+        let token = caf_check::hooks::request_open(
+            win.id,
+            self.rank(),
+            prev.as_ptr() as u64,
+            std::mem::size_of_val(prev.as_slice()) as u64,
+            "rget_accumulate",
+        );
+        let req = RmaRequest::completed_get(prev);
+        #[cfg(feature = "check")]
+        let req = req.with_check_token(token);
+        Ok(req)
     }
 
     /// `MPI_Win_shared_query` — the shared-memory window accessor of
@@ -317,6 +451,15 @@ impl Mpi {
         data: &[T],
         op: AccOp,
     ) -> Result<()> {
+        #[cfg(feature = "check")]
+        caf_check::hooks::rma_atomic(
+            win.id,
+            self.rank(),
+            self.check_global(win, target),
+            disp as u64,
+            std::mem::size_of_val(data) as u64,
+            win.locked_all.load(Ordering::Relaxed),
+        );
         win.assert_epoch();
         let seg = self.target_segment(win, target)?;
         self.trace_rma_atomic(win, target, std::mem::size_of_val(data));
@@ -339,6 +482,15 @@ impl Mpi {
         data: &[T],
         op: AccOp,
     ) -> Result<Vec<T>> {
+        #[cfg(feature = "check")]
+        caf_check::hooks::rma_atomic(
+            win.id,
+            self.rank(),
+            self.check_global(win, target),
+            disp as u64,
+            std::mem::size_of_val(data) as u64,
+            win.locked_all.load(Ordering::Relaxed),
+        );
         win.assert_epoch();
         let seg = self.target_segment(win, target)?;
         self.trace_rma_atomic(win, target, std::mem::size_of_val(data));
@@ -362,6 +514,15 @@ impl Mpi {
         value: T,
         op: AccOp,
     ) -> Result<T> {
+        #[cfg(feature = "check")]
+        caf_check::hooks::rma_atomic(
+            win.id,
+            self.rank(),
+            self.check_global(win, target),
+            disp as u64,
+            8,
+            win.locked_all.load(Ordering::Relaxed),
+        );
         win.assert_epoch();
         let seg = self.target_segment(win, target)?;
         self.trace_rma_atomic(win, target, 8);
@@ -379,6 +540,15 @@ impl Mpi {
         expected: T,
         new: T,
     ) -> Result<T> {
+        #[cfg(feature = "check")]
+        caf_check::hooks::rma_atomic(
+            win.id,
+            self.rank(),
+            self.check_global(win, target),
+            disp as u64,
+            8,
+            win.locked_all.load(Ordering::Relaxed),
+        );
         win.assert_epoch();
         let seg = self.target_segment(win, target)?;
         self.trace_rma_atomic(win, target, 8);
@@ -390,6 +560,13 @@ impl Mpi {
     /// `MPI_Win_flush` — complete all outstanding operations from this
     /// origin to `target`, at the origin *and* the target.
     pub fn win_flush(&self, win: &Window, target: usize) -> Result<()> {
+        #[cfg(feature = "check")]
+        caf_check::hooks::win_flush(
+            win.id,
+            self.rank(),
+            self.check_global(win, target),
+            win.locked_all.load(Ordering::Relaxed),
+        );
         win.assert_epoch();
         if target >= win.comm.size() {
             return Err(FabricError::RankOutOfRange {
@@ -416,6 +593,12 @@ impl Mpi {
     /// grows linearly with the job size (paper §4.1 — the root cause of
     /// CAF-MPI's `event_notify` overhead in RandomAccess).
     pub fn win_flush_all(&self, win: &Window) -> Result<()> {
+        #[cfg(feature = "check")]
+        caf_check::hooks::win_flush_all(
+            win.id,
+            self.rank(),
+            win.locked_all.load(Ordering::Relaxed),
+        );
         win.assert_epoch();
         // The span's `bytes` field carries the per-target flush count —
         // the Θ(P) signature a trace viewer should surface.
@@ -443,12 +626,74 @@ impl Mpi {
     /// Read from this rank's own window region (a local "load" under the
     /// unified memory model).
     pub fn win_read_local<T: Pod>(&self, win: &Window, disp: usize, out: &mut [T]) -> Result<()> {
-        win.local.get(disp, as_bytes_mut(out))
+        let bytes = as_bytes_mut(out);
+        #[cfg(feature = "check")]
+        caf_check::hooks::local_read(
+            win.id,
+            win.comm.global_rank(win.comm.rank()),
+            disp as u64,
+            bytes.len() as u64,
+        );
+        win.local.get(disp, bytes)
     }
 
     /// Write to this rank's own window region (a local "store").
     pub fn win_write_local<T: Pod>(&self, win: &Window, disp: usize, data: &[T]) -> Result<()> {
-        win.local.put(disp, as_bytes(data))
+        let bytes = as_bytes(data);
+        #[cfg(feature = "check")]
+        caf_check::hooks::local_write(
+            win.id,
+            win.comm.global_rank(win.comm.rank()),
+            disp as u64,
+            bytes.len() as u64,
+        );
+        win.local.put(disp, bytes)
+    }
+
+    /// Read `rank`'s window region as a local "load" from whichever
+    /// image is executing — the access CAF function shipping needs,
+    /// where a shipped closure runs at the data's owner but captured the
+    /// shipper's `Window` handle. Unlike [`Mpi::get`] no epoch is
+    /// required: under the unified memory model this is a plain load on
+    /// the executor. Instrumented as a local access of `rank`'s region.
+    pub fn win_read_local_at<T: Pod>(
+        &self,
+        win: &Window,
+        rank: usize,
+        disp: usize,
+        out: &mut [T],
+    ) -> Result<()> {
+        let seg = self.target_segment(win, rank)?;
+        let bytes = as_bytes_mut(out);
+        #[cfg(feature = "check")]
+        caf_check::hooks::local_read(
+            win.id,
+            win.comm.global_rank(rank),
+            disp as u64,
+            bytes.len() as u64,
+        );
+        seg.get(disp, bytes)
+    }
+
+    /// Write `rank`'s window region as a local "store" from whichever
+    /// image is executing (see [`Mpi::win_read_local_at`]).
+    pub fn win_write_local_at<T: Pod>(
+        &self,
+        win: &Window,
+        rank: usize,
+        disp: usize,
+        data: &[T],
+    ) -> Result<()> {
+        let seg = self.target_segment(win, rank)?;
+        let bytes = as_bytes(data);
+        #[cfg(feature = "check")]
+        caf_check::hooks::local_write(
+            win.id,
+            win.comm.global_rank(rank),
+            disp as u64,
+            bytes.len() as u64,
+        );
+        seg.put(disp, bytes)
     }
 }
 

@@ -88,6 +88,7 @@ mod tests {
                     window: Some(2),
                     depth: 0,
                     top_cat: true,
+                    disp: None,
                 },
                 TraceEvent {
                     image: 1,
@@ -100,6 +101,7 @@ mod tests {
                     window: None,
                     depth: 1,
                     top_cat: false,
+                    disp: None,
                 },
                 TraceEvent {
                     image: usize::MAX,
@@ -112,6 +114,7 @@ mod tests {
                     window: None,
                     depth: 0,
                     top_cat: false,
+                    disp: None,
                 },
             ],
             stalls: vec![],

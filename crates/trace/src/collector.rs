@@ -74,7 +74,14 @@ impl Collector {
     }
 
     /// Record a point event at the current depth.
-    pub fn record_instant(&self, op: Op, target: Option<usize>, bytes: u64, window: Option<u64>) {
+    pub fn record_instant(
+        &self,
+        op: Op,
+        target: Option<usize>,
+        bytes: u64,
+        window: Option<u64>,
+        disp: Option<u64>,
+    ) {
         let depth = self.depth.load(Ordering::Relaxed).min(255) as u8;
         let top_cat = op.cat().is_some() && self.cat_depth.load(Ordering::Relaxed) == 0;
         self.ring.push(
@@ -87,6 +94,7 @@ impl Collector {
             target,
             bytes,
             window,
+            disp,
         );
     }
 
@@ -97,6 +105,7 @@ impl Collector {
         target: Option<usize>,
         bytes: u64,
         window: Option<u64>,
+        disp: Option<u64>,
     ) -> SpanGuard {
         let depth = self.depth.load(Ordering::Relaxed);
         let cat_depth = self.cat_depth.load(Ordering::Relaxed);
@@ -130,6 +139,7 @@ impl Collector {
                 target,
                 bytes,
                 window,
+                disp,
             }),
         }
     }
@@ -149,6 +159,7 @@ struct SpanInner {
     target: Option<usize>,
     bytes: u64,
     window: Option<u64>,
+    disp: Option<u64>,
 }
 
 /// RAII guard for an open span; completes (and records) it on drop.
@@ -198,6 +209,7 @@ impl Drop for SpanGuard {
             inner.target,
             inner.bytes,
             inner.window,
+            inner.disp,
         );
     }
 }
@@ -210,12 +222,12 @@ mod tests {
     fn nested_spans_track_depth_and_top_cat() {
         let col = Arc::new(Collector::new(64));
         {
-            let _outer = col.open_span(Op::CoarrayWrite, Some(1), 8, None);
+            let _outer = col.open_span(Op::CoarrayWrite, Some(1), 8, None, Some(64));
             {
-                let _mid = col.open_span(Op::WinFlushAll, None, 0, Some(2));
-                let _inner = col.open_span(Op::EventNotify, Some(1), 0, None);
+                let _mid = col.open_span(Op::WinFlushAll, None, 0, Some(2), None);
+                let _inner = col.open_span(Op::EventNotify, Some(1), 0, None, None);
             }
-            col.record_instant(Op::RmaPut, Some(1), 8, Some(2));
+            col.record_instant(Op::RmaPut, Some(1), 8, Some(2), Some(16));
         }
         let recs = col.records();
         // Drop order: inner EventNotify, WinFlushAll, RmaPut instant, outer.
@@ -227,8 +239,10 @@ mod tests {
         assert!(!recs[1].top_cat, "never a category op");
         assert_eq!(recs[2].op, Op::RmaPut);
         assert_eq!(recs[2].depth, 1);
+        assert_eq!(recs[2].disp, Some(16));
         assert_eq!(recs[3].op, Op::CoarrayWrite);
         assert_eq!(recs[3].depth, 0);
+        assert_eq!(recs[3].disp, Some(64));
         assert!(recs[3].top_cat);
         assert_eq!(col.depth.load(Ordering::Relaxed), 0);
         assert_eq!(col.cat_depth.load(Ordering::Relaxed), 0);
@@ -237,7 +251,7 @@ mod tests {
     #[test]
     fn open_slot_visible_while_span_is_open() {
         let col = Arc::new(Collector::new(64));
-        let guard = col.open_span(Op::AmPutAckWait, Some(3), 16, None);
+        let guard = col.open_span(Op::AmPutAckWait, Some(3), 16, None, None);
         let slot = &col.open[0];
         assert_ne!(slot.seq.load(Ordering::Acquire), 0);
         assert_eq!(slot.op.load(Ordering::Relaxed), Op::AmPutAckWait as u64);

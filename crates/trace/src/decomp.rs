@@ -231,6 +231,7 @@ mod tests {
             window: None,
             depth: 0,
             top_cat,
+            disp: None,
         }
     }
 

@@ -43,7 +43,8 @@ pub use collector::SpanGuard;
 pub use decomp::{Cat, Decomposition, NCAT};
 pub use op::{EventKind, Op};
 pub use session::{
-    enabled, instant, set_image, span, span_t, Session, Trace, TraceConfig, TraceError, TraceEvent,
+    enabled, instant, instant_d, set_image, span, span_d, span_t, Session, Trace, TraceConfig,
+    TraceError, TraceEvent,
 };
 pub use stall::StallReport;
 

@@ -85,10 +85,17 @@ pub enum Op {
     SegmentPut,
     /// Byte load from a registered segment.
     SegmentGet,
+    // --- mpi (epoch lifecycle, appended so discriminants stay stable) ---
+    /// `MPI_Win_lock_all` — passive-target epoch opened.
+    WinLockAll,
+    /// `MPI_Win_unlock_all` — epoch closed (completes everything).
+    WinUnlockAll,
+    /// `MPI_Win_free` — window torn down.
+    WinFree,
 }
 
 /// Number of [`Op`] variants (for decode bounds checks).
-pub(crate) const NOPS: u16 = Op::SegmentGet as u16 + 1;
+pub(crate) const NOPS: u16 = Op::WinFree as u16 + 1;
 
 impl Op {
     /// Display name (used verbatim in Chrome trace output).
@@ -130,6 +137,9 @@ impl Op {
             Op::PacketDeliver => "PacketDeliver",
             Op::SegmentPut => "SegmentPut",
             Op::SegmentGet => "SegmentGet",
+            Op::WinLockAll => "WinLockAll",
+            Op::WinUnlockAll => "WinUnlockAll",
+            Op::WinFree => "WinFree",
         }
     }
 
@@ -142,7 +152,8 @@ impl Op {
                 "caf"
             }
             MpiSend | MpiRecv | MpiBarrier | MpiBcast | MpiReduce | MpiGather | MpiAlltoall
-            | RmaPut | RmaGet | RmaAtomic | WinFlush | WinFlushAll => "mpi",
+            | RmaPut | RmaGet | RmaAtomic | WinFlush | WinFlushAll | WinLockAll
+            | WinUnlockAll | WinFree => "mpi",
             AmDispatch | AmPoll | SrqSlowPath | AmPutAckWait | GasnetBarrier | GasnetPut
             | GasnetGet => "gasnet",
             PacketInject | PacketDeliver | SegmentPut | SegmentGet => "fabric",

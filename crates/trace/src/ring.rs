@@ -1,6 +1,6 @@
 //! Fixed-capacity single-writer ring buffer of trace records.
 //!
-//! Each record is six `AtomicU64` words, so the owning image thread can
+//! Each record is seven `AtomicU64` words, so the owning image thread can
 //! record with plain atomic stores (no locks, no allocation) while the
 //! merge pass — which runs after the traced job's threads are joined —
 //! reads the same words back. On overflow the oldest records are
@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::op::{EventKind, Op};
 
-pub(crate) const WORDS: usize = 6;
+pub(crate) const WORDS: usize = 7;
 
 /// Sentinel for "no target image" / "no window id".
 pub(crate) const NONE_SENTINEL: u64 = u64::MAX;
@@ -30,6 +30,9 @@ pub(crate) struct Record {
     pub target: Option<usize>,
     pub bytes: u64,
     pub window: Option<u64>,
+    /// Byte displacement within the window/region, or a sync token
+    /// (event id, team id) for ops that carry one.
+    pub disp: Option<u64>,
 }
 
 pub(crate) struct Ring {
@@ -73,6 +76,7 @@ impl Ring {
         target: Option<usize>,
         bytes: u64,
         window: Option<u64>,
+        disp: Option<u64>,
     ) {
         let head = self.head.load(Ordering::Relaxed);
         let slot = &self.slots[(head % self.slots.len() as u64) as usize];
@@ -89,6 +93,7 @@ impl Ring {
         slot[3].store(target.map_or(NONE_SENTINEL, |t| t as u64), Ordering::Relaxed);
         slot[4].store(bytes, Ordering::Relaxed);
         slot[5].store(window.unwrap_or(NONE_SENTINEL), Ordering::Relaxed);
+        slot[6].store(disp.unwrap_or(NONE_SENTINEL), Ordering::Relaxed);
         self.head.store(head + 1, Ordering::Release);
     }
 
@@ -113,6 +118,10 @@ impl Ring {
                 NONE_SENTINEL => None,
                 w => Some(w),
             };
+            let disp = match slot[6].load(Ordering::Relaxed) {
+                NONE_SENTINEL => None,
+                d => Some(d),
+            };
             out.push(Record {
                 op,
                 kind: if w0 & KIND_SPAN != 0 {
@@ -127,6 +136,7 @@ impl Ring {
                 target,
                 bytes: slot[4].load(Ordering::Relaxed),
                 window,
+                disp,
             });
         }
         out
@@ -155,6 +165,7 @@ mod tests {
                 Some(1),
                 8,
                 Some(3),
+                None,
             );
         }
     }
@@ -172,6 +183,7 @@ mod tests {
             Some(4),
             64,
             None,
+            Some(12),
         );
         let recs = ring.drain();
         assert_eq!(recs.len(), 1);
@@ -184,6 +196,7 @@ mod tests {
         assert_eq!(r.target, Some(4));
         assert_eq!(r.bytes, 64);
         assert_eq!(r.window, None);
+        assert_eq!(r.disp, Some(12));
     }
 
     #[test]

@@ -80,19 +80,40 @@ pub fn span(op: Op) -> SpanGuard {
 /// [`span`] with a target image, payload size, and window/segment id.
 #[inline]
 pub fn span_t(op: Op, target: Option<usize>, bytes: u64, window: Option<u64>) -> SpanGuard {
+    span_d(op, target, bytes, window, None)
+}
+
+/// [`span_t`] plus a displacement / sync-token word (byte offset for
+/// data ops, event id for notify/wait, team id for collectives) — the
+/// extra coordinate offline checkers need.
+#[inline]
+pub fn span_d(
+    op: Op,
+    target: Option<usize>,
+    bytes: u64,
+    window: Option<u64>,
+    disp: Option<u64>,
+) -> SpanGuard {
     if !enabled() {
         return SpanGuard::disabled();
     }
-    with_collector(|c| c.open_span(op, target, bytes, window)).unwrap_or_else(SpanGuard::disabled)
+    with_collector(|c| c.open_span(op, target, bytes, window, disp))
+        .unwrap_or_else(SpanGuard::disabled)
 }
 
 /// Record a point event. Inert when tracing is disabled.
 #[inline]
 pub fn instant(op: Op, target: Option<usize>, bytes: u64, window: Option<u64>) {
+    instant_d(op, target, bytes, window, None);
+}
+
+/// [`instant`] with the displacement / sync-token word (see [`span_d`]).
+#[inline]
+pub fn instant_d(op: Op, target: Option<usize>, bytes: u64, window: Option<u64>, disp: Option<u64>) {
     if !enabled() {
         return;
     }
-    let _ = with_collector(|c| c.record_instant(op, target, bytes, window));
+    let _ = with_collector(|c| c.record_instant(op, target, bytes, window, disp));
 }
 
 /// Configuration for a trace session.
@@ -217,6 +238,7 @@ impl Session {
                     window: r.window,
                     depth: r.depth,
                     top_cat: r.top_cat,
+                    disp: r.disp,
                 });
             }
         }
@@ -275,6 +297,9 @@ pub struct TraceEvent {
     /// Whether the Fig 4/8 decomposition counts this event (it maps to
     /// a category and no enclosing span did).
     pub top_cat: bool,
+    /// Byte displacement within the window/region for data ops, or the
+    /// sync token (event id, team id) for synchronization ops.
+    pub disp: Option<u64>,
 }
 
 /// A finished, merged trace.
@@ -326,7 +351,7 @@ pub(crate) mod tests {
                         s.set_bytes(16 + i);
                         drop(s);
                     }
-                    instant(Op::RmaPut, Some(0), 8, Some(7));
+                    instant_d(Op::RmaPut, Some(0), 8, Some(7), Some(img as u64 * 8));
                 })
             })
             .collect();

@@ -1,0 +1,191 @@
+//! Repository automation (`cargo xtask <command>`, std-only).
+//!
+//! ## `cargo xtask lint`
+//!
+//! The *segment-direct* lint. Every byte that moves through a window or
+//! GASNet segment must pass through the instrumented substrate entry
+//! points (`crates/mpisim`, `crates/gasnetsim`, `crates/fabric`): those
+//! are where the `caf-trace` events and `caf-check` sanitizer hooks
+//! live. Code elsewhere that resolves a raw `Segment` handle —
+//! `win_segment(...)`, `local_segment(...)`, `win_shared_query(...)`,
+//! `.segment(...)` — bypasses both, so the tracer under-reports and the
+//! checker goes blind to those accesses. This lint greps the workspace
+//! sources and fails if any such call site exists outside the substrate
+//! crates.
+//!
+//! A deliberate exception (there should be almost none) is marked on
+//! the same line:
+//!
+//! ```text
+//! let seg = mpi.win_segment(&win, rank)?; // lint:allow(segment-direct)
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Raw-segment call sites the instrumented entry points wrap. Kept as
+/// suffix patterns so formatting (`foo.win_segment(`, `self.ep.segment(`)
+/// doesn't matter.
+const PATTERNS: &[&str] = &[
+    "win_segment(",
+    "local_segment(",
+    "win_shared_query(",
+    ".segment(",
+];
+
+/// Crates allowed to touch segments directly: the substrates themselves
+/// (where the hooks live) and this tool (which spells the patterns out).
+const EXEMPT: &[&str] = &["mpisim", "gasnetsim", "fabric", "xtask"];
+
+const ALLOW_MARKER: &str = "lint:allow(segment-direct)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`; available: lint");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    for dir in ["crates", "tests", "examples"] {
+        collect_rs_files(&root.join(dir), &mut files);
+    }
+    files.sort();
+
+    let mut findings = 0usize;
+    for path in &files {
+        if is_exempt(&root, path) {
+            continue;
+        }
+        let src = match fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xtask lint: reading {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        for (idx, line) in src.lines().enumerate() {
+            if let Some(pat) = flagged_pattern(line) {
+                findings += 1;
+                eprintln!(
+                    "{}:{}: direct segment access `{pat}` outside the instrumented \
+                     substrate entry points (route through the mpisim/gasnetsim API, \
+                     or mark `// {ALLOW_MARKER}`)",
+                    path.strip_prefix(&root).unwrap_or(path).display(),
+                    idx + 1,
+                );
+            }
+        }
+    }
+
+    if findings > 0 {
+        eprintln!("xtask lint: {findings} segment-direct finding(s)");
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "xtask lint: {} file(s) scanned, no segment-direct access outside \
+             mpisim/gasnetsim/fabric",
+            files.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+/// The pattern a line trips on, if any. Comment lines and lines carrying
+/// the allow marker are skipped.
+fn flagged_pattern(line: &str) -> Option<&'static str> {
+    let trimmed = line.trim_start();
+    if trimmed.starts_with("//") || line.contains(ALLOW_MARKER) {
+        return None;
+    }
+    PATTERNS.iter().find(|p| line.contains(*p)).copied()
+}
+
+fn is_exempt(root: &Path, path: &Path) -> bool {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut comps = rel.components();
+    match (comps.next(), comps.next()) {
+        (Some(first), Some(second)) => {
+            first.as_os_str() == "crates"
+                && EXEMPT.iter().any(|c| second.as_os_str() == *c)
+        }
+        _ => false,
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            // `target/` never nests under crates/*/src, but be safe.
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// `cargo xtask` runs with the workspace root as cwd (via the alias);
+/// fall back to CARGO_MANIFEST_DIR/../.. when invoked directly.
+fn workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().expect("cwd");
+    if cwd.join("Cargo.toml").is_file() && cwd.join("crates").is_dir() {
+        return cwd;
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask lives at <root>/crates/xtask")
+        .to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_raw_segment_calls_but_not_comments_or_allows() {
+        assert_eq!(
+            flagged_pattern("let seg = mpi.win_segment(&win, 0)?;"),
+            Some("win_segment(")
+        );
+        assert_eq!(
+            flagged_pattern("let s = self.ep.segment(id)?;"),
+            Some(".segment(")
+        );
+        assert_eq!(flagged_pattern("// mentions win_segment( in prose"), None);
+        assert_eq!(
+            flagged_pattern("let seg = mpi.win_segment(&w, 0)?; // lint:allow(segment-direct)"),
+            None
+        );
+        assert_eq!(flagged_pattern("let x = segment_count;"), None);
+    }
+
+    #[test]
+    fn exemptions_cover_exactly_the_substrate_crates_and_xtask() {
+        let root = Path::new("/repo");
+        for ok in ["crates/mpisim/src/rma.rs", "crates/xtask/src/main.rs"] {
+            assert!(is_exempt(root, &root.join(ok)), "{ok}");
+        }
+        for bad in ["crates/core/src/coarray.rs", "tests/check_clean.rs"] {
+            assert!(!is_exempt(root, &root.join(bad)), "{bad}");
+        }
+    }
+}
