@@ -10,6 +10,7 @@
 //! figures fig4 --from-trace    # Figure 4 derived from a real traced run
 //! figures trace --trace-out t.json   # also export Chrome trace_event JSON
 //! figures check                # replay kernels under the caf-check sanitizer
+//! figures model                # bounded schedule exploration (caf-model)
 //! ```
 
 use caf::SubstrateKind;
@@ -43,6 +44,7 @@ fn main() {
     // sanitizer sections.
     let want_trace = args.iter().any(|a| a == "trace");
     let want_check = args.iter().any(|a| a == "check");
+    let want_model = args.iter().any(|a| a == "model");
     let filters: Vec<&String> = args
         .iter()
         .filter(|a| {
@@ -88,6 +90,137 @@ fn main() {
 
     if want_check {
         check_sections();
+    }
+
+    if want_model {
+        model_sections();
+    }
+}
+
+/// Bounded schedule exploration with `caf-model`: exhaust the ping-pong
+/// state space with and without sleep sets (reporting the DPOR reduction
+/// factor), re-check the clean programs across a schedule budget, and
+/// demonstrate both seeded counterexamples — the Fig 2 deadlock and the
+/// schedule-dependent unflushed put — with their replay tokens. Exits
+/// nonzero if a clean program is flagged, an expected bug is missed, or
+/// the reduction factor drops below 2x, so CI can gate on it.
+fn model_sections() {
+    use caf_model::{explore, replay, scenarios, ExploreConfig, ExploreMode, OracleConfig};
+    println!("== caf-model: bounded schedule exploration (DPOR-lite) ==");
+    let mut bad = 0usize;
+
+    // Sleep-set reduction on the fully-exhaustible ping-pong space.
+    let pp = scenarios::ping_pong();
+    let dfs = |sleep_sets| ExploreConfig {
+        max_schedules: 5_000,
+        mode: ExploreMode::Dfs { sleep_sets },
+        oracle: None,
+        ..ExploreConfig::default()
+    };
+    let naive = explore(&pp, &dfs(false));
+    let dpor = explore(&pp, &dfs(true));
+    println!(
+        "-- DPOR reduction ({}; both modes exhaust the state space) --",
+        pp.name
+    );
+    println!("{:>12} {:>10} {:>8} {:>9} {:>8}", "mode", "schedules", "pruned", "complete", "flagged");
+    for (mode, r) in [("naive", &naive), ("sleep-set", &dpor)] {
+        println!(
+            "{mode:>12} {:>10} {:>8} {:>9} {:>8}",
+            r.schedules, r.pruned, r.complete, r.flagged
+        );
+    }
+    let factor = naive.schedules as f64 / dpor.schedules.max(1) as f64;
+    println!("reduction: {factor:.1}x fewer executed schedules");
+    if !(naive.complete && dpor.complete) || dpor.schedules * 2 > naive.schedules {
+        eprintln!("caf-model: DPOR reduction below the 2x gate");
+        bad += 1;
+    }
+
+    // Clean programs under the full oracle, bounded budget, both substrates.
+    println!("\n-- clean programs, 120-schedule budget, epoch+race oracle --");
+    println!("{:>28} {:>10} {:>8} {:>9} {:>8}", "scenario", "schedules", "pruned", "complete", "flagged");
+    for sc in [
+        scenarios::ring(SubstrateKind::Mpi),
+        scenarios::ring(SubstrateKind::Gasnet),
+        scenarios::event_ping_pong(SubstrateKind::Mpi),
+        scenarios::event_ping_pong(SubstrateKind::Gasnet),
+        scenarios::ra_round(SubstrateKind::Mpi),
+        scenarios::ra_round(SubstrateKind::Gasnet),
+    ] {
+        let cfg = ExploreConfig {
+            max_schedules: 120,
+            oracle: Some(OracleConfig::default()),
+            ..ExploreConfig::default()
+        };
+        let r = explore(&sc, &cfg);
+        println!(
+            "{:>28} {:>10} {:>8} {:>9} {:>8}",
+            sc.name, r.schedules, r.pruned, r.complete, r.flagged
+        );
+        if r.flagged > 0 {
+            for cx in &r.counterexamples {
+                eprintln!("caf-model: {}: {} — {}", sc.name, cx.kind, cx.detail);
+            }
+            bad += r.flagged;
+        }
+    }
+
+    // The Fig 2 deadlock, found instead of hung on.
+    let fig2 = scenarios::fig2_deadlock();
+    let cfg = ExploreConfig {
+        max_schedules: 25,
+        oracle: None,
+        stop_at_first: true,
+        ..ExploreConfig::default()
+    };
+    let r = explore(&fig2, &cfg);
+    println!("\n-- {} --", fig2.name);
+    match r.counterexamples.first() {
+        Some(cx) if cx.kind == "deadlock" => {
+            println!("found after {} schedule(s): {}", r.schedules, cx.detail);
+            for line in cx.schedule.iter().rev().take(4).rev() {
+                println!("{line}");
+            }
+            println!("replay token: {}", cx.token);
+            let rp = replay(&fig2, &cfg, &cx.token);
+            let same = rp.schedule == cx.schedule;
+            println!("replay reproduces the schedule and deadlock: {same}");
+            if !same {
+                bad += 1;
+            }
+        }
+        other => {
+            eprintln!("caf-model: Fig 2 deadlock not found: {other:?}");
+            bad += 1;
+        }
+    }
+
+    // The seeded unflushed-put counterexample.
+    let up = scenarios::unflushed_put();
+    let cfg = ExploreConfig {
+        max_schedules: 64,
+        mode: ExploreMode::Random { seed: 0xCAF_2014, walks: 64 },
+        oracle: Some(OracleConfig { epochs: true, races: false }),
+        stop_at_first: true,
+        ..ExploreConfig::default()
+    };
+    let r = explore(&up, &cfg);
+    println!("\n-- {} (seed 0xCAF2014) --", up.name);
+    match r.counterexamples.first() {
+        Some(cx) if cx.kind == "read_before_flush" => {
+            println!("found after {} walk(s): {}", r.schedules, cx.detail);
+            println!("replay token: {}", cx.token);
+        }
+        other => {
+            eprintln!("caf-model: unflushed-put bug not found: {other:?}");
+            bad += 1;
+        }
+    }
+
+    if bad > 0 {
+        eprintln!("caf-model: {bad} gate failure(s)");
+        std::process::exit(1);
     }
 }
 

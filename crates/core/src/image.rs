@@ -129,6 +129,7 @@ impl CafUniverse {
                 .into_iter()
                 .map(|(ep0, ep1)| {
                     scope.spawn(move || {
+                        let _model = caf_fabric::sched::register_thread(ep0.rank());
                         let img = Image::init(ep0, ep1, config, Arc::clone(ship_reg));
                         f(&img)
                     })

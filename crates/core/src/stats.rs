@@ -7,7 +7,8 @@
 //! exact categories the paper's decomposition figures use.
 
 use std::cell::Cell;
-use std::time::Instant;
+
+use caf_fabric::delay::monotonic_ns;
 
 /// The accounting categories.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -167,9 +168,9 @@ impl Stats {
             return f();
         }
         self.depth.set(1);
-        let t = Instant::now();
+        let t0 = monotonic_ns();
         let r = f();
-        let ns = t.elapsed().as_nanos() as u64;
+        let ns = monotonic_ns().saturating_sub(t0);
         self.depth.set(0);
         let i = idx(cat);
         self.nanos[i].set(self.nanos[i].get() + ns);
@@ -265,6 +266,7 @@ mod tests {
     use std::time::Duration;
 
     #[test]
+    #[cfg_attr(miri, ignore = "wall-clock timing / raw spin")]
     fn timed_accumulates() {
         let s = Stats::new();
         s.timed(StatCat::Barrier, || std::thread::sleep(Duration::from_millis(5)));
@@ -275,6 +277,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "wall-clock timing / raw spin")]
     fn nesting_does_not_double_count() {
         let s = Stats::new();
         s.timed(StatCat::EventNotify, || {
@@ -322,6 +325,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "wall-clock timing / raw spin")]
     fn disabled_accounting_records_nothing() {
         let s = Stats::new();
         assert!(s.accounting_enabled());

@@ -127,8 +127,16 @@ impl DelayConfig {
 }
 
 /// Busy-wait for approximately `ns` nanoseconds. No-op for `ns <= 0`.
+///
+/// Under model control ([`crate::sched`]) the wait becomes a single
+/// scheduler yield instead: wall-clock cost is meaningless in a modeled
+/// schedule, and a busy-wait would wedge exploration (only one thread
+/// runs at a time, and it would spin inside its quantum).
 pub fn spin_for_ns(ns: f64) {
     if ns <= 0.0 {
+        return;
+    }
+    if crate::sched::yield_tick() {
         return;
     }
     let dur = Duration::from_nanos(ns as u64);
@@ -138,11 +146,30 @@ pub fn spin_for_ns(ns: f64) {
     }
 }
 
+/// Monotonic nanoseconds since an arbitrary process-local origin.
+///
+/// This is the workspace's one sanctioned wall-clock read for timing
+/// statistics (the nondeterminism lint forbids raw `Instant::now` outside
+/// this file): under model control it returns the gate's deterministic
+/// logical clock instead of real time, so timed wrappers don't reintroduce
+/// schedule-dependent values into modeled runs.
+pub fn monotonic_ns() -> u64 {
+    if crate::sched::active() {
+        // One scheduled operation ≙ 1 µs of logical time.
+        return crate::sched::logical_steps() * 1_000;
+    }
+    use std::sync::OnceLock;
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    let origin = *ORIGIN.get_or_init(Instant::now);
+    origin.elapsed().as_nanos() as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
+    #[cfg_attr(miri, ignore = "wall-clock timing")]
     fn free_config_charges_nothing_fast() {
         let cfg = DelayConfig::free();
         let t = Instant::now();
@@ -163,6 +190,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "wall-clock timing")]
     fn spin_waits_roughly_the_requested_time() {
         let t = Instant::now();
         spin_for_ns(2_000_000.0); // 2 ms

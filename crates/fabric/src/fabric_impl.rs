@@ -143,7 +143,12 @@ impl Fabric {
         std::thread::scope(|scope| {
             let handles: Vec<_> = endpoints
                 .into_iter()
-                .map(|ep| scope.spawn(move || f(ep)))
+                .map(|ep| {
+                    scope.spawn(move || {
+                        let _model = crate::sched::register_thread(ep.rank());
+                        f(ep)
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -200,6 +205,12 @@ impl Endpoint {
                 size: self.shared.n,
             });
         }
+        if crate::sched::active() {
+            crate::sched::yield_op(crate::sched::ModelOp::Send {
+                plane: self.plane,
+                to,
+            });
+        }
         if caf_trace::enabled() {
             caf_trace::instant(
                 caf_trace::Op::PacketInject,
@@ -223,8 +234,18 @@ impl Endpoint {
         }
     }
 
+    fn model_recv_op(&self) -> crate::sched::ModelOp {
+        crate::sched::ModelOp::Recv {
+            plane: self.plane,
+            rank: self.rank,
+        }
+    }
+
     /// Non-blocking poll of this rank's mailbox.
     pub fn try_recv(&self) -> Option<Packet> {
+        if crate::sched::active() {
+            crate::sched::yield_op(self.model_recv_op());
+        }
         let pkt = self.rx.try_recv().ok()?;
         self.trace_delivery(&pkt);
         Some(pkt)
@@ -232,6 +253,15 @@ impl Endpoint {
 
     /// Block until a packet arrives.
     pub fn recv_blocking(&self) -> Result<Packet> {
+        if crate::sched::active() {
+            // Announce, then retry under the gate: the scheduler reruns us
+            // only after another image makes progress, and reports a
+            // wait-for edge if no image ever can.
+            let pkt =
+                crate::sched::model_blocking(self.model_recv_op(), || self.rx.try_recv().ok());
+            self.trace_delivery(&pkt);
+            return Ok(pkt);
+        }
         let pkt = self.rx.recv().map_err(|_| FabricError::Disconnected)?;
         self.trace_delivery(&pkt);
         Ok(pkt)
@@ -239,6 +269,14 @@ impl Endpoint {
 
     /// Block until a packet arrives or `timeout` elapses.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<Packet> {
+        if crate::sched::active() {
+            // Under the model a timeout is just "the schedule chose to let
+            // it fire": one announced attempt, then give up.
+            crate::sched::yield_op(self.model_recv_op());
+            let pkt = self.rx.try_recv().ok()?;
+            self.trace_delivery(&pkt);
+            return Some(pkt);
+        }
         let pkt = self.rx.recv_timeout(timeout).ok()?;
         self.trace_delivery(&pkt);
         Some(pkt)
@@ -246,6 +284,9 @@ impl Endpoint {
 
     /// Register a segment, making it remotely accessible; returns its id.
     pub fn register_segment(&self, seg: Segment) -> SegmentId {
+        if crate::sched::active() {
+            crate::sched::yield_op(crate::sched::ModelOp::Registry);
+        }
         let id = self.shared.next_segment.fetch_add(1, Ordering::Relaxed);
         self.shared.segments.write().insert(id, Arc::new(seg));
         SegmentId(id)
@@ -254,6 +295,9 @@ impl Endpoint {
     /// Remove a segment from the registry. Outstanding `Arc` handles keep
     /// the memory alive until the last user drops it.
     pub fn unregister_segment(&self, id: SegmentId) -> Result<()> {
+        if crate::sched::active() {
+            crate::sched::yield_op(crate::sched::ModelOp::Registry);
+        }
         self.shared
             .segments
             .write()

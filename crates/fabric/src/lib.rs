@@ -33,6 +33,7 @@ pub mod error;
 pub mod memacct;
 pub mod packet;
 pub mod pod;
+pub mod sched;
 pub mod segment;
 pub mod topology;
 

@@ -376,6 +376,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "wall-clock timing / raw spin")]
     fn no_progress_without_poll() {
         GasnetUniverse::run(2, |g| {
             static HIT: AtomicU64 = AtomicU64::new(0);

@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use caf_fabric::delay::DelayOp;
 use caf_fabric::pod::{as_bytes, as_bytes_mut};
+use caf_fabric::sched::{self, ModelOp};
 use caf_fabric::{Pod, Result, Segment};
 
 use crate::am::H_PUT_ACK_REQ;
@@ -36,6 +37,15 @@ impl NbHandle {
     }
 }
 
+/// Announce a segment operation at the model-checking gate before it
+/// executes. GASNet segment ids occupy the low half of the region
+/// namespace (MPI window ids carry the high bit).
+fn announce(op: ModelOp) {
+    if sched::active() {
+        sched::yield_op(op);
+    }
+}
+
 impl Gasnet {
     /// Direct handle to this rank's attached segment.
     pub fn local_segment(&self) -> &Arc<Segment> {
@@ -55,6 +65,12 @@ impl Gasnet {
         {
             return self.put_via_am(node, offset, bytes);
         }
+        announce(ModelOp::Write {
+            region: self.seg_ids[node].0,
+            owner: node,
+            lo: offset as u64,
+            hi: offset as u64 + bytes.len() as u64,
+        });
         if caf_trace::enabled() {
             caf_trace::instant(
                 caf_trace::Op::GasnetPut,
@@ -84,6 +100,9 @@ impl Gasnet {
             bytes.len() as u64,
             None,
         );
+        // Under the model this wait-for edge (origin → target) is what a
+        // deadlock report of the Fig 2 program names.
+        let _hint = caf_fabric::sched::wait_hint(node);
         while self.put_acks_received.get() < self.put_acks_expected.get() {
             let pkt = self.wait_for(|p| self.is_am(p));
             self.dispatch_am(pkt);
@@ -101,6 +120,12 @@ impl Gasnet {
     ) -> Result<()> {
         // Internal variant of am_request_long that bypasses the user-index
         // assertion (reserved handlers are allowed here).
+        announce(ModelOp::Write {
+            region: self.seg_ids[dest].0,
+            owner: dest,
+            lo: dest_offset as u64,
+            hi: dest_offset as u64 + data.len() as u64,
+        });
         let seg = self.ep.segment(self.seg_ids[dest])?;
         self.delays.charge(DelayOp::RmaPut, data.len());
         seg.put(dest_offset, data)?;
@@ -122,6 +147,13 @@ impl Gasnet {
     /// Blocking get from `node`'s segment (`gasnet_get`). Always direct
     /// RDMA.
     pub fn get<T: Pod>(&self, node: usize, offset: usize, out: &mut [T]) -> Result<()> {
+        let bytes_len = std::mem::size_of_val(out);
+        announce(ModelOp::Read {
+            region: self.seg_ids[node].0,
+            owner: node,
+            lo: offset as u64,
+            hi: offset as u64 + bytes_len as u64,
+        });
         let seg = self.ep.segment(self.seg_ids[node])?;
         let bytes = as_bytes_mut(out);
         if caf_trace::enabled() {
@@ -180,8 +212,14 @@ impl Gasnet {
         stride_elems: usize,
         data: &[T],
     ) -> Result<()> {
-        let seg = self.ep.segment(self.seg_ids[node])?;
         let esz = std::mem::size_of::<T>();
+        announce(ModelOp::Write {
+            region: self.seg_ids[node].0,
+            owner: node,
+            lo: offset as u64,
+            hi: offset as u64 + (data.len() * stride_elems.max(1) * esz) as u64,
+        });
+        let seg = self.ep.segment(self.seg_ids[node])?;
         self.delays
             .charge(DelayOp::RmaPut, std::mem::size_of_val(data));
         for (i, v) in data.iter().enumerate() {
@@ -198,8 +236,14 @@ impl Gasnet {
         stride_elems: usize,
         out: &mut [T],
     ) -> Result<()> {
-        let seg = self.ep.segment(self.seg_ids[node])?;
         let esz = std::mem::size_of::<T>();
+        announce(ModelOp::Read {
+            region: self.seg_ids[node].0,
+            owner: node,
+            lo: offset as u64,
+            hi: offset as u64 + (out.len() * stride_elems.max(1) * esz) as u64,
+        });
+        let seg = self.ep.segment(self.seg_ids[node])?;
         self.delays
             .charge(DelayOp::RmaGet, std::mem::size_of_val(out));
         for (i, v) in out.iter_mut().enumerate() {
@@ -213,11 +257,25 @@ impl Gasnet {
 
     /// Write into this rank's own segment.
     pub fn write_local<T: Pod>(&self, offset: usize, data: &[T]) -> Result<()> {
+        let me = self.rank();
+        announce(ModelOp::Write {
+            region: self.seg_ids[me].0,
+            owner: me,
+            lo: offset as u64,
+            hi: offset as u64 + std::mem::size_of_val(data) as u64,
+        });
         self.local.put(offset, as_bytes(data))
     }
 
     /// Read from this rank's own segment.
     pub fn read_local<T: Pod>(&self, offset: usize, out: &mut [T]) -> Result<()> {
+        let me = self.rank();
+        announce(ModelOp::Read {
+            region: self.seg_ids[me].0,
+            owner: me,
+            lo: offset as u64,
+            hi: offset as u64 + std::mem::size_of_val(out) as u64,
+        });
         self.local.get(offset, as_bytes_mut(out))
     }
 }
@@ -289,6 +347,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "wall-clock timing / raw spin")]
     fn am_mediated_put_stalls_without_target_polling() {
         // The Figure-2 hazard in miniature: the target never polls, so the
         // put cannot complete within the deadline.

@@ -466,6 +466,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "wall-clock timing / raw spin")]
     fn barrier_try_eventually_succeeds() {
         GasnetUniverse::run(3, |g| {
             g.barrier_notify();

@@ -1,0 +1,227 @@
+//! The modeled programs: small, closed CAF jobs whose schedule spaces the
+//! explorer walks. Shared by `tests/model_explore.rs` and the
+//! `figures model` section so both always talk about the same programs.
+//!
+//! Every scenario is a plain `fn()` that runs one complete job
+//! (`CafUniverse::run_with_config` or `Fabric::run`); the explorer arms
+//! the scheduler gate around it and re-runs it once per schedule, so
+//! scenario bodies must be self-contained and repeatable.
+
+use caf::{AsyncOpts, CafConfig, CafUniverse, Coarray, GasnetConfig, SubstrateKind};
+use caf_fabric::{Fabric, Packet};
+
+/// One modeled program.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Display name (`figures model` rows, test messages).
+    pub name: &'static str,
+    /// Image count the job spawns (the gate is armed for exactly this).
+    pub images: usize,
+    /// Run the whole job once.
+    pub run: fn(),
+}
+
+/// Fabric-level ping-pong, two ranks, two rounds. The smallest scenario
+/// with real branching (each rank's sends are independent of the peer's),
+/// used to measure the sleep-set reduction factor against naive
+/// enumeration.
+pub fn ping_pong() -> Scenario {
+    Scenario { name: "ping-pong (fabric)", images: 2, run: ping_pong_run }
+}
+
+fn ping_pong_run() {
+    Fabric::run(2, |ep| {
+        let peer = 1 - ep.rank();
+        for round in 0..2i64 {
+            ep.send(peer, Packet::control(ep.rank(), 1, round, [0; 4])).unwrap();
+            let p = ep.recv_blocking().unwrap();
+            assert_eq!(p.tag, round);
+        }
+    });
+}
+
+/// The quickstart ring: write to the right neighbour, `sync_all`, read
+/// locally. Race-free in every interleaving — the clean baseline.
+pub fn ring(kind: SubstrateKind) -> Scenario {
+    match kind {
+        SubstrateKind::Mpi => Scenario { name: "ring (CAF-MPI)", images: 2, run: ring_mpi },
+        SubstrateKind::Gasnet => {
+            Scenario { name: "ring (CAF-GASNet)", images: 2, run: ring_gasnet }
+        }
+    }
+}
+
+fn ring_mpi() {
+    ring_run(SubstrateKind::Mpi);
+}
+
+fn ring_gasnet() {
+    ring_run(SubstrateKind::Gasnet);
+}
+
+fn ring_run(kind: SubstrateKind) {
+    CafUniverse::run_with_config(2, CafConfig::on(kind), |img| {
+        let world = img.team_world();
+        let me = img.this_image();
+        let ca: Coarray<u64> = img.coarray_alloc(&world, 2);
+        let right = (me + 1) % img.num_images();
+        ca.write(img, right, 0, &[me as u64 + 100]);
+        img.sync_all();
+        let left = (me + 1) % 2;
+        assert_eq!(ca.local_vec(img)[0], left as u64 + 100);
+        img.coarray_free(&world, ca);
+    });
+}
+
+/// Event ping-pong: image 0 writes and notifies, image 1 waits, reads,
+/// writes back and notifies. Event notify/wait carries the
+/// happens-before edge, so every interleaving is clean.
+pub fn event_ping_pong(kind: SubstrateKind) -> Scenario {
+    match kind {
+        SubstrateKind::Mpi => {
+            Scenario { name: "event ping-pong (CAF-MPI)", images: 2, run: event_pp_mpi }
+        }
+        SubstrateKind::Gasnet => {
+            Scenario { name: "event ping-pong (CAF-GASNet)", images: 2, run: event_pp_gasnet }
+        }
+    }
+}
+
+fn event_pp_mpi() {
+    event_pp_run(SubstrateKind::Mpi);
+}
+
+fn event_pp_gasnet() {
+    event_pp_run(SubstrateKind::Gasnet);
+}
+
+fn event_pp_run(kind: SubstrateKind) {
+    CafUniverse::run_with_config(2, CafConfig::on(kind), |img| {
+        let world = img.team_world();
+        let me = img.this_image();
+        let ca: Coarray<u64> = img.coarray_alloc(&world, 1);
+        let ev = img.event_alloc(&world);
+        if me == 0 {
+            ca.write(img, 1, 0, &[7]);
+            img.event_notify(&world, &ev, 1);
+            img.event_wait(&ev);
+            assert_eq!(ca.local_vec(img)[0], 9);
+        } else {
+            img.event_wait(&ev);
+            assert_eq!(ca.local_vec(img)[0], 7);
+            ca.write(img, 0, 0, &[9]);
+            img.event_notify(&world, &ev, 0);
+        }
+        img.coarray_free(&world, ca);
+    });
+}
+
+/// One miniature RandomAccess round: every image updates one distinct
+/// slot of every other image's table, then all verify after `sync_all`.
+/// Disjoint slots, so clean on both substrates.
+pub fn ra_round(kind: SubstrateKind) -> Scenario {
+    match kind {
+        SubstrateKind::Mpi => {
+            Scenario { name: "RandomAccess round (CAF-MPI)", images: 2, run: ra_mpi }
+        }
+        SubstrateKind::Gasnet => {
+            Scenario { name: "RandomAccess round (CAF-GASNet)", images: 2, run: ra_gasnet }
+        }
+    }
+}
+
+fn ra_mpi() {
+    ra_run(SubstrateKind::Mpi);
+}
+
+fn ra_gasnet() {
+    ra_run(SubstrateKind::Gasnet);
+}
+
+fn ra_run(kind: SubstrateKind) {
+    CafUniverse::run_with_config(2, CafConfig::on(kind), |img| {
+        let world = img.team_world();
+        let me = img.this_image();
+        let n = img.num_images();
+        let table: Coarray<u64> = img.coarray_alloc(&world, n);
+        img.sync_all();
+        for other in 0..n {
+            let update = ((me as u64) << 8) | other as u64;
+            if other == me {
+                table.local_write(img, me, &[update]);
+            } else {
+                table.write(img, other, me, &[update]);
+            }
+        }
+        img.sync_all();
+        let v = table.local_vec(img);
+        for (slot, val) in v.iter().enumerate() {
+            assert_eq!(*val, ((slot as u64) << 8) | me as u64, "slot {slot} on image {me}");
+        }
+        img.coarray_free(&world, table);
+    });
+}
+
+/// The paper's Figure 2 on the hazardous configuration: GASNet with
+/// AM-mediated puts and a co-resident MPI library. Image 0's coarray
+/// write completes only when image 1 makes GASNet progress; image 1 is
+/// blocked in `MPI_Barrier`, which never polls GASNet. Every
+/// interleaving deadlocks — the explorer reports the wait-for cycle
+/// instead of hanging.
+pub fn fig2_deadlock() -> Scenario {
+    Scenario { name: "Fig 2 (GASNet AM put vs MPI barrier)", images: 2, run: fig2_run }
+}
+
+fn fig2_run() {
+    let cfg = CafConfig {
+        substrate: SubstrateKind::Gasnet,
+        gasnet: GasnetConfig {
+            put_via_am_threshold: Some(1),
+            ..GasnetConfig::default()
+        },
+        hybrid_mpi: true,
+        ..CafConfig::default()
+    };
+    CafUniverse::run_with_config(2, cfg, |img| {
+        let world = img.team_world();
+        let a: Coarray<u64> = img.coarray_alloc(&world, 4);
+        if img.this_image() == 0 {
+            // A(:)[1] = A(:) — blocks on the target's GASNet progress.
+            a.write(img, 1, 0, &[7, 8, 9, 10]);
+        }
+        // CALL MPI_BARRIER — the duplicate runtime, which makes no GASNet
+        // progress while blocked.
+        let mpi = img.mpi().expect("hybrid MPI library");
+        mpi.barrier(&mpi.world()).expect("barrier");
+        img.coarray_free(&world, a);
+    });
+}
+
+/// A schedule-dependent unflushed-put bug on CAF-MPI: image 1 issues an
+/// implicitly synchronized `copy_async_put` into image 0's slot and only
+/// later completes it; image 0 meanwhile loads the same slot locally. In
+/// the default (image-0-first) interleaving the read happens before the
+/// put and nothing is wrong; in interleavings where the put lands first,
+/// the read observes window memory an unflushed put still targets —
+/// `read_before_flush`.
+pub fn unflushed_put() -> Scenario {
+    Scenario { name: "unflushed put vs local read (CAF-MPI)", images: 2, run: unflushed_run }
+}
+
+fn unflushed_run() {
+    CafUniverse::run_with_config(2, CafConfig::on(SubstrateKind::Mpi), |img| {
+        let world = img.team_world();
+        let ca: Coarray<u64> = img.coarray_alloc(&world, 1);
+        if img.this_image() == 1 {
+            img.copy_async_put(&ca, 0, 0, &[42], AsyncOpts::none());
+            img.cofence();
+        } else {
+            let v = ca.local_vec(img)[0];
+            assert!(v == 0 || v == 42, "torn read: {v}");
+        }
+        img.sync_all();
+        // Complete the put globally before the windows are freed.
+        img.finish(&world, |_| {});
+        img.coarray_free(&world, ca);
+    });
+}

@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use caf_fabric::delay::DelayOp;
 use caf_fabric::pod::{as_bytes, as_bytes_mut, vec_from_bytes};
+use caf_fabric::sched::{self, ModelOp, ANY_OWNER};
 use caf_fabric::{FabricError, MemCategory, Pod, Result, Segment, SegmentId};
 
 use crate::comm::Comm;
@@ -32,6 +33,33 @@ pub struct Window {
     pub(crate) sizes: Arc<[usize]>,
     pub(crate) local: Arc<Segment>,
     pub(crate) locked_all: AtomicBool,
+}
+
+/// MPI window ids live in the high-bit half of the model-checker's region
+/// namespace; GASNet segment ids own the low half. Keeps the two
+/// substrates' resources disjoint when both run in one hybrid job.
+fn model_region(win_id: u64) -> u64 {
+    win_id | (1u64 << 63)
+}
+
+/// Announce a window operation at the scheduler gate *before* its check
+/// hook fires, so the interleaving the model explores is exactly the
+/// event order the oracle observes.
+fn announce(op: ModelOp) {
+    if sched::active() {
+        sched::yield_op(op);
+    }
+}
+
+/// Whole-window synchronization (flush / epoch transitions / free):
+/// conflicts with every data operation on the window.
+fn announce_sync(win_id: u64) {
+    announce(ModelOp::Atomic {
+        region: model_region(win_id),
+        owner: ANY_OWNER,
+        lo: 0,
+        hi: u64::MAX,
+    });
 }
 
 impl std::fmt::Debug for Window {
@@ -121,6 +149,7 @@ impl Mpi {
     /// As [`Mpi::win_free`], for windows held behind shared handles
     /// (`Arc<Window>`). The caller must not use the window afterwards.
     pub fn win_free_shared(&self, win: &Window) -> Result<()> {
+        announce_sync(win.id);
         #[cfg(feature = "check")]
         caf_check::hooks::win_free(win.id, self.rank(), win.locked_all.load(Ordering::Relaxed));
         if caf_trace::enabled() {
@@ -136,6 +165,7 @@ impl Mpi {
     /// `MPI_Win_lock_all` — open a shared passive-target epoch to every
     /// rank of the window.
     pub fn win_lock_all(&self, win: &Window) {
+        announce_sync(win.id);
         #[cfg(feature = "check")]
         caf_check::hooks::win_lock_all(win.id, self.rank());
         if caf_trace::enabled() {
@@ -146,6 +176,7 @@ impl Mpi {
 
     /// `MPI_Win_unlock_all` — close the epoch, completing all operations.
     pub fn win_unlock_all(&self, win: &Window) -> Result<()> {
+        announce_sync(win.id);
         #[cfg(feature = "check")]
         caf_check::hooks::win_unlock_all(
             win.id,
@@ -192,6 +223,12 @@ impl Mpi {
     /// runtime does).
     pub fn put<T: Pod>(&self, win: &Window, target: usize, disp: usize, data: &[T]) -> Result<()> {
         let bytes = as_bytes(data);
+        announce(ModelOp::Write {
+            region: model_region(win.id),
+            owner: target,
+            lo: disp as u64,
+            hi: disp as u64 + bytes.len() as u64,
+        });
         #[cfg(feature = "check")]
         caf_check::hooks::rma_put(
             win.id,
@@ -226,6 +263,12 @@ impl Mpi {
         out: &mut [T],
     ) -> Result<()> {
         let bytes = as_bytes_mut(out);
+        announce(ModelOp::Read {
+            region: model_region(win.id),
+            owner: target,
+            lo: disp as u64,
+            hi: disp as u64 + bytes.len() as u64,
+        });
         #[cfg(feature = "check")]
         caf_check::hooks::rma_get(
             win.id,
@@ -315,6 +358,15 @@ impl Mpi {
         data: &[T],
     ) -> Result<()> {
         let esz = std::mem::size_of::<T>();
+        // One announce covering the whole strided span (per-element yields
+        // would explode the schedule space without adding distinct
+        // conflicts).
+        announce(ModelOp::Write {
+            region: model_region(win.id),
+            owner: target,
+            lo: disp as u64,
+            hi: disp as u64 + (data.len() * stride_elems.max(1) * esz) as u64,
+        });
         #[cfg(feature = "check")]
         if caf_check::enabled() {
             let (origin, tgt) = (self.rank(), self.check_global(win, target));
@@ -353,6 +405,12 @@ impl Mpi {
         out: &mut [T],
     ) -> Result<()> {
         let esz = std::mem::size_of::<T>();
+        announce(ModelOp::Read {
+            region: model_region(win.id),
+            owner: target,
+            lo: disp as u64,
+            hi: disp as u64 + (out.len() * stride_elems.max(1) * esz) as u64,
+        });
         #[cfg(feature = "check")]
         if caf_check::enabled() {
             let (origin, tgt) = (self.rank(), self.check_global(win, target));
@@ -451,6 +509,12 @@ impl Mpi {
         data: &[T],
         op: AccOp,
     ) -> Result<()> {
+        announce(ModelOp::Atomic {
+            region: model_region(win.id),
+            owner: target,
+            lo: disp as u64,
+            hi: disp as u64 + std::mem::size_of_val(data) as u64,
+        });
         #[cfg(feature = "check")]
         caf_check::hooks::rma_atomic(
             win.id,
@@ -482,6 +546,12 @@ impl Mpi {
         data: &[T],
         op: AccOp,
     ) -> Result<Vec<T>> {
+        announce(ModelOp::Atomic {
+            region: model_region(win.id),
+            owner: target,
+            lo: disp as u64,
+            hi: disp as u64 + std::mem::size_of_val(data) as u64,
+        });
         #[cfg(feature = "check")]
         caf_check::hooks::rma_atomic(
             win.id,
@@ -514,6 +584,12 @@ impl Mpi {
         value: T,
         op: AccOp,
     ) -> Result<T> {
+        announce(ModelOp::Atomic {
+            region: model_region(win.id),
+            owner: target,
+            lo: disp as u64,
+            hi: disp as u64 + 8,
+        });
         #[cfg(feature = "check")]
         caf_check::hooks::rma_atomic(
             win.id,
@@ -540,6 +616,12 @@ impl Mpi {
         expected: T,
         new: T,
     ) -> Result<T> {
+        announce(ModelOp::Atomic {
+            region: model_region(win.id),
+            owner: target,
+            lo: disp as u64,
+            hi: disp as u64 + 8,
+        });
         #[cfg(feature = "check")]
         caf_check::hooks::rma_atomic(
             win.id,
@@ -560,6 +642,7 @@ impl Mpi {
     /// `MPI_Win_flush` — complete all outstanding operations from this
     /// origin to `target`, at the origin *and* the target.
     pub fn win_flush(&self, win: &Window, target: usize) -> Result<()> {
+        announce_sync(win.id);
         #[cfg(feature = "check")]
         caf_check::hooks::win_flush(
             win.id,
@@ -593,6 +676,7 @@ impl Mpi {
     /// grows linearly with the job size (paper §4.1 — the root cause of
     /// CAF-MPI's `event_notify` overhead in RandomAccess).
     pub fn win_flush_all(&self, win: &Window) -> Result<()> {
+        announce_sync(win.id);
         #[cfg(feature = "check")]
         caf_check::hooks::win_flush_all(
             win.id,
@@ -627,6 +711,12 @@ impl Mpi {
     /// unified memory model).
     pub fn win_read_local<T: Pod>(&self, win: &Window, disp: usize, out: &mut [T]) -> Result<()> {
         let bytes = as_bytes_mut(out);
+        announce(ModelOp::Read {
+            region: model_region(win.id),
+            owner: win.comm.rank(),
+            lo: disp as u64,
+            hi: disp as u64 + bytes.len() as u64,
+        });
         #[cfg(feature = "check")]
         caf_check::hooks::local_read(
             win.id,
@@ -640,6 +730,12 @@ impl Mpi {
     /// Write to this rank's own window region (a local "store").
     pub fn win_write_local<T: Pod>(&self, win: &Window, disp: usize, data: &[T]) -> Result<()> {
         let bytes = as_bytes(data);
+        announce(ModelOp::Write {
+            region: model_region(win.id),
+            owner: win.comm.rank(),
+            lo: disp as u64,
+            hi: disp as u64 + bytes.len() as u64,
+        });
         #[cfg(feature = "check")]
         caf_check::hooks::local_write(
             win.id,
@@ -665,6 +761,12 @@ impl Mpi {
     ) -> Result<()> {
         let seg = self.target_segment(win, rank)?;
         let bytes = as_bytes_mut(out);
+        announce(ModelOp::Read {
+            region: model_region(win.id),
+            owner: rank,
+            lo: disp as u64,
+            hi: disp as u64 + bytes.len() as u64,
+        });
         #[cfg(feature = "check")]
         caf_check::hooks::local_read(
             win.id,
@@ -686,6 +788,12 @@ impl Mpi {
     ) -> Result<()> {
         let seg = self.target_segment(win, rank)?;
         let bytes = as_bytes(data);
+        announce(ModelOp::Write {
+            region: model_region(win.id),
+            owner: rank,
+            lo: disp as u64,
+            hi: disp as u64 + bytes.len() as u64,
+        });
         #[cfg(feature = "check")]
         caf_check::hooks::local_write(
             win.id,

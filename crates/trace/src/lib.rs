@@ -43,8 +43,8 @@ pub use collector::SpanGuard;
 pub use decomp::{Cat, Decomposition, NCAT};
 pub use op::{EventKind, Op};
 pub use session::{
-    enabled, instant, instant_d, set_image, span, span_d, span_t, Session, Trace, TraceConfig,
-    TraceError, TraceEvent,
+    enabled, instant, instant_d, set_image, set_stall_watchdog_inhibit, span, span_d, span_t,
+    stall_watchdog_inhibited, Session, Trace, TraceConfig, TraceError, TraceEvent,
 };
 pub use stall::StallReport;
 

@@ -32,6 +32,23 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// Set while a model-checking gate controls the process: sessions started
+/// with it set do not spawn the stall watchdog, whose free-running
+/// sampling thread would perturb (and outlive) explored schedules — and
+/// whose wall-clock thresholds are meaningless under a logical clock.
+static WATCHDOG_INHIBIT: AtomicBool = AtomicBool::new(false);
+
+/// Inhibit (or re-allow) the stall watchdog for sessions started from now
+/// on. Called by the model-checking scheduler when it arms/disarms.
+pub fn set_stall_watchdog_inhibit(inhibit: bool) {
+    WATCHDOG_INHIBIT.store(inhibit, Ordering::SeqCst);
+}
+
+/// Whether the stall watchdog is currently inhibited.
+pub fn stall_watchdog_inhibited() -> bool {
+    WATCHDOG_INHIBIT.load(Ordering::SeqCst)
+}
+
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     match m.lock() {
         Ok(g) => g,
@@ -191,7 +208,10 @@ impl Session {
         *cur = Some(Arc::clone(&shared));
         drop(cur);
         ENABLED.store(true, Ordering::SeqCst);
-        let watchdog = cfg.stall_threshold.map(|threshold| {
+        let watchdog = cfg
+            .stall_threshold
+            .filter(|_| !stall_watchdog_inhibited())
+            .map(|threshold| {
             let stop = Arc::new(AtomicBool::new(false));
             let handle = stall::spawn_watchdog(
                 Arc::clone(&shared),

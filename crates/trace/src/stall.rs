@@ -167,6 +167,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "watchdog thread + wall-clock sleeps")]
     fn watchdog_reports_long_open_blocking_span_once() {
         let _guard = lock(&SESSION_TEST_LOCK);
         let session = Session::start(TraceConfig {
@@ -193,6 +194,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "watchdog thread + wall-clock sleeps")]
     fn short_spans_do_not_trip_the_watchdog() {
         let _guard = lock(&SESSION_TEST_LOCK);
         let session = Session::start(TraceConfig {

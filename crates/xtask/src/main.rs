@@ -19,6 +19,19 @@
 //! ```text
 //! let seg = mpi.win_segment(&win, rank)?; // lint:allow(segment-direct)
 //! ```
+//!
+//! The same command also runs the *nondeterminism* lint. The model
+//! checker (`caf-model`) replays whole jobs under the scheduler gate,
+//! which only works if the runtime crates take no schedule-relevant
+//! decisions from wall-clock time or raw spinning: every blocking wait
+//! must go through the gated primitives. Inside the modeled crates
+//! (`fabric`, `mpisim`, `gasnetsim`, `core`), non-test code must not
+//! call `thread::sleep`, `Instant::now`, or `spin_loop` directly —
+//! timing is centralized in `fabric/src/delay.rs` (virtual clock +
+//! gated spins) and `trace/src/stall.rs` (the watchdog, inhibited under
+//! model control). Scanning stops at the first `#[cfg(test)]` line of a
+//! file, and a deliberate exception is marked with
+//! `// lint:allow(nondeterminism)` on the same line.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -39,6 +52,22 @@ const PATTERNS: &[&str] = &[
 const EXEMPT: &[&str] = &["mpisim", "gasnetsim", "fabric", "xtask"];
 
 const ALLOW_MARKER: &str = "lint:allow(segment-direct)";
+
+/// Wall-clock and raw-spin primitives forbidden in the modeled crates:
+/// each one lets a schedule depend on real time, which breaks replay
+/// under the `caf-model` scheduler gate.
+const ND_PATTERNS: &[&str] = &["thread::sleep", "Instant::now", "spin_loop("];
+
+/// Crates the scheduler gate models; only these are held to the
+/// nondeterminism rule (benches and the hpcc kernels time themselves on
+/// purpose).
+const ND_CRATES: &[&str] = &["fabric", "mpisim", "gasnetsim", "core"];
+
+/// Files where timing is *supposed* to live: the virtual clock / gated
+/// spin module and the stall watchdog.
+const ND_ALLOW_FILES: &[&str] = &["delay.rs", "stall.rs"];
+
+const ND_ALLOW_MARKER: &str = "lint:allow(nondeterminism)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -75,7 +104,13 @@ fn lint() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
+        let mut nd = is_nd_target(&root, path);
         for (idx, line) in src.lines().enumerate() {
+            if nd && line.trim_start().starts_with("#[cfg(test)]") {
+                // Tests may sleep and time freely; everything below the
+                // first test attribute in the modeled crates is theirs.
+                nd = false;
+            }
             if let Some(pat) = flagged_pattern(line) {
                 findings += 1;
                 eprintln!(
@@ -86,16 +121,28 @@ fn lint() -> ExitCode {
                     idx + 1,
                 );
             }
+            if nd {
+                if let Some(pat) = nd_flagged_pattern(line) {
+                    findings += 1;
+                    eprintln!(
+                        "{}:{}: nondeterministic `{pat}` in a modeled crate (use the \
+                         gated primitives in fabric/src/delay.rs, or mark \
+                         `// {ND_ALLOW_MARKER}`)",
+                        path.strip_prefix(&root).unwrap_or(path).display(),
+                        idx + 1,
+                    );
+                }
+            }
         }
     }
 
     if findings > 0 {
-        eprintln!("xtask lint: {findings} segment-direct finding(s)");
+        eprintln!("xtask lint: {findings} finding(s)");
         ExitCode::FAILURE
     } else {
         println!(
             "xtask lint: {} file(s) scanned, no segment-direct access outside \
-             mpisim/gasnetsim/fabric",
+             mpisim/gasnetsim/fabric, no raw timing in the modeled crates",
             files.len()
         );
         ExitCode::SUCCESS
@@ -110,6 +157,36 @@ fn flagged_pattern(line: &str) -> Option<&'static str> {
         return None;
     }
     PATTERNS.iter().find(|p| line.contains(*p)).copied()
+}
+
+/// The nondeterminism pattern a line trips on, if any. Comment lines,
+/// marked lines, and the designated timing modules are exempt.
+fn nd_flagged_pattern(line: &str) -> Option<&'static str> {
+    let trimmed = line.trim_start();
+    if trimmed.starts_with("//") || line.contains(ND_ALLOW_MARKER) {
+        return None;
+    }
+    ND_PATTERNS.iter().find(|p| line.contains(*p)).copied()
+}
+
+/// Whether the nondeterminism lint applies to this file: inside one of
+/// the modeled crates and not one of the designated timing modules.
+fn is_nd_target(root: &Path, path: &Path) -> bool {
+    if path
+        .file_name()
+        .is_some_and(|n| ND_ALLOW_FILES.iter().any(|f| n == *f))
+    {
+        return false;
+    }
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut comps = rel.components();
+    match (comps.next(), comps.next()) {
+        (Some(first), Some(second)) => {
+            first.as_os_str() == "crates"
+                && ND_CRATES.iter().any(|c| second.as_os_str() == *c)
+        }
+        _ => false,
+    }
 }
 
 fn is_exempt(root: &Path, path: &Path) -> bool {
@@ -176,6 +253,44 @@ mod tests {
             None
         );
         assert_eq!(flagged_pattern("let x = segment_count;"), None);
+    }
+
+    #[test]
+    fn flags_raw_timing_but_not_comments_or_allows() {
+        assert_eq!(
+            nd_flagged_pattern("std::thread::sleep(Duration::from_millis(5));"),
+            Some("thread::sleep")
+        );
+        assert_eq!(nd_flagged_pattern("let t = Instant::now();"), Some("Instant::now"));
+        assert_eq!(nd_flagged_pattern("std::hint::spin_loop();"), Some("spin_loop("));
+        assert_eq!(nd_flagged_pattern("// no raw Instant::now here"), None);
+        assert_eq!(
+            nd_flagged_pattern("let t = Instant::now(); // lint:allow(nondeterminism)"),
+            None
+        );
+        assert_eq!(nd_flagged_pattern("let d = spin_budget;"), None);
+    }
+
+    #[test]
+    fn nondeterminism_lint_targets_modeled_crates_minus_timing_modules() {
+        let root = Path::new("/repo");
+        for yes in [
+            "crates/fabric/src/fabric_impl.rs",
+            "crates/mpisim/src/p2p.rs",
+            "crates/gasnetsim/src/rma.rs",
+            "crates/core/src/image.rs",
+        ] {
+            assert!(is_nd_target(root, &root.join(yes)), "{yes}");
+        }
+        for no in [
+            "crates/fabric/src/delay.rs",
+            "crates/trace/src/stall.rs",
+            "crates/hpcc/src/ra.rs",
+            "crates/bench/benches/micro_ops.rs",
+            "tests/model_explore.rs",
+        ] {
+            assert!(!is_nd_target(root, &root.join(no)), "{no}");
+        }
     }
 
     #[test]
