@@ -1,0 +1,407 @@
+//! Deterministic perf harness behind `cargo xtask bench`: seeds the
+//! committed `BENCH_ra.json` / `BENCH_micro.json` baselines and is re-run
+//! by CI against them.
+//!
+//! ```text
+//! bench [--smoke] [--out-dir DIR]
+//! ```
+//!
+//! Two reports:
+//!
+//! * **BENCH_ra.json** — the RandomAccess notify hot path (paper §4.1) at
+//!   several job sizes, on both substrates, under every
+//!   [`caf::FlushMode`]. The async-put router variant defers remote
+//!   completion to `event_notify`, so the per-notify flush charge is the
+//!   measured quantity: `FlushMode::All` reproduces the paper's Θ(P)
+//!   `MPI_Win_flush_all`, the targeted modes stay flat.
+//! * **BENCH_micro.json** — per-primitive delay decomposition (put, get,
+//!   atomic, notify) at a fixed small job size.
+//!
+//! Every number in a row's `gate` object is a **modeled** count or
+//! nanosecond total from the substrate delay meter — a deterministic
+//! function of the communication schedule, byte-identical across runs and
+//! machines — so CI can compare against the committed baseline with a
+//! tight threshold. Wall-clock seconds are reported under `info` and are
+//! never gated.
+//!
+//! The binary also asserts the tentpole shape in-process (exit 1 on
+//! violation): per-notify flush charges grow linearly in P under
+//! `FlushMode::All` and stay flat under `Targeted`/`Rflush`.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use caf::{CafConfig, CafUniverse, FlushMode, SubstrateKind};
+use caf_bench::fusion_like;
+use caf_fabric::delay::ALL_DELAY_OPS;
+use caf_fabric::DelayOp;
+use caf_hpcc::fft;
+use caf_hpcc::ra::{self, RaOpts};
+
+/// Ops whose counts are charged at the *origin* in program order — a pure
+/// function of the communication schedule, so byte-identical across runs.
+/// Receive-side charges (`p2p_receive`, `am_dispatch`) land whenever the
+/// receiver happens to poll relative to the snapshot barriers, so they are
+/// reported under `info` instead of gated.
+const GATE_OPS: [DelayOp; 5] = [
+    DelayOp::P2pInject,
+    DelayOp::RmaPut,
+    DelayOp::RmaGet,
+    DelayOp::RmaAtomic,
+    DelayOp::FlushPerTarget,
+];
+
+/// Job sizes for the RA sweep. Smoke trims the list; each row's workload
+/// is identical in both, so smoke rows gate against the full baseline.
+const RA_P_FULL: [usize; 4] = [2, 4, 8, 16];
+const RA_P_SMOKE: [usize; 3] = [2, 4, 8];
+const RA_LOG2_LOCAL: u32 = 8;
+const RA_UPDATES: usize = 800;
+
+/// Per-primitive micro workload size.
+const MICRO_P: usize = 4;
+const MICRO_REPS: usize = 128;
+
+/// FFT sweep sizes (whole-kernel decomposition rows; the FFT moves data
+/// exclusively through team alltoall, so these rows pin the collective
+/// plane the RA rows don't touch).
+const FFT_P: [usize; 2] = [2, 4];
+const FFT_LOG2_SIZE: u32 = 12;
+
+struct Row {
+    bench: String,
+    p: usize,
+    substrate: &'static str,
+    flush: &'static str,
+    /// Summed-over-images (count, modeled_ns) per delay op — the gate.
+    gate: Vec<(DelayOp, u64, u64)>,
+    /// Ungated context: (key, value) pairs.
+    info: Vec<(&'static str, f64)>,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out-dir")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| ".".to_string());
+
+    let ps: &[usize] = if smoke { &RA_P_SMOKE } else { &RA_P_FULL };
+    eprintln!("bench: RA sweep (P = {ps:?}, smoke = {smoke})");
+    let ra_rows = ra_sweep(ps);
+    if let Err(msg) = verify_ra_shape(&ra_rows) {
+        eprintln!("bench: SHAPE VIOLATION: {msg}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("bench: shape OK (flush_all per-notify cost linear in P, targeted flat)");
+
+    eprintln!("bench: micro primitives (P = {MICRO_P})");
+    let micro_rows = micro_sweep();
+
+    let ra_path = format!("{out_dir}/BENCH_ra.json");
+    let micro_path = format!("{out_dir}/BENCH_micro.json");
+    std::fs::write(&ra_path, render(&ra_rows, "ra", smoke)).expect("write BENCH_ra.json");
+    std::fs::write(&micro_path, render(&micro_rows, "micro", smoke))
+        .expect("write BENCH_micro.json");
+    eprintln!("bench: wrote {ra_path} ({} rows) and {micro_path} ({} rows)",
+        ra_rows.len(), micro_rows.len());
+    ExitCode::SUCCESS
+}
+
+/// MPI flush-mode matrix plus the GASNet baseline (which has no windows
+/// and therefore no flush knob).
+fn ra_sweep(ps: &[usize]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &p in ps {
+        for flush in [FlushMode::All, FlushMode::targeted(), FlushMode::rflush()] {
+            rows.push(ra_row(p, SubstrateKind::Mpi, flush));
+        }
+        rows.push(ra_row(p, SubstrateKind::Gasnet, FlushMode::All));
+    }
+    rows
+}
+
+fn ra_row(p: usize, kind: SubstrateKind, flush: FlushMode) -> Row {
+    let cfg = CafConfig {
+        flush,
+        ..fusion_like(kind)
+    };
+    let outs = CafUniverse::run_with_config(p, cfg, |img| {
+        let team = img.team_world();
+        let out = ra::run_opts(img, &team, RA_LOG2_LOCAL, RA_UPDATES, RaOpts { async_puts: true });
+        (out.bench, out.meter_delta)
+    });
+    let gate = sum_deltas(outs.iter().map(|(_, d)| d.as_slice()));
+    // One notify per hypercube round per image.
+    let notifies = (p * p.ilog2() as usize).max(1);
+    let flushes: u64 = gate
+        .iter()
+        .filter(|(op, _, _)| *op == DelayOp::FlushPerTarget)
+        .map(|&(_, c, _)| c)
+        .sum();
+    Row {
+        bench: "ra".into(),
+        p,
+        substrate: substrate_label(kind),
+        flush: if kind == SubstrateKind::Mpi { flush.name() } else { "n/a" },
+        gate,
+        info: vec![
+            ("seconds", outs[0].0.seconds),
+            ("gups", outs[0].0.metric),
+            ("notifies", notifies as f64),
+            ("flushes_per_notify", flushes as f64 / notifies as f64),
+        ],
+    }
+}
+
+fn micro_sweep() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for kind in [SubstrateKind::Mpi, SubstrateKind::Gasnet] {
+        rows.push(micro_row("micro:put", kind, |img| {
+            let w = img.team_world();
+            let ca: caf::Coarray<u64> = img.coarray_alloc(&w, 64);
+            let (before, after) = metered(img, |img| {
+                if img.this_image() == 0 {
+                    let buf = [7u64; 64];
+                    for _ in 0..MICRO_REPS {
+                        ca.write(img, 1, 0, &buf);
+                    }
+                }
+            });
+            img.coarray_free(&w, ca);
+            delta(&after, &before)
+        }));
+        rows.push(micro_row("micro:get", kind, |img| {
+            let w = img.team_world();
+            let ca: caf::Coarray<u64> = img.coarray_alloc(&w, 64);
+            let (before, after) = metered(img, |img| {
+                if img.this_image() == 0 {
+                    let mut buf = [0u64; 64];
+                    for _ in 0..MICRO_REPS {
+                        ca.read(img, 1, 0, &mut buf);
+                    }
+                }
+            });
+            img.coarray_free(&w, ca);
+            delta(&after, &before)
+        }));
+        rows.push(micro_row("micro:notify", kind, |img| {
+            let w = img.team_world();
+            let ev = img.event_alloc(&w);
+            let (before, after) = metered(img, |img| {
+                if img.this_image() == 0 {
+                    for _ in 0..MICRO_REPS {
+                        img.event_notify(&w, &ev, 1);
+                    }
+                } else if img.this_image() == 1 {
+                    for _ in 0..MICRO_REPS {
+                        img.event_wait(&ev);
+                    }
+                }
+            });
+            delta(&after, &before)
+        }));
+        for p in FFT_P {
+            let deltas = CafUniverse::run_with_config(p, fusion_like(kind), |img| {
+                let (before, after) = metered(img, |img| {
+                    let team = img.team_world();
+                    fft::run(img, &team, FFT_LOG2_SIZE);
+                });
+                delta(&after, &before)
+            });
+            let gate = sum_deltas(deltas.iter().map(Vec::as_slice));
+            rows.push(Row {
+                bench: "fft".into(),
+                p,
+                substrate: substrate_label(kind),
+                flush: if kind == SubstrateKind::Mpi { "all" } else { "n/a" },
+                gate,
+                info: vec![("log2_size", FFT_LOG2_SIZE as f64)],
+            });
+        }
+        if kind == SubstrateKind::Mpi {
+            // CAF-GASNet has no remote atomics (fetch_add panics there).
+            rows.push(micro_row("micro:atomic", kind, |img| {
+                let w = img.team_world();
+                let ca: caf::Coarray<u64> = img.coarray_alloc(&w, 1);
+                let (before, after) = metered(img, |img| {
+                    if img.this_image() == 0 {
+                        for _ in 0..MICRO_REPS {
+                            ca.fetch_add(img, 1, 0, 1);
+                        }
+                    }
+                });
+                img.coarray_free(&w, ca);
+                delta(&after, &before)
+            }));
+        }
+    }
+    rows
+}
+
+type Snapshot = Vec<(DelayOp, u64, u64)>;
+
+/// Barrier-bracketed meter capture: every image's costs inside `body`
+/// (including receive-side charges) land in the delta.
+fn metered(img: &caf::Image, body: impl Fn(&caf::Image)) -> (Snapshot, Snapshot) {
+    let w = img.team_world();
+    img.barrier(&w);
+    let before = img.delay_meter_snapshot();
+    body(img);
+    img.barrier(&w);
+    let after = img.delay_meter_snapshot();
+    (before, after)
+}
+
+fn delta(after: &Snapshot, before: &Snapshot) -> Snapshot {
+    after
+        .iter()
+        .zip(before.iter())
+        .map(|(&(op, ca, na), &(_, cb, nb))| (op, ca - cb, na - nb))
+        .collect()
+}
+
+fn micro_row(
+    name: &str,
+    kind: SubstrateKind,
+    body: impl Fn(&caf::Image) -> Snapshot + Send + Sync,
+) -> Row {
+    let deltas = CafUniverse::run_with_config(MICRO_P, fusion_like(kind), body);
+    let gate = sum_deltas(deltas.iter().map(Vec::as_slice));
+    Row {
+        bench: name.into(),
+        p: MICRO_P,
+        substrate: substrate_label(kind),
+        flush: if kind == SubstrateKind::Mpi { "all" } else { "n/a" },
+        gate,
+        info: vec![("reps", MICRO_REPS as f64)],
+    }
+}
+
+fn substrate_label(kind: SubstrateKind) -> &'static str {
+    match kind {
+        SubstrateKind::Mpi => "caf-mpi",
+        SubstrateKind::Gasnet => "caf-gasnet",
+    }
+}
+
+/// Sum per-image meter deltas into one per-op (count, ns) ledger, in
+/// `ALL_DELAY_OPS` order.
+fn sum_deltas<'a>(deltas: impl Iterator<Item = &'a [(DelayOp, u64, u64)]>) -> Snapshot {
+    let mut acc: Vec<(DelayOp, u64, u64)> =
+        ALL_DELAY_OPS.iter().map(|&op| (op, 0, 0)).collect();
+    for d in deltas {
+        for &(op, c, n) in d {
+            let slot = &mut acc[op.index()];
+            slot.1 += c;
+            slot.2 += n;
+        }
+    }
+    acc
+}
+
+/// The tentpole assertion, from the rows themselves: under `FlushMode::All`
+/// the per-notify flush charge is Θ(P) (2 windows × P ranks), while the
+/// targeted modes pay only the dirty partner — flat in P.
+fn verify_ra_shape(rows: &[Row]) -> Result<(), String> {
+    let fpn = |p: usize, flush: &str| -> Option<f64> {
+        rows.iter()
+            .find(|r| r.p == p && r.substrate == "caf-mpi" && r.flush == flush)
+            .and_then(|r| {
+                r.info
+                    .iter()
+                    .find(|(k, _)| *k == "flushes_per_notify")
+                    .map(|&(_, v)| v)
+            })
+    };
+    let ps: Vec<usize> = {
+        let mut v: Vec<usize> = rows
+            .iter()
+            .filter(|r| r.substrate == "caf-mpi")
+            .map(|r| r.p)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let (pmin, pmax) = (ps[0], *ps.last().unwrap());
+    let all_min = fpn(pmin, "all").ok_or("missing all@pmin")?;
+    let all_max = fpn(pmax, "all").ok_or("missing all@pmax")?;
+    for mode in ["targeted", "rflush"] {
+        let t_min = fpn(pmin, mode).ok_or("missing targeted@pmin")?;
+        let t_max = fpn(pmax, mode).ok_or("missing targeted@pmax")?;
+        if t_max > 2.0 * t_min.max(1.0) {
+            return Err(format!(
+                "{mode} per-notify flushes grew with P: {t_min:.2} @P={pmin} -> {t_max:.2} @P={pmax}"
+            ));
+        }
+        if all_max < 3.0 * t_max {
+            return Err(format!(
+                "flush_all @P={pmax} ({all_max:.2}/notify) not clearly above {mode} ({t_max:.2}/notify)"
+            ));
+        }
+    }
+    let growth = all_max / all_min.max(f64::EPSILON);
+    let expected = pmax as f64 / pmin as f64;
+    if growth < 0.5 * expected {
+        return Err(format!(
+            "flush_all per-notify cost not Θ(P): grew {growth:.2}x from P={pmin} to P={pmax} (expected ~{expected:.0}x)"
+        ));
+    }
+    Ok(())
+}
+
+/// Hand-rolled JSON (std-only consumers: the xtask gate).
+fn render(rows: &[Row], kind: &str, smoke: bool) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"schema\": \"caf-bench-v1\",");
+    let _ = writeln!(s, "  \"kind\": \"{kind}\",");
+    let _ = writeln!(s, "  \"smoke\": {smoke},");
+    let _ = writeln!(s, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"bench\": \"{}\",", r.bench);
+        let _ = writeln!(s, "      \"p\": {},", r.p);
+        let _ = writeln!(s, "      \"substrate\": \"{}\",", r.substrate);
+        let _ = writeln!(s, "      \"flush\": \"{}\",", r.flush);
+        let gated: Vec<_> = r
+            .gate
+            .iter()
+            .filter(|(op, _, _)| GATE_OPS.contains(op))
+            .collect();
+        let ungated: Vec<_> = r
+            .gate
+            .iter()
+            .filter(|(op, _, _)| !GATE_OPS.contains(op))
+            .collect();
+        let _ = writeln!(s, "      \"gate\": {{");
+        for (j, (op, c, n)) in gated.iter().enumerate() {
+            let comma = if j + 1 < gated.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "        \"{}_count\": {c}, \"{}_ns\": {n}{comma}",
+                op.name(),
+                op.name()
+            );
+        }
+        let _ = writeln!(s, "      }},");
+        let _ = writeln!(s, "      \"info\": {{");
+        for (op, c, n) in &ungated {
+            let _ = writeln!(s, "        \"{}_count\": {c}, \"{}_ns\": {n},", op.name(), op.name());
+        }
+        for (j, (k, v)) in r.info.iter().enumerate() {
+            let comma = if j + 1 < r.info.len() { "," } else { "" };
+            let _ = writeln!(s, "        \"{k}\": {v:.6}{comma}");
+        }
+        let _ = writeln!(s, "      }}");
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}

@@ -33,6 +33,7 @@ pub fn fusion_like(kind: SubstrateKind) -> CafConfig {
             ..GasnetConfig::default()
         },
         hybrid_mpi: kind == SubstrateKind::Gasnet,
+        ..CafConfig::default()
     }
 }
 

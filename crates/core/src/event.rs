@@ -84,13 +84,15 @@ impl Image {
             Some(ev.id),
             || {
             // Release barrier: local completion of implicitly synchronized
-            // asynchronous operations...
-            self.complete_implicit_local();
-            // ...then remote completion, via flush_all (Θ(P) per window on
-            // the MPI substrate) or the cheaper per-target flush.
+            // asynchronous operations, then remote completion — flush_all
+            // (Θ(P) per window on the MPI substrate), the configured
+            // targeted/rflush policy, or the explicit per-target ablation.
             match flush {
-                NotifyFlush::All => self.backend_flush_all(),
-                NotifyFlush::TargetOnly => self.backend_flush_target(team.global_rank(target)),
+                NotifyFlush::All => self.release_all(),
+                NotifyFlush::TargetOnly => {
+                    self.complete_implicit_local();
+                    self.backend_flush_target(team.global_rank(target));
+                }
             }
             if team.global_rank(target) == self.this_image() {
                 // Self-notification short-circuits the AM layer.
@@ -167,6 +169,29 @@ impl Image {
     }
 
     pub(crate) fn backend_flush_all(&self) {
+        self.backend.flush_all();
+    }
+
+    /// The release barrier of `event_notify`/`finish`: local completion of
+    /// implicitly synchronized asynchronous operations, then remote
+    /// completion of everything outstanding under the configured
+    /// [`crate::backend::FlushMode`].
+    ///
+    /// In `Rflush` mode the per-target flushes are *issued first* so that
+    /// their modeled latency overlaps the local release work (the paper's
+    /// §5 `MPI_WIN_RFLUSH` overlap), and waited after it.
+    pub(crate) fn release_all(&self) {
+        if let Backend::Mpi(b) = &self.backend {
+            if matches!(b.flush, crate::backend::FlushMode::Rflush { .. }) {
+                let reqs = b.rflush_issue_all();
+                self.complete_implicit_local();
+                for r in reqs {
+                    r.wait();
+                }
+                return;
+            }
+        }
+        self.complete_implicit_local();
         self.backend.flush_all();
     }
 
@@ -295,6 +320,144 @@ mod tests {
             img.sync_all();
             img.coarray_free(&w, ca);
         });
+    }
+
+    #[test]
+    fn targeted_and_rflush_modes_release_writes_on_notify() {
+        // The §5 fixes must preserve release semantics: an async put issued
+        // before event_notify is visible to the waiter under every flush
+        // mode, on both substrates (GASNet ignores the MPI-only knob).
+        use crate::backend::FlushMode;
+        for kind in [SubstrateKind::Mpi, SubstrateKind::Gasnet] {
+            for flush in [FlushMode::targeted(), FlushMode::rflush()] {
+                let cfg = CafConfig {
+                    flush,
+                    ..CafConfig::on(kind)
+                };
+                CafUniverse::run_with_config(3, cfg, |img| {
+                    let w = img.team_world();
+                    let ca: crate::coarray::Coarray<u64> = img.coarray_alloc(&w, 1);
+                    let ev = img.event_alloc(&w);
+                    if img.this_image() == 0 {
+                        img.copy_async_put(
+                            &ca,
+                            2,
+                            0,
+                            &[9001],
+                            crate::asyncops::AsyncOpts::none(),
+                        );
+                        img.event_notify(&w, &ev, 2);
+                    } else if img.this_image() == 2 {
+                        img.event_wait(&ev);
+                        assert_eq!(ca.local_vec(img)[0], 9001);
+                    }
+                    img.sync_all();
+                    img.coarray_free(&w, ca);
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn targeted_mode_falls_back_when_most_ranks_dirty() {
+        // With every rank dirty the 50% threshold forces the flush_all
+        // fallback; correctness must be identical.
+        use crate::backend::FlushMode;
+        let cfg = CafConfig {
+            flush: FlushMode::targeted(),
+            ..CafConfig::on(SubstrateKind::Mpi)
+        };
+        CafUniverse::run_with_config(4, cfg, |img| {
+            let w = img.team_world();
+            let ca: crate::coarray::Coarray<u64> = img.coarray_alloc(&w, 4);
+            let ev = img.event_alloc(&w);
+            if img.this_image() == 0 {
+                for peer in 1..4 {
+                    img.copy_async_put(
+                        &ca,
+                        peer,
+                        0,
+                        &[peer as u64],
+                        crate::asyncops::AsyncOpts::none(),
+                    );
+                }
+                for peer in 1..4 {
+                    img.event_notify(&w, &ev, peer);
+                }
+            } else {
+                img.event_wait(&ev);
+                assert_eq!(ca.local_vec(img)[0], img.this_image() as u64);
+            }
+            img.sync_all();
+            img.coarray_free(&w, ca);
+        });
+    }
+
+    #[test]
+    fn targeted_flush_maps_team_relative_ranks_to_world() {
+        // Dirty targets are comm-relative; notify on a sub-team must still
+        // flush the right world rank. Team {1,3} of a 4-image world: team
+        // rank 1 is world rank 3.
+        use crate::backend::FlushMode;
+        for flush in [FlushMode::targeted(), FlushMode::rflush()] {
+            let cfg = CafConfig {
+                flush,
+                ..CafConfig::on(SubstrateKind::Mpi)
+            };
+            CafUniverse::run_with_config(4, cfg, |img| {
+                let w = img.team_world();
+                let me = img.this_image();
+                let odd = img.team_split(&w, (me % 2) as u64, (me / 2) as i64);
+                let ca: crate::coarray::Coarray<u64> = img.coarray_alloc(&odd, 1);
+                let ev = img.event_alloc(&odd);
+                if me % 2 == 1 {
+                    if odd.rank() == 0 {
+                        // World image 1 writes team-rank 1 (= world 3).
+                        img.copy_async_put(
+                            &ca,
+                            1,
+                            0,
+                            &[777],
+                            crate::asyncops::AsyncOpts::none(),
+                        );
+                        img.event_notify(&odd, &ev, 1);
+                    } else {
+                        img.event_wait(&ev);
+                        assert_eq!(ca.local_vec(img)[0], 777);
+                    }
+                }
+                img.sync_all();
+                img.coarray_free(&odd, ca);
+            });
+        }
+    }
+
+    #[test]
+    fn finish_completes_puts_under_all_flush_modes() {
+        use crate::backend::FlushMode;
+        for flush in [FlushMode::All, FlushMode::targeted(), FlushMode::rflush()] {
+            let cfg = CafConfig {
+                flush,
+                ..CafConfig::on(SubstrateKind::Mpi)
+            };
+            CafUniverse::run_with_config(4, cfg, |img| {
+                let w = img.team_world();
+                let ca: crate::coarray::Coarray<u64> = img.coarray_alloc(&w, 1);
+                img.finish(&w, |img| {
+                    let peer = (img.this_image() + 1) % 4;
+                    img.copy_async_put(
+                        &ca,
+                        peer,
+                        0,
+                        &[img.this_image() as u64 + 10],
+                        crate::asyncops::AsyncOpts::none(),
+                    );
+                });
+                let writer = (img.this_image() + 3) % 4;
+                assert_eq!(ca.local_vec(img)[0], writer as u64 + 10);
+                img.coarray_free(&w, ca);
+            });
+        }
     }
 
     #[test]

@@ -30,9 +30,9 @@ impl Image {
         self.finish_stack.borrow_mut().pop();
 
         self.stats().timed(StatCat::Finish, || {
-            // Local then remote completion of this image's one-sided ops.
-            self.complete_implicit_local();
-            self.backend_flush_all();
+            // Local then remote completion of this image's one-sided ops,
+            // under the configured flush policy (targeted/rflush aware).
+            self.release_all();
             // Yang's termination detection over shipping counters.
             loop {
                 self.poll(); // execute any pending shipped functions
@@ -60,8 +60,7 @@ impl Image {
     pub fn finish_fast<R>(&self, team: &Team, body: impl FnOnce(&Image) -> R) -> R {
         let result = body(self);
         self.stats().timed(StatCat::Finish, || {
-            self.complete_implicit_local();
-            self.backend_flush_all();
+            self.release_all();
             self.barrier(team);
         });
         result

@@ -11,7 +11,7 @@ use caf_gasnetsim::{Gasnet, GasnetConfig};
 use caf_mpisim::{Mpi, MpiConfig};
 
 use crate::arena::SegmentArena;
-use crate::backend::{Backend, GasnetBackend, MpiBackend, RT_HANDLER};
+use crate::backend::{Backend, FlushMode, GasnetBackend, MpiBackend, RT_HANDLER};
 use crate::rtmsg::RtMsg;
 use crate::ship::ShipRegistry;
 use crate::stats::Stats;
@@ -43,6 +43,11 @@ pub struct CafConfig {
     /// MPI library already serves both roles (that is the point of the
     /// paper).
     pub hybrid_mpi: bool,
+    /// Release-point completion policy for the CAF-MPI backend (ignored on
+    /// GASNet, whose sync of non-blocking puts is already a local
+    /// operation). Defaults to the paper-faithful [`FlushMode::All`]; the
+    /// §5 fixes are [`FlushMode::targeted`] and [`FlushMode::rflush`].
+    pub flush: FlushMode,
 }
 
 impl Default for CafConfig {
@@ -52,6 +57,7 @@ impl Default for CafConfig {
             mpi: MpiConfig::default(),
             gasnet: GasnetConfig::default(),
             hybrid_mpi: false,
+            flush: FlushMode::All,
         }
     }
 }
@@ -191,6 +197,7 @@ impl Image {
                         mpi,
                         rt_comm,
                         windows: RefCell::new(HashMap::new()),
+                        flush: config.flush,
                     })),
                     Team {
                         inner: TeamInner::Mpi(world_comm),
@@ -292,6 +299,18 @@ impl Image {
     /// libraries on this image — the Figure-1 quantity.
     pub fn runtime_memory_overhead(&self) -> usize {
         self.backend.memory_overhead()
+    }
+
+    /// Snapshot of this image's substrate delay meter: per
+    /// [`caf_fabric::DelayOp`] `(op, count, modeled_ns)` since job start.
+    /// Counts and modeled nanoseconds are deterministic functions of the
+    /// communication schedule (never wall-clock), which makes deltas of
+    /// this snapshot the basis for CI-gateable benchmark numbers.
+    pub fn delay_meter_snapshot(&self) -> Vec<(caf_fabric::DelayOp, u64, u64)> {
+        match &self.backend {
+            Backend::Mpi(b) => b.mpi.delay_meter().snapshot(),
+            Backend::Gasnet(b) => b.g.delay_meter().snapshot(),
+        }
     }
 
     /// Drive runtime progress: handle every runtime message that has

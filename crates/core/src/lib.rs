@@ -74,6 +74,7 @@ pub use caf_mpisim::MpiConfig;
 pub use coarray::{Coarray, RemoteRef, Section};
 pub use coarray2d::Coarray2d;
 pub use event::{Event, NotifyFlush};
+pub use backend::FlushMode;
 pub use image::{CafConfig, CafUniverse, Image, SubstrateKind};
 pub use stats::{StatCat, Stats, StatsReport};
 pub use team::Team;

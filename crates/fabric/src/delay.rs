@@ -12,6 +12,7 @@
 //! The default configuration charges **zero** everywhere, so unit tests and
 //! correctness-oriented examples run at full speed.
 
+use std::cell::Cell;
 use std::time::{Duration, Instant};
 
 /// The fabric operations that can be charged a cost.
@@ -31,6 +32,48 @@ pub enum DelayOp {
     FlushPerTarget,
     /// An active-message dispatch on the receive side.
     AmDispatch,
+}
+
+/// Every [`DelayOp`], in [`DelayOp::index`] order.
+pub const ALL_DELAY_OPS: [DelayOp; NDELAY_OPS] = [
+    DelayOp::P2pInject,
+    DelayOp::P2pReceive,
+    DelayOp::RmaPut,
+    DelayOp::RmaGet,
+    DelayOp::RmaAtomic,
+    DelayOp::FlushPerTarget,
+    DelayOp::AmDispatch,
+];
+
+/// Number of [`DelayOp`] variants.
+pub const NDELAY_OPS: usize = 7;
+
+impl DelayOp {
+    /// Dense index into per-op tables; agrees with [`ALL_DELAY_OPS`].
+    pub const fn index(self) -> usize {
+        match self {
+            DelayOp::P2pInject => 0,
+            DelayOp::P2pReceive => 1,
+            DelayOp::RmaPut => 2,
+            DelayOp::RmaGet => 3,
+            DelayOp::RmaAtomic => 4,
+            DelayOp::FlushPerTarget => 5,
+            DelayOp::AmDispatch => 6,
+        }
+    }
+
+    /// Stable snake_case name (used in bench JSON keys).
+    pub const fn name(self) -> &'static str {
+        match self {
+            DelayOp::P2pInject => "p2p_inject",
+            DelayOp::P2pReceive => "p2p_receive",
+            DelayOp::RmaPut => "rma_put",
+            DelayOp::RmaGet => "rma_get",
+            DelayOp::RmaAtomic => "rma_atomic",
+            DelayOp::FlushPerTarget => "flush_per_target",
+            DelayOp::AmDispatch => "am_dispatch",
+        }
+    }
 }
 
 /// Per-operation base + per-byte costs, in nanoseconds.
@@ -126,6 +169,114 @@ impl DelayConfig {
     }
 }
 
+/// Per-rank ledger of modeled costs: how many times each [`DelayOp`] was
+/// charged and how many *modeled* nanoseconds that amounted to.
+///
+/// Unlike the wall-clock statistics, these numbers are functions of the
+/// program and the cost table only — they are byte-identical across runs,
+/// schedulers, and machines, which is what lets the bench harness gate on
+/// them with a tight regression threshold. Not thread-safe by design: each
+/// rank owns its own (same discipline as `Stats`).
+#[derive(Debug, Default)]
+pub struct DelayMeter {
+    counts: [Cell<u64>; NDELAY_OPS],
+    modeled_ns: [Cell<u64>; NDELAY_OPS],
+}
+
+impl DelayMeter {
+    /// A zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one charge of `op` costing `ns` modeled nanoseconds.
+    pub fn record(&self, op: DelayOp, ns: f64) {
+        let i = op.index();
+        self.counts[i].set(self.counts[i].get() + 1);
+        self.modeled_ns[i].set(self.modeled_ns[i].get() + ns.max(0.0) as u64);
+    }
+
+    /// Number of times `op` was charged.
+    pub fn count(&self, op: DelayOp) -> u64 {
+        self.counts[op.index()].get()
+    }
+
+    /// Total modeled nanoseconds charged to `op`.
+    pub fn modeled_ns(&self, op: DelayOp) -> u64 {
+        self.modeled_ns[op.index()].get()
+    }
+
+    /// Zero every counter.
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.set(0);
+        }
+        for c in &self.modeled_ns {
+            c.set(0);
+        }
+    }
+
+    /// Plain-data snapshot: `(op, count, modeled_ns)` in
+    /// [`ALL_DELAY_OPS`] order.
+    pub fn snapshot(&self) -> Vec<(DelayOp, u64, u64)> {
+        ALL_DELAY_OPS
+            .iter()
+            .map(|&op| (op, self.count(op), self.modeled_ns(op)))
+            .collect()
+    }
+}
+
+/// A cost table plus its metering ledger — what the substrates actually
+/// carry. `charge` spins like [`DelayConfig::charge`] *and* records the
+/// modeled cost; `note` records without spinning (used by non-blocking
+/// operations whose latency is paid at completion time).
+#[derive(Debug, Default)]
+pub struct Delays {
+    cfg: DelayConfig,
+    meter: DelayMeter,
+}
+
+impl Delays {
+    /// Wrap a cost table with a fresh meter.
+    pub fn new(cfg: DelayConfig) -> Self {
+        Delays {
+            cfg,
+            meter: DelayMeter::new(),
+        }
+    }
+
+    /// The underlying cost table.
+    pub fn config(&self) -> &DelayConfig {
+        &self.cfg
+    }
+
+    /// The metering ledger.
+    pub fn meter(&self) -> &DelayMeter {
+        &self.meter
+    }
+
+    /// Cost entry for `op` (see [`DelayConfig::cost`]).
+    pub fn cost(&self, op: DelayOp) -> OpCost {
+        self.cfg.cost(op)
+    }
+
+    /// Record and spin-charge `op` on `bytes` bytes.
+    pub fn charge(&self, op: DelayOp, bytes: usize) {
+        let ns = self.cfg.cost(op).cost_ns(bytes);
+        self.meter.record(op, ns);
+        spin_for_ns(ns);
+    }
+
+    /// Record `op` without spinning and return its modeled cost in
+    /// nanoseconds. Callers that defer the latency (e.g. `rflush`) spin for
+    /// whatever remains of it at completion time.
+    pub fn note(&self, op: DelayOp, bytes: usize) -> f64 {
+        let ns = self.cfg.cost(op).cost_ns(bytes);
+        self.meter.record(op, ns);
+        ns
+    }
+}
+
 /// Busy-wait for approximately `ns` nanoseconds. No-op for `ns <= 0`.
 ///
 /// Under model control ([`crate::sched`]) the wait becomes a single
@@ -205,5 +356,55 @@ mod tests {
         cfg.flush_per_target = OpCost::fixed(42.0);
         assert_eq!(cfg.cost(DelayOp::FlushPerTarget).base_ns, 42.0);
         assert_eq!(cfg.cost(DelayOp::RmaGet), OpCost::FREE);
+    }
+
+    #[test]
+    fn delay_op_index_matches_all_ops() {
+        for (i, &op) in ALL_DELAY_OPS.iter().enumerate() {
+            assert_eq!(op.index(), i, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn meter_records_counts_and_modeled_ns() {
+        let mut cfg = DelayConfig::free();
+        cfg.flush_per_target = OpCost::fixed(10.0);
+        cfg.rma_put = OpCost {
+            base_ns: 5.0,
+            per_byte_ns: 1.0,
+        };
+        let d = Delays::new(cfg);
+        d.charge(DelayOp::FlushPerTarget, 0);
+        d.charge(DelayOp::FlushPerTarget, 0);
+        d.charge(DelayOp::RmaPut, 3);
+        assert_eq!(d.meter().count(DelayOp::FlushPerTarget), 2);
+        assert_eq!(d.meter().modeled_ns(DelayOp::FlushPerTarget), 20);
+        assert_eq!(d.meter().count(DelayOp::RmaPut), 1);
+        assert_eq!(d.meter().modeled_ns(DelayOp::RmaPut), 8);
+        assert_eq!(d.meter().count(DelayOp::AmDispatch), 0);
+        d.meter().reset();
+        assert_eq!(d.meter().snapshot(), {
+            use DelayOp::*;
+            vec![
+                (P2pInject, 0, 0),
+                (P2pReceive, 0, 0),
+                (RmaPut, 0, 0),
+                (RmaGet, 0, 0),
+                (RmaAtomic, 0, 0),
+                (FlushPerTarget, 0, 0),
+                (AmDispatch, 0, 0),
+            ]
+        });
+    }
+
+    #[test]
+    fn note_records_without_spinning() {
+        let mut cfg = DelayConfig::free();
+        cfg.flush_per_target = OpCost::fixed(1e12); // would spin ~17 min if charged
+        let d = Delays::new(cfg);
+        let ns = d.note(DelayOp::FlushPerTarget, 0);
+        assert_eq!(ns, 1e12);
+        assert_eq!(d.meter().count(DelayOp::FlushPerTarget), 1);
+        assert_eq!(d.meter().modeled_ns(DelayOp::FlushPerTarget), 1_000_000_000_000);
     }
 }

@@ -39,7 +39,7 @@ pub mod topology;
 
 mod fabric_impl;
 
-pub use delay::{DelayConfig, DelayOp};
+pub use delay::{DelayConfig, DelayMeter, DelayOp, Delays};
 pub use error::FabricError;
 pub use fabric_impl::{Endpoint, Fabric, FabricConfig};
 pub use memacct::{MemAccount, MemCategory};

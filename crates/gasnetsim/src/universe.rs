@@ -5,7 +5,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use caf_fabric::delay::DelayConfig;
+use caf_fabric::delay::{DelayConfig, DelayMeter, Delays};
 use caf_fabric::{
     Endpoint, Fabric, MemAccount, MemCategory, Packet, Segment, SegmentId,
 };
@@ -107,7 +107,7 @@ impl GasnetUniverse {
 pub struct Gasnet {
     pub(crate) ep: Endpoint,
     pub(crate) config: GasnetConfig,
-    pub(crate) delays: DelayConfig,
+    pub(crate) delays: Delays,
     pub(crate) srq_active: bool,
     pub(crate) mem: Arc<MemAccount>,
     pub(crate) seg_ids: Vec<SegmentId>,
@@ -188,7 +188,7 @@ impl Gasnet {
 
         Gasnet {
             ep,
-            delays: config.delays,
+            delays: Delays::new(config.delays),
             config,
             srq_active,
             mem,
@@ -223,6 +223,12 @@ impl Gasnet {
     /// The memory accountant for this rank's library instance.
     pub fn mem(&self) -> &MemAccount {
         &self.mem
+    }
+
+    /// The modeled-cost ledger for this rank (counts and modeled
+    /// nanoseconds per [`caf_fabric::DelayOp`]); deterministic across runs.
+    pub fn delay_meter(&self) -> &DelayMeter {
+        self.delays.meter()
     }
 
     /// Segment size attached by `rank`.

@@ -15,8 +15,9 @@
 
 use std::time::Instant;
 
-use caf::{Coarray, Image, Team};
+use caf::{AsyncOpts, Coarray, Image, Team};
 use caf_fabric::topology::{is_pow2, log2_exact};
+use caf_fabric::DelayOp;
 
 use crate::BenchResult;
 
@@ -91,6 +92,18 @@ pub fn serial_reference(
     table
 }
 
+/// Knobs for the RandomAccess router (see [`run_opts`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RaOpts {
+    /// Route staging buckets with `copy_async_put` instead of the blocking
+    /// `Coarray::write`. A blocking write flushes its own target at issue,
+    /// so by `event_notify` time nothing is dirty and every flush policy
+    /// costs the same; async puts defer remote completion to the notify
+    /// release barrier — the paper's §4.1 hot path, where `FlushMode::All`
+    /// pays Θ(P) per window and the targeted modes pay O(dirty targets).
+    pub async_puts: bool,
+}
+
 /// Result of a distributed RandomAccess run.
 #[derive(Debug, Clone)]
 pub struct RaOutcome {
@@ -98,6 +111,12 @@ pub struct RaOutcome {
     pub bench: BenchResult,
     /// This image's final local table (for verification).
     pub local_table: Vec<u64>,
+    /// Per-[`DelayOp`] `(op, count, modeled_ns)` deltas attributable to the
+    /// timed kernel on this image — the delay-meter snapshot after the
+    /// closing barrier minus the one before the opening barrier, so
+    /// allocation and teardown costs (which include their own whole-window
+    /// flushes) are excluded. Deterministic: safe to gate in CI.
+    pub meter_delta: Vec<(DelayOp, u64, u64)>,
 }
 
 /// Run RandomAccess over `team`: a table of `2^log2_local` entries per
@@ -112,6 +131,21 @@ pub fn run(
     team: &Team,
     log2_local: u32,
     updates_per_image: usize,
+) -> RaOutcome {
+    run_opts(img, team, log2_local, updates_per_image, RaOpts::default())
+}
+
+/// [`run`] with explicit router options.
+///
+/// # Panics
+///
+/// Panics unless the team size is a power of two.
+pub fn run_opts(
+    img: &Image,
+    team: &Team,
+    log2_local: u32,
+    updates_per_image: usize,
+    opts: RaOpts,
 ) -> RaOutcome {
     let p = team.size();
     assert!(is_pow2(p), "RandomAccess requires a power-of-two team");
@@ -135,6 +169,7 @@ pub fn run(
     let round_events: Vec<caf::Event> = (0..d).map(|_| img.event_alloc(team)).collect();
 
     img.barrier(team);
+    let meter_before = img.delay_meter_snapshot();
     let t = Instant::now();
 
     // Generate this image's update stream.
@@ -164,7 +199,13 @@ pub fn run(
         assert!(count <= cap, "staging overflow: {count} > {cap}");
         send[0] = count as u64;
         let slot_base = k as usize * (cap + 1);
-        table_guard(&staging, img, partner, slot_base, &send);
+        if opts.async_puts {
+            // Remote completion deferred to the notify release barrier:
+            // this is where the flush policy is actually exercised.
+            img.copy_async_put(&staging, partner, slot_base, &send, AsyncOpts::none());
+        } else {
+            table_guard(&staging, img, partner, slot_base, &send);
+        }
         img.event_notify(team, &round_events[k as usize], partner);
 
         // Wait for the partner's bucket, then absorb it.
@@ -191,8 +232,15 @@ pub fn run(
 
     img.barrier(team);
     let dt = t.elapsed().as_secs_f64();
+    let meter_after = img.delay_meter_snapshot();
     let secs = img.allreduce(team, &[dt], |a, b| a.max(b))[0];
     let total_updates = (updates_per_image * p) as f64;
+
+    let meter_delta = meter_after
+        .iter()
+        .zip(meter_before.iter())
+        .map(|(&(op, ca, na), &(_, cb, nb))| (op, ca - cb, na - nb))
+        .collect();
 
     let local_table = table.local_vec(img);
     img.coarray_free(team, staging);
@@ -204,6 +252,7 @@ pub fn run(
             metric: total_updates / secs * 1e-9,
         },
         local_table,
+        meter_delta,
     }
 }
 
@@ -257,6 +306,69 @@ mod tests {
                 assert_eq!(got, expect, "substrate {kind:?} P={p}");
             }
         }
+    }
+
+    #[test]
+    fn async_put_router_matches_reference_under_all_flush_modes() {
+        // The §4.1 hot-path variant must stay correct under every flush
+        // policy on both substrates.
+        use caf::FlushMode;
+        let p = 4;
+        let expect = serial_reference(p, 256, 500);
+        for kind in [SubstrateKind::Mpi, SubstrateKind::Gasnet] {
+            for flush in [FlushMode::All, FlushMode::targeted(), FlushMode::rflush()] {
+                let cfg = CafConfig {
+                    flush,
+                    ..CafConfig::on(kind)
+                };
+                let locals = CafUniverse::run_with_config(p, cfg, |img| {
+                    let team = img.team_world();
+                    run_opts(img, &team, 8, 500, RaOpts { async_puts: true }).local_table
+                });
+                let got: Vec<u64> = locals.into_iter().flatten().collect();
+                assert_eq!(got, expect, "substrate {kind:?} flush {}", flush.name());
+            }
+        }
+    }
+
+    #[test]
+    fn targeted_flush_cheaper_than_flush_all_on_notify_path() {
+        // The tentpole contrast: with async puts (one dirty target per
+        // round), FlushMode::All pays a per-rank flush charge for every
+        // rank of every window at each notify, while Targeted pays one.
+        // The delay meter isolates the kernel (alloc/free excluded).
+        use caf::FlushMode;
+        use caf_fabric::DelayOp;
+        let p = 8;
+        let flush_count = |flush: FlushMode| -> u64 {
+            let cfg = CafConfig {
+                flush,
+                ..CafConfig::on(SubstrateKind::Mpi)
+            };
+            let counts = CafUniverse::run_with_config(p, cfg, |img| {
+                let team = img.team_world();
+                let out = run_opts(img, &team, 8, 300, RaOpts { async_puts: true });
+                out.meter_delta
+                    .iter()
+                    .find(|(op, _, _)| *op == DelayOp::FlushPerTarget)
+                    .map(|&(_, c, _)| c)
+                    .unwrap_or(0)
+            });
+            counts.iter().sum()
+        };
+        let all = flush_count(FlushMode::All);
+        let targeted = flush_count(FlushMode::targeted());
+        let rflush = flush_count(FlushMode::rflush());
+        // All: every notify flushes both windows rank-by-rank (Θ(P) each).
+        // Targeted/rflush: only the round's single dirty partner.
+        assert!(
+            targeted * 2 < all,
+            "targeted ({targeted}) should be far below flush_all ({all})"
+        );
+        assert!(
+            rflush * 2 < all,
+            "rflush ({rflush}) should be far below flush_all ({all})"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! the scheduler gate around it and re-runs it once per schedule, so
 //! scenario bodies must be self-contained and repeatable.
 
-use caf::{AsyncOpts, CafConfig, CafUniverse, Coarray, GasnetConfig, SubstrateKind};
+use caf::{AsyncOpts, CafConfig, CafUniverse, Coarray, FlushMode, GasnetConfig, SubstrateKind};
 use caf_fabric::{Fabric, Packet};
 
 /// One modeled program.
@@ -206,6 +206,62 @@ fn fig2_run() {
 /// `read_before_flush`.
 pub fn unflushed_put() -> Scenario {
     Scenario { name: "unflushed put vs local read (CAF-MPI)", images: 2, run: unflushed_run }
+}
+
+/// The targeted-flush release path (CAF-MPI, `FlushMode::Targeted`): an
+/// async put left dirty until `event_notify`, whose release barrier
+/// flushes only the dirty `(window, target)` pair. Correct under every
+/// interleaving — the epoch oracle must stay silent across the schedule
+/// space (if targeted flushing under-flushed, some schedule would read
+/// window memory with a put still pending).
+pub fn targeted_flush_release() -> Scenario {
+    Scenario {
+        name: "targeted-flush release (CAF-MPI)",
+        images: 2,
+        run: targeted_release_run,
+    }
+}
+
+fn targeted_release_run() {
+    flush_release_run(FlushMode::targeted());
+}
+
+/// As [`targeted_flush_release`], under `FlushMode::Rflush`: the release
+/// barrier *issues* non-blocking per-target flushes, overlaps the local
+/// waitall, and completes them before the notification is sent.
+pub fn rflush_release() -> Scenario {
+    Scenario {
+        name: "rflush release (CAF-MPI)",
+        images: 2,
+        run: rflush_release_run,
+    }
+}
+
+fn rflush_release_run() {
+    flush_release_run(FlushMode::rflush());
+}
+
+fn flush_release_run(flush: FlushMode) {
+    let cfg = CafConfig {
+        flush,
+        ..CafConfig::on(SubstrateKind::Mpi)
+    };
+    CafUniverse::run_with_config(2, cfg, |img| {
+        let world = img.team_world();
+        let ca: Coarray<u64> = img.coarray_alloc(&world, 1);
+        let ev = img.event_alloc(&world);
+        if img.this_image() == 0 {
+            img.copy_async_put(&ca, 1, 0, &[0xD1E7], AsyncOpts::none());
+            img.event_notify(&world, &ev, 1);
+        } else {
+            img.event_wait(&ev);
+            // The notify's targeted release barrier guarantees the put is
+            // remotely complete before the post is observable.
+            assert_eq!(ca.local_vec(img)[0], 0xD1E7);
+        }
+        img.sync_all();
+        img.coarray_free(&world, ca);
+    });
 }
 
 fn unflushed_run() {

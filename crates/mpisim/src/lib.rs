@@ -55,6 +55,6 @@ pub use dynwin::{DynAddr, DynWindow};
 pub use memmodel::SeparateWindow;
 pub use ops::AccOp;
 pub use p2p::{RecvRequest, SendRequest, Src, Status, Tag};
-pub use request::RmaRequest;
-pub use rma::Window;
+pub use request::{FlushRequest, RmaRequest};
+pub use rma::{DirtySet, Window};
 pub use universe::{Mpi, MpiConfig, Universe};

@@ -107,6 +107,93 @@ pub fn waitall_put(reqs: Vec<RmaRequest<()>>) {
     }
 }
 
+/// An in-flight non-blocking per-target flush — the request returned by
+/// `MPI_WIN_RFLUSH`, the extension the paper proposes in §5 so that an
+/// origin can overlap release-time completion with other work.
+///
+/// The modeled flush latency starts at initiation; [`FlushRequest::wait`]
+/// spins only for whatever remains of it, then certifies remote completion
+/// (memory fence, checker notification, dirty-target retirement). Dropping
+/// the request without waiting abandons the flush: the target stays dirty
+/// and, under `caf-check`, its pending puts stay pending — the same hazard
+/// an unwaited `rput` models.
+#[derive(Debug)]
+#[must_use = "an rflush completes nothing until wait()"]
+pub struct FlushRequest {
+    win_id: u64,
+    origin: usize,
+    /// Comm-relative target (for dirty-set retirement).
+    target: usize,
+    /// Global target rank (for tracing and check diagnostics).
+    target_global: usize,
+    /// Modeled completion time: issue time + per-target flush cost.
+    deadline_ns: u64,
+    epoch_open: bool,
+    dirty: crate::rma::DirtySet,
+}
+
+impl FlushRequest {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        win_id: u64,
+        origin: usize,
+        target: usize,
+        target_global: usize,
+        deadline_ns: u64,
+        epoch_open: bool,
+        dirty: crate::rma::DirtySet,
+    ) -> Self {
+        FlushRequest {
+            win_id,
+            origin,
+            target,
+            target_global,
+            deadline_ns,
+            epoch_open,
+            dirty,
+        }
+    }
+
+    /// The window this flush targets.
+    pub fn window_id(&self) -> u64 {
+        self.win_id
+    }
+
+    /// Global rank of the flushed target.
+    pub fn target_global(&self) -> usize {
+        self.target_global
+    }
+
+    /// Nonblocking completion probe: whether the modeled latency has
+    /// already elapsed (an immediate `wait` would not spin).
+    pub fn test(&self) -> bool {
+        caf_fabric::delay::monotonic_ns() >= self.deadline_ns
+    }
+
+    /// Complete the flush: pay whatever remains of the modeled per-target
+    /// latency, then certify remote completion of every operation this
+    /// origin had outstanding to the target.
+    pub fn wait(self) {
+        crate::rma::announce_sync(self.win_id);
+        let _span = caf_trace::span_t(
+            caf_trace::Op::WinRflushWait,
+            Some(self.target_global),
+            0,
+            Some(self.win_id),
+        );
+        let now = caf_fabric::delay::monotonic_ns();
+        if now < self.deadline_ns {
+            caf_fabric::delay::spin_for_ns((self.deadline_ns - now) as f64);
+        }
+        #[cfg(feature = "check")]
+        caf_check::hooks::win_flush(self.win_id, self.origin, self.target_global, self.epoch_open);
+        #[cfg(not(feature = "check"))]
+        let _ = (self.origin, self.epoch_open);
+        self.dirty.clear(self.target);
+        std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,7 +7,7 @@
 //! targets once at window allocation, `put`/`get` freely, `flush` for
 //! remote completion, unlock only at deallocation.
 
-use std::sync::atomic::{fence, AtomicBool, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use caf_fabric::delay::DelayOp;
@@ -17,8 +17,77 @@ use caf_fabric::{FabricError, MemCategory, Pod, Result, Segment, SegmentId};
 
 use crate::comm::Comm;
 use crate::ops::{AccOp, BitsRepr};
-use crate::request::RmaRequest;
+use crate::request::{FlushRequest, RmaRequest};
 use crate::universe::Mpi;
+
+/// Per-origin record of which target ranks have outstanding (unflushed)
+/// stores through one window — the bookkeeping the paper's §5 fix needs so
+/// that a release operation can complete "only the operations that are
+/// actually outstanding" instead of paying `MPI_Win_flush_all`'s Θ(P) scan.
+///
+/// One bit per comm rank, lock-free. The set is written only by the owning
+/// origin thread (window handles are per-rank, like an `MPI_Win`); atomics
+/// are used for interior mutability behind shared handles, not for
+/// cross-thread publication, so all accesses are `Relaxed`. Clones share
+/// the underlying bits, which lets an in-flight [`FlushRequest`] retire its
+/// target at completion time.
+#[derive(Clone, Debug)]
+pub struct DirtySet {
+    bits: Arc<[AtomicU64]>,
+}
+
+impl DirtySet {
+    fn new(nranks: usize) -> Self {
+        let words = nranks.div_ceil(64).max(1);
+        DirtySet {
+            bits: (0..words).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Record an outstanding store to `rank`.
+    pub(crate) fn mark(&self, rank: usize) {
+        self.bits[rank / 64].fetch_or(1 << (rank % 64), Ordering::Relaxed);
+    }
+
+    /// Retire `rank` after a completing flush.
+    pub(crate) fn clear(&self, rank: usize) {
+        self.bits[rank / 64].fetch_and(!(1u64 << (rank % 64)), Ordering::Relaxed);
+    }
+
+    /// Retire every rank (a whole-window flush).
+    pub(crate) fn clear_all(&self) {
+        for w in self.bits.iter() {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether `rank` has outstanding stores.
+    pub fn is_dirty(&self, rank: usize) -> bool {
+        self.bits[rank / 64].load(Ordering::Relaxed) & (1 << (rank % 64)) != 0
+    }
+
+    /// Number of dirty ranks.
+    pub fn count(&self) -> usize {
+        self.bits
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Dirty ranks in ascending order.
+    pub fn ranks(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (wi, w) in self.bits.iter().enumerate() {
+            let mut bits = w.load(Ordering::Relaxed);
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push(wi * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+}
 
 /// An RMA window: one registered segment per rank of a communicator.
 ///
@@ -33,6 +102,7 @@ pub struct Window {
     pub(crate) sizes: Arc<[usize]>,
     pub(crate) local: Arc<Segment>,
     pub(crate) locked_all: AtomicBool,
+    pub(crate) dirty: DirtySet,
 }
 
 /// MPI window ids live in the high-bit half of the model-checker's region
@@ -53,7 +123,7 @@ fn announce(op: ModelOp) {
 
 /// Whole-window synchronization (flush / epoch transitions / free):
 /// conflicts with every data operation on the window.
-fn announce_sync(win_id: u64) {
+pub(crate) fn announce_sync(win_id: u64) {
     announce(ModelOp::Atomic {
         region: model_region(win_id),
         owner: ANY_OWNER,
@@ -94,6 +164,17 @@ impl Window {
         &self.local
     }
 
+    /// Comm-relative ranks with outstanding (unflushed) stores from this
+    /// origin through the window, in ascending order.
+    pub fn dirty_targets(&self) -> Vec<usize> {
+        self.dirty.ranks()
+    }
+
+    /// Number of comm-relative ranks with outstanding stores.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.count()
+    }
+
     fn assert_epoch(&self) {
         assert!(
             self.locked_all.load(Ordering::Relaxed),
@@ -131,6 +212,7 @@ impl Mpi {
         let sizes: Vec<usize> = pairs.iter().map(|p| p[1] as usize).collect();
         let child = self.next_child_index(comm);
         let win_id = crate::comm::derive_comm_id(comm.id(), child, 0x77);
+        let nranks = comm.size();
         Ok(Window {
             id: win_id,
             comm: comm.clone(),
@@ -138,6 +220,7 @@ impl Mpi {
             sizes: sizes.into(),
             local,
             locked_all: AtomicBool::new(false),
+            dirty: DirtySet::new(nranks),
         })
     }
 
@@ -149,6 +232,14 @@ impl Mpi {
     /// As [`Mpi::win_free`], for windows held behind shared handles
     /// (`Arc<Window>`). The caller must not use the window afterwards.
     pub fn win_free_shared(&self, win: &Window) -> Result<()> {
+        // A window freed with dirty targets while its epoch is still open
+        // must complete those stores before teardown — otherwise the data
+        // of an unflushed put could be lost with the exposure.
+        if win.locked_all.load(Ordering::Relaxed) && win.dirty.count() > 0 {
+            for target in win.dirty.ranks() {
+                self.win_flush(win, target)?;
+            }
+        }
         announce_sync(win.id);
         #[cfg(feature = "check")]
         caf_check::hooks::win_free(win.id, self.rank(), win.locked_all.load(Ordering::Relaxed));
@@ -251,7 +342,9 @@ impl Mpi {
             );
         }
         self.delays.charge(DelayOp::RmaPut, bytes.len());
-        self.target_segment(win, target)?.put(disp, bytes)
+        let seg = self.target_segment(win, target)?;
+        win.dirty.mark(target);
+        seg.put(disp, bytes)
     }
 
     /// `MPI_Get` — one-sided read from `target`'s window region.
@@ -386,6 +479,7 @@ impl Mpi {
         }
         win.assert_epoch();
         let seg = self.target_segment(win, target)?;
+        win.dirty.mark(target);
         self.delays
             .charge(DelayOp::RmaPut, std::mem::size_of_val(data));
         for (i, v) in data.iter().enumerate() {
@@ -526,6 +620,7 @@ impl Mpi {
         );
         win.assert_epoch();
         let seg = self.target_segment(win, target)?;
+        win.dirty.mark(target);
         self.trace_rma_atomic(win, target, std::mem::size_of_val(data));
         self.delays
             .charge(DelayOp::RmaAtomic, std::mem::size_of_val(data));
@@ -563,6 +658,7 @@ impl Mpi {
         );
         win.assert_epoch();
         let seg = self.target_segment(win, target)?;
+        win.dirty.mark(target);
         self.trace_rma_atomic(win, target, std::mem::size_of_val(data));
         self.delays
             .charge(DelayOp::RmaAtomic, std::mem::size_of_val(data));
@@ -601,6 +697,7 @@ impl Mpi {
         );
         win.assert_epoch();
         let seg = self.target_segment(win, target)?;
+        win.dirty.mark(target);
         self.trace_rma_atomic(win, target, 8);
         self.delays.charge(DelayOp::RmaAtomic, 8);
         let old = seg.fetch_update_u64(disp, |old| op.apply_bits::<T>(old, T::to_bits(value)))?;
@@ -633,6 +730,7 @@ impl Mpi {
         );
         win.assert_epoch();
         let seg = self.target_segment(win, target)?;
+        win.dirty.mark(target);
         self.trace_rma_atomic(win, target, 8);
         self.delays.charge(DelayOp::RmaAtomic, 8);
         let prev = seg.compare_exchange_u64(disp, T::to_bits(expected), T::to_bits(new))?;
@@ -666,8 +764,51 @@ impl Mpi {
             );
         }
         self.delays.charge(DelayOp::FlushPerTarget, 0);
+        win.dirty.clear(target);
         fence(Ordering::SeqCst);
         Ok(())
+    }
+
+    /// `MPI_WIN_RFLUSH` — the request-generating per-target flush the paper
+    /// proposes in §5 ("an even better approach … to allow the flush
+    /// operation to be nonblocking"). Initiates completion of all
+    /// outstanding operations from this origin to `target` and returns
+    /// immediately; only [`FlushRequest::wait`] certifies remote completion.
+    ///
+    /// The modeled per-target latency starts accruing at initiation, so any
+    /// work the origin does between issue and wait — e.g. `event_notify`'s
+    /// release-barrier `waitall` — overlaps the flush instead of adding to
+    /// it.
+    pub fn win_rflush(&self, win: &Window, target: usize) -> Result<FlushRequest> {
+        announce_sync(win.id);
+        win.assert_epoch();
+        if target >= win.comm.size() {
+            return Err(FabricError::RankOutOfRange {
+                rank: target,
+                size: win.comm.size(),
+            });
+        }
+        let target_global = win.comm.global_rank(target);
+        if caf_trace::enabled() {
+            caf_trace::instant(
+                caf_trace::Op::WinRflush,
+                Some(target_global),
+                0,
+                Some(win.id),
+            );
+        }
+        // Count and model the cost now; the spin (whatever is left of it)
+        // is paid at wait time.
+        let cost_ns = self.delays.note(DelayOp::FlushPerTarget, 0);
+        Ok(FlushRequest::new(
+            win.id,
+            self.rank(),
+            target,
+            target_global,
+            caf_fabric::delay::monotonic_ns() + cost_ns as u64,
+            win.locked_all.load(Ordering::Relaxed),
+            win.dirty.clone(),
+        ))
     }
 
     /// `MPI_Win_flush_all` — complete outstanding operations to **every**
@@ -695,6 +836,7 @@ impl Mpi {
         for _target in 0..win.comm.size() {
             self.delays.charge(DelayOp::FlushPerTarget, 0);
         }
+        win.dirty.clear_all();
         fence(Ordering::SeqCst);
         Ok(())
     }
@@ -966,35 +1108,214 @@ mod tests {
 
     #[test]
     fn flush_all_visits_every_rank() {
-        // With a nonzero per-target cost, flush_all time grows with P.
+        // flush_all charges the per-target flush once per rank of the
+        // window — the Θ(P) signature of §4.1 — which the modeled-cost
+        // meter records deterministically (no wall clock involved).
         use crate::universe::MpiConfig;
         use caf_fabric::delay::{DelayConfig, OpCost};
         let mut delays = DelayConfig::free();
-        delays.flush_per_target = OpCost::fixed(50_000.0); // 50 µs
+        delays.flush_per_target = OpCost::fixed(10.0);
         let cfg = MpiConfig {
             delays,
             ..MpiConfig::default()
         };
-        let time_for = |n: usize| -> f64 {
-            let times = Universe::run_with_config(n, cfg, |mpi| {
+        let charges_for = |n: usize| -> Vec<(u64, u64)> {
+            Universe::run_with_config(n, cfg, |mpi| {
                 let w = mpi.world();
                 let win = mpi.win_allocate(&w, 8).unwrap();
                 mpi.win_lock_all(&win);
-                let t = std::time::Instant::now();
+                let m = mpi.delay_meter();
+                let (count0, ns0) = (
+                    m.count(DelayOp::FlushPerTarget),
+                    m.modeled_ns(DelayOp::FlushPerTarget),
+                );
                 mpi.win_flush_all(&win).unwrap();
-                let el = t.elapsed().as_secs_f64();
+                let delta = (
+                    m.count(DelayOp::FlushPerTarget) - count0,
+                    m.modeled_ns(DelayOp::FlushPerTarget) - ns0,
+                );
+                // Close the epoch without unlock_all's interior flush so
+                // the measured delta is exactly one flush_all.
                 win.locked_all.store(false, Ordering::Relaxed);
                 mpi.win_free(win).unwrap();
-                el
-            });
-            times.iter().sum::<f64>() / times.len() as f64
+                delta
+            })
         };
-        let t2 = time_for(2);
-        let t8 = time_for(8);
-        assert!(
-            t8 > 2.5 * t2,
-            "flush_all must scale with ranks: t2={t2} t8={t8}"
-        );
+        for n in [2usize, 8] {
+            for (count, ns) in charges_for(n) {
+                assert_eq!(count, n as u64, "one per-target handshake per rank");
+                assert_eq!(ns, 10 * n as u64, "modeled cost scales with ranks");
+            }
+        }
+    }
+
+    #[test]
+    fn puts_and_atomics_mark_dirty_and_flushes_clear() {
+        with_window(4, 64, |mpi, win| {
+            if mpi.rank() == 0 {
+                assert_eq!(win.dirty_targets(), Vec::<usize>::new());
+                mpi.put(win, 1, 0, &[1u64]).unwrap();
+                mpi.accumulate(win, 2, 0, &[1u64], AccOp::Sum).unwrap();
+                mpi.fetch_and_op(win, 3, 8, 1u64, AccOp::Sum).unwrap();
+                assert_eq!(win.dirty_targets(), vec![1, 2, 3]);
+                assert_eq!(win.dirty_count(), 3);
+                mpi.win_flush(win, 2).unwrap();
+                assert_eq!(win.dirty_targets(), vec![1, 3]);
+                mpi.win_flush_all(win).unwrap();
+                assert_eq!(win.dirty_targets(), Vec::<usize>::new());
+                // get_accumulate and CAS are stores too.
+                mpi.get_accumulate(win, 1, 0, &[0u64], AccOp::NoOp).unwrap();
+                mpi.compare_and_swap(win, 2, 0, 0u64, 0u64).unwrap();
+                assert_eq!(win.dirty_targets(), vec![1, 2]);
+                mpi.win_flush_all(win).unwrap();
+            }
+            mpi.barrier(win.comm()).unwrap();
+        });
+    }
+
+    #[test]
+    fn reads_do_not_mark_dirty() {
+        with_window(2, 64, |mpi, win| {
+            mpi.barrier(win.comm()).unwrap();
+            if mpi.rank() == 0 {
+                let mut out = [0u64; 2];
+                mpi.get(win, 1, 0, &mut out).unwrap();
+                mpi.get_vector(win, 1, 0, 2, &mut out).unwrap();
+                mpi.win_write_local(win, 0, &[7u64]).unwrap();
+                assert_eq!(win.dirty_count(), 0);
+            }
+            mpi.barrier(win.comm()).unwrap();
+        });
+    }
+
+    #[test]
+    fn overlapping_epochs_keep_dirty_sets_independent() {
+        // Two windows with overlapping passive-target epochs: flushing
+        // (or closing) one epoch must not retire the other's targets.
+        let _ = Universe::run(3, |mpi| {
+            let w = mpi.world();
+            let win_a = mpi.win_allocate(&w, 32).unwrap();
+            let win_b = mpi.win_allocate(&w, 32).unwrap();
+            mpi.win_lock_all(&win_a);
+            mpi.win_lock_all(&win_b);
+            if mpi.rank() == 0 {
+                mpi.put(&win_a, 1, 0, &[1u64]).unwrap();
+                mpi.put(&win_b, 2, 0, &[2u64]).unwrap();
+                mpi.win_flush(&win_a, 1).unwrap();
+                assert_eq!(win_a.dirty_count(), 0);
+                assert_eq!(win_b.dirty_targets(), vec![2]);
+            }
+            // Close A while B's epoch (and dirty target) stays open.
+            mpi.win_unlock_all(&win_a).unwrap();
+            if mpi.rank() == 0 {
+                assert_eq!(win_b.dirty_targets(), vec![2]);
+            }
+            mpi.win_unlock_all(&win_b).unwrap();
+            if mpi.rank() == 0 {
+                assert_eq!(win_b.dirty_count(), 0);
+            }
+            mpi.win_free(win_a).unwrap();
+            mpi.win_free(win_b).unwrap();
+        });
+    }
+
+    #[test]
+    fn win_free_with_dirty_targets_completes_them() {
+        use crate::universe::MpiConfig;
+        use caf_fabric::delay::{DelayConfig, OpCost};
+        let mut delays = DelayConfig::free();
+        delays.flush_per_target = OpCost::fixed(5.0);
+        let cfg = MpiConfig {
+            delays,
+            ..MpiConfig::default()
+        };
+        let res = Universe::run_with_config(2, cfg, |mpi| {
+            let w = mpi.world();
+            let win = mpi.win_allocate(&w, 16).unwrap();
+            mpi.win_lock_all(&win);
+            let flushes0 = mpi.delay_meter().count(DelayOp::FlushPerTarget);
+            if mpi.rank() == 0 {
+                mpi.put(&win, 1, 0, &[9u64]).unwrap();
+                assert_eq!(win.dirty_targets(), vec![1]);
+            }
+            // Free with the epoch still open and a target dirty: the free
+            // path must complete the outstanding put before teardown.
+            mpi.win_free_shared(&win).unwrap();
+            let flushes = mpi.delay_meter().count(DelayOp::FlushPerTarget) - flushes0;
+            if mpi.rank() == 0 {
+                assert_eq!(win.dirty_count(), 0);
+                assert_eq!(flushes, 1, "exactly the dirty target was flushed");
+            } else {
+                assert_eq!(flushes, 0, "clean origins pay nothing at free");
+            }
+            let mut v = [0u64];
+            win.local_segment().get(0, as_bytes_mut(&mut v)).unwrap();
+            v[0]
+        });
+        assert_eq!(res[1], 9);
+    }
+
+    #[test]
+    fn rflush_overlaps_and_completes_target() {
+        use crate::universe::MpiConfig;
+        use caf_fabric::delay::{DelayConfig, OpCost};
+        let mut delays = DelayConfig::free();
+        delays.flush_per_target = OpCost::fixed(20.0);
+        let cfg = MpiConfig {
+            delays,
+            ..MpiConfig::default()
+        };
+        let res = Universe::run_with_config(2, cfg, |mpi| {
+            let w = mpi.world();
+            let win = mpi.win_allocate(&w, 16).unwrap();
+            mpi.win_lock_all(&win);
+            let observed = if mpi.rank() == 0 {
+                mpi.put(&win, 1, 0, &[0xabcdu64]).unwrap();
+                let m = mpi.delay_meter();
+                let (count0, ns0) = (
+                    m.count(DelayOp::FlushPerTarget),
+                    m.modeled_ns(DelayOp::FlushPerTarget),
+                );
+                let req = mpi.win_rflush(&win, 1).unwrap();
+                // Cost is metered at initiation (the latency runs while
+                // the origin keeps working)…
+                assert_eq!(m.count(DelayOp::FlushPerTarget) - count0, 1);
+                assert_eq!(m.modeled_ns(DelayOp::FlushPerTarget) - ns0, 20);
+                // …but the target is retired only at wait.
+                assert_eq!(win.dirty_targets(), vec![1]);
+                assert_eq!(req.target_global(), 1);
+                req.wait();
+                assert_eq!(win.dirty_count(), 0);
+                // No double charge at wait.
+                assert_eq!(m.count(DelayOp::FlushPerTarget) - count0, 1);
+                mpi.send(&mpi.world(), 1, 0, &[1u8]).unwrap();
+                0
+            } else {
+                use crate::p2p::{Src, Tag};
+                let _ = mpi
+                    .recv::<u8>(&mpi.world(), Src::Rank(0), Tag::Is(0))
+                    .unwrap();
+                let mut out = [0u64; 1];
+                mpi.win_read_local(&win, 0, &mut out).unwrap();
+                out[0]
+            };
+            mpi.win_unlock_all(&win).unwrap();
+            mpi.win_free(win).unwrap();
+            observed
+        });
+        assert_eq!(res[1], 0xabcd);
+    }
+
+    #[test]
+    fn rflush_out_of_range_is_an_error() {
+        with_window(2, 16, |mpi, win| {
+            if mpi.rank() == 0 {
+                assert!(matches!(
+                    mpi.win_rflush(win, 7),
+                    Err(FabricError::RankOutOfRange { .. })
+                ));
+            }
+        });
     }
 
     #[test]

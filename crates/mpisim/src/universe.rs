@@ -4,7 +4,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use caf_fabric::delay::DelayConfig;
+use caf_fabric::delay::{DelayConfig, DelayMeter, Delays};
 use caf_fabric::{Endpoint, Fabric, MemAccount, MemCategory, Packet};
 
 use crate::comm::Comm;
@@ -78,7 +78,7 @@ pub(crate) struct CommState {
 /// below). One `Mpi` exists per rank thread; it is not `Sync`.
 pub struct Mpi {
     pub(crate) ep: Endpoint,
-    pub(crate) delays: DelayConfig,
+    pub(crate) delays: Delays,
     pub(crate) config: MpiConfig,
     pub(crate) mem: Arc<MemAccount>,
     pub(crate) unexpected: RefCell<VecDeque<Packet>>,
@@ -110,7 +110,7 @@ impl Mpi {
         let world = Comm::new(0, (0..size).collect::<Vec<_>>().into(), rank);
         let mpi = Mpi {
             ep,
-            delays: config.delays,
+            delays: Delays::new(config.delays),
             config,
             mem,
             unexpected: RefCell::new(VecDeque::new()),
@@ -145,7 +145,13 @@ impl Mpi {
 
     /// The configured software-overhead table.
     pub fn delays(&self) -> &DelayConfig {
-        &self.delays
+        self.delays.config()
+    }
+
+    /// The modeled-cost ledger for this rank (counts and modeled
+    /// nanoseconds per [`caf_fabric::DelayOp`]); deterministic across runs.
+    pub fn delay_meter(&self) -> &DelayMeter {
+        self.delays.meter()
     }
 
     /// The eager protocol threshold in bytes.

@@ -2,7 +2,7 @@
 //! decomposition: per-image seconds attributed to the ten runtime
 //! primitive categories.
 
-use crate::op::EventKind;
+use crate::op::{EventKind, Op};
 use crate::session::Trace;
 
 /// Number of decomposition categories.
@@ -93,6 +93,16 @@ pub struct Decomposition {
     pub seconds: Vec<[f64; NCAT]>,
     /// `calls[i][cat.index()]` for `images[i]`.
     pub calls: Vec<[u64; NCAT]>,
+    /// Per-image seconds spent inside flush operations (`WinFlushAll`
+    /// spans and `WinRflushWait` remainders). Flushes run *within* the
+    /// ten categories — mostly EventNotify and Finish — so this column is
+    /// a drill-down, not an eleventh share-bearing category.
+    pub flush_seconds: Vec<f64>,
+    /// Per-image count of per-target flush handshakes: one per `WinFlush`
+    /// or `WinRflush`, and one per rank visited by a `WinFlushAll` (whose
+    /// span carries the per-target count in its `bytes` field). This is
+    /// the Θ(P)-vs-targeted signature in trace form.
+    pub flush_calls: Vec<u64>,
 }
 
 impl Decomposition {
@@ -152,6 +162,27 @@ impl Decomposition {
         }
     }
 
+    /// Seconds image `image` spent flushing (0.0 if absent).
+    pub fn flush_seconds_for(&self, image: usize) -> f64 {
+        match self.images.binary_search(&image) {
+            Ok(i) => self.flush_seconds[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Mean per-image flush seconds.
+    pub fn mean_flush_seconds(&self) -> f64 {
+        if self.images.is_empty() {
+            return 0.0;
+        }
+        self.flush_seconds.iter().sum::<f64>() / self.images.len() as f64
+    }
+
+    /// Total per-target flush handshakes across images.
+    pub fn total_flush_calls(&self) -> u64 {
+        self.flush_calls.iter().sum()
+    }
+
     /// Plain-text table: one row per category with mean seconds, share,
     /// and call counts.
     pub fn render(&self) -> String {
@@ -174,6 +205,16 @@ impl Decomposition {
                 self.total_calls(cat)
             );
         }
+        let _ = writeln!(
+            out,
+            "{:>14} {:>12.6} {:>8} {:>12} {:>8} {:>10}  (within categories)",
+            "flush",
+            self.mean_flush_seconds(),
+            "-",
+            "-",
+            "-",
+            self.total_flush_calls()
+        );
         out
     }
 }
@@ -194,14 +235,29 @@ impl Trace {
         images.dedup();
         let mut seconds = vec![[0.0f64; NCAT]; images.len()];
         let mut calls = vec![[0u64; NCAT]; images.len()];
+        let mut flush_seconds = vec![0.0f64; images.len()];
+        let mut flush_calls = vec![0u64; images.len()];
         for e in &self.events {
+            let Ok(i) = images.binary_search(&e.image) else {
+                continue;
+            };
+            match e.op {
+                Op::WinFlush | Op::WinRflush => flush_calls[i] += 1,
+                Op::WinFlushAll if e.kind == EventKind::Span => {
+                    // The span's `bytes` field carries the per-target
+                    // flush count (see `Mpi::win_flush_all`).
+                    flush_calls[i] += e.bytes;
+                    flush_seconds[i] += e.dur_ns as f64 / 1e9;
+                }
+                Op::WinRflushWait if e.kind == EventKind::Span => {
+                    flush_seconds[i] += e.dur_ns as f64 / 1e9;
+                }
+                _ => {}
+            }
             if !e.top_cat || e.kind != EventKind::Span {
                 continue;
             }
             let Some(cat) = e.op.cat() else { continue };
-            let Ok(i) = images.binary_search(&e.image) else {
-                continue;
-            };
             seconds[i][cat.index()] += e.dur_ns as f64 / 1e9;
             calls[i][cat.index()] += 1;
         }
@@ -209,6 +265,8 @@ impl Trace {
             images,
             seconds,
             calls,
+            flush_seconds,
+            flush_calls,
         }
     }
 }
@@ -265,6 +323,32 @@ mod tests {
         assert!((share_sum - 1.0).abs() < 1e-9);
         let table = d.render();
         assert!(table.contains("EventNotify"));
+    }
+
+    #[test]
+    fn flush_column_aggregates_all_flush_flavours() {
+        let mut flush_all = ev(0, Op::WinFlushAll, EventKind::Span, 1_500_000_000, false);
+        flush_all.bytes = 4; // four per-target handshakes inside one flush_all
+        let trace = Trace {
+            events: vec![
+                ev(0, Op::EventNotify, EventKind::Span, 2_000_000_000, true),
+                flush_all,
+                ev(0, Op::WinFlush, EventKind::Instant, 0, false),
+                ev(1, Op::WinRflush, EventKind::Instant, 0, false),
+                ev(1, Op::WinRflushWait, EventKind::Span, 500_000_000, false),
+            ],
+            stalls: vec![],
+            dropped_events: 0,
+        };
+        let d = trace.decomposition();
+        assert_eq!(d.flush_calls, vec![5, 1]);
+        assert!((d.flush_seconds_for(0) - 1.5).abs() < 1e-9);
+        assert!((d.flush_seconds_for(1) - 0.5).abs() < 1e-9);
+        assert!((d.mean_flush_seconds() - 1.0).abs() < 1e-9);
+        assert_eq!(d.total_flush_calls(), 6);
+        // The flush column is a drill-down: category shares are unchanged.
+        assert!((d.share(Cat::EventNotify) - 1.0).abs() < 1e-9);
+        assert!(d.render().contains("flush"));
     }
 
     #[test]

@@ -92,10 +92,16 @@ pub enum Op {
     WinUnlockAll,
     /// `MPI_Win_free` — window torn down.
     WinFree,
+    // --- mpi (targeted-flush extension, appended for stable decode) ---
+    /// `MPI_WIN_RFLUSH` initiation — non-blocking per-target flush issued
+    /// (the paper's §5 proposal).
+    WinRflush,
+    /// Waiting out the remainder of an rflush's modeled latency.
+    WinRflushWait,
 }
 
 /// Number of [`Op`] variants (for decode bounds checks).
-pub(crate) const NOPS: u16 = Op::WinFree as u16 + 1;
+pub(crate) const NOPS: u16 = Op::WinRflushWait as u16 + 1;
 
 impl Op {
     /// Display name (used verbatim in Chrome trace output).
@@ -140,6 +146,8 @@ impl Op {
             Op::WinLockAll => "WinLockAll",
             Op::WinUnlockAll => "WinUnlockAll",
             Op::WinFree => "WinFree",
+            Op::WinRflush => "WinRflush",
+            Op::WinRflushWait => "WinRflushWait",
         }
     }
 
@@ -153,7 +161,7 @@ impl Op {
             }
             MpiSend | MpiRecv | MpiBarrier | MpiBcast | MpiReduce | MpiGather | MpiAlltoall
             | RmaPut | RmaGet | RmaAtomic | WinFlush | WinFlushAll | WinLockAll
-            | WinUnlockAll | WinFree => "mpi",
+            | WinUnlockAll | WinFree | WinRflush | WinRflushWait => "mpi",
             AmDispatch | AmPoll | SrqSlowPath | AmPutAckWait | GasnetBarrier | GasnetPut
             | GasnetGet => "gasnet",
             PacketInject | PacketDeliver | SegmentPut | SegmentGet => "fabric",
@@ -203,6 +211,7 @@ impl Op {
                 | MpiAlltoall
                 | WinFlush
                 | WinFlushAll
+                | WinRflushWait
                 | AmPutAckWait
                 | GasnetBarrier
         )

@@ -73,13 +73,418 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
+        Some("bench") => bench::run(&args[1..]),
         Some(other) => {
-            eprintln!("unknown xtask command `{other}`; available: lint");
+            eprintln!("unknown xtask command `{other}`; available: lint, bench");
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("usage: cargo xtask <lint|bench>");
             ExitCode::from(2)
+        }
+    }
+}
+
+/// ## `cargo xtask bench [--smoke] [--update-baseline]`
+///
+/// Runs the deterministic perf harness (`caf-bench`'s `bench` binary) and
+/// gates its output against the committed `BENCH_ra.json` /
+/// `BENCH_micro.json` baselines at the repository root.
+///
+/// Every gated number is a modeled count or nanosecond total from the
+/// substrate delay meter — a pure function of the communication schedule,
+/// identical across machines — so the gate can be tight: any gated field
+/// more than [`bench::THRESHOLD`] above its baseline fails. Wall-clock
+/// values live under each row's `info` object and are never compared.
+/// `--smoke` runs a reduced job-size sweep whose rows are a strict subset
+/// of the full baseline (same per-row workloads); `--update-baseline`
+/// reseeds the committed files instead of comparing.
+mod bench {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::process::Command;
+
+    /// Allowed relative increase of a gated field over its baseline.
+    pub const THRESHOLD: f64 = 0.15;
+
+    const FILES: [&str; 2] = ["BENCH_ra.json", "BENCH_micro.json"];
+
+    pub fn run(args: &[String]) -> ExitCode {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let update = args.iter().any(|a| a == "--update-baseline");
+        let root = workspace_root();
+        let out_dir = root.join("target").join("bench-out");
+        if let Err(e) = fs::create_dir_all(&out_dir) {
+            eprintln!("xtask bench: creating {}: {e}", out_dir.display());
+            return ExitCode::from(2);
+        }
+
+        let mut cmd = Command::new(env!("CARGO"));
+        cmd.current_dir(&root)
+            .args(["run", "--release", "-q", "-p", "caf-bench", "--bin", "bench", "--"])
+            .arg("--out-dir")
+            .arg(&out_dir);
+        if smoke && !update {
+            cmd.arg("--smoke");
+        }
+        match cmd.status() {
+            Ok(st) if st.success() => {}
+            Ok(st) => {
+                eprintln!("xtask bench: harness failed with {st}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("xtask bench: spawning cargo: {e}");
+                return ExitCode::from(2);
+            }
+        }
+
+        if update {
+            for f in FILES {
+                if let Err(e) = fs::copy(out_dir.join(f), root.join(f)) {
+                    eprintln!("xtask bench: updating baseline {f}: {e}");
+                    return ExitCode::from(2);
+                }
+                println!("xtask bench: baseline {f} updated");
+            }
+            return ExitCode::SUCCESS;
+        }
+
+        let mut failures = 0usize;
+        for f in FILES {
+            match gate_file(&root.join(f), &out_dir.join(f)) {
+                Ok(n) => println!("xtask bench: {f}: {n} row(s) within {:.0}% of baseline", THRESHOLD * 100.0),
+                Err(msgs) => {
+                    for m in &msgs {
+                        eprintln!("xtask bench: {f}: {m}");
+                    }
+                    failures += msgs.len();
+                }
+            }
+        }
+        match shape_check(&out_dir.join("BENCH_ra.json")) {
+            Ok(()) => println!(
+                "xtask bench: shape OK — flush_all notify cost Θ(P), targeted/rflush flat"
+            ),
+            Err(m) => {
+                eprintln!("xtask bench: BENCH_ra.json: {m}");
+                failures += 1;
+            }
+        }
+        if failures > 0 {
+            eprintln!("xtask bench: {failures} failure(s)");
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+
+    /// A row's identity and its gated numbers.
+    struct Row {
+        key: String,
+        gate: BTreeMap<String, f64>,
+        info: BTreeMap<String, f64>,
+    }
+
+    fn gate_file(baseline: &Path, candidate: &Path) -> Result<usize, Vec<String>> {
+        let base = load_rows(baseline).map_err(|e| vec![e])?;
+        let cand = load_rows(candidate).map_err(|e| vec![e])?;
+        let by_key: BTreeMap<&str, &Row> = base.iter().map(|r| (r.key.as_str(), r)).collect();
+        let mut errs = Vec::new();
+        for row in &cand {
+            let Some(b) = by_key.get(row.key.as_str()) else {
+                errs.push(format!(
+                    "row {} missing from baseline (run `cargo xtask bench --update-baseline`)",
+                    row.key
+                ));
+                continue;
+            };
+            if b.gate.keys().ne(row.gate.keys()) {
+                errs.push(format!("row {}: gate field set differs from baseline", row.key));
+                continue;
+            }
+            for (k, &new) in &row.gate {
+                let old = b.gate[k];
+                if new > old * (1.0 + THRESHOLD) + f64::EPSILON {
+                    errs.push(format!(
+                        "row {}: {k} regressed {old} -> {new} (+{:.1}%, limit {:.0}%)",
+                        row.key,
+                        (new / old.max(f64::MIN_POSITIVE) - 1.0) * 100.0,
+                        THRESHOLD * 100.0
+                    ));
+                } else if old > 0.0 && new < old * (1.0 - THRESHOLD) {
+                    println!(
+                        "xtask bench: note: row {}: {k} improved {old} -> {new}; \
+                         consider `cargo xtask bench --update-baseline`",
+                        row.key
+                    );
+                }
+            }
+        }
+        if errs.is_empty() { Ok(cand.len()) } else { Err(errs) }
+    }
+
+    /// Independent re-check of the tentpole claim from the emitted JSON:
+    /// per-notify flush charges under `flush_all` grow ~linearly in P
+    /// while the targeted modes stay flat (sublinear in P).
+    fn shape_check(candidate: &Path) -> Result<(), String> {
+        let rows = load_rows(candidate)?;
+        let fpn = |p: usize, mode: &str| -> Option<f64> {
+            rows.iter()
+                .find(|r| r.key == format!("ra/p{p}/caf-mpi/{mode}"))
+                .and_then(|r| r.info.get("flushes_per_notify").copied())
+        };
+        let mut ps: Vec<usize> = rows
+            .iter()
+            .filter_map(|r| {
+                let mut it = r.key.split('/');
+                let (b, p) = (it.next()?, it.next()?);
+                (b == "ra" && r.key.contains("caf-mpi"))
+                    .then(|| p.trim_start_matches('p').parse().ok())
+                    .flatten()
+            })
+            .collect();
+        ps.sort_unstable();
+        ps.dedup();
+        let (&pmin, &pmax) = (ps.first().ok_or("no caf-mpi rows")?, ps.last().unwrap());
+        let all_min = fpn(pmin, "all").ok_or("missing all@pmin row")?;
+        let all_max = fpn(pmax, "all").ok_or("missing all@pmax row")?;
+        if all_max / all_min.max(f64::EPSILON) < 0.5 * pmax as f64 / pmin as f64 {
+            return Err(format!(
+                "flush_all per-notify cost not Θ(P): {all_min} @P={pmin} -> {all_max} @P={pmax}"
+            ));
+        }
+        for mode in ["targeted", "rflush"] {
+            let t_min = fpn(pmin, mode).ok_or("missing targeted row")?;
+            let t_max = fpn(pmax, mode).ok_or("missing targeted row")?;
+            if t_max > 2.0 * t_min.max(1.0) {
+                return Err(format!(
+                    "{mode} per-notify cost grew with P: {t_min} @P={pmin} -> {t_max} @P={pmax}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn load_rows(path: &Path) -> Result<Vec<Row>, String> {
+        let text = fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let v = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let obj = v.as_object().ok_or("top level is not an object")?;
+        match obj.get("schema").and_then(json::Value::as_str) {
+            Some("caf-bench-v1") => {}
+            other => return Err(format!("unknown schema {other:?} (want caf-bench-v1)")),
+        }
+        let rows = obj
+            .get("rows")
+            .and_then(json::Value::as_array)
+            .ok_or("missing rows array")?;
+        rows.iter()
+            .map(|r| {
+                let r = r.as_object().ok_or("row is not an object")?;
+                let s = |k: &str| -> Result<&str, String> {
+                    r.get(k)
+                        .and_then(json::Value::as_str)
+                        .ok_or_else(|| format!("row missing string field {k}"))
+                };
+                let key = format!(
+                    "{}/p{}/{}/{}",
+                    s("bench")?,
+                    r.get("p").and_then(json::Value::as_f64).ok_or("row missing p")?,
+                    s("substrate")?,
+                    s("flush")?
+                );
+                let numbers = |k: &str| -> Result<BTreeMap<String, f64>, String> {
+                    r.get(k)
+                        .and_then(json::Value::as_object)
+                        .ok_or_else(|| format!("row {key} missing {k} object"))?
+                        .iter()
+                        .map(|(name, val)| {
+                            val.as_f64()
+                                .map(|f| (name.clone(), f))
+                                .ok_or_else(|| format!("row {key}: {k}.{name} not a number"))
+                        })
+                        .collect()
+                };
+                Ok(Row { gate: numbers("gate")?, info: numbers("info")?, key })
+            })
+            .collect()
+    }
+
+    /// Minimal recursive-descent JSON reader (std-only; enough for the
+    /// bench schema: objects, arrays, strings, numbers, booleans, null).
+    pub mod json {
+        use std::collections::BTreeMap;
+
+        #[derive(Debug, Clone, PartialEq)]
+        pub enum Value {
+            Null,
+            Bool(bool),
+            Num(f64),
+            Str(String),
+            Arr(Vec<Value>),
+            Obj(BTreeMap<String, Value>),
+        }
+
+        impl Value {
+            pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+                match self {
+                    Value::Obj(m) => Some(m),
+                    _ => None,
+                }
+            }
+            pub fn as_array(&self) -> Option<&[Value]> {
+                match self {
+                    Value::Arr(v) => Some(v),
+                    _ => None,
+                }
+            }
+            pub fn as_str(&self) -> Option<&str> {
+                match self {
+                    Value::Str(s) => Some(s),
+                    _ => None,
+                }
+            }
+            pub fn as_f64(&self) -> Option<f64> {
+                match self {
+                    Value::Num(n) => Some(*n),
+                    _ => None,
+                }
+            }
+        }
+
+        pub fn parse(text: &str) -> Result<Value, String> {
+            let bytes = text.as_bytes();
+            let mut pos = 0usize;
+            let v = value(bytes, &mut pos)?;
+            skip_ws(bytes, &mut pos);
+            if pos != bytes.len() {
+                return Err(format!("trailing garbage at byte {pos}"));
+            }
+            Ok(v)
+        }
+
+        fn skip_ws(b: &[u8], pos: &mut usize) {
+            while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+                *pos += 1;
+            }
+        }
+
+        fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&c) {
+                *pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected `{}` at byte {pos}", c as char))
+            }
+        }
+
+        fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b'{') => {
+                    *pos += 1;
+                    let mut m = BTreeMap::new();
+                    skip_ws(b, pos);
+                    if b.get(*pos) == Some(&b'}') {
+                        *pos += 1;
+                        return Ok(Value::Obj(m));
+                    }
+                    loop {
+                        skip_ws(b, pos);
+                        let k = match string(b, pos)? {
+                            Value::Str(s) => s,
+                            _ => unreachable!(),
+                        };
+                        expect(b, pos, b':')?;
+                        m.insert(k, value(b, pos)?);
+                        skip_ws(b, pos);
+                        match b.get(*pos) {
+                            Some(b',') => *pos += 1,
+                            Some(b'}') => {
+                                *pos += 1;
+                                return Ok(Value::Obj(m));
+                            }
+                            _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                        }
+                    }
+                }
+                Some(b'[') => {
+                    *pos += 1;
+                    let mut v = Vec::new();
+                    skip_ws(b, pos);
+                    if b.get(*pos) == Some(&b']') {
+                        *pos += 1;
+                        return Ok(Value::Arr(v));
+                    }
+                    loop {
+                        v.push(value(b, pos)?);
+                        skip_ws(b, pos);
+                        match b.get(*pos) {
+                            Some(b',') => *pos += 1,
+                            Some(b']') => {
+                                *pos += 1;
+                                return Ok(Value::Arr(v));
+                            }
+                            _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                        }
+                    }
+                }
+                Some(b'"') => string(b, pos),
+                Some(b't') if b[*pos..].starts_with(b"true") => {
+                    *pos += 4;
+                    Ok(Value::Bool(true))
+                }
+                Some(b'f') if b[*pos..].starts_with(b"false") => {
+                    *pos += 5;
+                    Ok(Value::Bool(false))
+                }
+                Some(b'n') if b[*pos..].starts_with(b"null") => {
+                    *pos += 4;
+                    Ok(Value::Null)
+                }
+                Some(_) => number(b, pos),
+                None => Err("unexpected end of input".into()),
+            }
+        }
+
+        fn string(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+            if b.get(*pos) != Some(&b'"') {
+                return Err(format!("expected string at byte {pos}"));
+            }
+            *pos += 1;
+            let start = *pos;
+            while *pos < b.len() {
+                match b[*pos] {
+                    b'"' => {
+                        let s = std::str::from_utf8(&b[start..*pos])
+                            .map_err(|e| e.to_string())?
+                            .to_string();
+                        *pos += 1;
+                        return Ok(Value::Str(s));
+                    }
+                    // The bench schema never emits escapes; reject rather
+                    // than silently mis-decode.
+                    b'\\' => return Err(format!("escape sequences unsupported (byte {pos})")),
+                    _ => *pos += 1,
+                }
+            }
+            Err("unterminated string".into())
+        }
+
+        fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(Value::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
         }
     }
 }

@@ -181,3 +181,29 @@ fn seeded_walk_catches_unflushed_put_the_default_schedule_hides() {
     assert_eq!(kinds(&r1), kinds(&r2));
     assert!(kinds(&r1).contains(&"read_before_flush".to_string()), "{:?}", r1.report);
 }
+
+/// The targeted/rflush release paths explored with the epoch oracle
+/// armed: if either mode ever under-flushed (left a put pending past the
+/// notify release barrier), some interleaving in the DFS budget would
+/// trip `read_before_flush` on the waiter's read. The oracle must stay
+/// silent across the whole budget, and the in-scenario assertion (waiter
+/// sees the put's value) must hold on every schedule.
+#[test]
+fn targeted_and_rflush_release_stay_clean_across_schedules() {
+    for sc in [scenarios::targeted_flush_release(), scenarios::rflush_release()] {
+        let cfg = ExploreConfig {
+            max_schedules: 120,
+            oracle: Some(OracleConfig { epochs: true, races: false }),
+            ..ExploreConfig::default()
+        };
+        let rep = explore(&sc, &cfg);
+        assert!(rep.schedules >= 1, "{}: nothing explored", sc.name);
+        assert_eq!(
+            rep.flagged,
+            0,
+            "{}: {:?}",
+            sc.name,
+            rep.counterexamples.first().map(|c| (&c.kind, &c.detail))
+        );
+    }
+}
