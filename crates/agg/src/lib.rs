@@ -1,0 +1,578 @@
+//! `caf-agg`: small-put coalescing for the CAF runtime.
+//!
+//! The paper's RandomAccess analysis (§4.1) shows what kills PGAS codes
+//! with skewed fine-grained traffic: millions of tiny remote updates, each
+//! paying a full per-message overhead. This crate provides the classic
+//! remedy as a substrate-independent building block:
+//!
+//! * **Per-target buckets** — small puts/accumulates are enqueued as
+//!   compact [`Record`]s into the bucket of their (next-hop) target and
+//!   drained as one batch when a size/count trigger fires or at an
+//!   explicit release point.
+//! * **A batch wire format** — [`encode_batch`]/[`decode_batch`] pack a
+//!   drained bucket into one payload small enough for a single medium
+//!   active message, unpacked record-by-record at the receiver.
+//! * **Dimension-order hypercube routing** (the optimized-GUPS
+//!   algorithm) — with routing on, a record destined to `dest` is
+//!   bucketed toward [`next_hop`]`(me, dest, p)`, the neighbour that
+//!   fixes the lowest differing address bit; intermediate ranks unpack,
+//!   re-bucket, and forward, so each record crosses at most `log2(P)`
+//!   hops and every message on the wire is a full bucket instead of one
+//!   tiny update.
+//!
+//! The crate is a leaf: it owns the data structures and the arithmetic,
+//! and knows nothing about substrates, windows, or events. Delivery,
+//! happens-before edges, and release-point semantics are wired up by
+//! `caf` core (see DESIGN.md §13).
+
+#![warn(missing_docs)]
+
+/// Aggregation knobs, carried inside `CafConfig` (opt-in: the default is
+/// disabled, so the paper-faithful direct small-put path is what runs
+/// unless a job asks for coalescing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggConfig {
+    /// Route eligible async puts through aggregation buckets.
+    pub enabled: bool,
+    /// Payload-byte capacity of one bucket; reaching it triggers a drain.
+    /// On the GASNet substrate the runtime clamps this so an encoded
+    /// batch always fits a single medium AM.
+    pub bucket_bytes: usize,
+    /// Record-count capacity of one bucket; reaching it triggers a drain.
+    pub bucket_records: usize,
+    /// Puts with payloads larger than this bypass aggregation and take
+    /// the direct path (bulk transfers gain nothing from coalescing).
+    pub max_record_bytes: usize,
+    /// Dimension-order hypercube software routing. Requires a
+    /// power-of-two image count (the runtime clamps it off otherwise)
+    /// and `finish`-style release semantics — see DESIGN.md §13.
+    pub routing: bool,
+}
+
+impl Default for AggConfig {
+    fn default() -> Self {
+        AggConfig {
+            enabled: false,
+            // 4 + 64·25 + 2048 = 3652 encoded bytes: under the 4 KiB
+            // medium-AM limit with headroom for the runtime header.
+            bucket_bytes: 2048,
+            bucket_records: 64,
+            max_record_bytes: 64,
+            routing: false,
+        }
+    }
+}
+
+impl AggConfig {
+    /// Aggregation on, direct per-destination buckets (no routing).
+    pub fn on() -> Self {
+        AggConfig {
+            enabled: true,
+            ..AggConfig::default()
+        }
+    }
+
+    /// Aggregation on with hypercube software routing.
+    pub fn routed() -> Self {
+        AggConfig {
+            routing: true,
+            ..AggConfig::on()
+        }
+    }
+
+    /// Worst-case encoded size of one drained bucket under these knobs.
+    /// The byte trigger fires *after* a push, so payload can overshoot
+    /// `bucket_bytes` by one record; the runtime checks this bound
+    /// against its AM transport limit.
+    pub fn max_encoded_len(&self) -> usize {
+        BATCH_HEADER
+            + self.bucket_records * REC_HEADER
+            + self.bucket_bytes
+            + self.max_record_bytes
+    }
+}
+
+/// What a record does at its destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RecordOp {
+    /// Overwrite `len` bytes at the offset (small put).
+    Put = 0,
+    /// XOR an 8-byte little-endian operand into the u64 at the offset
+    /// (the RandomAccess update).
+    Xor = 1,
+    /// Wrapping-add an 8-byte little-endian operand into the u64 at the
+    /// offset.
+    Add = 2,
+}
+
+impl RecordOp {
+    fn from_u8(v: u8) -> RecordOp {
+        match v {
+            0 => RecordOp::Put,
+            1 => RecordOp::Xor,
+            2 => RecordOp::Add,
+            k => panic!("unknown aggregation record op {k}"),
+        }
+    }
+}
+
+/// One coalesced small operation: final destination, region/offset
+/// address, and the payload it carries. Destination travels with the
+/// record because routed records cross intermediate ranks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Final destination image (global rank).
+    pub dest: u32,
+    /// Operation applied at the destination.
+    pub op: RecordOp,
+    /// Region (window) the offset addresses.
+    pub region: u64,
+    /// Byte offset within the destination's part of the region.
+    pub offset: u64,
+    /// Operand bytes (`Xor`/`Add`: exactly 8, little-endian).
+    pub payload: Vec<u8>,
+}
+
+/// Encoded bytes of one record's header: op, dest, region, offset, len.
+pub const REC_HEADER: usize = 1 + 4 + 8 + 8 + 4;
+/// Encoded bytes of the batch header (record count).
+pub const BATCH_HEADER: usize = 4;
+
+impl Record {
+    /// Bytes this record occupies in an encoded batch.
+    pub fn encoded_len(&self) -> usize {
+        REC_HEADER + self.payload.len()
+    }
+}
+
+/// Pack records into one batch payload: `[count u32][records…]`, each
+/// record `[op u8][dest u32][region u64][offset u64][len u32][payload]`,
+/// all little-endian.
+pub fn encode_batch(records: &[Record]) -> Vec<u8> {
+    let bytes = BATCH_HEADER + records.iter().map(Record::encoded_len).sum::<usize>();
+    let mut buf = Vec::with_capacity(bytes);
+    buf.extend_from_slice(&(records.len() as u32).to_le_bytes());
+    for r in records {
+        buf.push(r.op as u8);
+        buf.extend_from_slice(&r.dest.to_le_bytes());
+        buf.extend_from_slice(&r.region.to_le_bytes());
+        buf.extend_from_slice(&r.offset.to_le_bytes());
+        buf.extend_from_slice(&(r.payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&r.payload);
+    }
+    buf
+}
+
+/// Decode a batch produced by [`encode_batch`].
+///
+/// # Panics
+///
+/// Panics on malformed input — batches are runtime-internal traffic, so
+/// corruption is a bug, not an input condition.
+pub fn decode_batch(bytes: &[u8]) -> Vec<Record> {
+    let mut at = 0usize;
+    let take = |at: &mut usize, n: usize| {
+        let s = &bytes[*at..*at + n];
+        *at += n;
+        s
+    };
+    let count = u32::from_le_bytes(take(&mut at, 4).try_into().expect("count")) as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let op = RecordOp::from_u8(take(&mut at, 1)[0]);
+        let dest = u32::from_le_bytes(take(&mut at, 4).try_into().expect("dest"));
+        let region = u64::from_le_bytes(take(&mut at, 8).try_into().expect("region"));
+        let offset = u64::from_le_bytes(take(&mut at, 8).try_into().expect("offset"));
+        let len = u32::from_le_bytes(take(&mut at, 4).try_into().expect("len")) as usize;
+        let payload = take(&mut at, len).to_vec();
+        out.push(Record {
+            dest,
+            op,
+            region,
+            offset,
+            payload,
+        });
+    }
+    assert_eq!(at, bytes.len(), "trailing bytes after batch");
+    out
+}
+
+/// Dimension-order next hop: the neighbour of `me` across the lowest
+/// address bit in which `me` and `dest` differ. Each hop fixes one bit,
+/// so a record reaches `dest` in at most `log2(p)` hops, and every
+/// intermediate rank aggregates traffic from its whole subcube — the
+/// optimized-GUPS software-routing scheme.
+///
+/// # Panics
+///
+/// Panics unless `p` is a power of two and both ranks are in range.
+pub fn next_hop(me: usize, dest: usize, p: usize) -> usize {
+    assert!(p.is_power_of_two(), "hypercube routing requires 2^d images");
+    assert!(me < p && dest < p, "rank out of range");
+    let diff = me ^ dest;
+    assert_ne!(diff, 0, "no hop needed: me == dest");
+    me ^ (1usize << diff.trailing_zeros())
+}
+
+/// Hop count of the dimension-order route from `me` to `dest`: the
+/// number of differing address bits (≤ `log2(p)`).
+pub fn route_hops(me: usize, dest: usize) -> u32 {
+    (me ^ dest).count_ones()
+}
+
+/// Counters kept by the [`Aggregator`] (all deterministic functions of
+/// the enqueue/drain schedule — safe to assert on in tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AggStats {
+    /// Records enqueued on this image (app-issued and forwarded).
+    pub enqueued: u64,
+    /// Buckets drained (each becomes one batched message).
+    pub drained_buckets: u64,
+    /// Records carried by those drained buckets.
+    pub drained_records: u64,
+    /// Payload bytes carried by those drained buckets.
+    pub drained_payload_bytes: u64,
+    /// Records re-bucketed at this image on behalf of another origin
+    /// (store-and-forward hops).
+    pub forwarded: u64,
+}
+
+/// One bucket: the records accumulated toward one immediate target.
+#[derive(Debug, Default)]
+struct Bucket {
+    records: Vec<Record>,
+    payload_bytes: usize,
+}
+
+/// Per-image aggregation state: one bucket per immediate target, plus
+/// the drain-trigger bookkeeping.
+#[derive(Debug)]
+pub struct Aggregator {
+    cfg: AggConfig,
+    me: usize,
+    p: usize,
+    buckets: Vec<Bucket>,
+    stats: AggStats,
+}
+
+impl Aggregator {
+    /// Fresh state for image `me` of `p`. `cfg` is the runtime's
+    /// *effective* (already clamped) configuration.
+    pub fn new(cfg: AggConfig, me: usize, p: usize) -> Self {
+        Aggregator {
+            cfg,
+            me,
+            p,
+            buckets: (0..p).map(|_| Bucket::default()).collect(),
+            stats: AggStats::default(),
+        }
+    }
+
+    /// The effective configuration this aggregator runs under.
+    pub fn config(&self) -> AggConfig {
+        self.cfg
+    }
+
+    /// Immediate target a record destined to `dest` is bucketed toward:
+    /// `dest` itself, or the hypercube next hop when routing is on.
+    pub fn hop_for(&self, dest: usize) -> usize {
+        if self.cfg.routing && dest != self.me {
+            next_hop(self.me, dest, self.p)
+        } else {
+            dest
+        }
+    }
+
+    /// Enqueue a record. Returns `Some((target, records))` when the push
+    /// filled the target's bucket past a capacity trigger — the caller
+    /// must deliver that batch now.
+    pub fn enqueue(&mut self, rec: Record) -> Option<(usize, Vec<Record>)> {
+        debug_assert!((rec.dest as usize) < self.p, "record dest out of range");
+        debug_assert_ne!(rec.dest as usize, self.me, "self-records are applied locally");
+        let hop = self.hop_for(rec.dest as usize);
+        self.stats.enqueued += 1;
+        let b = &mut self.buckets[hop];
+        b.payload_bytes += rec.payload.len();
+        b.records.push(rec);
+        if b.records.len() >= self.cfg.bucket_records || b.payload_bytes >= self.cfg.bucket_bytes {
+            return self.drain(hop).map(|r| (hop, r));
+        }
+        None
+    }
+
+    /// Count a record enqueued on behalf of another origin (the caller
+    /// enqueues it normally; this only keeps the forwarding statistic).
+    pub fn note_forward(&mut self) {
+        self.stats.forwarded += 1;
+    }
+
+    /// Drain one target's bucket, if non-empty.
+    pub fn drain(&mut self, target: usize) -> Option<Vec<Record>> {
+        let b = &mut self.buckets[target];
+        if b.records.is_empty() {
+            return None;
+        }
+        let records = std::mem::take(&mut b.records);
+        let payload = b.payload_bytes;
+        b.payload_bytes = 0;
+        self.stats.drained_buckets += 1;
+        self.stats.drained_records += records.len() as u64;
+        self.stats.drained_payload_bytes += payload as u64;
+        Some(records)
+    }
+
+    /// Drain every non-empty bucket, in target order (deterministic).
+    pub fn drain_all(&mut self) -> Vec<(usize, Vec<Record>)> {
+        (0..self.p)
+            .filter_map(|t| self.drain(t).map(|r| (t, r)))
+            .collect()
+    }
+
+    /// Targets with a non-empty bucket, ascending.
+    pub fn pending_targets(&self) -> Vec<usize> {
+        (0..self.p)
+            .filter(|&t| !self.buckets[t].records.is_empty())
+            .collect()
+    }
+
+    /// Records currently parked across all buckets.
+    pub fn pending_records(&self) -> usize {
+        self.buckets.iter().map(|b| b.records.len()).sum()
+    }
+
+    /// True when no bucket holds a record.
+    pub fn is_empty(&self) -> bool {
+        self.pending_records() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> AggStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(dest: u32, offset: u64, v: u64) -> Record {
+        Record {
+            dest,
+            op: RecordOp::Xor,
+            region: 7,
+            offset,
+            payload: v.to_le_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn batch_roundtrips() {
+        let records = vec![
+            rec(3, 16, 0xdeadbeef),
+            Record {
+                dest: 1,
+                op: RecordOp::Put,
+                region: 9,
+                offset: 0,
+                payload: vec![1, 2, 3],
+            },
+            Record {
+                dest: 2,
+                op: RecordOp::Add,
+                region: 1,
+                offset: 8,
+                payload: 5u64.to_le_bytes().to_vec(),
+            },
+        ];
+        let bytes = encode_batch(&records);
+        assert_eq!(
+            bytes.len(),
+            BATCH_HEADER + records.iter().map(Record::encoded_len).sum::<usize>()
+        );
+        assert_eq!(decode_batch(&bytes), records);
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        assert_eq!(decode_batch(&encode_batch(&[])), Vec::<Record>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "trailing bytes")]
+    fn decode_rejects_trailing_garbage() {
+        let mut bytes = encode_batch(&[rec(0, 0, 1)]);
+        bytes.push(0);
+        decode_batch(&bytes);
+    }
+
+    #[test]
+    fn next_hop_fixes_lowest_bit_and_bounds_hops() {
+        for p in [2usize, 4, 8, 16, 32] {
+            let d = p.trailing_zeros();
+            for me in 0..p {
+                for dest in 0..p {
+                    if me == dest {
+                        continue;
+                    }
+                    // Walk the full route; it must terminate within d hops.
+                    let mut at = me;
+                    let mut hops = 0;
+                    while at != dest {
+                        let nh = next_hop(at, dest, p);
+                        // Each hop flips exactly one bit, the lowest diff.
+                        assert_eq!((at ^ nh).count_ones(), 1);
+                        assert!((at ^ dest).trailing_zeros() == (at ^ nh).trailing_zeros());
+                        at = nh;
+                        hops += 1;
+                        assert!(hops <= d, "route exceeded log2(P) hops");
+                    }
+                    assert_eq!(hops, route_hops(me, dest));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_trigger_drains_full_bucket() {
+        let cfg = AggConfig {
+            bucket_records: 4,
+            ..AggConfig::on()
+        };
+        let mut agg = Aggregator::new(cfg, 0, 2);
+        for i in 0..3u64 {
+            assert!(agg.enqueue(rec(1, i * 8, i)).is_none());
+        }
+        let (t, batch) = agg.enqueue(rec(1, 24, 3)).expect("4th record fills the bucket");
+        assert_eq!(t, 1);
+        assert_eq!(batch.len(), 4);
+        assert!(agg.is_empty());
+        assert_eq!(agg.stats().drained_buckets, 1);
+        assert_eq!(agg.stats().drained_records, 4);
+    }
+
+    #[test]
+    fn byte_trigger_drains_full_bucket() {
+        let cfg = AggConfig {
+            bucket_bytes: 20,
+            bucket_records: 1000,
+            ..AggConfig::on()
+        };
+        let mut agg = Aggregator::new(cfg, 0, 2);
+        assert!(agg.enqueue(rec(1, 0, 1)).is_none()); // 8 bytes
+        assert!(agg.enqueue(rec(1, 8, 2)).is_none()); // 16 bytes
+        let (_, batch) = agg.enqueue(rec(1, 16, 3)).expect("24 ≥ 20 bytes");
+        assert_eq!(batch.len(), 3);
+    }
+
+    #[test]
+    fn routing_buckets_by_next_hop() {
+        let mut agg = Aggregator::new(AggConfig::routed(), 0, 8);
+        // dest 7 differs from 0 in bits {0,1,2}; first hop flips bit 0.
+        agg.enqueue(rec(7, 0, 1));
+        // dest 6 differs in bits {1,2}; first hop flips bit 1.
+        agg.enqueue(rec(6, 0, 2));
+        // dest 4 differs in bit 2 only: one direct hop.
+        agg.enqueue(rec(4, 0, 3));
+        assert_eq!(agg.pending_targets(), vec![1, 2, 4]);
+        // Without routing, buckets key on the final destination.
+        let mut direct = Aggregator::new(AggConfig::on(), 0, 8);
+        direct.enqueue(rec(7, 0, 1));
+        direct.enqueue(rec(6, 0, 2));
+        assert_eq!(direct.pending_targets(), vec![6, 7]);
+    }
+
+    #[test]
+    fn drain_all_is_deterministic_and_complete() {
+        let mut agg = Aggregator::new(AggConfig::on(), 0, 4);
+        agg.enqueue(rec(3, 0, 1));
+        agg.enqueue(rec(1, 0, 2));
+        agg.enqueue(rec(3, 8, 3));
+        let drained = agg.drain_all();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].0, 1);
+        assert_eq!(drained[1].0, 3);
+        assert_eq!(drained[1].1.len(), 2);
+        assert!(agg.is_empty());
+        assert!(agg.drain_all().is_empty());
+    }
+
+    #[test]
+    fn max_encoded_len_bounds_real_batches() {
+        let cfg = AggConfig {
+            bucket_bytes: 64,
+            bucket_records: 8,
+            ..AggConfig::on()
+        };
+        let mut agg = Aggregator::new(cfg, 0, 2);
+        let mut worst = 0usize;
+        for i in 0..100u64 {
+            if let Some((_, batch)) = agg.enqueue(rec(1, i * 8, i)) {
+                worst = worst.max(encode_batch(&batch).len());
+            }
+        }
+        assert!(worst > 0);
+        assert!(worst <= cfg.max_encoded_len());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn arbitrary_batches_roundtrip(
+                seed in proptest::collection::vec(
+                    (0u32..64, 0u8..3, any::<u64>(), any::<u64>(),
+                     proptest::collection::vec(any::<u8>(), 0..40)),
+                    0..30,
+                )
+            ) {
+                let records: Vec<Record> = seed
+                    .into_iter()
+                    .map(|(dest, op, region, offset, payload)| Record {
+                        dest,
+                        op: RecordOp::from_u8(op),
+                        region,
+                        offset,
+                        payload,
+                    })
+                    .collect();
+                prop_assert_eq!(decode_batch(&encode_batch(&records)), records);
+            }
+
+            #[test]
+            fn every_enqueued_record_drains_exactly_once(
+                dests in proptest::collection::vec(1usize..8, 1..200),
+                nrec in 2usize..10,
+            ) {
+                let cfg = AggConfig {
+                    bucket_records: nrec,
+                    ..AggConfig::on()
+                };
+                let mut agg = Aggregator::new(cfg, 0, 8);
+                let mut out: Vec<Record> = Vec::new();
+                for (i, &d) in dests.iter().enumerate() {
+                    if let Some((_, batch)) = agg.enqueue(rec(d as u32, i as u64, i as u64)) {
+                        out.extend(batch);
+                    }
+                }
+                for (_, batch) in agg.drain_all() {
+                    out.extend(batch);
+                }
+                prop_assert_eq!(out.len(), dests.len());
+                // Order-insensitive identity: every (offset, dest) present.
+                let mut got: Vec<(u64, u32)> =
+                    out.iter().map(|r| (r.offset, r.dest)).collect();
+                got.sort_unstable();
+                let mut want: Vec<(u64, u32)> = dests
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &d)| (i as u64, d as u32))
+                    .collect();
+                want.sort_unstable();
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+}

@@ -31,12 +31,12 @@
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use caf::{CafConfig, CafUniverse, FlushMode, SubstrateKind};
+use caf::{AggConfig, AsyncOpts, CafConfig, CafUniverse, Coarray, FlushMode, SubstrateKind};
 use caf_bench::fusion_like;
 use caf_fabric::delay::ALL_DELAY_OPS;
 use caf_fabric::DelayOp;
 use caf_hpcc::fft;
-use caf_hpcc::ra::{self, RaOpts};
+use caf_hpcc::ra::{self, lcg_next, starts, RaOpts};
 
 /// Ops whose counts are charged at the *origin* in program order — a pure
 /// function of the communication schedule, so byte-identical across runs.
@@ -68,6 +68,36 @@ const MICRO_REPS: usize = 128;
 const FFT_P: [usize; 2] = [2, 4];
 const FFT_LOG2_SIZE: u32 = 12;
 
+/// Aggregation sweep (BENCH_agg.json). Three row families:
+///
+/// * `agg-bpp` — one origin streams small puts to one target, direct vs
+///   coalesced; the gated `bytes_per_packet` is payload bytes per wire
+///   message (one per put direct, one per drained bucket aggregated).
+/// * `agg-ra` — GUPS-shaped scattered updates: one remote atomic per
+///   update (`direct`) vs coalesced accumulate records (`agg`,
+///   `agg-routed`); `proxy_gups` models throughput from the summed
+///   origin-charged nanoseconds of the critical-path image.
+/// * `agg-notify` — puts + ring notify with aggregation ON across the
+///   flush-mode matrix: the PR-4 Θ(P)-vs-flat per-notify flush shape
+///   must survive aggregation (batches bypass the window flush path
+///   entirely, so targeted modes drop to zero handshakes).
+///
+/// Gated fields are taken from the deterministic aggregation counters
+/// and origin-charged delay-meter ops, never from receive-side charges
+/// or round counts of the termination loop.
+const AGG_BPP_RECORDS: usize = 256;
+const AGG_RA_P_FULL: [usize; 2] = [8, 32];
+const AGG_RA_P_SMOKE: [usize; 1] = [8];
+/// Updates per image = `AGG_RA_UPDATES_PER_P * p`: the per-destination
+/// record count stays constant as P grows, the regime where routing's
+/// fuller buckets beat one-nearly-empty-bucket-per-destination.
+const AGG_RA_UPDATES_PER_P: usize = 8;
+const AGG_RA_LOG2_LOCAL: u32 = 6;
+const AGG_NOTIFY_P_FULL: [usize; 4] = [2, 4, 8, 16];
+const AGG_NOTIFY_P_SMOKE: [usize; 2] = [2, 8];
+const AGG_NOTIFY_ROUNDS: usize = 4;
+const AGG_NOTIFY_RECORDS: usize = 32;
+
 struct Row {
     bench: String,
     p: usize,
@@ -76,6 +106,20 @@ struct Row {
     /// Summed-over-images (count, modeled_ns) per delay op — the gate.
     gate: Vec<(DelayOp, u64, u64)>,
     /// Ungated context: (key, value) pairs.
+    info: Vec<(&'static str, f64)>,
+}
+
+/// BENCH_agg.json rows gate on *named* deterministic quantities
+/// (aggregation counters, derived packet sizes) rather than the raw delay
+/// ledger, so they carry free-form gate fields. The `mode` string lands in
+/// the row's `flush` JSON slot: it is the third identity axis exactly as
+/// the flush mode is for the RA rows.
+struct AggRow {
+    bench: &'static str,
+    p: usize,
+    substrate: &'static str,
+    mode: &'static str,
+    gate: Vec<(&'static str, f64)>,
     info: Vec<(&'static str, f64)>,
 }
 
@@ -88,6 +132,7 @@ fn main() -> ExitCode {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| ".".to_string());
+    std::fs::create_dir_all(&out_dir).expect("create --out-dir");
 
     let ps: &[usize] = if smoke { &RA_P_SMOKE } else { &RA_P_FULL };
     eprintln!("bench: RA sweep (P = {ps:?}, smoke = {smoke})");
@@ -101,13 +146,23 @@ fn main() -> ExitCode {
     eprintln!("bench: micro primitives (P = {MICRO_P})");
     let micro_rows = micro_sweep();
 
+    eprintln!("bench: aggregation sweep (smoke = {smoke})");
+    let agg_rows = agg_sweep(smoke);
+    if let Err(msg) = verify_agg_shape(&agg_rows, smoke) {
+        eprintln!("bench: AGG SHAPE VIOLATION: {msg}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("bench: agg shape OK (bpp >= 8x direct, routed RA wins at P>=32, notify shape held)");
+
     let ra_path = format!("{out_dir}/BENCH_ra.json");
     let micro_path = format!("{out_dir}/BENCH_micro.json");
+    let agg_path = format!("{out_dir}/BENCH_agg.json");
     std::fs::write(&ra_path, render(&ra_rows, "ra", smoke)).expect("write BENCH_ra.json");
     std::fs::write(&micro_path, render(&micro_rows, "micro", smoke))
         .expect("write BENCH_micro.json");
-    eprintln!("bench: wrote {ra_path} ({} rows) and {micro_path} ({} rows)",
-        ra_rows.len(), micro_rows.len());
+    std::fs::write(&agg_path, render_agg(&agg_rows, smoke)).expect("write BENCH_agg.json");
+    eprintln!("bench: wrote {ra_path} ({} rows), {micro_path} ({} rows), {agg_path} ({} rows)",
+        ra_rows.len(), micro_rows.len(), agg_rows.len());
     ExitCode::SUCCESS
 }
 
@@ -131,7 +186,13 @@ fn ra_row(p: usize, kind: SubstrateKind, flush: FlushMode) -> Row {
     };
     let outs = CafUniverse::run_with_config(p, cfg, |img| {
         let team = img.team_world();
-        let out = ra::run_opts(img, &team, RA_LOG2_LOCAL, RA_UPDATES, RaOpts { async_puts: true });
+        let out = ra::run_opts(
+            img,
+            &team,
+            RA_LOG2_LOCAL,
+            RA_UPDATES,
+            RaOpts { async_puts: true, ..RaOpts::default() },
+        );
         (out.bench, out.meter_delta)
     });
     let gate = sum_deltas(outs.iter().map(|(_, d)| d.as_slice()));
@@ -352,6 +413,345 @@ fn verify_ra_shape(rows: &[Row]) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+fn agg_sweep(smoke: bool) -> Vec<AggRow> {
+    let mut rows = Vec::new();
+    for kind in [SubstrateKind::Mpi, SubstrateKind::Gasnet] {
+        for agg_on in [false, true] {
+            rows.push(agg_bpp_row(kind, agg_on));
+        }
+    }
+    let ps: &[usize] = if smoke { &AGG_RA_P_SMOKE } else { &AGG_RA_P_FULL };
+    for &p in ps {
+        for mode in ["direct", "agg", "agg-routed"] {
+            rows.push(agg_ra_row(p, mode));
+        }
+    }
+    let ps: &[usize] = if smoke { &AGG_NOTIFY_P_SMOKE } else { &AGG_NOTIFY_P_FULL };
+    for &p in ps {
+        for flush in [FlushMode::All, FlushMode::targeted(), FlushMode::rflush()] {
+            rows.push(agg_notify_row(p, flush));
+        }
+    }
+    rows
+}
+
+/// One origin streams `AGG_BPP_RECORDS` single-u64 puts at one target.
+/// Direct: one wire message per put (8 payload bytes each). Aggregated:
+/// one batched AM per drained bucket, so payload-bytes-per-packet jumps by
+/// the bucket record capacity.
+fn agg_bpp_row(kind: SubstrateKind, agg_on: bool) -> AggRow {
+    let agg = if agg_on { AggConfig::on() } else { AggConfig::default() };
+    let cfg = CafConfig { agg, ..fusion_like(kind) };
+    let outs = CafUniverse::run_with_config(2, cfg, |img| {
+        let w = img.team_world();
+        let ca: Coarray<u64> = img.coarray_alloc(&w, AGG_BPP_RECORDS);
+        let (before, after) = metered(img, |img| {
+            img.finish_fast(&w, |img| {
+                if img.this_image() == 0 {
+                    for i in 0..AGG_BPP_RECORDS {
+                        img.copy_async_put(&ca, 1, i, &[i as u64], AsyncOpts::default());
+                    }
+                }
+            });
+        });
+        let stats = img.agg_stats();
+        img.coarray_free(&w, ca);
+        (delta(&after, &before), stats)
+    });
+    let payload = (AGG_BPP_RECORDS * 8) as f64;
+    let origin = &outs[0];
+    let packets = if agg_on {
+        origin.1.drained_buckets as f64
+    } else {
+        // One RMA put per record, charged at the origin in program order.
+        origin
+            .0
+            .iter()
+            .find(|(op, _, _)| *op == DelayOp::RmaPut)
+            .map(|&(_, c, _)| c as f64)
+            .unwrap_or(0.0)
+    };
+    AggRow {
+        bench: "agg-bpp",
+        p: 2,
+        substrate: substrate_label(kind),
+        mode: if agg_on { "agg" } else { "direct" },
+        gate: vec![
+            ("records", AGG_BPP_RECORDS as f64),
+            ("packets", packets),
+            ("bytes_per_packet", payload / packets.max(1.0)),
+        ],
+        info: vec![
+            ("payload_bytes", payload),
+            ("enqueued", origin.1.enqueued as f64),
+            ("drained_records", origin.1.drained_records as f64),
+        ],
+    }
+}
+
+/// GUPS-shaped scattered updates on CAF-MPI: per-update remote atomics
+/// (`direct`) vs coalesced accumulate records (`agg` / `agg-routed`).
+/// Gate = origin-program-order counters only; the modeled throughput proxy
+/// (whose denominator includes termination-loop rounds, which are
+/// timing-dependent) stays in `info`.
+fn agg_ra_row(p: usize, mode: &'static str) -> AggRow {
+    let agg = match mode {
+        "direct" => AggConfig::default(),
+        "agg" => AggConfig::on(),
+        _ => AggConfig::routed(),
+    };
+    let cfg = CafConfig { agg, ..fusion_like(SubstrateKind::Mpi) };
+    let updates = AGG_RA_UPDATES_PER_P * p;
+    let local = 1usize << AGG_RA_LOG2_LOCAL;
+    let mask = (local * p - 1) as u64;
+    let outs = CafUniverse::run_with_config(p, cfg, move |img| {
+        let w = img.team_world();
+        let table: Coarray<u64> = img.coarray_alloc(&w, local);
+        let me = img.this_image();
+        let (before, after) = metered(img, |img| {
+            let run_updates = |img: &caf::Image| {
+                let mut ran = starts((me * updates) as i64);
+                for _ in 0..updates {
+                    ran = lcg_next(ran);
+                    let idx = (ran & mask) as usize;
+                    let (dest, off) = (idx >> AGG_RA_LOG2_LOCAL, idx & (local - 1));
+                    if mode == "direct" {
+                        table.fetch_add(img, dest, off, ran);
+                    } else {
+                        img.agg_accumulate_xor(&table, dest, off, ran);
+                    }
+                }
+            };
+            if mode == "direct" {
+                run_updates(img);
+                img.barrier(&w);
+            } else {
+                img.finish(&w, run_updates);
+            }
+        });
+        let stats = img.agg_stats();
+        img.coarray_free(&w, table);
+        (delta(&after, &before), stats)
+    });
+    let sum = |f: fn(&caf::AggStats) -> u64| outs.iter().map(|(_, s)| f(s)).sum::<u64>() as f64;
+    let atomics: u64 = outs
+        .iter()
+        .flat_map(|(d, _)| d.iter())
+        .filter(|(op, _, _)| *op == DelayOp::RmaAtomic)
+        .map(|&(_, c, _)| c)
+        .sum();
+    // Critical-path image: max over images of its origin-charged modeled ns.
+    let max_ns = outs
+        .iter()
+        .map(|(d, _)| {
+            d.iter()
+                .filter(|(op, _, _)| GATE_OPS.contains(op))
+                .map(|&(_, _, n)| n)
+                .sum::<u64>()
+        })
+        .max()
+        .unwrap_or(0);
+    let total_updates = (updates * p) as f64;
+    AggRow {
+        bench: "agg-ra",
+        p,
+        substrate: "caf-mpi",
+        mode,
+        gate: vec![
+            ("updates", total_updates),
+            ("rma_atomics", atomics as f64),
+            ("agg_records", sum(|s| s.enqueued)),
+            ("agg_batches", sum(|s| s.drained_buckets)),
+            ("agg_forwards", sum(|s| s.forwarded)),
+        ],
+        info: vec![
+            ("proxy_gups", if max_ns > 0 { total_updates / max_ns as f64 } else { 0.0 }),
+            ("origin_ns_max", max_ns as f64),
+        ],
+    }
+}
+
+/// Put-burst + ring notify with aggregation ON, across the flush-mode
+/// matrix: the PR-4 per-notify flush shape (Θ(P) under `all`, flat under
+/// the targeted modes) must be preserved when every put rides a bucket.
+fn agg_notify_row(p: usize, flush: FlushMode) -> AggRow {
+    let cfg = CafConfig {
+        agg: AggConfig::on(),
+        flush,
+        ..fusion_like(SubstrateKind::Mpi)
+    };
+    let outs = CafUniverse::run_with_config(p, cfg, move |img| {
+        let w = img.team_world();
+        let ca: Coarray<u64> = img.coarray_alloc(&w, AGG_NOTIFY_RECORDS);
+        let ev = img.event_alloc(&w);
+        let right = (img.this_image() + 1) % p;
+        let (before, after) = metered(img, |img| {
+            for round in 0..AGG_NOTIFY_ROUNDS {
+                for i in 0..AGG_NOTIFY_RECORDS {
+                    img.copy_async_put(&ca, right, i, &[(round + i) as u64], AsyncOpts::default());
+                }
+                img.event_notify(&w, &ev, right);
+                img.event_wait(&ev);
+            }
+        });
+        let stats = img.agg_stats();
+        img.coarray_free(&w, ca);
+        (delta(&after, &before), stats)
+    });
+    let flushes: u64 = outs
+        .iter()
+        .flat_map(|(d, _)| d.iter())
+        .filter(|(op, _, _)| *op == DelayOp::FlushPerTarget)
+        .map(|&(_, c, _)| c)
+        .sum();
+    let batches: u64 = outs.iter().map(|(_, s)| s.drained_buckets).sum();
+    let records: u64 = outs.iter().map(|(_, s)| s.enqueued).sum();
+    let notifies = (p * AGG_NOTIFY_ROUNDS) as f64;
+    AggRow {
+        bench: "agg-notify",
+        p,
+        substrate: "caf-mpi",
+        mode: flush.name(),
+        gate: vec![
+            ("agg_records", records as f64),
+            ("agg_batches", batches as f64),
+            ("flush_per_target", flushes as f64),
+        ],
+        info: vec![
+            ("notifies", notifies),
+            ("flushes_per_notify", flushes as f64 / notifies),
+            ("flushes_per_batch", flushes as f64 / (batches as f64).max(1.0)),
+        ],
+    }
+}
+
+/// In-process acceptance assertions for the aggregation sweep (exit 1 on
+/// violation, same contract as [`verify_ra_shape`]).
+fn verify_agg_shape(rows: &[AggRow], smoke: bool) -> Result<(), String> {
+    let field = |r: &AggRow, k: &str, gate: bool| -> Option<f64> {
+        let v = if gate { &r.gate } else { &r.info };
+        v.iter().find(|(key, _)| *key == k).map(|&(_, x)| x)
+    };
+    // (1) bytes-per-packet: aggregated >= 8x the direct small-put path,
+    //     on both substrates.
+    for sub in ["caf-mpi", "caf-gasnet"] {
+        let get = |mode: &str| {
+            rows.iter()
+                .find(|r| r.bench == "agg-bpp" && r.substrate == sub && r.mode == mode)
+                .and_then(|r| field(r, "bytes_per_packet", true))
+        };
+        let direct = get("direct").ok_or_else(|| format!("missing agg-bpp direct row ({sub})"))?;
+        let agg = get("agg").ok_or_else(|| format!("missing agg-bpp agg row ({sub})"))?;
+        if agg < 8.0 * direct {
+            return Err(format!(
+                "{sub}: aggregated bytes/packet {agg:.1} < 8x direct {direct:.1}"
+            ));
+        }
+    }
+    // (2) modeled RA throughput at the largest job size: routed aggregation
+    //     beats the per-update direct path (full sweep reaches P=32; the
+    //     smoke subset stops earlier, so assert there only at its pmax).
+    let pmax = rows
+        .iter()
+        .filter(|r| r.bench == "agg-ra")
+        .map(|r| r.p)
+        .max()
+        .ok_or("no agg-ra rows")?;
+    if !smoke && pmax < 32 {
+        return Err(format!("agg-ra full sweep must reach P>=32 (got {pmax})"));
+    }
+    let gups = |mode: &str| {
+        rows.iter()
+            .find(|r| r.bench == "agg-ra" && r.p == pmax && r.mode == mode)
+            .and_then(|r| field(r, "proxy_gups", false))
+    };
+    let direct = gups("direct").ok_or("missing agg-ra direct row")?;
+    let routed = gups("agg-routed").ok_or("missing agg-ra agg-routed row")?;
+    if routed <= direct {
+        return Err(format!(
+            "routed aggregation not faster at P={pmax}: {routed:.6} vs direct {direct:.6} proxy GUPS"
+        ));
+    }
+    // (3) per-notify flush shape under aggregation: Θ(P) for flush_all,
+    //     flat for the targeted modes.
+    let fpn = |p: usize, mode: &str| {
+        rows.iter()
+            .find(|r| r.bench == "agg-notify" && r.p == p && r.mode == mode)
+            .and_then(|r| field(r, "flushes_per_notify", false))
+    };
+    let ps: Vec<usize> = {
+        let mut v: Vec<usize> = rows
+            .iter()
+            .filter(|r| r.bench == "agg-notify")
+            .map(|r| r.p)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let (pmin, pmax) = (ps[0], *ps.last().ok_or("no agg-notify rows")?);
+    let all_min = fpn(pmin, "all").ok_or("missing agg-notify all@pmin")?;
+    let all_max = fpn(pmax, "all").ok_or("missing agg-notify all@pmax")?;
+    let growth = all_max / all_min.max(f64::EPSILON);
+    let expected = pmax as f64 / pmin as f64;
+    if growth < 0.5 * expected {
+        return Err(format!(
+            "flush_all per-notify cost not Θ(P) under aggregation: {growth:.2}x from P={pmin} to P={pmax}"
+        ));
+    }
+    for mode in ["targeted", "rflush"] {
+        let t_min = fpn(pmin, mode).ok_or("missing agg-notify targeted@pmin")?;
+        let t_max = fpn(pmax, mode).ok_or("missing agg-notify targeted@pmax")?;
+        if t_max > 2.0 * t_min.max(1.0) {
+            return Err(format!(
+                "{mode} per-notify flushes grew with P under aggregation: {t_min:.2} @P={pmin} -> {t_max:.2} @P={pmax}"
+            ));
+        }
+        if all_max < 3.0 * t_max.max(1.0) {
+            return Err(format!(
+                "flush_all @P={pmax} ({all_max:.2}/notify) not clearly above {mode} ({t_max:.2}/notify) under aggregation"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// BENCH_agg.json: same `caf-bench-v1` envelope as [`render`], with the
+/// free-form gate/info fields of [`AggRow`] (the `mode` is written into
+/// the `flush` identity slot).
+fn render_agg(rows: &[AggRow], smoke: bool) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"schema\": \"caf-bench-v1\",");
+    let _ = writeln!(s, "  \"kind\": \"agg\",");
+    let _ = writeln!(s, "  \"smoke\": {smoke},");
+    let _ = writeln!(s, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"bench\": \"{}\",", r.bench);
+        let _ = writeln!(s, "      \"p\": {},", r.p);
+        let _ = writeln!(s, "      \"substrate\": \"{}\",", r.substrate);
+        let _ = writeln!(s, "      \"flush\": \"{}\",", r.mode);
+        let _ = writeln!(s, "      \"gate\": {{");
+        for (j, (k, v)) in r.gate.iter().enumerate() {
+            let comma = if j + 1 < r.gate.len() { "," } else { "" };
+            let _ = writeln!(s, "        \"{k}\": {v:.6}{comma}");
+        }
+        let _ = writeln!(s, "      }},");
+        let _ = writeln!(s, "      \"info\": {{");
+        for (j, (k, v)) in r.info.iter().enumerate() {
+            let comma = if j + 1 < r.info.len() { "," } else { "" };
+            let _ = writeln!(s, "        \"{k}\": {v:.6}{comma}");
+        }
+        let _ = writeln!(s, "      }}");
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
 }
 
 /// Hand-rolled JSON (std-only consumers: the xtask gate).

@@ -38,6 +38,9 @@ use crate::report::{ByteRange, Violation, ViolationKind};
 pub const NS_EVENT: u8 = 1;
 /// Channel namespace: function-shipping slots.
 pub const NS_SHIP: u8 = 2;
+/// Channel namespace: aggregation batches (one token per drained
+/// bucket; the batch carries the union of its records' edges).
+pub const NS_AGG: u8 = 3;
 
 /// Ceiling on queued unconsumed snapshots per channel.
 const MAX_CHANNEL: usize = 1 << 16;

@@ -164,7 +164,7 @@ pub mod hooks {
     use super::*;
 
     /// Re-exported channel namespaces for `hb_send`/`hb_recv` callers.
-    pub use crate::hb::{NS_EVENT, NS_SHIP};
+    pub use crate::hb::{NS_AGG, NS_EVENT, NS_SHIP};
 
     fn with_state(f: impl FnOnce(&mut State) -> Vec<Violation>) {
         if !enabled() {

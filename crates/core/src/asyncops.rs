@@ -120,6 +120,25 @@ impl Image {
             std::mem::size_of_val(data) as u64,
             true,
         );
+        // Cases 1 and 3 (no remote-completion event) may coalesce into an
+        // aggregation bucket: the record travels in a batched AM at the
+        // next drain, which is never later than the direct put's release
+        // point, so implicit-synchronization semantics are unchanged. The
+        // payload is copied into the record, so local completion — all a
+        // source event certifies — is immediate.
+        if dst_event.is_none()
+            && self.agg_try_put(
+                ca.region.id(),
+                ca.global_member(member),
+                disp,
+                caf_fabric::pod::as_bytes(data),
+            )
+        {
+            if let Some(src) = src_event {
+                self.post_event_local_hb(src.id);
+            }
+            return;
+        }
         match (&self.backend, &*ca.region) {
             (Backend::Mpi(b), RegionInner::Mpi { win }) => {
                 match dst_event {

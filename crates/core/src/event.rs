@@ -87,9 +87,18 @@ impl Image {
             // asynchronous operations, then remote completion — flush_all
             // (Θ(P) per window on the MPI substrate), the configured
             // targeted/rflush policy, or the explicit per-target ablation.
+            // Coalesced small puts leave their buckets first: each drained
+            // bucket is one batched AM, so aggregation adds zero per-target
+            // flush handshakes below — O(drained buckets) messages, never
+            // O(records) flush work. FIFO order on the AM channel then
+            // applies the batch before the notification itself.
             match flush {
-                NotifyFlush::All => self.release_all(),
+                NotifyFlush::All => {
+                    self.agg_drain_for_release();
+                    self.release_all();
+                }
                 NotifyFlush::TargetOnly => {
+                    self.agg_drain_target(team.global_rank(target));
                     self.complete_implicit_local();
                     self.backend_flush_target(team.global_rank(target));
                 }

@@ -30,6 +30,12 @@ impl Image {
         self.finish_stack.borrow_mut().pop();
 
         self.stats().timed(StatCat::Finish, || {
+            // Aggregation buckets drain first, accounted to this block's
+            // id (the stack is already popped, so the id is explicit):
+            // every batch — and every store-and-forward hop it spawns —
+            // counts as a shipped/completed pair, so Yang's loop below
+            // awaits coalesced traffic exactly like shipping chains.
+            self.agg_drain_all(fid);
             // Local then remote completion of this image's one-sided ops,
             // under the configured flush policy (targeted/rflush aware).
             self.release_all();
@@ -60,8 +66,29 @@ impl Image {
     pub fn finish_fast<R>(&self, team: &Team, body: impl FnOnce(&Image) -> R) -> R {
         let result = body(self);
         self.stats().timed(StatCat::Finish, || {
+            let agg = self.agg_enabled();
+            if agg {
+                self.agg_drain_all(0);
+            }
             self.release_all();
             self.barrier(team);
+            if agg {
+                // Batched AMs complete by target-side application, not by
+                // a flush: after the barrier every batch sits in its
+                // target's mailbox (sends inject synchronously), so one
+                // poll+barrier round delivers it — and with routing on,
+                // each round advances forwarded records one hop, so
+                // log2(P) rounds cover the longest hypercube chain.
+                let rounds = if self.agg_config().routing {
+                    self.num_images().next_power_of_two().trailing_zeros().max(1)
+                } else {
+                    1
+                };
+                for _ in 0..rounds {
+                    self.poll();
+                    self.barrier(team);
+                }
+            }
         });
         result
     }

@@ -48,6 +48,11 @@ pub struct CafConfig {
     /// operation). Defaults to the paper-faithful [`FlushMode::All`]; the
     /// §5 fixes are [`FlushMode::targeted`] and [`FlushMode::rflush`].
     pub flush: FlushMode,
+    /// Small-put coalescing knobs (opt-in; default disabled so the
+    /// paper-faithful direct path is what runs). See `crates/agg` and
+    /// DESIGN.md §13. The runtime clamps the knobs at init — see
+    /// [`Image::agg_config`] for the effective values.
+    pub agg: caf_agg::AggConfig,
 }
 
 impl Default for CafConfig {
@@ -58,6 +63,7 @@ impl Default for CafConfig {
             gasnet: GasnetConfig::default(),
             hybrid_mpi: false,
             flush: FlushMode::All,
+            agg: caf_agg::AggConfig::default(),
         }
     }
 }
@@ -171,6 +177,11 @@ pub struct Image {
     /// Implicitly synchronized operation counts (consumed by `cofence`).
     pub(crate) implicit_puts: Cell<u64>,
     pub(crate) implicit_gets: Cell<u64>,
+    /// Small-put aggregation buckets (`crates/agg`), under the clamped
+    /// effective configuration.
+    pub(crate) agg: RefCell<caf_agg::Aggregator>,
+    /// Per-image counter feeding globally unique batch tokens.
+    pub(crate) agg_token_ctr: Cell<u64>,
     world: Team,
     stats: Stats,
 }
@@ -238,6 +249,8 @@ impl Image {
                 )
             }
         };
+        let rank = backend.rank();
+        let agg_cfg = crate::agg::effective_agg_config(config.agg, config.substrate, n);
         Image {
             backend,
             ship_reg,
@@ -249,6 +262,8 @@ impl Image {
             team_tokens: RefCell::new(HashMap::new()),
             implicit_puts: Cell::new(0),
             implicit_gets: Cell::new(0),
+            agg: RefCell::new(caf_agg::Aggregator::new(agg_cfg, rank, n)),
+            agg_token_ctr: Cell::new(0),
             world,
             stats: Stats::new(),
         }
@@ -340,7 +355,10 @@ impl Image {
                 f(self);
                 self.finish_stack.borrow_mut().pop();
                 // The shipped function's one-sided effects must be globally
-                // visible before it counts as completed.
+                // visible before it counts as completed — including any
+                // puts it parked in aggregation buckets, whose batches are
+                // accounted to the same finish id.
+                self.agg_drain_all(finish_id);
                 self.backend.flush_all();
                 let mut counters = self.finish_counters.borrow_mut();
                 counters.entry(finish_id).or_insert((0, 0)).1 += 1;
@@ -356,6 +374,11 @@ impl Image {
                     self.post_event_local(event_id);
                 }
             }
+            RtMsg::AggBatch {
+                token,
+                finish_id,
+                data,
+            } => self.handle_agg_batch(token, finish_id, &data),
             RtMsg::CollPayload { .. } => {
                 self.coll_stash.borrow_mut().push(msg);
             }
@@ -363,7 +386,7 @@ impl Image {
     }
 
     /// Write into this image's part of a region (PutWithEvent target path).
-    fn region_write_local(&self, region_id: u64, offset: usize, data: &[u8]) {
+    pub(crate) fn region_write_local(&self, region_id: u64, offset: usize, data: &[u8]) {
         match &self.backend {
             Backend::Mpi(b) => {
                 let windows = b.windows.borrow();
@@ -381,6 +404,39 @@ impl Image {
                     .unwrap_or_else(|| panic!("PutWithEvent for unknown region {region_id}"));
                 b.g.write_local(base + offset, data)
                     .expect("PutWithEvent local write");
+            }
+        }
+    }
+
+    /// Read-modify-write one u64 in this image's part of a region (the
+    /// accumulate-record target path of batched aggregation delivery).
+    /// Applied serially by the owning image's progress engine, so
+    /// concurrent updates from any number of origins are atomic.
+    pub(crate) fn region_rmw_u64(&self, region_id: u64, offset: usize, f: impl FnOnce(u64) -> u64) {
+        match &self.backend {
+            Backend::Mpi(b) => {
+                let windows = b.windows.borrow();
+                let win = windows
+                    .get(&region_id)
+                    .unwrap_or_else(|| panic!("accumulate record for unknown window {region_id}"));
+                let mut v = [0u64];
+                b.mpi
+                    .win_read_local(win, offset, &mut v)
+                    .expect("accumulate local read");
+                b.mpi
+                    .win_write_local(win, offset, &[f(v[0])])
+                    .expect("accumulate local write");
+            }
+            Backend::Gasnet(b) => {
+                let regions = b.regions.borrow();
+                let base = regions
+                    .get(&region_id)
+                    .unwrap_or_else(|| panic!("accumulate record for unknown region {region_id}"));
+                let mut v = [0u64];
+                b.g.read_local(base + offset, &mut v)
+                    .expect("accumulate local read");
+                b.g.write_local(base + offset, &[f(v[0])])
+                    .expect("accumulate local write");
             }
         }
     }

@@ -53,6 +53,7 @@
 //! may-deadlock pattern of the paper's Figure 2 is safe: a coarray write
 //! needs no target-side progress while the target blocks in `MPI_Barrier`.
 
+pub mod agg;
 pub mod arena;
 pub mod asyncops;
 pub(crate) mod backend;
@@ -68,6 +69,7 @@ pub mod stats;
 pub mod team;
 
 pub use asyncops::AsyncOpts;
+pub use caf_agg::{AggConfig, AggStats};
 pub use caf_fabric::Pod;
 pub use caf_gasnetsim::{GasnetConfig, SrqMode};
 pub use caf_mpisim::MpiConfig;
@@ -83,6 +85,7 @@ pub use team::Team;
 /// (`use caf::prelude::*;`).
 pub mod prelude {
     pub use crate::asyncops::AsyncOpts;
+    pub use caf_agg::AggConfig;
     pub use crate::coarray::{Coarray, Section};
     pub use crate::coarray2d::Coarray2d;
     pub use crate::event::{Event, NotifyFlush};

@@ -39,6 +39,20 @@ pub enum RtMsg {
         /// The payload.
         data: Vec<u8>,
     },
+    /// One drained aggregation bucket: the `caf-agg` batch wire format
+    /// (`caf_agg::encode_batch`), delivered as a single runtime AM and
+    /// unpacked record-by-record at the target. Carries the union of its
+    /// records' happens-before edges under `token`, and is accounted to
+    /// `finish_id` like a shipped function so Yang's termination
+    /// detection covers in-flight batches and store-and-forward chains.
+    AggBatch {
+        /// Happens-before channel token (globally unique per batch).
+        token: u64,
+        /// Enclosing finish block at the drain point (0 = none).
+        finish_id: u64,
+        /// `caf_agg::encode_batch` payload.
+        data: Vec<u8>,
+    },
     /// One fragment of a hand-rolled collective on the GASNet substrate.
     CollPayload {
         /// Team the collective runs on.
@@ -62,6 +76,7 @@ const K_EVENT: u8 = 1;
 const K_SHIP: u8 = 2;
 const K_PUT_EV: u8 = 3;
 const K_COLL: u8 = 4;
+const K_AGG: u8 = 5;
 
 fn push_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -115,6 +130,16 @@ impl RtMsg {
                 push_u64(&mut buf, *event_id);
                 buf.extend_from_slice(data);
             }
+            RtMsg::AggBatch {
+                token,
+                finish_id,
+                data,
+            } => {
+                buf.push(K_AGG);
+                push_u64(&mut buf, *token);
+                push_u64(&mut buf, *finish_id);
+                buf.extend_from_slice(data);
+            }
             RtMsg::CollPayload {
                 team_id,
                 seq,
@@ -158,6 +183,11 @@ impl RtMsg {
                 event_id: r.u64(),
                 data: r.rest(),
             },
+            K_AGG => RtMsg::AggBatch {
+                token: r.u64(),
+                finish_id: r.u64(),
+                data: r.rest(),
+            },
             K_COLL => RtMsg::CollPayload {
                 team_id: r.u64(),
                 seq: r.u64(),
@@ -192,6 +222,11 @@ mod tests {
             offset: 1024,
             event_id: 0,
             data: vec![1, 2, 3, 4, 5],
+        });
+        roundtrip(RtMsg::AggBatch {
+            token: 0xA66,
+            finish_id: 12,
+            data: vec![9, 8, 7],
         });
         roundtrip(RtMsg::CollPayload {
             team_id: 9,
@@ -259,6 +294,16 @@ mod tests {
                     event_id: ev,
                     data,
                 };
+                prop_assert_eq!(RtMsg::decode(&m.encode()), m);
+            }
+
+            #[test]
+            fn agg_batch_roundtrips(
+                token in any::<u64>(),
+                fid in any::<u64>(),
+                data in proptest::collection::vec(any::<u8>(), 0..512),
+            ) {
+                let m = RtMsg::AggBatch { token, finish_id: fid, data };
                 prop_assert_eq!(RtMsg::decode(&m.encode()), m);
             }
 

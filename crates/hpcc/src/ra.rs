@@ -102,6 +102,12 @@ pub struct RaOpts {
     /// release barrier — the paper's §4.1 hot path, where `FlushMode::All`
     /// pays Θ(P) per window and the targeted modes pay O(dirty targets).
     pub async_puts: bool,
+    /// Route updates through the `caf-agg` subsystem instead of the
+    /// explicit staging router: each update becomes one coalesced
+    /// XOR-accumulate record inside a `finish` block, drained as batched
+    /// AMs (and hypercube-forwarded when `CafConfig::agg.routing` is on).
+    /// Requires aggregation enabled in the universe config.
+    pub aggregated: bool,
 }
 
 /// Result of a distributed RandomAccess run.
@@ -161,6 +167,10 @@ pub fn run_opts(
         .map(|i| me as u64 * local_size as u64 + i)
         .collect();
     table.local_write(img, 0, &init);
+
+    if opts.aggregated {
+        return run_aggregated(img, team, table, log2_local, updates_per_image);
+    }
 
     // Per-round staging slots: [count][data ...], one slot per round so a
     // fast partner in round k+1 can never clobber unconsumed round-k data.
@@ -262,6 +272,66 @@ fn table_guard(staging: &Coarray<u64>, img: &Image, partner: usize, off: usize, 
     staging.write(img, partner, off, data);
 }
 
+/// The aggregated update loop: no staging coarray, no per-round events —
+/// every update is one `agg_accumulate_xor` record, coalesced per
+/// (next-hop) target and delivered in batched AMs; the closing `finish`
+/// awaits all batches and forwarded chains (owner-side application keeps
+/// the read-modify-write atomic, so no extra synchronization is needed).
+fn run_aggregated(
+    img: &Image,
+    team: &Team,
+    table: Coarray<u64>,
+    log2_local: u32,
+    updates_per_image: usize,
+) -> RaOutcome {
+    assert!(
+        img.agg_config().enabled,
+        "RaOpts::aggregated requires CafConfig::agg.enabled"
+    );
+    let p = team.size();
+    let me = team.rank();
+    let local_size = 1usize << log2_local;
+    let mask = (local_size * p - 1) as u64;
+
+    img.barrier(team);
+    let meter_before = img.delay_meter_snapshot();
+    let t = Instant::now();
+
+    let mut ran = starts((me * updates_per_image) as i64);
+    img.finish(team, |img| {
+        for _ in 0..updates_per_image {
+            ran = lcg_next(ran);
+            let idx = (ran & mask) as usize;
+            let dest = idx >> log2_local;
+            img.agg_accumulate_xor(&table, dest, idx & (local_size - 1), ran);
+        }
+    });
+
+    img.barrier(team);
+    let dt = t.elapsed().as_secs_f64();
+    let meter_after = img.delay_meter_snapshot();
+    let secs = img.allreduce(team, &[dt], |a, b| a.max(b))[0];
+    let total_updates = (updates_per_image * p) as f64;
+
+    let meter_delta = meter_after
+        .iter()
+        .zip(meter_before.iter())
+        .map(|(&(op, ca, na), &(_, cb, nb))| (op, ca - cb, na - nb))
+        .collect();
+
+    let local_table = table.local_vec(img);
+    img.coarray_free(team, table);
+
+    RaOutcome {
+        bench: BenchResult {
+            seconds: secs,
+            metric: total_updates / secs * 1e-9,
+        },
+        local_table,
+        meter_delta,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,7 +393,7 @@ mod tests {
                 };
                 let locals = CafUniverse::run_with_config(p, cfg, |img| {
                     let team = img.team_world();
-                    run_opts(img, &team, 8, 500, RaOpts { async_puts: true }).local_table
+                    run_opts(img, &team, 8, 500, RaOpts { async_puts: true, ..RaOpts::default() }).local_table
                 });
                 let got: Vec<u64> = locals.into_iter().flatten().collect();
                 assert_eq!(got, expect, "substrate {kind:?} flush {}", flush.name());
@@ -347,7 +417,7 @@ mod tests {
             };
             let counts = CafUniverse::run_with_config(p, cfg, |img| {
                 let team = img.team_world();
-                let out = run_opts(img, &team, 8, 300, RaOpts { async_puts: true });
+                let out = run_opts(img, &team, 8, 300, RaOpts { async_puts: true, ..RaOpts::default() });
                 out.meter_delta
                     .iter()
                     .find(|(op, _, _)| *op == DelayOp::FlushPerTarget)
@@ -369,6 +439,42 @@ mod tests {
             rflush * 2 < all,
             "rflush ({rflush}) should be far below flush_all ({all})"
         );
+    }
+
+    #[test]
+    fn aggregated_router_matches_reference() {
+        // The coalesced-update path must be byte-identical to the
+        // explicit router, with and without hypercube forwarding.
+        use caf::AggConfig;
+        let p = 4;
+        let expect = serial_reference(p, 256, 500);
+        for kind in [SubstrateKind::Mpi, SubstrateKind::Gasnet] {
+            for routing in [false, true] {
+                let cfg = CafConfig {
+                    agg: AggConfig {
+                        routing,
+                        ..AggConfig::on()
+                    },
+                    ..CafConfig::on(kind)
+                };
+                let locals = CafUniverse::run_with_config(p, cfg, |img| {
+                    let team = img.team_world();
+                    run_opts(
+                        img,
+                        &team,
+                        8,
+                        500,
+                        RaOpts {
+                            aggregated: true,
+                            ..RaOpts::default()
+                        },
+                    )
+                    .local_table
+                });
+                let got: Vec<u64> = locals.into_iter().flatten().collect();
+                assert_eq!(got, expect, "substrate {kind:?} routing {routing}");
+            }
+        }
     }
 
     #[test]

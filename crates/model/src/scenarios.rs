@@ -7,7 +7,9 @@
 //! the scheduler gate around it and re-runs it once per schedule, so
 //! scenario bodies must be self-contained and repeatable.
 
-use caf::{AsyncOpts, CafConfig, CafUniverse, Coarray, FlushMode, GasnetConfig, SubstrateKind};
+use caf::{
+    AggConfig, AsyncOpts, CafConfig, CafUniverse, Coarray, FlushMode, GasnetConfig, SubstrateKind,
+};
 use caf_fabric::{Fabric, Packet};
 
 /// One modeled program.
@@ -260,6 +262,99 @@ fn flush_release_run(flush: FlushMode) {
             assert_eq!(ca.local_vec(img)[0], 0xD1E7);
         }
         img.sync_all();
+        img.coarray_free(&world, ca);
+    });
+}
+
+/// Aggregated enqueue/drain/notify: image 0's small puts park in a
+/// bucket until `event_notify` drains them as ONE batched AM; the notify
+/// AM follows the batch on the same FIFO rt channel, so in every
+/// interleaving the waiter observes all records once the post lands.
+/// Clean under the full oracle across the schedule space — the batch
+/// token's happens-before edge must cover every coalesced record.
+pub fn agg_notify_release(kind: SubstrateKind) -> Scenario {
+    match kind {
+        SubstrateKind::Mpi => Scenario {
+            name: "agg enqueue/drain/notify (CAF-MPI)",
+            images: 2,
+            run: agg_notify_mpi,
+        },
+        SubstrateKind::Gasnet => Scenario {
+            name: "agg enqueue/drain/notify (CAF-GASNet)",
+            images: 2,
+            run: agg_notify_gasnet,
+        },
+    }
+}
+
+fn agg_notify_mpi() {
+    agg_notify_run(SubstrateKind::Mpi);
+}
+
+fn agg_notify_gasnet() {
+    agg_notify_run(SubstrateKind::Gasnet);
+}
+
+fn agg_notify_run(kind: SubstrateKind) {
+    let cfg = CafConfig {
+        agg: AggConfig::on(),
+        ..CafConfig::on(kind)
+    };
+    CafUniverse::run_with_config(2, cfg, |img| {
+        let world = img.team_world();
+        let ca: Coarray<u64> = img.coarray_alloc(&world, 4);
+        let ev = img.event_alloc(&world);
+        if img.this_image() == 0 {
+            for i in 0..4 {
+                img.copy_async_put(&ca, 1, i, &[0xA660 + i as u64], AsyncOpts::none());
+            }
+            img.event_notify(&world, &ev, 1);
+        } else {
+            img.event_wait(&ev);
+            for (i, v) in ca.local_vec(img).iter().enumerate() {
+                assert_eq!(*v, 0xA660 + i as u64, "record {i} lost or torn");
+            }
+        }
+        img.sync_all();
+        img.coarray_free(&world, ca);
+    });
+}
+
+/// Bucket drains racing `finish`'s termination detection (hypercube
+/// routing on): both images coalesce accumulates to each other, the
+/// drain ships batches whose target-side application increments the
+/// completion counters Yang's loop sums. If a schedule let `finish`
+/// declare quiescence while a batch was still in flight (or applied a
+/// record after the block exited), the post-finish assertions would see
+/// partial sums on some interleaving.
+pub fn agg_drain_races_finish() -> Scenario {
+    Scenario {
+        name: "agg drain vs finish termination (CAF-MPI, routed)",
+        images: 2,
+        run: agg_drain_finish_run,
+    }
+}
+
+fn agg_drain_finish_run() {
+    let cfg = CafConfig {
+        agg: AggConfig::routed(),
+        ..CafConfig::on(SubstrateKind::Mpi)
+    };
+    CafUniverse::run_with_config(2, cfg, |img| {
+        let world = img.team_world();
+        let me = img.this_image();
+        let peer = 1 - me;
+        let ca: Coarray<u64> = img.coarray_alloc(&world, 2);
+        img.finish(&world, |img| {
+            img.agg_accumulate_add(&ca, peer, 0, me as u64 + 1);
+            img.agg_accumulate_xor(&ca, peer, 1, 0xB0 | me as u64);
+            img.agg_accumulate_add(&ca, me, 0, 10);
+        });
+        // finish completed: both the peer's batch and the self-applied
+        // accumulate must be fully visible.
+        let v = ca.local_vec(img);
+        assert_eq!(v[0], peer as u64 + 1 + 10, "partial sum after finish");
+        assert_eq!(v[1], 0xB0 | peer as u64, "xor record lost after finish");
         img.coarray_free(&world, ca);
     });
 }

@@ -103,6 +103,20 @@ pub struct Decomposition {
     /// span carries the per-target count in its `bytes` field). This is
     /// the Θ(P)-vs-targeted signature in trace form.
     pub flush_calls: Vec<u64>,
+    /// Per-image count of records parked in aggregation buckets
+    /// (`AggEnqueue` instants). Like the flush column this is a
+    /// drill-down: enqueues happen *inside* CoarrayWrite/CopyAsync.
+    pub agg_records: Vec<u64>,
+    /// Per-image count of drained buckets (`AggDrain` instants) — each
+    /// one batched AM on the wire.
+    pub agg_batches: Vec<u64>,
+    /// Per-image encoded bytes across drained buckets (the `bytes`
+    /// field of `AggDrain`); `agg_batch_bytes / agg_batches` is the
+    /// bytes-per-packet figure of merit.
+    pub agg_batch_bytes: Vec<u64>,
+    /// Per-image count of records re-bucketed at an intermediate hop
+    /// (`AggForward` instants) — nonzero only with routing on.
+    pub agg_forwards: Vec<u64>,
 }
 
 impl Decomposition {
@@ -183,6 +197,31 @@ impl Decomposition {
         self.flush_calls.iter().sum()
     }
 
+    /// Total records enqueued into aggregation buckets across images.
+    pub fn total_agg_records(&self) -> u64 {
+        self.agg_records.iter().sum()
+    }
+
+    /// Total drained buckets (batched AMs) across images.
+    pub fn total_agg_batches(&self) -> u64 {
+        self.agg_batches.iter().sum()
+    }
+
+    /// Total records forwarded at intermediate hops across images.
+    pub fn total_agg_forwards(&self) -> u64 {
+        self.agg_forwards.iter().sum()
+    }
+
+    /// Mean encoded bytes per batched AM (0.0 when nothing drained) —
+    /// the coalescing figure of merit against a small-put wire size.
+    pub fn agg_bytes_per_batch(&self) -> f64 {
+        let batches = self.total_agg_batches();
+        if batches == 0 {
+            return 0.0;
+        }
+        self.agg_batch_bytes.iter().sum::<u64>() as f64 / batches as f64
+    }
+
     /// Plain-text table: one row per category with mean seconds, share,
     /// and call counts.
     pub fn render(&self) -> String {
@@ -215,6 +254,22 @@ impl Decomposition {
             "-",
             self.total_flush_calls()
         );
+        if self.total_agg_records() + self.total_agg_batches() > 0 {
+            let _ = writeln!(
+                out,
+                "{:>14} {:>12} {:>8} {:>12.1} {:>8} {:>10}  (records/batches, B/batch, fwds)",
+                "agg",
+                format!(
+                    "{}/{}",
+                    self.total_agg_records(),
+                    self.total_agg_batches()
+                ),
+                "-",
+                self.agg_bytes_per_batch(),
+                "-",
+                self.total_agg_forwards()
+            );
+        }
         out
     }
 }
@@ -237,12 +292,22 @@ impl Trace {
         let mut calls = vec![[0u64; NCAT]; images.len()];
         let mut flush_seconds = vec![0.0f64; images.len()];
         let mut flush_calls = vec![0u64; images.len()];
+        let mut agg_records = vec![0u64; images.len()];
+        let mut agg_batches = vec![0u64; images.len()];
+        let mut agg_batch_bytes = vec![0u64; images.len()];
+        let mut agg_forwards = vec![0u64; images.len()];
         for e in &self.events {
             let Ok(i) = images.binary_search(&e.image) else {
                 continue;
             };
             match e.op {
                 Op::WinFlush | Op::WinRflush => flush_calls[i] += 1,
+                Op::AggEnqueue => agg_records[i] += 1,
+                Op::AggDrain => {
+                    agg_batches[i] += 1;
+                    agg_batch_bytes[i] += e.bytes;
+                }
+                Op::AggForward => agg_forwards[i] += 1,
                 Op::WinFlushAll if e.kind == EventKind::Span => {
                     // The span's `bytes` field carries the per-target
                     // flush count (see `Mpi::win_flush_all`).
@@ -267,6 +332,10 @@ impl Trace {
             calls,
             flush_seconds,
             flush_calls,
+            agg_records,
+            agg_batches,
+            agg_batch_bytes,
+            agg_forwards,
         }
     }
 }
@@ -349,6 +418,31 @@ mod tests {
         // The flush column is a drill-down: category shares are unchanged.
         assert!((d.share(Cat::EventNotify) - 1.0).abs() < 1e-9);
         assert!(d.render().contains("flush"));
+    }
+
+    #[test]
+    fn agg_column_counts_records_batches_and_forwards() {
+        let mut drain = ev(0, Op::AggDrain, EventKind::Instant, 0, false);
+        drain.bytes = 400;
+        let trace = Trace {
+            events: vec![
+                ev(0, Op::CopyAsync, EventKind::Span, 1_000_000_000, true),
+                ev(0, Op::AggEnqueue, EventKind::Instant, 0, false),
+                ev(0, Op::AggEnqueue, EventKind::Instant, 0, false),
+                drain,
+                ev(1, Op::AggForward, EventKind::Instant, 0, false),
+            ],
+            stalls: vec![],
+            dropped_events: 0,
+        };
+        let d = trace.decomposition();
+        assert_eq!(d.total_agg_records(), 2);
+        assert_eq!(d.total_agg_batches(), 1);
+        assert!((d.agg_bytes_per_batch() - 400.0).abs() < 1e-9);
+        assert_eq!(d.total_agg_forwards(), 1);
+        // Drill-down only: the category shares are untouched.
+        assert!((d.share(Cat::CopyAsync) - 1.0).abs() < 1e-9);
+        assert!(d.render().contains("agg"));
     }
 
     #[test]

@@ -98,10 +98,20 @@ pub enum Op {
     WinRflush,
     /// Waiting out the remainder of an rflush's modeled latency.
     WinRflushWait,
+    // --- caf core (small-put aggregation, appended for stable decode) ---
+    /// Record parked in an aggregation bucket (target = next hop,
+    /// bytes = payload, window/disp = region/offset).
+    AggEnqueue,
+    /// Bucket drained into one batched AM (bytes = encoded batch size,
+    /// disp = record count).
+    AggDrain,
+    /// Record re-bucketed toward its next hop at an intermediate rank
+    /// (hypercube store-and-forward).
+    AggForward,
 }
 
 /// Number of [`Op`] variants (for decode bounds checks).
-pub(crate) const NOPS: u16 = Op::WinRflushWait as u16 + 1;
+pub(crate) const NOPS: u16 = Op::AggForward as u16 + 1;
 
 impl Op {
     /// Display name (used verbatim in Chrome trace output).
@@ -148,6 +158,9 @@ impl Op {
             Op::WinFree => "WinFree",
             Op::WinRflush => "WinRflush",
             Op::WinRflushWait => "WinRflushWait",
+            Op::AggEnqueue => "AggEnqueue",
+            Op::AggDrain => "AggDrain",
+            Op::AggForward => "AggForward",
         }
     }
 
@@ -156,9 +169,8 @@ impl Op {
         use Op::*;
         match self {
             Computation | CoarrayWrite | CoarrayRead | EventWait | EventNotify | Alltoall
-            | Barrier | Reduction | Finish | CopyAsync | Ship | RtMsgSend | RtMsgRecvBlocking => {
-                "caf"
-            }
+            | Barrier | Reduction | Finish | CopyAsync | Ship | RtMsgSend | RtMsgRecvBlocking
+            | AggEnqueue | AggDrain | AggForward => "caf",
             MpiSend | MpiRecv | MpiBarrier | MpiBcast | MpiReduce | MpiGather | MpiAlltoall
             | RmaPut | RmaGet | RmaAtomic | WinFlush | WinFlushAll | WinLockAll
             | WinUnlockAll | WinFree | WinRflush | WinRflushWait => "mpi",

@@ -61,7 +61,7 @@ const ND_PATTERNS: &[&str] = &["thread::sleep", "Instant::now", "spin_loop("];
 /// Crates the scheduler gate models; only these are held to the
 /// nondeterminism rule (benches and the hpcc kernels time themselves on
 /// purpose).
-const ND_CRATES: &[&str] = &["fabric", "mpisim", "gasnetsim", "core"];
+const ND_CRATES: &[&str] = &["fabric", "mpisim", "gasnetsim", "core", "agg"];
 
 /// Files where timing is *supposed* to live: the virtual clock / gated
 /// spin module and the stall watchdog.
@@ -89,7 +89,7 @@ fn main() -> ExitCode {
 ///
 /// Runs the deterministic perf harness (`caf-bench`'s `bench` binary) and
 /// gates its output against the committed `BENCH_ra.json` /
-/// `BENCH_micro.json` baselines at the repository root.
+/// `BENCH_micro.json` / `BENCH_agg.json` baselines at the repository root.
 ///
 /// Every gated number is a modeled count or nanosecond total from the
 /// substrate delay meter — a pure function of the communication schedule,
@@ -107,7 +107,7 @@ mod bench {
     /// Allowed relative increase of a gated field over its baseline.
     pub const THRESHOLD: f64 = 0.15;
 
-    const FILES: [&str; 2] = ["BENCH_ra.json", "BENCH_micro.json"];
+    const FILES: [&str; 3] = ["BENCH_ra.json", "BENCH_micro.json", "BENCH_agg.json"];
 
     pub fn run(args: &[String]) -> ExitCode {
         let smoke = args.iter().any(|a| a == "--smoke");
@@ -168,6 +168,15 @@ mod bench {
             ),
             Err(m) => {
                 eprintln!("xtask bench: BENCH_ra.json: {m}");
+                failures += 1;
+            }
+        }
+        match shape_check_agg(&out_dir.join("BENCH_agg.json")) {
+            Ok(()) => println!(
+                "xtask bench: agg shape OK — bytes/packet >= 8x direct, notify shape preserved"
+            ),
+            Err(m) => {
+                eprintln!("xtask bench: BENCH_agg.json: {m}");
                 failures += 1;
             }
         }
@@ -260,6 +269,95 @@ mod bench {
             if t_max > 2.0 * t_min.max(1.0) {
                 return Err(format!(
                     "{mode} per-notify cost grew with P: {t_min} @P={pmin} -> {t_max} @P={pmax}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Independent re-check of the aggregation acceptance claims from the
+    /// emitted BENCH_agg.json: coalescing lifts payload bytes per wire
+    /// packet by at least 8x over the direct small-put path on both
+    /// substrates; the per-notify flush shape (Θ(P) under `all`, flat
+    /// under the targeted modes) survives aggregation; and — when the
+    /// sweep reaches P >= 32 (full run, not `--smoke`) — routed
+    /// aggregation beats the per-update direct path on modeled RA
+    /// throughput.
+    fn shape_check_agg(candidate: &Path) -> Result<(), String> {
+        let rows = load_rows(candidate)?;
+        for sub in ["caf-mpi", "caf-gasnet"] {
+            let bpp = |mode: &str| -> Option<f64> {
+                rows.iter()
+                    .find(|r| r.key == format!("agg-bpp/p2/{sub}/{mode}"))
+                    .and_then(|r| r.gate.get("bytes_per_packet").copied())
+            };
+            let direct = bpp("direct").ok_or_else(|| format!("missing agg-bpp direct ({sub})"))?;
+            let agg = bpp("agg").ok_or_else(|| format!("missing agg-bpp agg ({sub})"))?;
+            if agg < 8.0 * direct {
+                return Err(format!(
+                    "{sub}: aggregated bytes/packet {agg} < 8x direct {direct}"
+                ));
+            }
+        }
+        let ra_ps: Vec<usize> = {
+            let mut v: Vec<usize> = rows
+                .iter()
+                .filter_map(|r| {
+                    let mut it = r.key.split('/');
+                    (it.next()? == "agg-ra")
+                        .then(|| it.next()?.trim_start_matches('p').parse().ok())
+                        .flatten()
+                })
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let &ra_pmax = ra_ps.last().ok_or("no agg-ra rows")?;
+        if ra_pmax >= 32 {
+            let gups = |mode: &str| -> Option<f64> {
+                rows.iter()
+                    .find(|r| r.key == format!("agg-ra/p{ra_pmax}/caf-mpi/{mode}"))
+                    .and_then(|r| r.info.get("proxy_gups").copied())
+            };
+            let direct = gups("direct").ok_or("missing agg-ra direct row")?;
+            let routed = gups("agg-routed").ok_or("missing agg-ra agg-routed row")?;
+            if routed <= direct {
+                return Err(format!(
+                    "routed aggregation not faster at P={ra_pmax}: {routed} vs direct {direct} proxy GUPS"
+                ));
+            }
+        }
+        let fpn = |p: usize, mode: &str| -> Option<f64> {
+            rows.iter()
+                .find(|r| r.key == format!("agg-notify/p{p}/caf-mpi/{mode}"))
+                .and_then(|r| r.info.get("flushes_per_notify").copied())
+        };
+        let mut ps: Vec<usize> = rows
+            .iter()
+            .filter_map(|r| {
+                let mut it = r.key.split('/');
+                (it.next()? == "agg-notify")
+                    .then(|| it.next()?.trim_start_matches('p').parse().ok())
+                    .flatten()
+            })
+            .collect();
+        ps.sort_unstable();
+        ps.dedup();
+        let (&pmin, &pmax) = (ps.first().ok_or("no agg-notify rows")?, ps.last().unwrap());
+        let all_min = fpn(pmin, "all").ok_or("missing agg-notify all@pmin")?;
+        let all_max = fpn(pmax, "all").ok_or("missing agg-notify all@pmax")?;
+        if all_max / all_min.max(f64::EPSILON) < 0.5 * pmax as f64 / pmin as f64 {
+            return Err(format!(
+                "flush_all per-notify cost not Θ(P) under aggregation: {all_min} @P={pmin} -> {all_max} @P={pmax}"
+            ));
+        }
+        for mode in ["targeted", "rflush"] {
+            let t_min = fpn(pmin, mode).ok_or("missing agg-notify targeted row")?;
+            let t_max = fpn(pmax, mode).ok_or("missing agg-notify targeted row")?;
+            if t_max > 2.0 * t_min.max(1.0) {
+                return Err(format!(
+                    "{mode} per-notify cost grew with P under aggregation: {t_min} @P={pmin} -> {t_max} @P={pmax}"
                 ));
             }
         }
@@ -684,6 +782,7 @@ mod tests {
             "crates/mpisim/src/p2p.rs",
             "crates/gasnetsim/src/rma.rs",
             "crates/core/src/image.rs",
+            "crates/agg/src/lib.rs",
         ] {
             assert!(is_nd_target(root, &root.join(yes)), "{yes}");
         }

@@ -4,34 +4,71 @@
 //! runtime's built-in stats.
 //!
 //! ```text
-//! cargo run --release --example ra_mini
+//! cargo run --release --example ra_mini [--agg]
 //! ```
+//!
+//! With `--agg`, updates are coalesced through the `caf-agg` subsystem
+//! (per-target buckets, hypercube routing, batched AM delivery) instead
+//! of issued as individual async puts; the extra columns show how many
+//! records rode how many batches (and forwarded hops) per run.
 
-use caf::{CafUniverse, StatCat, SubstrateKind};
+use caf::{AggConfig, CafConfig, CafUniverse, StatCat, SubstrateKind};
 use caf_bench::fusion_like;
-use caf_hpcc::ra;
+use caf_hpcc::ra::{self, RaOpts};
 
 fn main() {
+    let aggregated = std::env::args().any(|a| a == "--agg");
     println!(
-        "{:>8} {:>12} {:>12} | {:>10} {:>10} {:>10} {:>10}",
-        "images", "substrate", "GUP/s", "write(s)", "wait(s)", "notify(s)", "barrier(s)"
+        "{:>8} {:>12} {:>12} | {:>10} {:>10} {:>10} {:>10}{}",
+        "images",
+        "substrate",
+        "GUP/s",
+        "write(s)",
+        "wait(s)",
+        "notify(s)",
+        "barrier(s)",
+        if aggregated { " | records batches fwds" } else { "" }
     );
     for p in [2usize, 4, 8] {
         for kind in [SubstrateKind::Mpi, SubstrateKind::Gasnet] {
-            let rows = CafUniverse::run_with_config(p, fusion_like(kind), |img| {
+            let cfg = if aggregated {
+                // All three job sizes are powers of two, so hypercube
+                // routing stays on (it is clamped off otherwise).
+                CafConfig { agg: AggConfig::routed(), ..fusion_like(kind) }
+            } else {
+                fusion_like(kind)
+            };
+            let rows = CafUniverse::run_with_config(p, cfg, move |img| {
                 let team = img.team_world();
-                let out = ra::run(img, &team, 10, 20_000);
+                let opts = if aggregated {
+                    RaOpts { aggregated: true, ..RaOpts::default() }
+                } else {
+                    RaOpts { async_puts: true, ..RaOpts::default() }
+                };
+                let out = ra::run_opts(img, &team, 10, 20_000, opts);
+                let agg = img.agg_stats();
                 (
                     out.bench.metric,
                     img.stats().seconds(StatCat::CoarrayWrite),
                     img.stats().seconds(StatCat::EventWait),
                     img.stats().seconds(StatCat::EventNotify),
                     img.stats().seconds(StatCat::Barrier),
+                    (agg.enqueued, agg.drained_buckets, agg.forwarded),
                 )
             });
-            let (gups, w, ew, en, ba) = rows[0];
+            let (gups, w, ew, en, ba, _) = rows[0];
+            let agg_cols = if aggregated {
+                let (records, batches, fwds) = rows
+                    .iter()
+                    .fold((0, 0, 0), |(r, b, f), &(.., (ar, ab, af))| {
+                        (r + ar, b + ab, f + af)
+                    });
+                format!(" | {records:>7} {batches:>7} {fwds:>4}")
+            } else {
+                String::new()
+            };
             println!(
-                "{:>8} {:>12} {:>12.5} | {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+                "{:>8} {:>12} {:>12.5} | {:>10.4} {:>10.4} {:>10.4} {:>10.4}{}",
                 p,
                 match kind {
                     SubstrateKind::Mpi => "CAF-MPI",
@@ -41,7 +78,8 @@ fn main() {
                 w,
                 ew,
                 en,
-                ba
+                ba,
+                agg_cols
             );
         }
     }

@@ -182,6 +182,60 @@ fn seeded_walk_catches_unflushed_put_the_default_schedule_hides() {
     assert!(kinds(&r1).contains(&"read_before_flush".to_string()), "{:?}", r1.report);
 }
 
+/// The aggregation subsystem under the explorer. DFS: at least 100
+/// enqueue/drain/notify interleavings (or the exhausted space) on both
+/// substrates with the full oracle silent — batch delivery must carry
+/// the coalesced records' happens-before edges on every schedule.
+/// Seeded random walks: the routed drain-vs-finish race stays clean and
+/// every walk's post-finish assertions hold (Yang's counters may never
+/// declare quiescence with a batch or forwarded hop still in flight).
+#[test]
+fn aggregation_drain_schedules_stay_clean() {
+    for sc in [
+        scenarios::agg_notify_release(SubstrateKind::Mpi),
+        scenarios::agg_notify_release(SubstrateKind::Gasnet),
+    ] {
+        // The budget counts executed + sleep-set-pruned schedules; keep it
+        // high enough that at least 100 interleavings actually run.
+        let cfg = ExploreConfig {
+            max_schedules: 400,
+            oracle: Some(OracleConfig::default()),
+            ..ExploreConfig::default()
+        };
+        let rep = explore(&sc, &cfg);
+        assert!(
+            rep.schedules >= 100 || rep.complete,
+            "{}: only {} schedules explored without exhausting the space",
+            sc.name,
+            rep.schedules
+        );
+        assert_eq!(
+            rep.flagged,
+            0,
+            "{}: {:?}",
+            sc.name,
+            rep.counterexamples.first().map(|c| (&c.kind, &c.detail))
+        );
+    }
+
+    let sc = scenarios::agg_drain_races_finish();
+    let cfg = ExploreConfig {
+        max_schedules: 100,
+        mode: ExploreMode::Random { seed: 0xA66_D7A1, walks: 100 },
+        oracle: Some(OracleConfig::default()),
+        ..ExploreConfig::default()
+    };
+    let rep = explore(&sc, &cfg);
+    assert!(rep.schedules >= 100, "{}: only {} walks ran", sc.name, rep.schedules);
+    assert_eq!(
+        rep.flagged,
+        0,
+        "{}: {:?}",
+        sc.name,
+        rep.counterexamples.first().map(|c| (&c.kind, &c.detail))
+    );
+}
+
 /// The targeted/rflush release paths explored with the epoch oracle
 /// armed: if either mode ever under-flushed (left a put pending past the
 /// notify release barrier), some interleaving in the DFS budget would
