@@ -23,12 +23,12 @@ pub fn fusion_like(kind: SubstrateKind) -> CafConfig {
     CafConfig {
         substrate: kind,
         mpi: MpiConfig {
-            delays: caf_mpisim::costs::mvapich_like(),
+            delays: caf_mpisim::mvapich_like(),
             ..MpiConfig::default()
         },
         gasnet: GasnetConfig {
-            delays: caf_gasnetsim::costs::ibv_conduit_like(),
-            srq_receive_penalty_ns: caf_gasnetsim::costs::SRQ_PENALTY_NS,
+            delays: caf_gasnetsim::ibv_conduit_like(),
+            srq_receive_penalty_ns: caf_gasnetsim::SRQ_PENALTY_NS,
             segment_size: 64 << 20,
             ..GasnetConfig::default()
         },
@@ -59,9 +59,9 @@ pub fn fusion_fullscale(kind: SubstrateKind) -> CafConfig {
         d
     }
     let mut cfg = fusion_like(kind);
-    cfg.mpi.delays = unscale(cfg.mpi.delays, caf_mpisim::costs::TIME_SCALE);
-    cfg.gasnet.delays = unscale(cfg.gasnet.delays, caf_gasnetsim::costs::TIME_SCALE);
-    cfg.gasnet.srq_receive_penalty_ns *= caf_gasnetsim::costs::TIME_SCALE;
+    cfg.mpi.delays = unscale(cfg.mpi.delays, caf_mpisim::TIME_SCALE);
+    cfg.gasnet.delays = unscale(cfg.gasnet.delays, caf_gasnetsim::TIME_SCALE);
+    cfg.gasnet.srq_receive_penalty_ns *= caf_gasnetsim::TIME_SCALE;
     cfg
 }
 

@@ -80,7 +80,7 @@ impl FlushMode {
 /// Tag used for runtime AMs on the MPI substrate's private communicator.
 pub(crate) const RT_TAG: i64 = 7;
 /// GASNet handler index used for runtime AMs.
-pub(crate) const RT_HANDLER: usize = caf_gasnetsim::am::FIRST_USER_HANDLER;
+pub(crate) const RT_HANDLER: usize = caf_gasnetsim::FIRST_USER_HANDLER;
 
 /// Per-image substrate state. Boxed: one per image, matched constantly.
 pub(crate) enum Backend {

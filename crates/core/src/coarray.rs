@@ -514,7 +514,7 @@ impl<T: Pod> Coarray<T> {
     /// messages), so this call panics there.
     pub fn fetch_add(&self, img: &Image, member: usize, elem_off: usize, value: T) -> T
     where
-        T: caf_mpisim::ops::BitsRepr,
+        T: caf_mpisim::BitsRepr,
     {
         let disp = self.byte_off(elem_off, 1);
         match (&img.backend, &*self.region) {
@@ -542,7 +542,7 @@ impl<T: Pod> Coarray<T> {
         new: T,
     ) -> T
     where
-        T: caf_mpisim::ops::BitsRepr,
+        T: caf_mpisim::BitsRepr,
     {
         let disp = self.byte_off(elem_off, 1);
         match (&img.backend, &*self.region) {

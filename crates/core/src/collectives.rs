@@ -13,7 +13,7 @@
 use caf_fabric::pod::{as_bytes, vec_from_bytes};
 use caf_fabric::Pod;
 use caf_gasnetsim::AM_MAX_MEDIUM;
-use caf_mpisim::ops::Scalar;
+use caf_mpisim::Scalar;
 
 use crate::backend::Backend;
 use crate::image::Image;

@@ -14,22 +14,30 @@
 /// * every bit pattern of `size_of::<T>()` bytes is a valid `T`,
 /// * `T` has no padding bytes,
 /// * `T` has no interior mutability and no drop glue (`T: Copy`).
+// SAFETY: unsafe trait declaration — the contract implementors must
+// uphold is the `# Safety` section above.
 pub unsafe trait Pod: Copy + Send + Sync + 'static {}
 
 // Predefined "MPI datatypes".
+// SAFETY: (this and the impls below) primitive integers and `()` accept
+// every bit pattern, have no padding, no interior mutability, no drop glue.
 unsafe impl Pod for () {}
 unsafe impl Pod for u8 {}
-unsafe impl Pod for i8 {}
-unsafe impl Pod for u16 {}
-unsafe impl Pod for i16 {}
-unsafe impl Pod for u32 {}
-unsafe impl Pod for i32 {}
-unsafe impl Pod for u64 {}
-unsafe impl Pod for i64 {}
-unsafe impl Pod for usize {}
-unsafe impl Pod for isize {}
+unsafe impl Pod for i8 {} // SAFETY: see block comment above.
+unsafe impl Pod for u16 {} // SAFETY: see block comment above.
+unsafe impl Pod for i16 {} // SAFETY: see block comment above.
+unsafe impl Pod for u32 {} // SAFETY: see block comment above.
+unsafe impl Pod for i32 {} // SAFETY: see block comment above.
+unsafe impl Pod for u64 {} // SAFETY: see block comment above.
+unsafe impl Pod for i64 {} // SAFETY: see block comment above.
+unsafe impl Pod for usize {} // SAFETY: see block comment above.
+unsafe impl Pod for isize {} // SAFETY: see block comment above.
+// SAFETY: every 32-/64-bit pattern is a valid float (NaN payloads
+// included); no padding, `Copy`.
 unsafe impl Pod for f32 {}
-unsafe impl Pod for f64 {}
+unsafe impl Pod for f64 {} // SAFETY: see f32 above.
+// SAFETY: an array of Pod elements is element-wise valid for any bytes,
+// and `[T; N]` inserts no padding between elements.
 unsafe impl<T: Pod, const N: usize> Pod for [T; N] {}
 
 /// Reinterpret a typed slice as bytes.

@@ -1,0 +1,388 @@
+//! A small hand-rolled Rust lexer: just enough tokenization to make the
+//! lint passes *token-aware* instead of line-grep heuristics.
+//!
+//! The lexer strips comments and string/char literals out of the token
+//! stream (so `"Instant::now"` in a doc string or `// thread::sleep` in
+//! prose can never trip a pattern) while recording comment text per line
+//! (so `// SAFETY:` and `// lint:allow(...)` markers remain visible to
+//! the passes). It is not a full Rust lexer — no float-suffix pedantry,
+//! no shebang handling — but it handles everything that matters for
+//! scanning this workspace: nested block comments, raw strings with
+//! arbitrary `#` fences, byte strings, raw identifiers, and the
+//! lifetime-vs-char-literal ambiguity.
+
+use std::collections::BTreeMap;
+
+/// Token classes the passes care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`fn`, `unsafe`, `Ordering`, ...).
+    Ident,
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// String literal of any flavor; payload text is dropped.
+    Str,
+    /// Char literal; payload dropped.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+}
+
+/// One token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: Kind,
+    /// Identifier text, punctuation character, or numeric text; empty
+    /// for string/char literals (contents are deliberately discarded).
+    pub text: String,
+    pub line: u32,
+}
+
+/// Lexed file: the token stream plus the comment text touching each
+/// line (markers like `SAFETY:` / `lint:allow(...)` live in comments).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    /// 1-indexed line -> concatenated comment text on that line.
+    pub comments: BTreeMap<u32, String>,
+}
+
+impl Lexed {
+    /// Comment text on `line`, or "".
+    pub fn comment_on(&self, line: u32) -> &str {
+        self.comments.get(&line).map(String::as_str).unwrap_or("")
+    }
+
+    /// True if `needle` appears in a comment on `line` or the line above
+    /// (the two placements `// lint:allow(...)` accepts).
+    pub fn marker_at(&self, line: u32, needle: &str) -> bool {
+        self.comment_on(line).contains(needle)
+            || (line > 1 && self.comment_on(line - 1).contains(needle))
+    }
+}
+
+/// Tokenize `src`.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! push {
+        ($kind:expr, $text:expr) => {
+            out.tokens.push(Token { kind: $kind, text: $text, line })
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                append_comment(&mut out.comments, line, &src[start..i]);
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Nested block comment; record text per spanned line.
+                let mut depth = 1usize;
+                i += 2;
+                let mut seg_start = i;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        append_comment(&mut out.comments, line, &src[seg_start..i]);
+                        line += 1;
+                        i += 1;
+                        seg_start = i;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                append_comment(&mut out.comments, line, &src[seg_start..i.min(b.len())]);
+            }
+            b'"' => {
+                i = skip_plain_string(b, i, &mut line);
+                push!(Kind::Str, String::new());
+            }
+            b'\'' => {
+                // Lifetime/label vs char literal. `'a`, `'static` are
+                // lifetimes (no closing quote right after the ident);
+                // `'x'`, `'\n'` are char literals.
+                let is_lifetime = match (b.get(i + 1), b.get(i + 2)) {
+                    (Some(&n), after) => {
+                        (n.is_ascii_alphabetic() || n == b'_')
+                            && after != Some(&b'\'')
+                    }
+                    _ => false,
+                };
+                if is_lifetime {
+                    i += 1;
+                    let start = i;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    push!(Kind::Lifetime, src[start..i].to_string());
+                } else {
+                    i += 1; // opening quote
+                    if b.get(i) == Some(&b'\\') {
+                        i += 2; // escape + escaped char (covers \', \\, \n, \u{..} start)
+                        while i < b.len() && b[i] != b'\'' {
+                            i += 1;
+                        }
+                    } else if i < b.len() {
+                        i += 1; // the char itself
+                    }
+                    if b.get(i) == Some(&b'\'') {
+                        i += 1;
+                    }
+                    push!(Kind::Char, String::new());
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                // Fractional part, but not the `..` of a range.
+                if b.get(i) == Some(&b'.') && b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                }
+                push!(Kind::Num, src[start..i].to_string());
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let ident = &src[start..i];
+                // String-literal prefixes and raw identifiers.
+                match ident {
+                    "r" | "b" | "br" | "rb" | "c" | "cr" if i < b.len() => {
+                        if b[i] == b'"' {
+                            i = skip_raw_or_plain(b, i, ident, &mut line);
+                            push!(Kind::Str, String::new());
+                            continue;
+                        }
+                        if b[i] == b'#' && ident.contains('r') {
+                            // `r#"..."#` raw string vs `r#ident` raw ident.
+                            let mut j = i;
+                            while b.get(j) == Some(&b'#') {
+                                j += 1;
+                            }
+                            if b.get(j) == Some(&b'"') {
+                                i = skip_raw_string(b, j + 1, j - i, &mut line);
+                                push!(Kind::Str, String::new());
+                                continue;
+                            }
+                            if ident == "r" && j == i + 1 {
+                                // raw identifier `r#match`
+                                i = j;
+                                let s2 = i;
+                                while i < b.len()
+                                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_')
+                                {
+                                    i += 1;
+                                }
+                                push!(Kind::Ident, src[s2..i].to_string());
+                                continue;
+                            }
+                        }
+                        if ident == "b" && b[i] == b'\'' {
+                            // byte char literal b'x'
+                            i += 1;
+                            if b.get(i) == Some(&b'\\') {
+                                i += 2;
+                                while i < b.len() && b[i] != b'\'' {
+                                    i += 1;
+                                }
+                            } else if i < b.len() {
+                                i += 1;
+                            }
+                            if b.get(i) == Some(&b'\'') {
+                                i += 1;
+                            }
+                            push!(Kind::Char, String::new());
+                            continue;
+                        }
+                        push!(Kind::Ident, ident.to_string());
+                    }
+                    _ => push!(Kind::Ident, ident.to_string()),
+                }
+            }
+            _ => {
+                push!(Kind::Punct, (c as char).to_string());
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn append_comment(map: &mut BTreeMap<u32, String>, line: u32, text: &str) {
+    if text.is_empty() {
+        return;
+    }
+    let e = map.entry(line).or_default();
+    if !e.is_empty() {
+        e.push(' ');
+    }
+    e.push_str(text);
+}
+
+/// Skip a `"..."` literal starting at the opening quote; returns the
+/// index just past the closing quote.
+fn skip_plain_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    debug_assert_eq!(b[i], b'"');
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'"' => return i + 1,
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skip `r"..."` (zero-fence raw string) or, for prefixes like `b`,
+/// a plain escaped string.
+fn skip_raw_or_plain(b: &[u8], i: usize, prefix: &str, line: &mut u32) -> usize {
+    if prefix.contains('r') {
+        skip_raw_string(b, i + 1, 0, line)
+    } else {
+        skip_plain_string(b, i, line)
+    }
+}
+
+/// Skip a raw string whose body starts at `i` (just past the opening
+/// quote) with `fence` trailing `#`s; returns the index past the close.
+fn skip_raw_string(b: &[u8], mut i: usize, fence: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == b'"' {
+            let mut k = 0usize;
+            while k < fence && b.get(i + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == fence {
+                return i + 1 + fence;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_never_yield_idents() {
+        let src = r##"
+            // prose mentioning Instant::now and thread::sleep
+            /* block /* nested */ win_segment( */
+            let s = "Instant::now";
+            let r = r#"thread::sleep inside raw "quoted" text"#;
+            let c = 'x';
+            let b = b"bytes with win_segment(";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        for bad in ["Instant", "sleep", "win_segment"] {
+            assert!(!ids.iter().any(|i| i == bad), "{bad} leaked: {ids:?}");
+        }
+    }
+
+    #[test]
+    fn comments_recorded_per_line_with_correct_numbers() {
+        let src = "let a = 1; // SAFETY: fine\nlet b = 2;\n// lint:allow(unsafe)\nlet c;\n";
+        let lx = lex(src);
+        assert!(lx.comment_on(1).contains("SAFETY: fine"));
+        assert_eq!(lx.comment_on(2), "");
+        assert!(lx.marker_at(4, "lint:allow(unsafe)"));
+        assert!(!lx.marker_at(2, "lint:allow(unsafe)"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'y'; let esc = '\\''; }";
+        let lx = lex(src);
+        let lifetimes: Vec<_> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        assert_eq!(
+            lx.tokens.iter().filter(|t| t.kind == Kind::Char).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_and_numbers() {
+        let lx = lex("let r#type = 0x1f_u64; let y = 1.5e3; let r = 0..10;");
+        let ids: Vec<_> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(ids.contains(&"type"));
+        let nums: Vec<_> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(nums.contains(&"0x1f_u64"));
+        assert!(nums.contains(&"1.5e3"));
+        // `0..10` must not swallow the range dots.
+        assert!(nums.contains(&"0") && nums.contains(&"10"));
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_numbers() {
+        let src = "let s = \"line\none\";\nmarker();\n";
+        let lx = lex(src);
+        let m = lx.tokens.iter().find(|t| t.text == "marker").unwrap();
+        assert_eq!(m.line, 3);
+    }
+}

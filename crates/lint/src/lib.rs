@@ -1,0 +1,257 @@
+//! caf-lint: token-aware static analysis for the runtime crates.
+//!
+//! Replaces the old line-grep lints in `cargo xtask lint` with a
+//! hand-rolled lexer (no `syn` — the workspace vendors no parser) that
+//! strips comments/strings and tracks brace, function, and
+//! `#[cfg(test)]` scope, then runs seven passes over the token stream:
+//!
+//! - **CAFL001 `blocking`** — blocking-point discipline: parking
+//!   primitives in the modeled crates must route through the `sched.rs`
+//!   announce-before-execute gate; emits the complete blocking-point
+//!   inventory (`LINT_BLOCKING.json`) for the future work-stealing image
+//!   scheduler.
+//! - **CAFL002 `lock-across-park`** — no lock guard live across a
+//!   gate/park call.
+//! - **CAFL003 `atomic-ordering`** — every `Ordering::` use justified in
+//!   `crates/lint/orderings.tsv`; flags SeqCst-by-default drift and
+//!   stale table rows.
+//! - **CAFL004 `unsafe`** — every `unsafe` carries a `// SAFETY:`.
+//! - **CAFL005 `layering`** — substrates never reference upper layers;
+//!   upper layers never deep-path into substrate internals (source
+//!   `use`-graph plus a Cargo.toml dependency check).
+//! - **CAFL006 `segment-direct`** / **CAFL007 `nondeterminism`** — the
+//!   two pre-existing grep lints, migrated onto the scanner and now
+//!   scope-aware (string literals, trailing comments, and code after a
+//!   closed `#[cfg(test)]` module are handled correctly).
+//!
+//! Per-site escape hatch for every class: `// lint:allow(<class>)` on
+//! the flagged line or the line above.
+
+pub mod checks;
+pub mod inventory;
+pub mod lexer;
+pub mod ordering;
+pub mod scope;
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use inventory::BlockSite;
+pub use ordering::OrderingTable;
+
+/// Path of the ordering table, relative to the workspace root.
+pub const ORDERINGS_TSV: &str = "crates/lint/orderings.tsv";
+/// Path of the committed blocking inventory, relative to the root.
+pub const BLOCKING_JSON: &str = "LINT_BLOCKING.json";
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Diag {
+    /// Stable diagnostic code (`CAFL001`..`CAFL007`).
+    pub code: &'static str,
+    /// The `lint:allow(<class>)` class name.
+    pub class: &'static str,
+    /// Workspace-relative file.
+    pub file: String,
+    pub line: u32,
+    pub msg: String,
+}
+
+impl Diag {
+    /// `file:line: [code] msg` — the text format.
+    pub fn text(&self) -> String {
+        format!("{}:{}: [{}] {}", self.file, self.line, self.code, self.msg)
+    }
+
+    /// GitHub Actions annotation line.
+    pub fn github(&self) -> String {
+        format!(
+            "::error file={},line={},title={}::{}",
+            self.file,
+            self.line,
+            self.code,
+            self.msg.replace('\n', " ")
+        )
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"code\": \"{}\", \"class\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            self.code,
+            self.class,
+            self.file,
+            self.line,
+            json_escape(&self.msg)
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            '\t' => "\\t".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Accumulated result of a scan.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub diags: Vec<Diag>,
+    /// Blocking-point inventory entries (modeled crates, non-test code).
+    pub sites: Vec<BlockSite>,
+    pub files_scanned: usize,
+    /// Ordering-table keys that matched a site (for staleness checks).
+    pub ordering_keys_seen: BTreeSet<String>,
+}
+
+impl Report {
+    /// Render all findings as a JSON array.
+    pub fn diags_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, d) in self.diags.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(&d.json());
+            if i + 1 < self.diags.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    /// Render the blocking inventory.
+    pub fn inventory_json(&self) -> String {
+        inventory::render(&self.sites)
+    }
+
+    /// Keys of `Ordering::` sites that have no table row — the lines to
+    /// append (with TODO justifications) under `--update-orderings`.
+    pub fn missing_ordering_rows(&self, table: &OrderingTable) -> Vec<String> {
+        self.ordering_keys_seen
+            .iter()
+            .filter(|k| table.justification(k).is_none())
+            .map(|k| format!("{k}\tTODO"))
+            .collect()
+    }
+}
+
+/// Scan one file's source under its workspace-relative path.
+pub fn scan_file(rel: &str, src: &str, table: &OrderingTable, report: &mut Report) {
+    let lx = lexer::lex(src);
+    let sc = scope::analyze(&lx.tokens);
+    let ctx = checks::FileCtx::new(rel, &lx, &sc);
+    checks::scan(&ctx, table, report);
+    report.files_scanned += 1;
+}
+
+/// Post-scan checks that need the whole workspace: stale ordering rows.
+pub fn finish(table: &OrderingTable, report: &mut Report) {
+    for key in table.keys() {
+        if !report.ordering_keys_seen.contains(key) {
+            let pretty = key.replace('\t', " ");
+            report.diags.push(Diag {
+                code: "CAFL003",
+                class: "atomic-ordering",
+                file: ORDERINGS_TSV.to_string(),
+                line: 1,
+                msg: format!(
+                    "stale table row `{pretty}` matches no Ordering:: site; remove it"
+                ),
+            });
+        }
+    }
+}
+
+/// Load the ordering table from the workspace root.
+pub fn load_table(root: &Path) -> Result<OrderingTable, String> {
+    let path = root.join(ORDERINGS_TSV);
+    match fs::read_to_string(&path) {
+        Ok(text) => OrderingTable::parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(OrderingTable::default()),
+        Err(e) => Err(format!("reading {}: {e}", path.display())),
+    }
+}
+
+/// Walk `crates/`, `tests/`, `examples/` under `root` and scan every
+/// `.rs` file; then run the manifest-level layering check and the
+/// staleness pass.
+pub fn run_workspace(root: &Path) -> Result<Report, String> {
+    let table = load_table(root)?;
+    let mut report = Report::default();
+    let mut files = Vec::new();
+    for dir in ["crates", "tests", "examples"] {
+        collect_rs_files(&root.join(dir), &mut files);
+    }
+    files.sort();
+    for path in &files {
+        let src = fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        scan_file(&rel, &src, &table, &mut report);
+    }
+    manifest_layering(root, &mut report);
+    finish(&table, &mut report);
+    Ok(report)
+}
+
+/// Substrate crate manifests must not declare runtime dependencies on
+/// the layers above them (the source-level check cannot see a `path`
+/// dependency that is merely declared but not yet imported).
+fn manifest_layering(root: &Path, report: &mut Report) {
+    const FORBIDDEN: &[&str] = &["caf", "caf-agg", "caf-hpcc", "caf-model"];
+    for sub in checks::SUBSTRATE_CRATES {
+        let rel = format!("crates/{sub}/Cargo.toml");
+        let Ok(text) = fs::read_to_string(root.join(&rel)) else { continue };
+        let mut in_deps = false;
+        for (idx, line) in text.lines().enumerate() {
+            let t = line.trim();
+            if t.starts_with('[') {
+                in_deps = t == "[dependencies]";
+                continue;
+            }
+            if !in_deps {
+                continue;
+            }
+            let name = t.split(['=', ' ', '.']).next().unwrap_or("");
+            if FORBIDDEN.contains(&name) {
+                report.diags.push(Diag {
+                    code: "CAFL005",
+                    class: "layering",
+                    file: rel.clone(),
+                    line: (idx + 1) as u32,
+                    msg: format!(
+                        "substrate crate `{sub}` declares a dependency on upper layer \
+                         `{name}`: substrates must not depend on core/agg/hpcc/model"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! The checked-in atomic-ordering table (`crates/lint/orderings.tsv`).
+//!
+//! One row per `(file, fn, callee, ordering)` site class, tab-separated:
+//!
+//! ```text
+//! crates/fabric/src/sched.rs<TAB>armed<TAB>load<TAB>Relaxed<TAB>fast-path flag; ...
+//! ```
+//!
+//! Several textually identical sites (same file, same enclosing fn, same
+//! atomic op, same ordering) share one row — the justification is about
+//! the synchronization pattern, not the line number, and line numbers
+//! would churn the table on every unrelated edit.
+
+use std::collections::BTreeMap;
+
+/// Parsed table: key -> justification.
+#[derive(Debug, Default)]
+pub struct OrderingTable {
+    entries: BTreeMap<String, String>,
+}
+
+impl OrderingTable {
+    /// The canonical key for one site class.
+    pub fn key(file: &str, func: &str, callee: &str, ordering: &str) -> String {
+        format!("{file}\t{func}\t{callee}\t{ordering}")
+    }
+
+    /// Parse the TSV text. `#`-comments and blank lines are skipped;
+    /// every other line must have exactly five tab-separated fields with
+    /// a non-empty justification.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = BTreeMap::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            if line.trim().is_empty() || line.trim_start().starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            let [file, func, callee, ordering, just] = fields.as_slice() else {
+                return Err(format!(
+                    "orderings.tsv:{line_no}: expected 5 tab-separated fields \
+                     (file, fn, op, ordering, justification), got {}",
+                    fields.len()
+                ));
+            };
+            if just.trim().is_empty() || just.trim() == "TODO" {
+                return Err(format!(
+                    "orderings.tsv:{line_no}: empty/TODO justification for {file} {func} \
+                     {callee} {ordering}"
+                ));
+            }
+            let key = Self::key(file, func, callee, ordering);
+            if entries.insert(key.clone(), just.trim().to_string()).is_some() {
+                return Err(format!("orderings.tsv:{line_no}: duplicate row for {key}"));
+            }
+        }
+        Ok(OrderingTable { entries })
+    }
+
+    pub fn justification(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(String::as_str)
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        let t = OrderingTable::parse(
+            "# comment\n\
+             crates/a.rs\tf\tload\tRelaxed\tcounter, no sync\n\
+             crates/a.rs\tg\tstore\tSeqCst\tSeqCst: total order with X\n",
+        )
+        .unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(
+            t.justification(&OrderingTable::key("crates/a.rs", "f", "load", "Relaxed")),
+            Some("counter, no sync")
+        );
+    }
+
+    #[test]
+    fn rejects_todo_and_duplicates() {
+        assert!(OrderingTable::parse("a\tf\tload\tRelaxed\tTODO\n").is_err());
+        let dup = "a\tf\tload\tRelaxed\tx\na\tf\tload\tRelaxed\ty\n";
+        assert!(OrderingTable::parse(dup).is_err());
+        assert!(OrderingTable::parse("a\tf\tload\n").is_err());
+    }
+}

@@ -451,7 +451,9 @@ impl Mpi {
             match fill {
                 Some(v) => out.resize(total_recv, v),
                 None => {
-                    // SAFETY-free path: build from received parts below.
+                    // SAFETY: `T: Pod` guarantees the all-zeros bit
+                    // pattern is a valid `T`; every element is then
+                    // overwritten by the received blocks below.
                     out.resize(total_recv, unsafe { std::mem::zeroed() })
                 }
             }

@@ -51,9 +51,10 @@ pub mod universe;
 
 pub use caf_fabric::{FabricError, Pod, Result};
 pub use comm::Comm;
+pub use costs::{mvapich_like, TIME_SCALE};
 pub use dynwin::{DynAddr, DynWindow};
 pub use memmodel::SeparateWindow;
-pub use ops::AccOp;
+pub use ops::{AccOp, BitsRepr, Scalar};
 pub use p2p::{RecvRequest, SendRequest, Src, Status, Tag};
 pub use request::{FlushRequest, RmaRequest};
 pub use rma::{DirtySet, Window};

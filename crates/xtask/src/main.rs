@@ -1,78 +1,30 @@
-//! Repository automation (`cargo xtask <command>`, std-only).
+//! Repository automation (`cargo xtask <command>`).
 //!
-//! ## `cargo xtask lint`
+//! ## `cargo xtask lint [--format text|json|github] [--update-inventory] [--update-orderings]`
 //!
-//! The *segment-direct* lint. Every byte that moves through a window or
-//! GASNet segment must pass through the instrumented substrate entry
-//! points (`crates/mpisim`, `crates/gasnetsim`, `crates/fabric`): those
-//! are where the `caf-trace` events and `caf-check` sanitizer hooks
-//! live. Code elsewhere that resolves a raw `Segment` handle —
-//! `win_segment(...)`, `local_segment(...)`, `win_shared_query(...)`,
-//! `.segment(...)` — bypasses both, so the tracer under-reports and the
-//! checker goes blind to those accesses. This lint greps the workspace
-//! sources and fails if any such call site exists outside the substrate
-//! crates.
+//! Runs the `caf-lint` token-aware static analysis engine over the
+//! workspace: blocking-point discipline (with the `LINT_BLOCKING.json`
+//! inventory), lock-across-park, the atomic-ordering justification
+//! table, the unsafe/`SAFETY:` audit, layering, and the migrated
+//! segment-direct / nondeterminism lints. See `crates/lint` and
+//! DESIGN.md §14 for the classes, diagnostic codes (CAFL001..CAFL007),
+//! and the `// lint:allow(<class>)` escape-hatch policy.
 //!
-//! A deliberate exception (there should be almost none) is marked on
-//! the same line:
-//!
-//! ```text
-//! let seg = mpi.win_segment(&win, rank)?; // lint:allow(segment-direct)
-//! ```
-//!
-//! The same command also runs the *nondeterminism* lint. The model
-//! checker (`caf-model`) replays whole jobs under the scheduler gate,
-//! which only works if the runtime crates take no schedule-relevant
-//! decisions from wall-clock time or raw spinning: every blocking wait
-//! must go through the gated primitives. Inside the modeled crates
-//! (`fabric`, `mpisim`, `gasnetsim`, `core`), non-test code must not
-//! call `thread::sleep`, `Instant::now`, or `spin_loop` directly —
-//! timing is centralized in `fabric/src/delay.rs` (virtual clock +
-//! gated spins) and `trace/src/stall.rs` (the watchdog, inhibited under
-//! model control). Scanning stops at the first `#[cfg(test)]` line of a
-//! file, and a deliberate exception is marked with
-//! `// lint:allow(nondeterminism)` on the same line.
+//! The run fails on any finding, and also when the regenerated
+//! blocking-point inventory differs from the committed
+//! `LINT_BLOCKING.json` (refresh it with `--update-inventory`).
+//! `--update-orderings` appends TODO-stubbed rows to
+//! `crates/lint/orderings.tsv` for any unjustified `Ordering::` site;
+//! the lint keeps failing until the TODOs become real justifications.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Raw-segment call sites the instrumented entry points wrap. Kept as
-/// suffix patterns so formatting (`foo.win_segment(`, `self.ep.segment(`)
-/// doesn't matter.
-const PATTERNS: &[&str] = &[
-    "win_segment(",
-    "local_segment(",
-    "win_shared_query(",
-    ".segment(",
-];
-
-/// Crates allowed to touch segments directly: the substrates themselves
-/// (where the hooks live) and this tool (which spells the patterns out).
-const EXEMPT: &[&str] = &["mpisim", "gasnetsim", "fabric", "xtask"];
-
-const ALLOW_MARKER: &str = "lint:allow(segment-direct)";
-
-/// Wall-clock and raw-spin primitives forbidden in the modeled crates:
-/// each one lets a schedule depend on real time, which breaks replay
-/// under the `caf-model` scheduler gate.
-const ND_PATTERNS: &[&str] = &["thread::sleep", "Instant::now", "spin_loop("];
-
-/// Crates the scheduler gate models; only these are held to the
-/// nondeterminism rule (benches and the hpcc kernels time themselves on
-/// purpose).
-const ND_CRATES: &[&str] = &["fabric", "mpisim", "gasnetsim", "core", "agg"];
-
-/// Files where timing is *supposed* to live: the virtual clock / gated
-/// spin module and the stall watchdog.
-const ND_ALLOW_FILES: &[&str] = &["delay.rs", "stall.rs"];
-
-const ND_ALLOW_MARKER: &str = "lint:allow(nondeterminism)";
-
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(),
+        Some("lint") => lint(&args[1..]),
         Some("bench") => bench::run(&args[1..]),
         Some(other) => {
             eprintln!("unknown xtask command `{other}`; available: lint, bench");
@@ -587,138 +539,111 @@ mod bench {
     }
 }
 
-fn lint() -> ExitCode {
+fn lint(args: &[String]) -> ExitCode {
+    let format = args
+        .iter()
+        .position(|a| a == "--format")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("text");
+    let update_inventory = args.iter().any(|a| a == "--update-inventory");
+    let update_orderings = args.iter().any(|a| a == "--update-orderings");
     let root = workspace_root();
-    let mut files = Vec::new();
-    for dir in ["crates", "tests", "examples"] {
-        collect_rs_files(&root.join(dir), &mut files);
-    }
-    files.sort();
 
-    let mut findings = 0usize;
-    for path in &files {
-        if is_exempt(&root, path) {
-            continue;
+    let table = match caf_lint::load_table(&root) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::from(2);
         }
-        let src = match fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("xtask lint: reading {}: {e}", path.display());
+    };
+    let mut report = match caf_lint::run_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if update_orderings {
+        let missing = report.missing_ordering_rows(&table);
+        if missing.is_empty() {
+            println!("xtask lint: ordering table already covers every site");
+        } else {
+            let path = root.join(caf_lint::ORDERINGS_TSV);
+            let mut text = fs::read_to_string(&path).unwrap_or_default();
+            if !text.is_empty() && !text.ends_with('\n') {
+                text.push('\n');
+            }
+            for row in &missing {
+                text.push_str(row);
+                text.push('\n');
+            }
+            if let Err(e) = fs::write(&path, text) {
+                eprintln!("xtask lint: writing {}: {e}", path.display());
                 return ExitCode::from(2);
             }
-        };
-        let mut nd = is_nd_target(&root, path);
-        for (idx, line) in src.lines().enumerate() {
-            if nd && line.trim_start().starts_with("#[cfg(test)]") {
-                // Tests may sleep and time freely; everything below the
-                // first test attribute in the modeled crates is theirs.
-                nd = false;
-            }
-            if let Some(pat) = flagged_pattern(line) {
-                findings += 1;
-                eprintln!(
-                    "{}:{}: direct segment access `{pat}` outside the instrumented \
-                     substrate entry points (route through the mpisim/gasnetsim API, \
-                     or mark `// {ALLOW_MARKER}`)",
-                    path.strip_prefix(&root).unwrap_or(path).display(),
-                    idx + 1,
-                );
-            }
-            if nd {
-                if let Some(pat) = nd_flagged_pattern(line) {
-                    findings += 1;
-                    eprintln!(
-                        "{}:{}: nondeterministic `{pat}` in a modeled crate (use the \
-                         gated primitives in fabric/src/delay.rs, or mark \
-                         `// {ND_ALLOW_MARKER}`)",
-                        path.strip_prefix(&root).unwrap_or(path).display(),
-                        idx + 1,
-                    );
-                }
-            }
+            println!(
+                "xtask lint: stubbed {} ordering row(s) in {} — replace every TODO with a \
+                 real justification",
+                missing.len(),
+                caf_lint::ORDERINGS_TSV
+            );
         }
+        return ExitCode::SUCCESS;
     }
 
-    if findings > 0 {
-        eprintln!("xtask lint: {findings} finding(s)");
-        ExitCode::FAILURE
+    // Blocking-point inventory: regenerate and compare (or refresh).
+    let inv_path = root.join(caf_lint::BLOCKING_JSON);
+    let generated = report.inventory_json();
+    if update_inventory {
+        if let Err(e) = fs::write(&inv_path, &generated) {
+            eprintln!("xtask lint: writing {}: {e}", inv_path.display());
+            return ExitCode::from(2);
+        }
+        println!("xtask lint: {} refreshed ({} sites)", caf_lint::BLOCKING_JSON, report.sites.len());
     } else {
-        println!(
-            "xtask lint: {} file(s) scanned, no segment-direct access outside \
-             mpisim/gasnetsim/fabric, no raw timing in the modeled crates",
-            files.len()
-        );
-        ExitCode::SUCCESS
-    }
-}
-
-/// The pattern a line trips on, if any. Comment lines and lines carrying
-/// the allow marker are skipped.
-fn flagged_pattern(line: &str) -> Option<&'static str> {
-    let trimmed = line.trim_start();
-    if trimmed.starts_with("//") || line.contains(ALLOW_MARKER) {
-        return None;
-    }
-    PATTERNS.iter().find(|p| line.contains(*p)).copied()
-}
-
-/// The nondeterminism pattern a line trips on, if any. Comment lines,
-/// marked lines, and the designated timing modules are exempt.
-fn nd_flagged_pattern(line: &str) -> Option<&'static str> {
-    let trimmed = line.trim_start();
-    if trimmed.starts_with("//") || line.contains(ND_ALLOW_MARKER) {
-        return None;
-    }
-    ND_PATTERNS.iter().find(|p| line.contains(*p)).copied()
-}
-
-/// Whether the nondeterminism lint applies to this file: inside one of
-/// the modeled crates and not one of the designated timing modules.
-fn is_nd_target(root: &Path, path: &Path) -> bool {
-    if path
-        .file_name()
-        .is_some_and(|n| ND_ALLOW_FILES.iter().any(|f| n == *f))
-    {
-        return false;
-    }
-    let rel = path.strip_prefix(root).unwrap_or(path);
-    let mut comps = rel.components();
-    match (comps.next(), comps.next()) {
-        (Some(first), Some(second)) => {
-            first.as_os_str() == "crates"
-                && ND_CRATES.iter().any(|c| second.as_os_str() == *c)
+        let committed = fs::read_to_string(&inv_path).unwrap_or_default();
+        if committed != generated {
+            report.diags.push(caf_lint::Diag {
+                code: "CAFL001",
+                class: "blocking",
+                file: caf_lint::BLOCKING_JSON.to_string(),
+                line: 1,
+                msg: "committed blocking-point inventory is out of date with the sources; \
+                      run `cargo xtask lint --update-inventory` and commit the result"
+                    .to_string(),
+            });
         }
-        _ => false,
     }
-}
 
-fn is_exempt(root: &Path, path: &Path) -> bool {
-    let rel = path.strip_prefix(root).unwrap_or(path);
-    let mut comps = rel.components();
-    match (comps.next(), comps.next()) {
-        (Some(first), Some(second)) => {
-            first.as_os_str() == "crates"
-                && EXEMPT.iter().any(|c| second.as_os_str() == *c)
-        }
-        _ => false,
-    }
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            // `target/` never nests under crates/*/src, but be safe.
-            if path.file_name().is_some_and(|n| n == "target") {
-                continue;
+    match format {
+        "json" => print!("{}", report.diags_json()),
+        "github" => {
+            for d in &report.diags {
+                println!("{}", d.github());
             }
-            collect_rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
         }
+        _ => {
+            for d in &report.diags {
+                eprintln!("{}", d.text());
+            }
+        }
+    }
+
+    if report.diags.is_empty() {
+        if format == "text" {
+            println!(
+                "xtask lint: {} file(s) scanned, 0 findings across CAFL001..CAFL007; \
+                 blocking inventory: {} site(s) in sync",
+                report.files_scanned,
+                report.sites.len()
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask lint: {} finding(s)", report.diags.len());
+        ExitCode::FAILURE
     }
 }
 
@@ -734,77 +659,4 @@ fn workspace_root() -> PathBuf {
         .and_then(Path::parent)
         .expect("xtask lives at <root>/crates/xtask")
         .to_path_buf()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn flags_raw_segment_calls_but_not_comments_or_allows() {
-        assert_eq!(
-            flagged_pattern("let seg = mpi.win_segment(&win, 0)?;"),
-            Some("win_segment(")
-        );
-        assert_eq!(
-            flagged_pattern("let s = self.ep.segment(id)?;"),
-            Some(".segment(")
-        );
-        assert_eq!(flagged_pattern("// mentions win_segment( in prose"), None);
-        assert_eq!(
-            flagged_pattern("let seg = mpi.win_segment(&w, 0)?; // lint:allow(segment-direct)"),
-            None
-        );
-        assert_eq!(flagged_pattern("let x = segment_count;"), None);
-    }
-
-    #[test]
-    fn flags_raw_timing_but_not_comments_or_allows() {
-        assert_eq!(
-            nd_flagged_pattern("std::thread::sleep(Duration::from_millis(5));"),
-            Some("thread::sleep")
-        );
-        assert_eq!(nd_flagged_pattern("let t = Instant::now();"), Some("Instant::now"));
-        assert_eq!(nd_flagged_pattern("std::hint::spin_loop();"), Some("spin_loop("));
-        assert_eq!(nd_flagged_pattern("// no raw Instant::now here"), None);
-        assert_eq!(
-            nd_flagged_pattern("let t = Instant::now(); // lint:allow(nondeterminism)"),
-            None
-        );
-        assert_eq!(nd_flagged_pattern("let d = spin_budget;"), None);
-    }
-
-    #[test]
-    fn nondeterminism_lint_targets_modeled_crates_minus_timing_modules() {
-        let root = Path::new("/repo");
-        for yes in [
-            "crates/fabric/src/fabric_impl.rs",
-            "crates/mpisim/src/p2p.rs",
-            "crates/gasnetsim/src/rma.rs",
-            "crates/core/src/image.rs",
-            "crates/agg/src/lib.rs",
-        ] {
-            assert!(is_nd_target(root, &root.join(yes)), "{yes}");
-        }
-        for no in [
-            "crates/fabric/src/delay.rs",
-            "crates/trace/src/stall.rs",
-            "crates/hpcc/src/ra.rs",
-            "crates/bench/benches/micro_ops.rs",
-            "tests/model_explore.rs",
-        ] {
-            assert!(!is_nd_target(root, &root.join(no)), "{no}");
-        }
-    }
-
-    #[test]
-    fn exemptions_cover_exactly_the_substrate_crates_and_xtask() {
-        let root = Path::new("/repo");
-        for ok in ["crates/mpisim/src/rma.rs", "crates/xtask/src/main.rs"] {
-            assert!(is_exempt(root, &root.join(ok)), "{ok}");
-        }
-        for bad in ["crates/core/src/coarray.rs", "tests/check_clean.rs"] {
-            assert!(!is_exempt(root, &root.join(bad)), "{bad}");
-        }
-    }
 }

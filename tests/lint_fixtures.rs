@@ -1,0 +1,408 @@
+//! Fixture tests for the caf-lint passes (CAFL001..CAFL007).
+//!
+//! Each lint class gets a known-bad snippet that must trip exactly that
+//! diagnostic code, and a known-good twin that must scan clean. The
+//! regression fixtures at the bottom pin the two bugs the token-aware
+//! scanner fixed over the old line-greps: a `#[cfg(test)]` attribute
+//! disarming the rest of the file after its module closes, and false
+//! positives on patterns inside string literals or trailing comments.
+
+use caf_lint::{scan_file, OrderingTable, Report};
+
+/// Scan one virtual file and return the diagnostic codes it trips.
+fn codes(rel: &str, src: &str) -> Vec<&'static str> {
+    codes_with_table(rel, src, "")
+}
+
+fn codes_with_table(rel: &str, src: &str, table: &str) -> Vec<&'static str> {
+    report_with_table(rel, src, table).diags.iter().map(|d| d.code).collect()
+}
+
+fn report_with_table(rel: &str, src: &str, table: &str) -> Report {
+    let table = OrderingTable::parse(table).expect("fixture table parses");
+    let mut report = Report::default();
+    scan_file(rel, src, &table, &mut report);
+    report
+}
+
+// ---------------------------------------------------------------- CAFL001
+
+#[test]
+fn blocking_unguarded_recv_trips_cafl001() {
+    let bad = r#"
+        fn pump(rx: &std::sync::mpsc::Receiver<u8>) -> u8 {
+            rx.recv().unwrap()
+        }
+    "#;
+    assert_eq!(codes("crates/fabric/src/foo.rs", bad), vec!["CAFL001"]);
+}
+
+#[test]
+fn blocking_with_gate_evidence_is_clean_and_inventoried() {
+    let good = r#"
+        fn pump(rx: &std::sync::mpsc::Receiver<u8>) -> u8 {
+            if crate::sched::active() {
+                crate::sched::model_blocking(crate::sched::ModelOp::Recv, || rx.try_recv().ok());
+            }
+            rx.recv().unwrap()
+        }
+    "#;
+    let report = report_with_table("crates/fabric/src/foo.rs", good, "");
+    assert!(report.diags.is_empty(), "unexpected: {:?}", report.diags);
+    let site = report
+        .sites
+        .iter()
+        .find(|s| s.kind == "channel_recv")
+        .expect("recv site inventoried");
+    assert_eq!(site.gated, "direct");
+    assert_eq!(site.function, "pump");
+}
+
+#[test]
+fn blocking_allow_marker_suppresses_cafl001() {
+    let allowed = r#"
+        fn pump(rx: &std::sync::mpsc::Receiver<u8>) -> u8 {
+            // lint:allow(blocking) bootstrap path, runs before any gate arms
+            rx.recv().unwrap()
+        }
+    "#;
+    let report = report_with_table("crates/fabric/src/foo.rs", allowed, "");
+    assert!(report.diags.is_empty());
+    assert_eq!(report.sites[0].gated, "allowed");
+}
+
+#[test]
+fn blocking_outside_modeled_crates_is_ignored() {
+    let src = r#"
+        fn pump(rx: &std::sync::mpsc::Receiver<u8>) -> u8 { rx.recv().unwrap() }
+    "#;
+    assert!(codes("crates/trace/src/foo.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- CAFL002
+
+#[test]
+fn guard_across_park_trips_cafl002() {
+    let bad = r#"
+        fn broken(m: &std::sync::Mutex<u8>) {
+            let g = m.lock().unwrap();
+            crate::sched::yield_op(crate::sched::ModelOp::Registry);
+            drop(g);
+        }
+    "#;
+    assert_eq!(codes("crates/core/src/foo.rs", bad), vec!["CAFL002"]);
+}
+
+#[test]
+fn guard_dropped_before_park_is_clean() {
+    let good = r#"
+        fn fine(m: &std::sync::Mutex<u8>) {
+            let g = m.lock().unwrap();
+            drop(g);
+            crate::sched::yield_op(crate::sched::ModelOp::Registry);
+        }
+    "#;
+    assert!(codes("crates/core/src/foo.rs", good).is_empty());
+}
+
+#[test]
+fn guard_scoped_out_before_park_is_clean() {
+    let good = r#"
+        fn fine(m: &std::sync::Mutex<u8>) {
+            {
+                let g = m.lock().unwrap();
+                *g += 1;
+            }
+            crate::sched::yield_op(crate::sched::ModelOp::Registry);
+        }
+    "#;
+    assert!(codes("crates/core/src/foo.rs", good).is_empty());
+}
+
+// ---------------------------------------------------------------- CAFL003
+
+#[test]
+fn ordering_without_table_row_trips_cafl003() {
+    let bad = r#"
+        fn bump(c: &std::sync::atomic::AtomicU64) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    "#;
+    assert_eq!(codes("crates/core/src/foo.rs", bad), vec!["CAFL003"]);
+}
+
+#[test]
+fn ordering_with_table_row_is_clean() {
+    let src = r#"
+        fn bump(c: &std::sync::atomic::AtomicU64) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    "#;
+    let table = "crates/core/src/foo.rs\tbump\tfetch_add\tRelaxed\tcounter, no sync\n";
+    assert!(codes_with_table("crates/core/src/foo.rs", src, table).is_empty());
+}
+
+#[test]
+fn seqcst_justification_must_mention_seqcst() {
+    let src = r#"
+        fn publish(c: &std::sync::atomic::AtomicBool) {
+            c.store(true, Ordering::SeqCst);
+        }
+    "#;
+    let drifting = "crates/core/src/foo.rs\tpublish\tstore\tSeqCst\tlooks important\n";
+    assert_eq!(
+        codes_with_table("crates/core/src/foo.rs", src, drifting),
+        vec!["CAFL003"]
+    );
+    let justified =
+        "crates/core/src/foo.rs\tpublish\tstore\tSeqCst\tSeqCst: total order with the reader\n";
+    assert!(codes_with_table("crates/core/src/foo.rs", src, justified).is_empty());
+}
+
+#[test]
+fn stale_table_row_trips_cafl003() {
+    let table = OrderingTable::parse(
+        "crates/core/src/gone.rs\told_fn\tload\tRelaxed\tno longer exists\n",
+    )
+    .unwrap();
+    let mut report = Report::default();
+    scan_file("crates/core/src/foo.rs", "fn nothing() {}", &table, &mut report);
+    caf_lint::finish(&table, &mut report);
+    assert_eq!(report.diags.len(), 1);
+    assert_eq!(report.diags[0].code, "CAFL003");
+    assert!(report.diags[0].msg.contains("stale"));
+}
+
+#[test]
+fn ordering_in_test_code_is_exempt() {
+    let src = r#"
+        #[cfg(test)]
+        mod tests {
+            fn bump(c: &std::sync::atomic::AtomicU64) {
+                c.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    "#;
+    assert!(codes("crates/core/src/foo.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- CAFL004
+
+#[test]
+fn undocumented_unsafe_trips_cafl004() {
+    let bad = r#"
+        fn peek(p: *const u8) -> u8 {
+            unsafe { *p }
+        }
+    "#;
+    assert_eq!(codes("crates/hpcc/src/foo.rs", bad), vec!["CAFL004"]);
+}
+
+#[test]
+fn safety_comment_satisfies_cafl004() {
+    let good = r#"
+        fn peek(p: *const u8) -> u8 {
+            // SAFETY: caller guarantees `p` points into a live allocation.
+            unsafe { *p }
+        }
+    "#;
+    assert!(codes("crates/hpcc/src/foo.rs", good).is_empty());
+    let trailing = r#"
+        fn peek(p: *const u8) -> u8 {
+            unsafe { *p } // SAFETY: caller guarantees `p` is live.
+        }
+    "#;
+    assert!(codes("crates/hpcc/src/foo.rs", trailing).is_empty());
+}
+
+#[test]
+fn safety_comment_too_far_above_still_trips() {
+    let bad = r#"
+        fn peek(p: *const u8) -> u8 {
+            // SAFETY: this comment is five lines above the unsafe block,
+            // which is beyond the three-line window the lint accepts,
+            // so the site below must still be flagged as undocumented.
+            let _x = 0;
+            let _y = 0;
+            unsafe { *p }
+        }
+    "#;
+    assert_eq!(codes("crates/hpcc/src/foo.rs", bad), vec!["CAFL004"]);
+}
+
+// ---------------------------------------------------------------- CAFL005
+
+#[test]
+fn substrate_referencing_upper_layer_trips_cafl005() {
+    let bad = r#"
+        fn leak() {
+            let _ = caf_model::explore::Config::default();
+        }
+    "#;
+    assert_eq!(codes("crates/mpisim/src/foo.rs", bad), vec!["CAFL005"]);
+}
+
+#[test]
+fn deep_path_into_substrate_trips_cafl005() {
+    let bad = "use caf_mpisim::ops::Scalar;\n";
+    assert_eq!(codes("crates/core/src/foo.rs", bad), vec!["CAFL005"]);
+    let good = "use caf_mpisim::Scalar;\n";
+    assert!(codes("crates/core/src/foo.rs", good).is_empty());
+}
+
+#[test]
+fn substrate_may_use_its_own_modules() {
+    let src = "use caf_mpisim::ops::Scalar;\nfn f(_: caf_fabric::SegmentId) {}\n";
+    // Inside a substrate crate the deep-path rule does not apply (it
+    // governs outside consumers), and caf_fabric is below both.
+    assert!(codes("crates/gasnetsim/src/foo.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- CAFL006
+
+#[test]
+fn segment_access_outside_substrates_trips_cafl006() {
+    let bad = r#"
+        fn sneak(mpi: &Mpi, win: &Window) {
+            let seg = mpi.win_segment(win, 0).unwrap();
+        }
+    "#;
+    assert_eq!(codes("crates/core/src/foo.rs", bad), vec!["CAFL006"]);
+}
+
+#[test]
+fn segment_access_inside_substrate_is_exempt() {
+    let src = r#"
+        fn resolve(&self, win: &Window, rank: usize) -> Result<Arc<Segment>> {
+            self.win_segment(win, rank)
+        }
+    "#;
+    assert!(codes("crates/mpisim/src/foo.rs", src).is_empty());
+}
+
+#[test]
+fn segment_allow_marker_suppresses_cafl006() {
+    let src = r#"
+        fn shipping(mpi: &Mpi, win: &Window) {
+            // lint:allow(segment-direct) function shipping needs the raw view
+            let seg = mpi.win_segment(win, 0).unwrap();
+        }
+    "#;
+    assert!(codes("crates/core/src/foo.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- CAFL007
+
+#[test]
+fn wall_clock_in_modeled_crate_trips_cafl007() {
+    let bad = r#"
+        fn spin() {
+            let t0 = std::time::Instant::now();
+        }
+    "#;
+    assert_eq!(codes("crates/agg/src/foo.rs", bad), vec!["CAFL007"]);
+}
+
+#[test]
+fn wall_clock_in_delay_rs_is_exempt() {
+    let src = r#"
+        fn clock() -> std::time::Instant {
+            std::time::Instant::now()
+        }
+    "#;
+    assert!(codes("crates/fabric/src/delay.rs", src).is_empty());
+}
+
+#[test]
+fn sleep_in_test_module_is_exempt() {
+    let src = r#"
+        #[cfg(test)]
+        mod tests {
+            fn settle() {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+    "#;
+    assert!(codes("crates/core/src/foo.rs", src).is_empty());
+}
+
+// ------------------------------------------------------- regression: scope
+
+/// The old line-grep disarmed the *rest of the file* once it saw a
+/// `#[cfg(test)]` line. The scanner must re-arm after the test module's
+/// closing brace.
+#[test]
+fn code_after_closed_test_module_is_still_linted() {
+    let src = r#"
+        #[cfg(test)]
+        mod tests {
+            fn settle() {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+
+        fn production() {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    "#;
+    let report = report_with_table("crates/core/src/foo.rs", src, "");
+    assert_eq!(
+        report.diags.iter().map(|d| d.code).collect::<Vec<_>>(),
+        vec!["CAFL007"],
+        "exactly the post-module sleep must be flagged: {:?}",
+        report.diags
+    );
+    assert!(report.diags[0].line > 7, "flagged site must be in `production`");
+}
+
+/// `#[cfg(not(test))]` is live code and must not be treated as a test
+/// scope.
+#[test]
+fn cfg_not_test_is_live_code() {
+    let src = r#"
+        #[cfg(not(test))]
+        fn production() {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    "#;
+    assert_eq!(codes("crates/core/src/foo.rs", src), vec!["CAFL007"]);
+}
+
+// ---------------------------------------- regression: strings and comments
+
+/// Pattern text inside string literals (e.g. a diagnostic message that
+/// *names* `Instant::now`) must not trip any lint.
+#[test]
+fn patterns_inside_string_literals_are_ignored() {
+    let src = r#"
+        fn describe() -> &'static str {
+            "do not call Instant::now or thread::sleep or win_segment( here"
+        }
+    "#;
+    assert!(codes("crates/core/src/foo.rs", src).is_empty());
+}
+
+/// Pattern text in trailing comments must not trip any lint either.
+#[test]
+fn patterns_inside_comments_are_ignored() {
+    let src = r#"
+        fn describe() {
+            let x = 1; // unlike Instant::now(), this is deterministic
+            // A doc note mentioning rx.recv() and Ordering::SeqCst is fine.
+            let _ = x;
+        }
+    "#;
+    assert!(codes("crates/core/src/foo.rs", src).is_empty());
+}
+
+/// And the inverse guard: real code on a line that *also* has a trailing
+/// comment is still scanned.
+#[test]
+fn code_with_trailing_comment_is_still_scanned() {
+    let src = r#"
+        fn spin() {
+            let t0 = std::time::Instant::now(); // timestamp
+        }
+    "#;
+    assert_eq!(codes("crates/core/src/foo.rs", src), vec!["CAFL007"]);
+}
