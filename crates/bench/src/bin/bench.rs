@@ -31,8 +31,10 @@
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use caf::{AggConfig, AsyncOpts, CafConfig, CafUniverse, Coarray, FlushMode, SubstrateKind};
-use caf_bench::fusion_like;
+use caf::{
+    AggConfig, AsyncOpts, CafConfig, CafUniverse, Coarray, ExecConfig, FlushMode, SubstrateKind,
+};
+use caf_bench::{fast, fusion_like};
 use caf_fabric::delay::ALL_DELAY_OPS;
 use caf_fabric::DelayOp;
 use caf_hpcc::fft;
@@ -57,6 +59,23 @@ const RA_P_FULL: [usize; 4] = [2, 4, 8, 16];
 const RA_P_SMOKE: [usize; 3] = [2, 4, 8];
 const RA_LOG2_LOCAL: u32 = 8;
 const RA_UPDATES: usize = 800;
+
+/// Executed high-P rows: the caf-sched task executor multiplexes `p`
+/// image tasks onto a handful of workers, so these jobs run for *real*
+/// (no netmodel extrapolation) on a laptop. Cost-free delay tables keep
+/// the wall clock tractable — the gated quantities are the deterministic
+/// op counts (modeled ns is zero), and each row's executed per-notify
+/// flush curve is compared against the analytic model: 2 windows × P
+/// ranks under `flush_all`, the one dirty partner under the targeted
+/// modes. The reduced per-image workload is identical in smoke and full
+/// runs, so the smoke subset gates against the full baseline.
+const RA_HI_P_FULL: [usize; 2] = [256, 1024];
+const RA_HI_P_SMOKE: [usize; 1] = [256];
+const RA_HI_LOG2_LOCAL: u32 = 6;
+const RA_HI_UPDATES: usize = 64;
+/// Allowed relative gap between an executed per-notify flush measurement
+/// and its analytic prediction.
+const RA_HI_AGREEMENT: f64 = 0.25;
 
 /// Per-primitive micro workload size.
 const MICRO_P: usize = 4;
@@ -135,13 +154,19 @@ fn main() -> ExitCode {
     std::fs::create_dir_all(&out_dir).expect("create --out-dir");
 
     let ps: &[usize] = if smoke { &RA_P_SMOKE } else { &RA_P_FULL };
-    eprintln!("bench: RA sweep (P = {ps:?}, smoke = {smoke})");
-    let ra_rows = ra_sweep(ps);
+    let hi_ps: &[usize] = if smoke { &RA_HI_P_SMOKE } else { &RA_HI_P_FULL };
+    eprintln!("bench: RA sweep (P = {ps:?}, executed task-mode P = {hi_ps:?}, smoke = {smoke})");
+    let ra_rows = ra_sweep(ps, hi_ps);
     if let Err(msg) = verify_ra_shape(&ra_rows) {
         eprintln!("bench: SHAPE VIOLATION: {msg}");
         return ExitCode::FAILURE;
     }
-    eprintln!("bench: shape OK (flush_all per-notify cost linear in P, targeted flat)");
+    eprintln!(
+        "bench: shape OK (flush_all per-notify cost linear in P up to executed P = {}, \
+         targeted flat, executed curve within {:.0}% of the model)",
+        hi_ps.last().copied().unwrap_or(0),
+        RA_HI_AGREEMENT * 100.0
+    );
 
     eprintln!("bench: micro primitives (P = {MICRO_P})");
     let micro_rows = micro_sweep();
@@ -167,14 +192,21 @@ fn main() -> ExitCode {
 }
 
 /// MPI flush-mode matrix plus the GASNet baseline (which has no windows
-/// and therefore no flush knob).
-fn ra_sweep(ps: &[usize]) -> Vec<Row> {
+/// and therefore no flush knob), then the executed high-P rows under the
+/// task executor (MPI only: the flush-mode matrix is the quantity under
+/// test, and GASNet has no flush knob to sweep).
+fn ra_sweep(ps: &[usize], hi_ps: &[usize]) -> Vec<Row> {
     let mut rows = Vec::new();
     for &p in ps {
         for flush in [FlushMode::All, FlushMode::targeted(), FlushMode::rflush()] {
             rows.push(ra_row(p, SubstrateKind::Mpi, flush));
         }
         rows.push(ra_row(p, SubstrateKind::Gasnet, FlushMode::All));
+    }
+    for &p in hi_ps {
+        for flush in [FlushMode::All, FlushMode::targeted(), FlushMode::rflush()] {
+            rows.push(ra_hi_row(p, flush));
+        }
     }
     rows
 }
@@ -214,6 +246,54 @@ fn ra_row(p: usize, kind: SubstrateKind, flush: FlushMode) -> Row {
             ("gups", outs[0].0.metric),
             ("notifies", notifies as f64),
             ("flushes_per_notify", flushes as f64 / notifies as f64),
+        ],
+    }
+}
+
+/// One executed high-P row: `p` images as caf-sched tasks, cost-free
+/// tables, reduced workload (see `RA_HI_*`). The `modeled_flushes_per_notify`
+/// info field carries the analytic prediction the executed measurement is
+/// gated against in [`verify_ra_shape`] and by `cargo xtask bench`.
+fn ra_hi_row(p: usize, flush: FlushMode) -> Row {
+    let cfg = CafConfig {
+        flush,
+        exec: ExecConfig::tasks(),
+        ..fast(SubstrateKind::Mpi)
+    };
+    let outs = CafUniverse::run_with_config(p, cfg, |img| {
+        let team = img.team_world();
+        let out = ra::run_opts(
+            img,
+            &team,
+            RA_HI_LOG2_LOCAL,
+            RA_HI_UPDATES,
+            RaOpts { async_puts: true, ..RaOpts::default() },
+        );
+        (out.bench, out.meter_delta)
+    });
+    let gate = sum_deltas(outs.iter().map(|(_, d)| d.as_slice()));
+    let notifies = (p * p.ilog2() as usize).max(1);
+    let flushes: u64 = gate
+        .iter()
+        .filter(|(op, _, _)| *op == DelayOp::FlushPerTarget)
+        .map(|&(_, c, _)| c)
+        .sum();
+    // flush_all visits both windows (table + staging) on every rank;
+    // the targeted modes pay only the round's one dirty partner.
+    let modeled = if flush == FlushMode::All { 2.0 * p as f64 } else { 1.0 };
+    Row {
+        bench: "ra".into(),
+        p,
+        substrate: "caf-mpi",
+        flush: flush.name(),
+        gate,
+        info: vec![
+            ("seconds", outs[0].0.seconds),
+            ("gups", outs[0].0.metric),
+            ("notifies", notifies as f64),
+            ("flushes_per_notify", flushes as f64 / notifies as f64),
+            ("modeled_flushes_per_notify", modeled),
+            ("executed_tasks", 1.0),
         ],
     }
 }
@@ -411,6 +491,21 @@ fn verify_ra_shape(rows: &[Row]) -> Result<(), String> {
         return Err(format!(
             "flush_all per-notify cost not Θ(P): grew {growth:.2}x from P={pmin} to P={pmax} (expected ~{expected:.0}x)"
         ));
+    }
+    // Executed-vs-modeled agreement: every high-P row run for real under
+    // the task executor must land within RA_HI_AGREEMENT of its analytic
+    // per-notify flush prediction.
+    for r in rows {
+        let get = |k: &str| r.info.iter().find(|(key, _)| *key == k).map(|&(_, v)| v);
+        let Some(modeled) = get("modeled_flushes_per_notify") else { continue };
+        let executed = get("flushes_per_notify").ok_or("executed row missing flushes_per_notify")?;
+        if (executed - modeled).abs() > RA_HI_AGREEMENT * modeled {
+            return Err(format!(
+                "executed P={} {} row disagrees with the model: {executed:.2} flushes/notify \
+                 measured vs {modeled:.2} predicted",
+                r.p, r.flush
+            ));
+        }
     }
     Ok(())
 }

@@ -53,6 +53,11 @@ pub struct CafConfig {
     /// DESIGN.md §13. The runtime clamps the knobs at init — see
     /// [`Image::agg_config`] for the effective values.
     pub agg: caf_agg::AggConfig,
+    /// How images execute: one OS thread each ([`caf_sched::ExecMode::Threads`],
+    /// the paper-faithful default) or as stackful tasks on the caf-sched
+    /// work-stealing pool ([`caf_sched::ExecMode::Tasks`]), which executes
+    /// P=1024 jobs for real. See DESIGN.md §15.
+    pub exec: caf_sched::ExecConfig,
 }
 
 impl Default for CafConfig {
@@ -64,6 +69,7 @@ impl Default for CafConfig {
             hybrid_mpi: false,
             flush: FlushMode::All,
             agg: caf_agg::AggConfig::default(),
+            exec: caf_sched::ExecConfig::default(),
         }
     }
 }
@@ -123,35 +129,38 @@ impl CafUniverse {
             n,
             FabricConfig {
                 planes: 2,
+                exec: config.exec,
                 ..FabricConfig::default()
             },
         );
         let ship_reg = Arc::new(ShipRegistry::new());
-        let mut slots = Vec::with_capacity(n);
-        for rank in 0..n {
-            slots.push((
-                fabric.take_endpoint_on(rank, 0),
-                fabric.take_endpoint_on(rank, 1),
-            ));
-        }
+        // Per-rank endpoint pairs travel to their image through take-once
+        // slots: the executor invokes `Fn(rank)` and caf-sched guarantees
+        // task id == rank (under `Threads` this degenerates to the old
+        // one-scoped-thread-per-image launch).
+        let slots: Vec<std::sync::Mutex<Option<_>>> = (0..n)
+            .map(|rank| {
+                std::sync::Mutex::new(Some((
+                    fabric.take_endpoint_on(rank, 0),
+                    fabric.take_endpoint_on(rank, 1),
+                )))
+            })
+            .collect();
         let f = &f;
         let ship_reg = &ship_reg;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = slots
-                .into_iter()
-                .map(|(ep0, ep1)| {
-                    scope.spawn(move || {
-                        let _model = caf_fabric::sched::register_thread(ep0.rank());
-                        let img = Image::init(ep0, ep1, config, Arc::clone(ship_reg));
-                        f(&img)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("image panicked"))
-                .collect()
+        caf_sched::run(n, &config.exec, move |rank| {
+            let (ep0, ep1) = slots[rank]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("endpoint slot taken twice");
+            let _model = caf_fabric::sched::register_thread(rank);
+            let img = Image::init(ep0, ep1, config, Arc::clone(ship_reg));
+            f(&img)
         })
+        .into_iter()
+        .map(|r| r.expect("image panicked"))
+        .collect()
     }
 }
 

@@ -71,6 +71,7 @@ pub mod team;
 pub use asyncops::AsyncOpts;
 pub use caf_agg::{AggConfig, AggStats};
 pub use caf_fabric::Pod;
+pub use caf_sched::{ExecConfig, ExecMode};
 pub use caf_gasnetsim::{GasnetConfig, SrqMode};
 pub use caf_mpisim::MpiConfig;
 pub use coarray::{Coarray, RemoteRef, Section};
@@ -86,6 +87,7 @@ pub use team::Team;
 pub mod prelude {
     pub use crate::asyncops::AsyncOpts;
     pub use caf_agg::AggConfig;
+    pub use caf_sched::{ExecConfig, ExecMode};
     pub use crate::coarray::{Coarray, Section};
     pub use crate::coarray2d::Coarray2d;
     pub use crate::event::{Event, NotifyFlush};

@@ -62,6 +62,22 @@ impl DelayOp {
         }
     }
 
+    /// Whether this op is charged on the *receive* side (the image that
+    /// dispatches or matches an incoming message) rather than at issue.
+    ///
+    /// Issue-side counts are a pure function of the program: an image
+    /// charges them at its own call sites, so they are identical across
+    /// substatially different schedules (OS threads vs. caf-sched tasks).
+    /// Receive-side counts are charged when the *poll* that drains the
+    /// message runs, and a metered window bounded by snapshots (e.g.
+    /// [`DelayMeter`] deltas around a timed kernel) can catch a straggler
+    /// on one side of the boundary under one schedule and the other side
+    /// under another. Comparisons across execution modes should restrict
+    /// themselves to issue-side ops.
+    pub const fn receive_side(self) -> bool {
+        matches!(self, DelayOp::P2pReceive | DelayOp::AmDispatch)
+    }
+
     /// Stable snake_case name (used in bench JSON keys).
     pub const fn name(self) -> &'static str {
         match self {
@@ -288,6 +304,16 @@ pub fn spin_for_ns(ns: f64) {
         return;
     }
     if crate::sched::yield_tick() {
+        return;
+    }
+    if caf_sched::on_task() {
+        // On the task executor the charged wall-clock delay still
+        // elapses, but the worker is yielded between clock checks so the
+        // other N-W images keep making progress underneath the spin.
+        let deadline = monotonic_ns().saturating_add(ns as u64);
+        while monotonic_ns() < deadline {
+            caf_sched::yield_now();
+        }
         return;
     }
     let dur = Duration::from_nanos(ns as u64);

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{self, Receiver, Sender};
+use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
 use parking_lot::RwLock;
 
 use crate::delay::DelayConfig;
@@ -27,6 +27,12 @@ pub struct FabricConfig {
     /// MPI in the paper's duplicate-runtimes scenario) can coexist on the
     /// same rank without seeing each other's traffic. Default 1.
     pub planes: usize,
+    /// How ranks execute: one OS thread each (`Threads`, the
+    /// paper-faithful default) or as stackful tasks on the caf-sched
+    /// work-stealing pool (`Tasks`), which is what makes P=1024 jobs
+    /// executable. Under `Tasks` every blocking receive below parks
+    /// cooperatively instead of blocking its worker.
+    pub exec: caf_sched::ExecConfig,
 }
 
 impl Default for FabricConfig {
@@ -34,6 +40,7 @@ impl Default for FabricConfig {
         FabricConfig {
             delays: DelayConfig::free(),
             planes: 1,
+            exec: caf_sched::ExecConfig::default(),
         }
     }
 }
@@ -138,23 +145,29 @@ impl Fabric {
         F: Fn(Endpoint) -> T + Send + Sync,
     {
         let mut fabric = Fabric::with_config(size, config);
-        let endpoints = fabric.take_all();
+        // Hand each rank its endpoint through a take-once slot: the
+        // executor invokes `Fn(rank)`, so by-value per-rank state travels
+        // via its rank index. Task id == rank is a caf-sched invariant,
+        // which is also what lets `Endpoint::send` translate a
+        // destination rank into an `unpark`.
+        let slots: Vec<std::sync::Mutex<Option<Endpoint>>> = fabric
+            .take_all()
+            .into_iter()
+            .map(|ep| std::sync::Mutex::new(Some(ep)))
+            .collect();
         let f = &f;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = endpoints
-                .into_iter()
-                .map(|ep| {
-                    scope.spawn(move || {
-                        let _model = crate::sched::register_thread(ep.rank());
-                        f(ep)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rank panicked"))
-                .collect()
+        caf_sched::run(size, &config.exec, move |rank| {
+            let ep = slots[rank]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("endpoint slot taken twice");
+            let _model = crate::sched::register_thread(rank);
+            f(ep)
         })
+        .into_iter()
+        .map(|r| r.expect("rank panicked"))
+        .collect()
     }
 }
 
@@ -220,7 +233,13 @@ impl Endpoint {
             );
         }
         let tx = &self.shared.senders[self.plane * self.shared.n + to];
-        tx.send(pkt).map_err(|_| FabricError::Disconnected)
+        tx.send(pkt).map_err(|_| FabricError::Disconnected)?;
+        // Under ExecMode::Tasks the destination image may be parked in
+        // one of the cooperative receive loops below; hand it a permit.
+        // No-op on plain OS threads (and for wakeups that race the park —
+        // the permit is banked, see caf-sched).
+        caf_sched::unpark(to);
+        Ok(())
     }
 
     fn trace_delivery(&self, pkt: &Packet) {
@@ -262,6 +281,22 @@ impl Endpoint {
             self.trace_delivery(&pkt);
             return Ok(pkt);
         }
+        if caf_sched::on_task() {
+            // Cooperative form of the blocking receive: park the task
+            // (releasing the worker) until a sender's unpark re-runs the
+            // poll. OS-blocking here would wedge a worker and, with more
+            // images than workers, deadlock the job.
+            loop {
+                match self.rx.try_recv() {
+                    Ok(pkt) => {
+                        self.trace_delivery(&pkt);
+                        return Ok(pkt);
+                    }
+                    Err(TryRecvError::Empty) => caf_sched::park(),
+                    Err(TryRecvError::Disconnected) => return Err(FabricError::Disconnected),
+                }
+            }
+        }
         let pkt = self.rx.recv().map_err(|_| FabricError::Disconnected)?;
         self.trace_delivery(&pkt);
         Ok(pkt)
@@ -276,6 +311,28 @@ impl Endpoint {
             let pkt = self.rx.try_recv().ok()?;
             self.trace_delivery(&pkt);
             return Some(pkt);
+        }
+        if caf_sched::on_task() {
+            // Deadline-bounded cooperative wait. A full park could
+            // oversleep the deadline (nobody unparks a timeout), so this
+            // yields the worker instead of suspending; timeouts are a
+            // rare diagnostic path, not steady-state.
+            let deadline = crate::delay::monotonic_ns().saturating_add(timeout.as_nanos() as u64);
+            loop {
+                match self.rx.try_recv() {
+                    Ok(pkt) => {
+                        self.trace_delivery(&pkt);
+                        return Some(pkt);
+                    }
+                    Err(TryRecvError::Disconnected) => return None,
+                    Err(TryRecvError::Empty) => {
+                        if crate::delay::monotonic_ns() >= deadline {
+                            return None;
+                        }
+                        caf_sched::yield_now();
+                    }
+                }
+            }
         }
         let pkt = self.rx.recv_timeout(timeout).ok()?;
         self.trace_delivery(&pkt);

@@ -39,6 +39,7 @@ pub mod topology;
 
 mod fabric_impl;
 
+pub use caf_sched::{ExecConfig, ExecMode};
 pub use delay::{DelayConfig, DelayMeter, DelayOp, Delays};
 pub use error::FabricError;
 pub use fabric_impl::{Endpoint, Fabric, FabricConfig};

@@ -284,6 +284,17 @@ fn lock() -> MutexGuard<'static, Option<GateState>> {
     GATE.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// Wake every parked gate participant to re-check the schedule. Thread
+/// participants sleep on [`GATE_CV`]; under `ExecMode::Tasks` they are
+/// cooperatively parked on the caf-sched executor instead, so every
+/// notify pairs with an `unpark_all` (spurious permits are harmless —
+/// a woken task re-checks `current` and parks again). Lock order is
+/// GATE → task-ctrl → run-queue, never reversed.
+fn wake_waiters() {
+    GATE_CV.notify_all();
+    caf_sched::unpark_all();
+}
+
 /// Arm the gate for one controlled run of `n` image threads. Fails if a
 /// gate is already armed (model runs are process-exclusive; serialize
 /// tests on a lock). Also inhibits the `caf-trace` stall watchdog so no
@@ -363,7 +374,7 @@ pub fn register_thread(rank: usize) -> ThreadGuard {
     if g.registered == g.n {
         g.started = true;
         schedule_next(g);
-        GATE_CV.notify_all();
+        wake_waiters();
     }
     let st = wait_turn(st, rank);
     drop(st);
@@ -392,7 +403,7 @@ impl Drop for ThreadGuard {
                 schedule_next(g);
             }
         }
-        GATE_CV.notify_all();
+        wake_waiters();
     }
 }
 
@@ -415,7 +426,20 @@ fn wait_turn(
         if g.current == Some(me) {
             return st;
         }
-        st = GATE_CV.wait(st).unwrap_or_else(|e| e.into_inner());
+        if caf_sched::on_task() {
+            // Task-mode participant: a condvar wait here would OS-block
+            // the carrier *and occupy its worker*; with fewer workers
+            // than images the job could never schedule the image whose
+            // turn it is. Release the gate lock, return the worker via
+            // the cooperative park, and re-check on wake (every
+            // `wake_waiters` hands out permits; a permit that raced this
+            // park is banked, so the wake cannot be lost).
+            drop(st);
+            caf_sched::park();
+            st = lock();
+        } else {
+            st = GATE_CV.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
     }
 }
 
@@ -441,7 +465,7 @@ pub fn yield_op(op: ModelOp) {
         g.pending[me] = PendingOp { op, target: HINT.with(|h| h.get()) };
         g.current = None;
         schedule_next(g);
-        GATE_CV.notify_all();
+        wake_waiters();
         let _st = wait_turn(st, me);
     }
 }
@@ -464,7 +488,7 @@ fn park_blocked() {
     g.status[me] = TStatus::Blocked { epoch: g.progress };
     g.current = None;
     schedule_next(g);
-    GATE_CV.notify_all();
+    wake_waiters();
     let mut st = wait_turn(st, me);
     let g = st.as_mut().expect("gate present while scheduled");
     g.status[me] = TStatus::Ready;

@@ -291,6 +291,9 @@ impl Gasnet {
             p.kind == KIND_BARRIER && p.src == from && p.h[0] == seq && p.h[1] == round
         };
         if blocking {
+            // A dissemination round waits on exactly one peer: name it so
+            // model deadlock reports carry the wait-for edge.
+            let _hint = caf_fabric::sched::wait_hint(from);
             let _ = self.wait_for(pred);
             return true;
         }

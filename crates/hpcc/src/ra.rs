@@ -121,7 +121,11 @@ pub struct RaOutcome {
     /// timed kernel on this image — the delay-meter snapshot after the
     /// closing barrier minus the one before the opening barrier, so
     /// allocation and teardown costs (which include their own whole-window
-    /// flushes) are excluded. Deterministic: safe to gate in CI.
+    /// flushes) are excluded. Issue-side entries (`!op.receive_side()`)
+    /// are a pure function of the program and safe to gate in CI;
+    /// receive-side entries (`AmDispatch`, `P2pReceive`) can catch a
+    /// straggler message on either side of the snapshot boundary and so
+    /// vary with scheduling.
     pub meter_delta: Vec<(DelayOp, u64, u64)>,
 }
 
@@ -172,11 +176,21 @@ pub fn run_opts(
         return run_aggregated(img, team, table, log2_local, updates_per_image);
     }
 
-    // Per-round staging slots: [count][data ...], one slot per round so a
+    // Per-round staging slots: [header][data ...], one slot per round so a
     // fast partner in round k+1 can never clobber unconsumed round-k data.
+    // The slot is a *fixed-size window*, not a bound on the bucket: a
+    // bucket larger than `cap` streams through it in chunks (header bit 63
+    // = "more chunks follow"), each chunk acknowledged on a dedicated
+    // per-round event before the sender overwrites the slot. Low bits of
+    // the LCG stream are far from uniform, so at larger P a single image
+    // can attract a multiple of the per-image update count in one round —
+    // the old `count <= cap` assert tripped at P >= 16 and wedged every
+    // other image in `event_wait`.
     let cap = 4 * updates_per_image + 64;
     let staging: Coarray<u64> = img.coarray_alloc(team, d as usize * (cap + 1));
     let round_events: Vec<caf::Event> = (0..d).map(|_| img.event_alloc(team)).collect();
+    let ack_events: Vec<caf::Event> = (0..d).map(|_| img.event_alloc(team)).collect();
+    const MORE: u64 = 1 << 63;
 
     img.barrier(team);
     let meter_before = img.delay_meter_snapshot();
@@ -195,38 +209,65 @@ pub fn run_opts(
     for k in 0..d {
         let partner = me ^ (1usize << k);
         let mut keep = Vec::with_capacity(pending.len());
-        let mut send = Vec::with_capacity(pending.len() + 1);
-        send.push(0); // count placeholder
+        let mut out = Vec::with_capacity(pending.len());
         for &u in &pending {
             let dest = ((u & mask) as usize) >> log2_local;
             if (dest >> k) & 1 == (me >> k) & 1 {
                 keep.push(u);
             } else {
-                send.push(u);
+                out.push(u);
             }
         }
-        let count = send.len() - 1;
-        assert!(count <= cap, "staging overflow: {count} > {cap}");
-        send[0] = count as u64;
         let slot_base = k as usize * (cap + 1);
-        if opts.async_puts {
-            // Remote completion deferred to the notify release barrier:
-            // this is where the flush policy is actually exercised.
-            img.copy_async_put(&staging, partner, slot_base, &send, AsyncOpts::none());
-        } else {
-            table_guard(&staging, img, partner, slot_base, &send);
-        }
-        img.event_notify(team, &round_events[k as usize], partner);
+        let nchunks = out.len().div_ceil(cap).max(1);
+        let send_chunk = |j: usize| {
+            let lo = j * cap;
+            let hi = (lo + cap).min(out.len());
+            let mut buf = Vec::with_capacity(hi - lo + 1);
+            let more = if j + 1 < nchunks { MORE } else { 0 };
+            buf.push((hi - lo) as u64 | more);
+            buf.extend_from_slice(&out[lo..hi]);
+            if opts.async_puts {
+                // Remote completion deferred to the notify release barrier:
+                // this is where the flush policy is actually exercised.
+                img.copy_async_put(&staging, partner, slot_base, &buf, AsyncOpts::none());
+            } else {
+                table_guard(&staging, img, partner, slot_base, &buf);
+            }
+            img.event_notify(team, &round_events[k as usize], partner);
+        };
 
-        // Wait for the partner's bucket, then absorb it.
-        img.event_wait(&round_events[k as usize]);
-        let mut header = [0u64; 1];
-        staging.local_read(img, slot_base, &mut header);
-        let incoming = header[0] as usize;
-        if incoming > 0 {
-            let mut buf = vec![0u64; incoming];
-            staging.local_read(img, slot_base + 1, &mut buf);
-            keep.extend_from_slice(&buf);
+        // Prime the window with the first chunk, then alternate one
+        // receive step (absorb a partner chunk, ack it if more follow)
+        // with one send step (wait for the partner's ack of the chunk in
+        // flight, then overwrite the slot with the next). Acks are sent
+        // *before* blocking again, so two peers chunking at each other
+        // always hand each other progress.
+        send_chunk(0);
+        let mut next = 1;
+        let mut recv_done = false;
+        while !recv_done || next < nchunks {
+            if !recv_done {
+                img.event_wait(&round_events[k as usize]);
+                let mut header = [0u64; 1];
+                staging.local_read(img, slot_base, &mut header);
+                let incoming = (header[0] & !MORE) as usize;
+                if incoming > 0 {
+                    let mut buf = vec![0u64; incoming];
+                    staging.local_read(img, slot_base + 1, &mut buf);
+                    keep.extend_from_slice(&buf);
+                }
+                if header[0] & MORE != 0 {
+                    img.event_notify(team, &ack_events[k as usize], partner);
+                } else {
+                    recv_done = true;
+                }
+            }
+            if next < nchunks {
+                img.event_wait(&ack_events[k as usize]);
+                send_chunk(next);
+                next += 1;
+            }
         }
         pending = keep;
     }
@@ -517,3 +558,4 @@ mod tests {
         assert_ne!(expect, local_only);
     }
 }
+

@@ -24,7 +24,7 @@ use crate::{Diag, Report};
 /// Crates whose execution the `caf-model` scheduler gate controls; the
 /// blocking / lock-across-park / atomic-ordering / nondeterminism
 /// audits apply to these.
-pub const MODELED_CRATES: &[&str] = &["fabric", "mpisim", "gasnetsim", "core", "agg"];
+pub const MODELED_CRATES: &[&str] = &["fabric", "mpisim", "gasnetsim", "core", "agg", "sched"];
 
 /// The substrate crates: own the instrumented segment entry points
 /// (exempt from `segment-direct`) and must never depend on the layers
@@ -39,6 +39,12 @@ const FORBIDDEN_IN_SUBSTRATES: &[&str] = &["caf", "caf_agg", "caf_hpcc", "caf_mo
 const GATE_EVIDENCE: &[&str] =
     &["sched", "model_blocking", "yield_op", "yield_tick", "register_thread"];
 
+/// Idents that count as evidence the enclosing function routes its
+/// blocking through the caf-sched cooperative park API (the task
+/// executor): a raw primitive next to a `caf_sched::park()` retry loop
+/// is the Threads-mode arm of a dual-mode wait, not an unguarded block.
+const PARK_EVIDENCE: &[&str] = &["caf_sched"];
+
 /// Gate API entry points whose call sites belong in the inventory.
 const GATE_CALLS: &[(&str, &str)] = &[
     ("yield_op", "gate_announce"),
@@ -46,6 +52,16 @@ const GATE_CALLS: &[(&str, &str)] = &[
     ("yield_tick", "gate_tick"),
     ("register_thread", "gate_register"),
     ("wait_hint", "gate_wait_hint"),
+];
+
+/// caf-sched cooperative park API entry points (always path-qualified
+/// `caf_sched::<fn>` at call sites — the bare idents are too generic to
+/// match): the suspension/resume points of `ExecMode::Tasks`.
+const PARK_CALLS: &[(&str, &str)] = &[
+    ("park", "task_park"),
+    ("unpark", "task_unpark"),
+    ("unpark_all", "task_unpark_all"),
+    ("yield_now", "task_yield"),
 ];
 
 /// Raw segment resolution entry points (the `segment-direct` class).
@@ -77,7 +93,7 @@ impl<'a> FileCtx<'a> {
             sc,
             modeled: MODELED_CRATES.contains(&krate),
             substrate: SUBSTRATE_CRATES.contains(&krate),
-            is_sched: rel == "crates/fabric/src/sched.rs",
+            is_sched: rel == "crates/fabric/src/sched.rs" || rel.starts_with("crates/sched/"),
             is_delay: rel == "crates/fabric/src/delay.rs",
             nd_allowed_file: matches!(file_name, "delay.rs" | "stall.rs"),
         }
@@ -187,6 +203,8 @@ fn blocking_pass(ctx: &FileCtx, report: &mut Report) {
     let gate_status = |ctx: &FileCtx, i: usize, line: u32| -> &'static str {
         if ctx.is_sched || ctx.is_delay {
             "gate-internal"
+        } else if ctx.fn_has_ident(i, PARK_EVIDENCE) {
+            "park-api"
         } else if ctx.fn_has_ident(i, GATE_EVIDENCE) {
             "direct"
         } else if ctx.allow(line, "blocking") {
@@ -256,6 +274,20 @@ fn blocking_pass(ctx: &FileCtx, report: &mut Report) {
                 sites.push((line, "spin_retry", ctx.fn_name(i), status));
             }
             continue;
+        }
+        // caf-sched park-API call sites: `caf_sched::park()` and friends
+        // (matched path-qualified only — the bare idents are generic).
+        if ctx.ident(i) == Some("caf_sched") && ctx.punct(i + 1, ":") && ctx.punct(i + 2, ":") {
+            if let Some(name) = ctx.ident(i + 3) {
+                if let Some((_, kind)) = PARK_CALLS.iter().find(|(n, _)| *n == name) {
+                    if ctx.punct(i + 4, "(") {
+                        let status =
+                            if ctx.is_sched || ctx.is_delay { "gate-internal" } else { "park-api" };
+                        sites.push((line, kind, ctx.fn_name(i), status));
+                        continue;
+                    }
+                }
+            }
         }
         // Gate API call sites (not their definitions in sched.rs).
         if let Some(name) = ctx.ident(i) {
@@ -354,9 +386,13 @@ fn lock_across_park_pass(ctx: &FileCtx, report: &mut Report) {
                     }
                 }
             }
-            // Park points while a guard is live.
+            // Park points while a guard is live. `caf_sched::park` /
+            // `yield_now` suspend the whole task: a guard held across
+            // them pins every other image mapped to this worker.
             let parks = matches!(ctx.ident(i), Some("yield_op" | "model_blocking" | "yield_tick"))
                 && ctx.punct(i + 1, "(")
+                || ctx.path2(i, "caf_sched", "park")
+                || ctx.path2(i, "caf_sched", "yield_now")
                 || ctx.empty_method_call(i, "recv")
                 || ctx.method_call(i, "recv_timeout")
                 || ctx.method_call(i, "recv_blocking")

@@ -8,7 +8,8 @@
 //! scenario bodies must be self-contained and repeatable.
 
 use caf::{
-    AggConfig, AsyncOpts, CafConfig, CafUniverse, Coarray, FlushMode, GasnetConfig, SubstrateKind,
+    AggConfig, AsyncOpts, CafConfig, CafUniverse, Coarray, ExecConfig, FlushMode, GasnetConfig,
+    SubstrateKind,
 };
 use caf_fabric::{Fabric, Packet};
 
@@ -99,6 +100,61 @@ fn event_pp_gasnet() {
 
 fn event_pp_run(kind: SubstrateKind) {
     CafUniverse::run_with_config(2, CafConfig::on(kind), |img| {
+        let world = img.team_world();
+        let me = img.this_image();
+        let ca: Coarray<u64> = img.coarray_alloc(&world, 1);
+        let ev = img.event_alloc(&world);
+        if me == 0 {
+            ca.write(img, 1, 0, &[7]);
+            img.event_notify(&world, &ev, 1);
+            img.event_wait(&ev);
+            assert_eq!(ca.local_vec(img)[0], 9);
+        } else {
+            img.event_wait(&ev);
+            assert_eq!(ca.local_vec(img)[0], 7);
+            ca.write(img, 0, 0, &[9]);
+            img.event_notify(&world, &ev, 0);
+        }
+        img.coarray_free(&world, ca);
+    });
+}
+
+/// The event ping-pong executed by the caf-sched task executor
+/// (`ExecMode::Tasks`) on a *single* worker: both images share one OS
+/// thread, so every blocking site the schedule reaches must suspend
+/// cooperatively through `caf_sched::park` — an OS-level block anywhere
+/// would wedge the worker and surface to the explorer as a deadlock
+/// counterexample. The gate still decides which image runs; the worker
+/// pool only decides where.
+pub fn tasks_event_ping_pong(kind: SubstrateKind) -> Scenario {
+    match kind {
+        SubstrateKind::Mpi => Scenario {
+            name: "event ping-pong, task executor (CAF-MPI)",
+            images: 2,
+            run: tasks_event_pp_mpi,
+        },
+        SubstrateKind::Gasnet => Scenario {
+            name: "event ping-pong, task executor (CAF-GASNet)",
+            images: 2,
+            run: tasks_event_pp_gasnet,
+        },
+    }
+}
+
+fn tasks_event_pp_mpi() {
+    tasks_event_pp_run(SubstrateKind::Mpi);
+}
+
+fn tasks_event_pp_gasnet() {
+    tasks_event_pp_run(SubstrateKind::Gasnet);
+}
+
+fn tasks_event_pp_run(kind: SubstrateKind) {
+    let cfg = CafConfig {
+        exec: ExecConfig { workers: 1, ..ExecConfig::tasks() },
+        ..CafConfig::on(kind)
+    };
+    CafUniverse::run_with_config(2, cfg, |img| {
         let world = img.team_world();
         let me = img.this_image();
         let ca: Coarray<u64> = img.coarray_alloc(&world, 1);

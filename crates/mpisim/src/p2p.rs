@@ -324,6 +324,16 @@ impl Mpi {
     /// driving progress between sweeps.
     pub fn waitany<T: Pod>(&self, reqs: &mut Vec<RecvRequest<T>>) -> (usize, Vec<T>, Status) {
         assert!(!reqs.is_empty(), "waitany on an empty request set");
+        // Name a sender this wait can be charged to (the first pending
+        // request with a known source) so a model deadlock report — and
+        // the task executor's wait accounting — shows a wait-for edge.
+        let _hint = reqs
+            .iter()
+            .find_map(|r| match r.src {
+                Src::Rank(s) => Some(r.comm.global_rank(s)),
+                Src::Any => None,
+            })
+            .map(caf_fabric::sched::wait_hint);
         loop {
             for i in 0..reqs.len() {
                 if reqs[i].test(self) {

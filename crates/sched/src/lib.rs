@@ -1,0 +1,636 @@
+//! caf-sched: the work-stealing task executor that decouples images from
+//! OS scheduling.
+//!
+//! The paper's evaluation runs RandomAccess and FFT at thousands of
+//! images; mapping one *runnable* OS thread per image stops being viable
+//! long before that. This crate runs each image as a **stackful task**: a
+//! carrier thread with a small dedicated stack that is *multiplexed onto a
+//! bounded pool of workers*. At most `workers` images execute at any
+//! moment; everyone else is either queued (runnable) or **parked** on the
+//! cooperative [`park`]/[`unpark`] API, occupying nothing but its stack.
+//!
+//! Scheduling structure is the classic work-stealing triple:
+//!
+//! * a **per-worker deque** of runnable tasks (owner pops FIFO from the
+//!   front, thieves steal from the back),
+//! * a **global injector** where wakeups land ([`unpark`] cannot know
+//!   which worker will host the task next),
+//! * **seed-ordered stealing**: each worker probes victims in a fixed
+//!   permutation derived from `ExecConfig::seed` via SplitMix64, so the
+//!   *choice structure* of the scheduler is a deterministic function of
+//!   the seed — which is what keeps caf-model replay tokens valid when
+//!   the announce-before-execute gate drives tasks instead of threads
+//!   (the gate serializes execution; the executor must not add choice
+//!   points of its own).
+//!
+//! # Why carrier threads and not ucontext-style green threads
+//!
+//! Each task owns one OS thread for its whole life, created with an
+//! explicit (small) stack via `std::thread::Builder::stack_size`. The
+//! thread is *suspended* (condvar handoff) whenever the task is not
+//! scheduled on a worker, so the OS never sees more than `workers`
+//! runnable threads. This keeps every thread-local in the stack above
+//! working unchanged — `caf_trace`'s per-image ring, the model gate's
+//! per-thread id, `RefCell` image state — and stays portable, Miri-clean
+//! and TSan-visible, where hand-rolled context switching would be none of
+//! those. "Stackful task" here means: own stack, cooperative scheduling
+//! points, worker-multiplexed execution.
+//!
+//! # The park/unpark contract
+//!
+//! [`park`] is a *cooperative* blocking point: it returns the calling
+//! task's worker to the pool and suspends the task until some other task
+//! calls [`unpark`] with its id. A token (permit) makes the pair
+//! race-free in the standard way: an `unpark` that arrives while the task
+//! is still running is banked and consumed by the next `park`, so the
+//! wakeup protocol
+//!
+//! ```text
+//! receiver:  loop { if try_recv() { return } park() }
+//! sender:    push(msg); unpark(receiver)
+//! ```
+//!
+//! never loses a message regardless of interleaving. Every blocking site
+//! in the fabric funnels through exactly this loop when running under
+//! [`ExecMode::Tasks`]; OS-blocking there would wedge a worker and — with
+//! more images than workers — deadlock the job, so the cooperative form
+//! is a correctness requirement, not an optimisation.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How a job's images are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// One OS thread per image, scheduled by the kernel — the
+    /// paper-faithful default (the runtimes under study are
+    /// process-per-image).
+    #[default]
+    Threads,
+    /// Images are stackful tasks multiplexed onto a bounded worker pool
+    /// by the work-stealing executor; blocking points park cooperatively.
+    /// This is what makes P=1024 executable for real.
+    Tasks,
+}
+
+/// Executor knobs. `Copy` so it can ride inside `CafConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Execution mode (see [`ExecMode`]).
+    pub mode: ExecMode,
+    /// Worker count under [`ExecMode::Tasks`]; `0` = auto
+    /// (`available_parallelism` capped at 8, clamped to the task count).
+    pub workers: usize,
+    /// Seed for the deterministic steal-order permutation.
+    pub seed: u64,
+    /// Per-task stack size in bytes; `0` = 512 KiB. At P=1024 the default
+    /// costs 512 MiB of *virtual* address space — only touched pages are
+    /// resident.
+    pub stack_bytes: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { mode: ExecMode::Threads, workers: 0, seed: 0xCAF5_C4ED, stack_bytes: 0 }
+    }
+}
+
+impl ExecConfig {
+    /// The task-executor mode with automatic worker count.
+    pub fn tasks() -> Self {
+        ExecConfig { mode: ExecMode::Tasks, ..ExecConfig::default() }
+    }
+
+    fn effective_workers(&self, n: usize) -> usize {
+        let auto = std::thread::available_parallelism().map_or(4, |p| p.get()).min(8);
+        let w = if self.workers == 0 { auto } else { self.workers };
+        w.clamp(1, n.max(1))
+    }
+
+    fn effective_stack(&self) -> usize {
+        if self.stack_bytes == 0 {
+            512 << 10
+        } else {
+            self.stack_bytes
+        }
+    }
+}
+
+/// What a task reports to its hosting worker when it yields the quantum.
+enum Report {
+    /// `yield_now`: still runnable, requeue me.
+    Yield,
+    /// `park`: suspend me unless a permit is banked.
+    WantPark,
+    /// The task closure returned (or panicked).
+    Done,
+}
+
+/// After the worker processed a report (park decision folded in).
+enum Resumed {
+    Requeue,
+    Parked,
+    Done,
+}
+
+/// Per-task handoff cell. The carrier thread and the hosting worker
+/// rendezvous through it: the worker grants the quantum (`go`), the task
+/// gives it back (`report`). `permit`/`parked` implement the unpark
+/// token; both are only ever decided under this mutex, which is what
+/// makes the park/unpark race-free.
+#[derive(Default)]
+struct TaskFlags {
+    go: bool,
+    report: Option<Report>,
+    permit: bool,
+    parked: bool,
+}
+
+#[derive(Default)]
+struct TaskCtrl {
+    m: Mutex<TaskFlags>,
+    /// Task waits here for its next quantum.
+    cv_go: Condvar,
+    /// The hosting worker waits here for the task to yield.
+    cv_report: Condvar,
+}
+
+/// All runnable-task queues live under one mutex: the per-worker deques
+/// and the injector. Worker counts are small (≤ 8 by default) and a
+/// quantum switch takes two condvar handoffs anyway, so fine-grained
+/// per-deque locking would buy nothing here; the *structure* (local
+/// deques + injector + ordered stealing) is what matters for determinism
+/// and locality.
+struct SchedState {
+    injector: VecDeque<usize>,
+    locals: Vec<VecDeque<usize>>,
+    live: usize,
+    shutdown: bool,
+}
+
+struct Inner {
+    tasks: Vec<TaskCtrl>,
+    sched: Mutex<SchedState>,
+    /// Workers idle here when every queue is empty.
+    work_cv: Condvar,
+    workers: usize,
+    seed: u64,
+}
+
+thread_local! {
+    /// Set for the lifetime of a carrier thread: (executor, task id).
+    /// Task ids are image ranks — every launcher spawns rank `i` as task
+    /// `i` — which is what lets `Endpoint::send(to, ..)` translate a
+    /// destination rank straight into an `unpark(to)`.
+    static CURRENT: RefCell<Option<(Arc<Inner>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current() -> Option<(Arc<Inner>, usize)> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|(i, t)| (Arc::clone(i), *t)))
+}
+
+/// Whether the calling thread is a task of a running executor. The fabric
+/// uses this to pick between the cooperative park loop and the plain
+/// OS-blocking receive.
+pub fn on_task() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// The calling task's id (its image rank), if on a task.
+pub fn current_task() -> Option<usize> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|(_, t)| *t))
+}
+
+/// Cooperatively block the calling task until [`unpark`] grants it a
+/// permit. Consumes a banked permit immediately (no yield) if one is
+/// pending. On a non-task thread this degrades to `thread::yield_now` —
+/// callers gate on [`on_task`], so that path only exists for safety.
+pub fn park() {
+    let Some((inner, me)) = current() else {
+        std::thread::yield_now();
+        return;
+    };
+    {
+        let mut g = inner.tasks[me].m.lock().unwrap();
+        if g.permit {
+            g.permit = false;
+            return;
+        }
+    }
+    yield_to_worker(&inner, me, Report::WantPark);
+}
+
+/// Make task `target` runnable (or bank a permit if it is not parked).
+/// Callable only from a task of the same executor; a no-op elsewhere, so
+/// senders can call it unconditionally under both exec modes.
+pub fn unpark(target: usize) {
+    if let Some((inner, _)) = current() {
+        unpark_on(&inner, target);
+    }
+}
+
+/// [`unpark`] every task of the calling task's executor. The model gate
+/// uses this as its broadcast wake: whenever the gate's schedule state
+/// changes it must give every cooperatively-parked task a chance to
+/// re-check whose turn it is (the exact analogue of its
+/// `Condvar::notify_all` for thread-mode participants). Spurious permits
+/// are harmless — a woken task re-checks its condition and parks again.
+pub fn unpark_all() {
+    if let Some((inner, _)) = current() {
+        for t in 0..inner.tasks.len() {
+            unpark_on(&inner, t);
+        }
+    }
+}
+
+/// Yield the worker but stay runnable (requeued at the back of the
+/// hosting worker's deque). Used for bounded waits — a deadline poll has
+/// nobody to unpark it, so it must not fully park.
+pub fn yield_now() {
+    if let Some((inner, me)) = current() {
+        yield_to_worker(&inner, me, Report::Yield);
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+fn unpark_on(inner: &Inner, target: usize) {
+    let wake = {
+        let mut g = inner.tasks[target].m.lock().unwrap();
+        if g.parked {
+            g.parked = false;
+            g.permit = false;
+            true
+        } else {
+            g.permit = true;
+            false
+        }
+    };
+    if wake {
+        let mut s = inner.sched.lock().unwrap();
+        s.injector.push_back(target);
+        drop(s);
+        inner.work_cv.notify_one();
+    }
+}
+
+/// Task side of the quantum handoff: post `rep`, then sleep until a
+/// worker grants the next `go`.
+fn yield_to_worker(inner: &Inner, me: usize, rep: Report) {
+    let ctrl = &inner.tasks[me];
+    let mut g = ctrl.m.lock().unwrap();
+    g.report = Some(rep);
+    ctrl.cv_report.notify_one();
+    while !g.go {
+        g = ctrl.cv_go.wait(g).unwrap();
+    }
+    g.go = false;
+}
+
+/// Worker side: grant task `t` a quantum, wait for its report, and fold
+/// the park decision in under the task's mutex (so it cannot race an
+/// `unpark`).
+fn resume(inner: &Inner, t: usize) -> Resumed {
+    let ctrl = &inner.tasks[t];
+    let mut g = ctrl.m.lock().unwrap();
+    g.go = true;
+    ctrl.cv_go.notify_one();
+    loop {
+        match g.report.take() {
+            Some(Report::Yield) => return Resumed::Requeue,
+            Some(Report::Done) => return Resumed::Done,
+            Some(Report::WantPark) => {
+                if g.permit {
+                    // A wakeup raced the park: the task retries instead
+                    // of suspending.
+                    g.permit = false;
+                    return Resumed::Requeue;
+                }
+                g.parked = true;
+                return Resumed::Parked;
+            }
+            None => g = ctrl.cv_report.wait(g).unwrap(),
+        }
+    }
+}
+
+/// SplitMix64 — the same generator the model's random walker uses, so
+/// seed provenance is uniform across the repo.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Worker `w`'s fixed victim order: a seed-derived permutation of the
+/// other workers (Fisher–Yates driven by SplitMix64). Deterministic in
+/// `(seed, w)` — re-running a job with the same config probes victims in
+/// the same order at every steal attempt.
+fn steal_order(workers: usize, seed: u64, w: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..workers).filter(|&v| v != w).collect();
+    let mut st = seed ^ (w as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+    for i in (1..order.len()).rev() {
+        let j = (splitmix64(&mut st) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+fn worker_loop(inner: &Inner, w: usize) {
+    let victims = steal_order(inner.workers, inner.seed, w);
+    loop {
+        let t = {
+            let mut s = inner.sched.lock().unwrap();
+            loop {
+                if s.shutdown {
+                    return;
+                }
+                // Own deque first (FIFO: message-driven tasks are woken in
+                // arrival order), then the injector, then steal from the
+                // back of each victim in seed order.
+                if let Some(t) = s.locals[w].pop_front() {
+                    break t;
+                }
+                if let Some(t) = s.injector.pop_front() {
+                    break t;
+                }
+                if let Some(t) = victims.iter().find_map(|&v| s.locals[v].pop_back()) {
+                    break t;
+                }
+                s = inner.work_cv.wait(s).unwrap();
+            }
+        };
+        match resume(inner, t) {
+            Resumed::Requeue => {
+                let mut s = inner.sched.lock().unwrap();
+                s.locals[w].push_back(t);
+                drop(s);
+                // Our deque is now non-empty: give an idle worker a
+                // chance to steal it while we pick our own next task.
+                inner.work_cv.notify_one();
+            }
+            Resumed::Parked => {}
+            Resumed::Done => {
+                let mut s = inner.sched.lock().unwrap();
+                s.live -= 1;
+                let all_done = s.live == 0;
+                if all_done {
+                    s.shutdown = true;
+                }
+                drop(s);
+                if all_done {
+                    inner.work_cv.notify_all();
+                }
+            }
+        }
+    }
+}
+
+/// Run `f(rank)` for every rank in `0..n` under the configured execution
+/// mode and return the per-rank results in rank order, each wrapped in
+/// the same `thread::Result` a `JoinHandle::join` would produce — callers
+/// keep their existing `.expect("rank panicked")`-style policy.
+///
+/// Under [`ExecMode::Threads`] this is exactly the old launcher: one
+/// scoped OS thread per rank. Under [`ExecMode::Tasks`] each rank becomes
+/// a task as described in the module docs. In both modes rank `i` runs on
+/// a thread that executes only rank `i` for the whole job, so
+/// thread-local state (trace image id, model-gate thread id) is per-rank
+/// state exactly as before.
+pub fn run<T, F>(n: usize, cfg: &ExecConfig, f: F) -> Vec<std::thread::Result<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Send + Sync,
+{
+    match cfg.mode {
+        ExecMode::Threads => std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|rank| {
+                    let f = &f;
+                    s.spawn(move || f(rank))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect()
+        }),
+        ExecMode::Tasks => run_tasks(n, cfg, &f),
+    }
+}
+
+fn run_tasks<T, F>(n: usize, cfg: &ExecConfig, f: &F) -> Vec<std::thread::Result<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Send + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = cfg.effective_workers(n);
+    let inner = Arc::new(Inner {
+        tasks: (0..n).map(|_| TaskCtrl::default()).collect(),
+        sched: Mutex::new(SchedState {
+            injector: VecDeque::new(),
+            // Initial distribution: rank r starts on worker r % workers,
+            // so the job begins spread across the pool.
+            locals: {
+                let mut locals = vec![VecDeque::new(); workers];
+                for t in 0..n {
+                    locals[t % workers].push_back(t);
+                }
+                locals
+            },
+            live: n,
+            shutdown: false,
+        }),
+        work_cv: Condvar::new(),
+        workers,
+        seed: cfg.seed,
+    });
+    let results: Vec<Mutex<Option<std::thread::Result<T>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|s| {
+        for rank in 0..n {
+            let inner = Arc::clone(&inner);
+            let results = &results;
+            std::thread::Builder::new()
+                .name(format!("caf-img-{rank}"))
+                .stack_size(cfg.effective_stack())
+                .spawn_scoped(s, move || {
+                    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&inner), rank)));
+                    // First quantum is granted by a worker like any other.
+                    {
+                        let ctrl = &inner.tasks[rank];
+                        let mut g = ctrl.m.lock().unwrap();
+                        while !g.go {
+                            g = ctrl.cv_go.wait(g).unwrap();
+                        }
+                        g.go = false;
+                    }
+                    let r = catch_unwind(AssertUnwindSafe(|| f(rank)));
+                    *results[rank].lock().unwrap() = Some(r);
+                    // A finished task can be what a parked peer was
+                    // waiting on (e.g. a dropped channel): let everyone
+                    // re-check before this task disappears.
+                    unpark_all();
+                    CURRENT.with(|c| *c.borrow_mut() = None);
+                    // Final report; the worker retires the task. No
+                    // wait-for-go follows — the thread exits.
+                    let ctrl = &inner.tasks[rank];
+                    let mut g = ctrl.m.lock().unwrap();
+                    g.report = Some(Report::Done);
+                    ctrl.cv_report.notify_one();
+                })
+                .expect("spawn image task");
+        }
+        for w in 0..workers {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name(format!("caf-worker-{w}"))
+                .spawn_scoped(s, move || worker_loop(&inner, w))
+                .expect("spawn executor worker");
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("task finished without a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tasks_cfg(workers: usize) -> ExecConfig {
+        ExecConfig { workers, ..ExecConfig::tasks() }
+    }
+
+    #[test]
+    fn threads_and_tasks_compute_the_same_results() {
+        for cfg in [ExecConfig::default(), tasks_cfg(0), tasks_cfg(1), tasks_cfg(3)] {
+            let out: Vec<usize> =
+                run(17, &cfg, |rank| rank * rank).into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(out, (0..17).map(|r| r * r).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn park_unpark_pingpong_through_shared_mailboxes() {
+        // A 2-task ping-pong over bare mailboxes: the receive loop is the
+        // canonical try-then-park pattern the fabric uses. With a single
+        // worker this deadlocks unless park really releases the worker.
+        let mail: Vec<Mutex<VecDeque<u64>>> = (0..2).map(|_| Mutex::new(VecDeque::new())).collect();
+        let rounds = 64u64;
+        let out = run(2, &tasks_cfg(1), |rank| {
+            let peer = 1 - rank;
+            let mut got = 0u64;
+            for i in 0..rounds {
+                if rank == 0 {
+                    mail[peer].lock().unwrap().push_back(i);
+                    unpark(peer);
+                }
+                loop {
+                    if let Some(v) = mail[rank].lock().unwrap().pop_front() {
+                        got += v;
+                        break;
+                    }
+                    park();
+                }
+                if rank == 1 {
+                    mail[peer].lock().unwrap().push_back(i);
+                    unpark(peer);
+                }
+            }
+            got
+        });
+        let want: u64 = (0..rounds).sum();
+        for r in out {
+            assert_eq!(r.unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn permit_prevents_lost_wakeup() {
+        // Unpark strictly before the park: the permit must be banked and
+        // the park must return immediately (with one worker, a lost
+        // wakeup would hang the job).
+        let out = run(2, &tasks_cfg(1), |rank| {
+            if rank == 0 {
+                unpark(1);
+                0
+            } else {
+                // Give rank 0 a chance to run first.
+                yield_now();
+                park();
+                1
+            }
+        });
+        assert_eq!(out.len(), 2);
+        for r in out {
+            r.unwrap();
+        }
+    }
+
+    #[test]
+    fn panics_are_reported_per_rank() {
+        let out = run(3, &tasks_cfg(2), |rank| {
+            if rank == 1 {
+                panic!("task 1 exploded");
+            }
+            rank
+        });
+        assert!(out[0].is_ok() && out[2].is_ok());
+        let err = out[1].as_ref().unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(msg.contains("exploded"), "unexpected payload: {msg:?}");
+    }
+
+    #[test]
+    fn steal_order_is_deterministic_and_a_permutation() {
+        for w in 0..6 {
+            let a = steal_order(6, 42, w);
+            let b = steal_order(6, 42, w);
+            assert_eq!(a, b, "steal order must be a pure function of (seed, worker)");
+            let mut sorted = a.clone();
+            sorted.sort_unstable();
+            let expect: Vec<usize> = (0..6).filter(|&v| v != w).collect();
+            assert_eq!(sorted, expect);
+        }
+        assert_ne!(steal_order(6, 1, 0), steal_order(6, 2, 0), "seed must matter");
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "spawns hundreds of OS carrier threads")]
+    fn many_more_tasks_than_workers() {
+        // 512 tasks on ≤ 8 workers, all parking once mid-flight on a
+        // neighbour's wakeup ring.
+        let n = 512;
+        let flags: Vec<Mutex<bool>> = (0..n).map(|_| Mutex::new(false)).collect();
+        let out = run(n, &ExecConfig::tasks(), |rank| {
+            let next = (rank + 1) % n;
+            *flags[next].lock().unwrap() = true;
+            unpark(next);
+            loop {
+                if *flags[rank].lock().unwrap() {
+                    break;
+                }
+                park();
+            }
+            rank
+        });
+        assert_eq!(out.into_iter().map(|r| r.unwrap()).sum::<usize>(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn outside_a_task_the_api_is_inert() {
+        assert!(!on_task());
+        assert_eq!(current_task(), None);
+        unpark(0);
+        unpark_all();
+        yield_now();
+    }
+}

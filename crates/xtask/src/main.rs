@@ -224,6 +224,27 @@ mod bench {
                 ));
             }
         }
+        // Rows executed for real under the task executor carry the
+        // analytic per-notify flush prediction; the measured curve must
+        // agree with it (same tolerance as the in-process bench check).
+        let mut executed = 0usize;
+        for r in &rows {
+            let Some(&modeled) = r.info.get("modeled_flushes_per_notify") else { continue };
+            let &measured = r
+                .info
+                .get("flushes_per_notify")
+                .ok_or_else(|| format!("{}: executed row missing flushes_per_notify", r.key))?;
+            if (measured - modeled).abs() > 0.25 * modeled {
+                return Err(format!(
+                    "{}: executed flushes/notify {measured} disagrees with modeled {modeled}",
+                    r.key
+                ));
+            }
+            executed += 1;
+        }
+        if executed == 0 {
+            return Err("no executed task-mode rows in BENCH_ra.json".into());
+        }
         Ok(())
     }
 

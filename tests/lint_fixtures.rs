@@ -72,6 +72,55 @@ fn blocking_allow_marker_suppresses_cafl001() {
 }
 
 #[test]
+fn blocking_with_park_api_evidence_is_clean_and_inventoried() {
+    // The dual-mode wait idiom: a caf_sched::park() retry loop for the
+    // task executor, falling through to the raw channel receive under
+    // ExecMode::Threads. The park evidence gates the raw primitive, the
+    // park call itself is inventoried as a task suspension point.
+    let good = r#"
+        fn pump(rx: &Receiver<u8>) -> u8 {
+            if caf_sched::on_task() {
+                loop {
+                    match rx.try_recv() {
+                        Ok(v) => return v,
+                        Err(_) => caf_sched::park(),
+                    }
+                }
+            }
+            rx.recv().unwrap()
+        }
+    "#;
+    let report = report_with_table("crates/fabric/src/foo.rs", good, "");
+    assert!(report.diags.is_empty(), "unexpected: {:?}", report.diags);
+    let recv = report
+        .sites
+        .iter()
+        .find(|s| s.kind == "channel_recv")
+        .expect("recv site inventoried");
+    assert_eq!(recv.gated, "park-api");
+    let park = report
+        .sites
+        .iter()
+        .find(|s| s.kind == "task_park")
+        .expect("park site inventoried");
+    assert_eq!(park.gated, "park-api");
+    assert_eq!(park.function, "pump");
+}
+
+#[test]
+fn park_inside_sched_crate_is_gate_internal() {
+    let src = r#"
+        fn reenter() {
+            caf_sched::yield_now();
+        }
+    "#;
+    let report = report_with_table("crates/sched/src/lib.rs", src, "");
+    assert!(report.diags.is_empty());
+    let site = report.sites.iter().find(|s| s.kind == "task_yield").expect("yield site");
+    assert_eq!(site.gated, "gate-internal");
+}
+
+#[test]
 fn blocking_outside_modeled_crates_is_ignored() {
     let src = r#"
         fn pump(rx: &std::sync::mpsc::Receiver<u8>) -> u8 { rx.recv().unwrap() }
@@ -100,6 +149,32 @@ fn guard_dropped_before_park_is_clean() {
             let g = m.lock().unwrap();
             drop(g);
             crate::sched::yield_op(crate::sched::ModelOp::Registry);
+        }
+    "#;
+    assert!(codes("crates/core/src/foo.rs", good).is_empty());
+}
+
+#[test]
+fn guard_across_task_park_trips_cafl002() {
+    // caf_sched::park() suspends the whole task: a guard still live at
+    // the park pins every image sharing this worker.
+    let bad = r#"
+        fn broken(m: &std::sync::Mutex<u8>) {
+            let g = m.lock().unwrap();
+            caf_sched::park();
+            drop(g);
+        }
+    "#;
+    assert_eq!(codes("crates/core/src/foo.rs", bad), vec!["CAFL002"]);
+}
+
+#[test]
+fn guard_dropped_before_task_park_is_clean() {
+    let good = r#"
+        fn fine(m: &std::sync::Mutex<u8>) {
+            let g = m.lock().unwrap();
+            drop(g);
+            caf_sched::park();
         }
     "#;
     assert!(codes("crates/core/src/foo.rs", good).is_empty());

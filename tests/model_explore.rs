@@ -182,6 +182,40 @@ fn seeded_walk_catches_unflushed_put_the_default_schedule_hides() {
     assert!(kinds(&r1).contains(&"read_before_flush".to_string()), "{:?}", r1.report);
 }
 
+/// The task executor under the explorer: the gate drives images running
+/// as caf-sched tasks on a *single* worker, so every blocking site any
+/// explored schedule reaches must suspend cooperatively — an OS-level
+/// block would wedge the worker and surface as a deadlock
+/// counterexample. At least 100 interleavings (or the exhausted space)
+/// on both substrates, full epoch/race oracle silent throughout.
+#[test]
+fn task_executor_schedules_stay_clean_under_exploration() {
+    for sc in [
+        scenarios::tasks_event_ping_pong(SubstrateKind::Mpi),
+        scenarios::tasks_event_ping_pong(SubstrateKind::Gasnet),
+    ] {
+        let cfg = ExploreConfig {
+            max_schedules: 400,
+            oracle: Some(OracleConfig::default()),
+            ..ExploreConfig::default()
+        };
+        let rep = explore(&sc, &cfg);
+        assert!(
+            rep.schedules >= 100 || rep.complete,
+            "{}: only {} schedules explored without exhausting the space",
+            sc.name,
+            rep.schedules
+        );
+        assert_eq!(
+            rep.flagged,
+            0,
+            "{}: {:?}",
+            sc.name,
+            rep.counterexamples.first().map(|c| (&c.kind, &c.detail))
+        );
+    }
+}
+
 /// The aggregation subsystem under the explorer. DFS: at least 100
 /// enqueue/drain/notify interleavings (or the exhausted space) on both
 /// substrates with the full oracle silent — batch delivery must carry
