@@ -147,6 +147,7 @@ fn model_sections() {
         scenarios::event_ping_pong(SubstrateKind::Gasnet),
         scenarios::ra_round(SubstrateKind::Mpi),
         scenarios::ra_round(SubstrateKind::Gasnet),
+        scenarios::waitgraph_targeted(),
     ] {
         let cfg = ExploreConfig {
             max_schedules: 120,

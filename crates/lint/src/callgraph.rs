@@ -1,0 +1,359 @@
+//! Workspace call graph over the lexed files.
+//!
+//! Nodes are the named functions the scope pass found; edges come from
+//! call-site extraction with heuristic resolution:
+//!
+//! - `foo(..)` / `path::foo(..)` and `.foo(..)` resolve *by name* to
+//!   every workspace fn called `foo` (trait methods over-approximate to
+//!   all impls).
+//! - A method call on `self` whose name has a unique candidate in the
+//!   same file narrows to that candidate (the receiver-type heuristic
+//!   that matters in practice: `self.helper(..)` inside one impl block).
+//! - Names on the [`DENY`] list never resolve: ubiquitous std methods
+//!   (`clone`, `lock`, `map`, ...) would connect everything to anything
+//!   that happens to share the name, and the blocking primitives
+//!   (`recv`, `wait`, `park`, ...) are modeled as *local events* by the
+//!   passes, not as calls.
+//! - Candidate sets larger than [`MAX_CANDIDATES`] are dropped — an
+//!   edge to six same-named fns is noise, not resolution.
+//! - `// lint:calls(a, b)` on a call line (or the line above) adds
+//!   explicit edges to every fn named `a` / `b` — the escape hatch for
+//!   dynamic dispatch (fn pointers, `dyn Trait`) the heuristics cannot
+//!   see.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::Kind;
+use crate::FileUnit;
+
+/// Method/function names never resolved through the name heuristic.
+pub const DENY: &[&str] = &[
+    // std surface that would alias workspace fns by accident
+    "new", "default", "clone", "cloned", "copied", "drop", "len", "is_empty", "iter",
+    "iter_mut", "into_iter", "next", "push", "pop", "insert", "remove", "get", "get_mut",
+    "contains", "contains_key", "entry", "or_default", "or_insert", "keys", "values", "map",
+    "filter", "filter_map", "flat_map", "fold", "for_each", "any", "all", "find", "position",
+    "rev", "chain", "zip", "enumerate", "take", "skip", "collect", "extend", "split", "trim",
+    "parse", "unwrap", "unwrap_or", "unwrap_or_else", "unwrap_or_default", "expect", "ok",
+    "err", "is_some", "is_none", "is_ok", "is_err", "and_then", "or_else", "map_err",
+    "as_ref", "as_mut", "as_str", "as_bytes", "as_slice", "to_string", "to_owned", "to_vec",
+    "into", "from", "try_from", "try_into", "borrow", "borrow_mut", "load", "store", "swap",
+    "fetch_add", "fetch_sub", "fetch_or", "fetch_and", "fetch_xor", "compare_exchange",
+    "compare_exchange_weak", "min", "max", "abs", "pow", "fmt", "eq", "ne", "cmp",
+    "partial_cmp", "hash", "index", "deref", "sort", "sort_by", "sort_by_key", "dedup",
+    "retain", "clear", "resize", "fill", "copy_from_slice", "clone_from_slice", "chunks",
+    "windows", "first", "last", "starts_with", "ends_with", "replace", "bytes", "lines",
+    "flush", "write_all", "send", "spawn", "sleep", "format", "println", "eprintln",
+    "assert", "assert_eq", "assert_ne", "panic", "matches", "vec", "clamp", "rem_euclid",
+    "checked_sub", "checked_add", "saturating_sub", "saturating_add", "wrapping_add",
+    "wrapping_mul", "wrapping_sub", "to_le_bytes", "from_le_bytes", "set", "get_or_init",
+    "with", "take_while", "skip_while", "sum", "product", "count", "step_by", "cycle",
+    // blocking / lock primitives: local events for the passes, not edges
+    "lock", "read", "write", "try_lock", "try_read", "try_write", "recv", "try_recv",
+    "recv_timeout", "wait", "wait_timeout", "wait_while", "notify_one", "notify_all",
+    "join", "park", "park_timeout", "unpark", "unpark_all", "yield_now",
+];
+
+/// Over-approximation cut: more same-named candidates than this and the
+/// site stays unresolved.
+pub const MAX_CANDIDATES: usize = 4;
+
+/// One named fn in the workspace.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Index into the workspace file list.
+    pub file: usize,
+    /// Index into that file's `Scopes::fns`.
+    pub scope_fn: usize,
+    pub name: String,
+    /// Token indices of the body braces (inclusive).
+    pub body: (usize, usize),
+    /// Line of the opening brace.
+    pub line: u32,
+}
+
+/// One resolved call site.
+#[derive(Debug, Clone, Copy)]
+pub struct CallSite {
+    /// Callee as an index into `CallGraph::nodes`.
+    pub callee: usize,
+    /// Token index of the callee name at the call site.
+    pub token: usize,
+    pub line: u32,
+}
+
+#[derive(Debug)]
+pub struct CallGraph {
+    pub nodes: Vec<FnNode>,
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Outgoing resolved call sites per node (same indexing as `nodes`).
+    pub calls: Vec<Vec<CallSite>>,
+    /// (file index, scope fn index) -> node index.
+    pub node_of: BTreeMap<(usize, usize), usize>,
+}
+
+impl CallGraph {
+    /// Build the graph over every named fn in `files`.
+    pub fn build(files: &[FileUnit]) -> CallGraph {
+        let mut nodes = Vec::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut node_of = BTreeMap::new();
+        for (fi, fu) in files.iter().enumerate() {
+            for (si, f) in fu.sc.fns.iter().enumerate() {
+                let idx = nodes.len();
+                nodes.push(FnNode {
+                    file: fi,
+                    scope_fn: si,
+                    name: f.name.clone(),
+                    body: (f.body_start, f.body_end),
+                    line: fu.lx.tokens.get(f.body_start).map(|t| t.line).unwrap_or(0),
+                });
+                by_name.entry(f.name.clone()).or_default().push(idx);
+                node_of.insert((fi, si), idx);
+            }
+        }
+        let mut calls = vec![Vec::new(); nodes.len()];
+        for n in 0..nodes.len() {
+            let node = &nodes[n];
+            let fu = &files[node.file];
+            let toks = &fu.lx.tokens;
+            let (bs, be) = node.body;
+            let mut i = bs;
+            while i <= be.min(toks.len().saturating_sub(1)) {
+                // Only tokens directly in this fn (not nested fns).
+                if fu.sc.fn_of.get(i) != Some(&Some(node.scope_fn)) {
+                    i += 1;
+                    continue;
+                }
+                let t = &toks[i];
+                if t.kind == Kind::Ident
+                    && toks.get(i + 1).is_some_and(|u| u.kind == Kind::Punct && u.text == "(")
+                {
+                    let name = t.text.as_str();
+                    let prev = i.checked_sub(1).map(|p| &toks[p]);
+                    let is_def = prev.is_some_and(|p| p.kind == Kind::Ident && p.text == "fn");
+                    let is_method =
+                        prev.is_some_and(|p| p.kind == Kind::Punct && p.text == ".");
+                    if !is_def && !is_keyword(name) {
+                        if let Some(cands) = resolve(&by_name, &nodes, name, node, is_method, {
+                            // receiver ident two tokens back for `.m(`
+                            if is_method {
+                                i.checked_sub(2).and_then(|p| {
+                                    toks.get(p)
+                                        .filter(|u| u.kind == Kind::Ident)
+                                        .map(|u| u.text.as_str())
+                                })
+                            } else {
+                                None
+                            }
+                        }) {
+                            for c in cands {
+                                if c != n {
+                                    calls[n].push(CallSite { callee: c, token: i, line: t.line });
+                                }
+                            }
+                        }
+                    }
+                    // `lint:calls(a, b)` marker: explicit edges.
+                    for target in marker_targets(fu, t.line) {
+                        if let Some(list) = by_name.get(&target) {
+                            for &c in list {
+                                if c != n
+                                    && !calls[n]
+                                        .iter()
+                                        .any(|cs| cs.callee == c && cs.line == t.line)
+                                {
+                                    calls[n].push(CallSite { callee: c, token: i, line: t.line });
+                                }
+                            }
+                        }
+                    }
+                }
+                i += 1;
+            }
+        }
+        CallGraph { nodes, by_name, calls, node_of }
+    }
+
+    /// Node index of a scope fn, if it was registered.
+    pub fn node(&self, file: usize, scope_fn: usize) -> Option<usize> {
+        self.node_of.get(&(file, scope_fn)).copied()
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "while" | "for" | "match" | "loop" | "return" | "let" | "fn" | "move" | "in"
+            | "as" | "mut" | "ref" | "break" | "continue" | "else" | "unsafe" | "impl" | "use"
+            | "pub" | "mod" | "where" | "Some" | "None" | "Ok" | "Err" | "Box" | "Vec"
+            | "String" | "debug_assert" | "debug_assert_eq"
+    )
+}
+
+/// Resolve a call by name. Returns `None` when unresolved.
+fn resolve(
+    by_name: &BTreeMap<String, Vec<usize>>,
+    nodes: &[FnNode],
+    name: &str,
+    caller: &FnNode,
+    is_method: bool,
+    receiver: Option<&str>,
+) -> Option<Vec<usize>> {
+    if DENY.contains(&name) {
+        return None;
+    }
+    let cands = by_name.get(name)?;
+    // Receiver-type heuristic: `self.m(..)` with a unique same-file
+    // candidate narrows to it.
+    if is_method && receiver == Some("self") {
+        let same_file: Vec<usize> =
+            cands.iter().copied().filter(|&c| nodes[c].file == caller.file).collect();
+        if same_file.len() == 1 {
+            return Some(same_file);
+        }
+    }
+    if cands.len() > MAX_CANDIDATES {
+        return None;
+    }
+    Some(cands.clone())
+}
+
+/// Targets named by a `// lint:calls(a, b)` marker on `line` or above.
+fn marker_targets(fu: &FileUnit, line: u32) -> Vec<String> {
+    let mut out = Vec::new();
+    for l in [line, line.saturating_sub(1)] {
+        let text = fu.lx.comment_on(l);
+        let mut rest = text;
+        while let Some(p) = rest.find("lint:calls(") {
+            let tail = &rest[p + "lint:calls(".len()..];
+            if let Some(close) = tail.find(')') {
+                for name in tail[..close].split(',') {
+                    let name = name.trim();
+                    if !name.is_empty() {
+                        out.push(name.to_string());
+                    }
+                }
+                rest = &tail[close + 1..];
+            } else {
+                break;
+            }
+        }
+        if l == 0 {
+            break;
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FileUnit;
+
+    fn ws(files: &[(&str, &str)]) -> Vec<FileUnit> {
+        files.iter().map(|(r, s)| FileUnit::new(r.to_string(), s)).collect()
+    }
+
+    fn edges(files: &[(&str, &str)]) -> Vec<(String, String)> {
+        let units = ws(files);
+        let g = CallGraph::build(&units);
+        let mut out = Vec::new();
+        for n in 0..g.nodes.len() {
+            for cs in &g.calls[n] {
+                out.push((g.nodes[n].name.clone(), g.nodes[cs.callee].name.clone()));
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn bare_and_path_calls_resolve_by_name() {
+        let e = edges(&[
+            ("crates/a/src/lib.rs", "pub fn alpha() { beta(); helpers::gamma(); }"),
+            ("crates/a/src/helpers.rs", "pub fn beta() {} pub fn gamma() {}"),
+        ]);
+        assert!(e.contains(&("alpha".into(), "beta".into())));
+        assert!(e.contains(&("alpha".into(), "gamma".into())));
+    }
+
+    #[test]
+    fn method_calls_over_approximate_across_impls() {
+        let e = edges(&[
+            (
+                "crates/a/src/lib.rs",
+                "impl A { fn step(&self) { one(); } } impl B { fn step(&self) { two(); } } \
+                 fn drive(x: &A) { x.step(); }",
+            ),
+            ("crates/a/src/x.rs", "fn one() {} fn two() {}"),
+        ]);
+        // drive -> both step impls (trait/inherent over-approximation).
+        assert_eq!(e.iter().filter(|(f, t)| f == "drive" && t == "step").count(), 1);
+        let units = ws(&[
+            (
+                "crates/a/src/lib.rs",
+                "impl A { fn step(&self) { one(); } } impl B { fn step(&self) { two(); } } \
+                 fn drive(x: &A) { x.step(); }",
+            ),
+            ("crates/a/src/x.rs", "fn one() {} fn two() {}"),
+        ]);
+        let g = CallGraph::build(&units);
+        let drive = g.by_name["drive"][0];
+        assert_eq!(g.calls[drive].len(), 2, "both `step` candidates kept");
+    }
+
+    #[test]
+    fn deny_listed_names_never_resolve() {
+        let e = edges(&[
+            ("crates/a/src/lib.rs", "fn caller(m: &M) { let g = m.lock(); g.clone(); }"),
+            ("crates/b/src/lib.rs", "fn lock() { secret(); } fn clone() {} fn secret() {}"),
+        ]);
+        assert!(e.iter().all(|(f, _)| f != "caller"), "deny-listed: {e:?}");
+    }
+
+    #[test]
+    fn self_method_narrows_to_same_file_candidate() {
+        let units = ws(&[
+            (
+                "crates/a/src/lib.rs",
+                "impl A { fn run(&self) { self.helper(); } fn helper(&self) { a_side(); } }",
+            ),
+            ("crates/b/src/lib.rs", "impl B { fn helper(&self) { b_side(); } }"),
+        ]);
+        let g = CallGraph::build(&units);
+        let run = g.by_name["run"][0];
+        let callees: Vec<_> =
+            g.calls[run].iter().map(|c| (g.nodes[c.callee].file, &g.nodes[c.callee].name)).collect();
+        assert_eq!(callees.len(), 1);
+        assert_eq!(*callees[0].1, "helper");
+        assert_eq!(callees[0].0, 0, "narrowed to the same-file impl");
+    }
+
+    #[test]
+    fn lint_calls_marker_adds_dynamic_dispatch_edges() {
+        let e = edges(&[(
+            "crates/a/src/lib.rs",
+            "fn target_a() {} fn target_b() {}\n\
+             fn dispatch(f: fn()) {\n\
+                 // lint:calls(target_a, target_b)\n\
+                 f();\n\
+             }",
+        )]);
+        assert!(e.contains(&("dispatch".into(), "target_a".into())));
+        assert!(e.contains(&("dispatch".into(), "target_b".into())));
+    }
+
+    #[test]
+    fn oversized_candidate_sets_stay_unresolved() {
+        let src_many: String = (0..6)
+            .map(|i| format!("mod m{i} {{ pub fn popular() {{}} }}\n"))
+            .collect::<String>()
+            + "fn caller() { popular(); }";
+        let e = edges(&[("crates/a/src/lib.rs", &src_many)]);
+        assert!(e.iter().all(|(f, _)| f != "caller"), "{e:?}");
+    }
+}

@@ -1,0 +1,736 @@
+//! Intra-procedural control-flow graphs over the lexed token stream.
+//!
+//! `build()` turns one fn body (the token range between its braces) into
+//! basic blocks of token ranges with successor edges: `if`/`else if`
+//! chains, `match` arms, `loop`/`while`/`for` back edges, early exits
+//! (`return`, `?`, `break`, `continue`). Closures are *not* inlined into
+//! the enclosing flow — a closure may run zero or many times — they are
+//! extracted as [`ClosureRef`] nested bodies for the client to analyze
+//! with whatever multiplicity its semantics dictate (the sync-protocol
+//! pass runs `finish`-closures exactly once, joins other closures as
+//! may-execute, and resolves let-bound closures at their call sites).
+//!
+//! Known imprecision, all conservative for the may-analyses built on
+//! top: labeled `break`/`continue` target the innermost loop, and a `?`
+//! in a branch condition does not fork an exit edge.
+
+use crate::lexer::{Kind, Token};
+
+/// One basic block: token index ranges (half-open, source order) plus
+/// successor block indices.
+#[derive(Debug, Default)]
+pub struct Block {
+    pub ranges: Vec<(usize, usize)>,
+    pub succs: Vec<usize>,
+}
+
+/// A closure literal extracted from the flow.
+#[derive(Debug)]
+pub struct ClosureRef {
+    /// Binding name when the closure is `let name = |..| ..` — callable
+    /// by `name(..)` later in the same fn.
+    pub name: Option<String>,
+    /// Half-open token range of the closure body (inside its braces for
+    /// block bodies, the expression tokens otherwise).
+    pub body: (usize, usize),
+    /// Callee of the innermost open call at the closure site
+    /// (`img.finish(team, |img| ..)` → `Some("finish")`).
+    pub arg_of: Option<String>,
+    /// Block in which the closure literal appears.
+    pub block: usize,
+    /// Token index of the closure start (`move` or the first `|`).
+    pub token: usize,
+}
+
+/// The graph. Block 0 is the entry; `exit` is a token-free sink every
+/// normal or early return reaches.
+#[derive(Debug)]
+pub struct Cfg {
+    pub blocks: Vec<Block>,
+    pub exit: usize,
+    pub closures: Vec<ClosureRef>,
+}
+
+/// Build the CFG of the body whose braces are at token indices
+/// `body_open`/`body_close` (as recorded by `scope::FnInfo`).
+pub fn build(toks: &[Token], body_open: usize, body_close: usize) -> Cfg {
+    build_range(toks, body_open + 1, body_close)
+}
+
+/// Build a CFG over an arbitrary half-open token range (closure bodies,
+/// expression-bodied arms).
+pub fn build_range(toks: &[Token], start: usize, end: usize) -> Cfg {
+    let mut b = Builder {
+        toks,
+        blocks: vec![Block::default(), Block::default()],
+        exit: 1,
+        closures: Vec::new(),
+        loops: Vec::new(),
+        lo: start.saturating_sub(1),
+    };
+    let last = b.walk(start, end.min(toks.len()), 0);
+    b.edge(last, 1);
+    Cfg { blocks: b.blocks, exit: 1, closures: b.closures }
+}
+
+struct Builder<'a> {
+    toks: &'a [Token],
+    blocks: Vec<Block>,
+    exit: usize,
+    closures: Vec<ClosureRef>,
+    /// (continue target, break target) per open loop.
+    loops: Vec<(usize, usize)>,
+    /// Lower bound for backscans (the body's opening brace).
+    lo: usize,
+}
+
+impl<'a> Builder<'a> {
+    fn ident(&self, i: usize) -> Option<&str> {
+        self.toks.get(i).filter(|t| t.kind == Kind::Ident).map(|t| t.text.as_str())
+    }
+
+    fn punct(&self, i: usize, c: &str) -> bool {
+        self.toks.get(i).is_some_and(|t| t.kind == Kind::Punct && t.text == c)
+    }
+
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(Block::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, a: usize, b: usize) {
+        if !self.blocks[a].succs.contains(&b) {
+            self.blocks[a].succs.push(b);
+        }
+    }
+
+    fn emit(&mut self, blk: usize, i: usize) {
+        let r = &mut self.blocks[blk].ranges;
+        if let Some(last) = r.last_mut() {
+            if last.1 == i {
+                last.1 = i + 1;
+                return;
+            }
+        }
+        r.push((i, i + 1));
+    }
+
+    /// Index of the `}` matching the `{` at `open` (token-count match —
+    /// strings/comments are already out of the stream).
+    fn match_brace(&self, open: usize) -> usize {
+        let mut d = 0i32;
+        for j in open..self.toks.len() {
+            if self.toks[j].kind == Kind::Punct {
+                match self.toks[j].text.as_str() {
+                    "{" => d += 1,
+                    "}" => {
+                        d -= 1;
+                        if d == 0 {
+                            return j;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.toks.len().saturating_sub(1)
+    }
+
+    /// Is the `|` at `i` a closure opener rather than a binary or?
+    fn is_closure_start(&self, i: usize) -> bool {
+        if !self.punct(i, "|") {
+            return false;
+        }
+        if i == 0 {
+            return true;
+        }
+        let p = &self.toks[i - 1];
+        match p.kind {
+            Kind::Punct => matches!(p.text.as_str(), "=" | "(" | "," | "{" | ";" | ">" | "&"),
+            Kind::Ident => matches!(p.text.as_str(), "move" | "return" | "else" | "in"),
+            _ => false,
+        }
+    }
+
+    /// Record a closure starting at `i` (`move` or `|`); skips its body
+    /// without emitting and returns the index just past it.
+    fn record_closure(&mut self, i: usize, end: usize, cur: usize) -> usize {
+        let tok0 = i;
+        let mut j = i;
+        if self.ident(j) == Some("move") {
+            j += 1;
+        }
+        // Parameter list: `||` or `|..|`.
+        if self.punct(j, "|") && self.punct(j + 1, "|") {
+            j += 2;
+        } else {
+            j += 1;
+            let (mut pd, mut bd) = (0i32, 0i32);
+            while j < end && !(self.punct(j, "|") && pd == 0 && bd == 0) {
+                match self.toks[j].text.as_str() {
+                    "(" => pd += 1,
+                    ")" => pd -= 1,
+                    "[" => bd += 1,
+                    "]" => bd -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            j += 1;
+        }
+        // Optional `-> T` return type before a block body.
+        if self.punct(j, "-") && self.punct(j + 1, ">") {
+            while j < end && !self.punct(j, "{") {
+                j += 1;
+            }
+        }
+        let (bs, be, next) = if self.punct(j, "{") {
+            let c = self.match_brace(j);
+            (j + 1, c, c + 1)
+        } else {
+            // Expression body: up to a top-level `,` `)` `;` `}`.
+            let s = j;
+            let (mut pd, mut bd, mut brd) = (0i32, 0i32, 0i32);
+            while j < end {
+                let t = self.toks[j].text.as_str();
+                if self.toks[j].kind == Kind::Punct {
+                    match t {
+                        "(" => pd += 1,
+                        "[" => bd += 1,
+                        "{" => brd += 1,
+                        ")" if pd == 0 => break,
+                        "]" if bd == 0 => break,
+                        "}" if brd == 0 => break,
+                        ")" => pd -= 1,
+                        "]" => bd -= 1,
+                        "}" => brd -= 1,
+                        "," | ";" if pd == 0 && bd == 0 && brd == 0 => break,
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            (s, j, j)
+        };
+        // `let [mut] NAME = [move] |..|` — a nameable closure.
+        let mut k = tok0;
+        let name = (|| {
+            if k > self.lo && self.ident(k.wrapping_sub(1)) == Some("move") {
+                k -= 1;
+            }
+            if k > self.lo + 1 && self.punct(k - 1, "=") {
+                let cand = k - 2;
+                let nm = self.ident(cand)?;
+                let before = cand.checked_sub(1)?;
+                let is_let = self.ident(before) == Some("let")
+                    || (self.ident(before) == Some("mut")
+                        && before > self.lo
+                        && self.ident(before - 1) == Some("let"));
+                if is_let {
+                    return Some(nm.to_string());
+                }
+            }
+            None
+        })();
+        // Innermost unclosed call at the closure site.
+        let arg_of = {
+            let mut depth = 0i32;
+            let mut found = None;
+            let mut j2 = tok0;
+            let floor = tok0.saturating_sub(300).max(self.lo);
+            while j2 > floor {
+                j2 -= 1;
+                if self.toks[j2].kind != Kind::Punct {
+                    continue;
+                }
+                match self.toks[j2].text.as_str() {
+                    ")" => depth += 1,
+                    "(" => {
+                        if depth == 0 {
+                            found = j2.checked_sub(1).and_then(|p| self.ident(p)).map(String::from);
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            found
+        };
+        self.closures.push(ClosureRef { name, body: (bs, be), arg_of, block: cur, token: tok0 });
+        next
+    }
+
+    /// Scan from `j` to the first `{` at paren/bracket depth 0, emitting
+    /// condition tokens into `blk` and extracting closures on the way.
+    fn scan_to_brace(&mut self, mut j: usize, end: usize, blk: usize) -> usize {
+        let (mut pd, mut bd) = (0i32, 0i32);
+        while j < end {
+            if self.is_closure_start(j)
+                || (self.ident(j) == Some("move") && self.punct(j + 1, "|"))
+            {
+                j = self.record_closure(j, end, blk);
+                continue;
+            }
+            if self.toks[j].kind == Kind::Punct {
+                match self.toks[j].text.as_str() {
+                    "(" => pd += 1,
+                    ")" => pd -= 1,
+                    "[" => bd += 1,
+                    "]" => bd -= 1,
+                    "{" if pd == 0 && bd == 0 => return j,
+                    _ => {}
+                }
+            }
+            self.emit(blk, j);
+            j += 1;
+        }
+        j
+    }
+
+    /// Walk `[i, end)` appending to `cur`; returns the block live at
+    /// `end`.
+    fn walk(&mut self, mut i: usize, end: usize, mut cur: usize) -> usize {
+        while i < end {
+            // Attributes `#[..]` / `#![..]`: consume wholesale.
+            if self.punct(i, "#") {
+                let mut j = i + 1;
+                if self.punct(j, "!") {
+                    j += 1;
+                }
+                if self.punct(j, "[") {
+                    let mut d = 0i32;
+                    while j < end {
+                        match self.toks[j].text.as_str() {
+                            "[" => d += 1,
+                            "]" => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+            }
+            if self.is_closure_start(i)
+                || (self.ident(i) == Some("move") && self.punct(i + 1, "|"))
+            {
+                i = self.record_closure(i, end, cur);
+                continue;
+            }
+            match self.ident(i) {
+                Some("if") => {
+                    let (ni, join) = self.parse_if(i, end, cur);
+                    i = ni;
+                    cur = join;
+                    continue;
+                }
+                Some("match") => {
+                    let (ni, join) = self.parse_match(i, end, cur);
+                    i = ni;
+                    cur = join;
+                    continue;
+                }
+                Some("loop") if self.punct(i + 1, "{") => {
+                    self.emit(cur, i);
+                    let head = self.new_block();
+                    self.edge(cur, head);
+                    let join = self.new_block();
+                    let close = self.match_brace(i + 1);
+                    self.loops.push((head, join));
+                    let out = self.walk(i + 2, close, head);
+                    self.edge(out, head);
+                    self.loops.pop();
+                    i = close + 1;
+                    cur = join;
+                    continue;
+                }
+                Some("while") | Some("for") => {
+                    self.emit(cur, i);
+                    let head = self.new_block();
+                    self.edge(cur, head);
+                    let open = self.scan_to_brace(i + 1, end, head);
+                    let close = self.match_brace(open);
+                    let join = self.new_block();
+                    self.edge(head, join);
+                    let body = self.new_block();
+                    self.edge(head, body);
+                    self.loops.push((head, join));
+                    let out = self.walk(open + 1, close, body);
+                    self.edge(out, head);
+                    self.loops.pop();
+                    i = close + 1;
+                    cur = join;
+                    continue;
+                }
+                Some("return") => {
+                    // Emit the returned expression into `cur`, then exit.
+                    self.emit(cur, i);
+                    let mut j = i + 1;
+                    let (mut pd, mut bd, mut brd) = (0i32, 0i32, 0i32);
+                    while j < end {
+                        let t = &self.toks[j];
+                        if t.kind == Kind::Punct {
+                            match t.text.as_str() {
+                                "(" => pd += 1,
+                                ")" => pd -= 1,
+                                "[" => bd += 1,
+                                "]" => bd -= 1,
+                                "{" => brd += 1,
+                                "}" if brd == 0 => break,
+                                "}" => brd -= 1,
+                                ";" if pd == 0 && bd == 0 && brd == 0 => break,
+                                _ => {}
+                            }
+                        }
+                        self.emit(cur, j);
+                        j += 1;
+                    }
+                    self.edge(cur, self.exit);
+                    cur = self.new_block();
+                    i = j + 1;
+                    continue;
+                }
+                Some("break") => {
+                    self.emit(cur, i);
+                    if let Some(&(_, br)) = self.loops.last() {
+                        self.edge(cur, br);
+                    }
+                    cur = self.new_block();
+                    i += 1;
+                    continue;
+                }
+                Some("continue") => {
+                    self.emit(cur, i);
+                    if let Some(&(head, _)) = self.loops.last() {
+                        self.edge(cur, head);
+                    }
+                    cur = self.new_block();
+                    i += 1;
+                    continue;
+                }
+                Some("fn") => {
+                    // Nested fn item: its body is a separate scope fn —
+                    // skip it entirely.
+                    let mut j = i + 1;
+                    let (mut pd, mut bd) = (0i32, 0i32);
+                    while j < end {
+                        if self.toks[j].kind == Kind::Punct {
+                            match self.toks[j].text.as_str() {
+                                "(" => pd += 1,
+                                ")" => pd -= 1,
+                                "[" => bd += 1,
+                                "]" => bd -= 1,
+                                "{" if pd == 0 && bd == 0 => break,
+                                ";" if pd == 0 && bd == 0 => break,
+                                _ => {}
+                            }
+                        }
+                        j += 1;
+                    }
+                    i = if self.punct(j, "{") { self.match_brace(j) + 1 } else { j + 1 };
+                    continue;
+                }
+                _ => {}
+            }
+            if self.punct(i, "?") {
+                self.emit(cur, i);
+                self.edge(cur, self.exit);
+                let nb = self.new_block();
+                self.edge(cur, nb);
+                cur = nb;
+                i += 1;
+                continue;
+            }
+            self.emit(cur, i);
+            i += 1;
+        }
+        cur
+    }
+
+    /// `if .. { } [else if .. { }]* [else { }]`; returns (next index,
+    /// join block).
+    fn parse_if(&mut self, i: usize, end: usize, cur: usize) -> (usize, usize) {
+        self.emit(cur, i);
+        let open = self.scan_to_brace(i + 1, end, cur);
+        let close = self.match_brace(open);
+        let then_b = self.new_block();
+        self.edge(cur, then_b);
+        let then_out = self.walk(open + 1, close, then_b);
+        if self.ident(close + 1) == Some("else") {
+            if self.ident(close + 2) == Some("if") {
+                let else_b = self.new_block();
+                self.edge(cur, else_b);
+                let (ni, else_join) = self.parse_if(close + 2, end, else_b);
+                let join = self.new_block();
+                self.edge(then_out, join);
+                self.edge(else_join, join);
+                (ni, join)
+            } else {
+                let eopen = close + 2;
+                let eclose = self.match_brace(eopen);
+                let else_b = self.new_block();
+                self.edge(cur, else_b);
+                let else_out = self.walk(eopen + 1, eclose, else_b);
+                let join = self.new_block();
+                self.edge(then_out, join);
+                self.edge(else_out, join);
+                (eclose + 1, join)
+            }
+        } else {
+            let join = self.new_block();
+            self.edge(then_out, join);
+            self.edge(cur, join);
+            (close + 1, join)
+        }
+    }
+
+    /// `match expr { pat => arm, .. }`; every arm joins.
+    fn parse_match(&mut self, i: usize, end: usize, cur: usize) -> (usize, usize) {
+        self.emit(cur, i);
+        let open = self.scan_to_brace(i + 1, end, cur);
+        let close = self.match_brace(open);
+        let join = self.new_block();
+        let mut j = open + 1;
+        let mut any_arm = false;
+        while j < close {
+            // Pattern (and guard) up to `=>` at relative depth 0.
+            let (mut pd, mut bd, mut brd) = (0i32, 0i32, 0i32);
+            while j < close {
+                if self.toks[j].kind == Kind::Punct {
+                    match self.toks[j].text.as_str() {
+                        "(" => pd += 1,
+                        ")" => pd -= 1,
+                        "[" => bd += 1,
+                        "]" => bd -= 1,
+                        "{" => brd += 1,
+                        "}" => brd -= 1,
+                        "=" if pd == 0 && bd == 0 && brd == 0 && self.punct(j + 1, ">") => break,
+                        _ => {}
+                    }
+                }
+                self.emit(cur, j);
+                j += 1;
+            }
+            if j >= close {
+                break;
+            }
+            j += 2; // past `=>`
+            let arm_b = self.new_block();
+            self.edge(cur, arm_b);
+            any_arm = true;
+            if self.punct(j, "{") {
+                let c = self.match_brace(j);
+                let out = self.walk(j + 1, c, arm_b);
+                self.edge(out, join);
+                j = c + 1;
+                if self.punct(j, ",") {
+                    j += 1;
+                }
+            } else {
+                // Expression arm up to a top-level `,` (or the match `}`).
+                let s = j;
+                let (mut pd, mut bd, mut brd) = (0i32, 0i32, 0i32);
+                while j < close {
+                    if self.toks[j].kind == Kind::Punct {
+                        match self.toks[j].text.as_str() {
+                            "(" => pd += 1,
+                            ")" => pd -= 1,
+                            "[" => bd += 1,
+                            "]" => bd -= 1,
+                            "{" => brd += 1,
+                            "}" => brd -= 1,
+                            "," if pd == 0 && bd == 0 && brd == 0 => break,
+                            _ => {}
+                        }
+                    }
+                    j += 1;
+                }
+                let out = self.walk(s, j, arm_b);
+                self.edge(out, join);
+                if self.punct(j, ",") {
+                    j += 1;
+                }
+            }
+        }
+        if !any_arm {
+            self.edge(cur, join);
+        }
+        (close + 1, join)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scope;
+
+    fn cfg_of(src: &str, fname: &str) -> (Vec<Token>, Cfg) {
+        let lx = lex(src);
+        let sc = scope::analyze(&lx.tokens);
+        let f = sc.fns.iter().find(|f| f.name == fname).expect("fn");
+        let cfg = build(&lx.tokens, f.body_start, f.body_end);
+        (lx.tokens, cfg)
+    }
+
+    fn block_idents(toks: &[Token], cfg: &Cfg, b: usize) -> Vec<String> {
+        cfg.blocks[b]
+            .ranges
+            .iter()
+            .flat_map(|&(s, e)| toks[s..e].iter())
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    fn block_containing(toks: &[Token], cfg: &Cfg, ident: &str) -> usize {
+        (0..cfg.blocks.len())
+            .find(|&b| block_idents(toks, cfg, b).iter().any(|i| i == ident))
+            .unwrap_or_else(|| panic!("{ident} not in any block"))
+    }
+
+    fn reaches(cfg: &Cfg, from: usize, to: usize) -> bool {
+        let mut seen = vec![false; cfg.blocks.len()];
+        let mut stack = vec![from];
+        while let Some(b) = stack.pop() {
+            if b == to {
+                return true;
+            }
+            if seen[b] {
+                continue;
+            }
+            seen[b] = true;
+            stack.extend(cfg.blocks[b].succs.iter().copied());
+        }
+        false
+    }
+
+    #[test]
+    fn if_else_arms_are_separate_and_both_reach_exit() {
+        let (toks, cfg) =
+            cfg_of("fn f(c: bool) { start(); if c { a(); } else { b(); } done(); }", "f");
+        let ba = block_containing(&toks, &cfg, "a");
+        let bb = block_containing(&toks, &cfg, "b");
+        let bd = block_containing(&toks, &cfg, "done");
+        assert_ne!(ba, bb);
+        assert!(reaches(&cfg, ba, bd) && reaches(&cfg, bb, bd));
+        assert!(reaches(&cfg, 0, cfg.exit));
+        // `a` must not flow through `b`.
+        assert!(!reaches(&cfg, ba, bb));
+    }
+
+    #[test]
+    fn if_without_else_has_fallthrough_edge() {
+        let (toks, cfg) = cfg_of("fn f(c: bool) { if c { a(); } done(); }", "f");
+        let ba = block_containing(&toks, &cfg, "a");
+        let bd = block_containing(&toks, &cfg, "done");
+        let b0 = block_containing(&toks, &cfg, "c");
+        // Both through-`a` and around-`a` paths reach `done`.
+        assert!(reaches(&cfg, ba, bd));
+        assert!(cfg.blocks[b0].succs.iter().any(|&s| s != ba && reaches(&cfg, s, bd)));
+    }
+
+    #[test]
+    fn loops_have_back_edges_and_breaks_exit() {
+        let (toks, cfg) =
+            cfg_of("fn f() { loop { work(); if done() { break; } } after(); }", "f");
+        let bw = block_containing(&toks, &cfg, "work");
+        let bafter = block_containing(&toks, &cfg, "after");
+        assert!(reaches(&cfg, bw, bw), "loop body must reach itself (back edge)");
+        assert!(reaches(&cfg, bw, bafter));
+    }
+
+    #[test]
+    fn while_loop_may_skip_body() {
+        let (toks, cfg) = cfg_of("fn f(mut n: u32) { while n > 0 { body(); n -= 1; } end(); }", "f");
+        let bb = block_containing(&toks, &cfg, "body");
+        let be = block_containing(&toks, &cfg, "end");
+        let bh = block_containing(&toks, &cfg, "n");
+        assert!(reaches(&cfg, bb, bb));
+        assert!(reaches(&cfg, bh, be));
+        // The zero-iteration path: head reaches end without the body.
+        assert!(cfg.blocks[bh].succs.iter().any(|&s| s != bb && reaches(&cfg, s, be)));
+    }
+
+    #[test]
+    fn return_cuts_the_fallthrough_path() {
+        let (toks, cfg) = cfg_of("fn f(c: bool) { if c { return early(); } late(); }", "f");
+        let bearly = block_containing(&toks, &cfg, "early");
+        let blate = block_containing(&toks, &cfg, "late");
+        assert!(reaches(&cfg, bearly, cfg.exit));
+        assert!(!reaches(&cfg, bearly, blate), "code after return is not a successor");
+    }
+
+    #[test]
+    fn question_mark_forks_an_exit_edge() {
+        let (toks, cfg) = cfg_of("fn f() -> Option<()> { risky()?; rest(); Some(()) }", "f");
+        let br = block_containing(&toks, &cfg, "risky");
+        assert!(cfg.blocks[br].succs.contains(&cfg.exit));
+        let brest = block_containing(&toks, &cfg, "rest");
+        assert!(reaches(&cfg, br, brest));
+    }
+
+    #[test]
+    fn match_arms_fork_and_join() {
+        let (toks, cfg) = cfg_of(
+            "fn f(x: u32) { match x { 0 => zero(), 1 => { one(); } _ => other(), } tail(); }",
+            "f",
+        );
+        let bz = block_containing(&toks, &cfg, "zero");
+        let bo = block_containing(&toks, &cfg, "one");
+        let bt = block_containing(&toks, &cfg, "tail");
+        assert_ne!(bz, bo);
+        assert!(reaches(&cfg, bz, bt) && reaches(&cfg, bo, bt));
+        assert!(!reaches(&cfg, bz, bo));
+    }
+
+    #[test]
+    fn closures_are_extracted_not_inlined() {
+        let (toks, cfg) = cfg_of(
+            "fn f(img: &I) { let send = |j: usize| { put(j); notify(j); }; send(0); \
+             img.finish(team, |img| { inner(); }); }",
+            "f",
+        );
+        // Closure bodies never appear in the enclosing blocks.
+        for b in 0..cfg.blocks.len() {
+            let ids = block_idents(&toks, &cfg, b);
+            assert!(!ids.iter().any(|i| i == "put" || i == "inner"), "closure leaked: {ids:?}");
+        }
+        let named: Vec<_> = cfg.closures.iter().filter_map(|c| c.name.clone()).collect();
+        assert_eq!(named, vec!["send".to_string()]);
+        let fin = cfg.closures.iter().find(|c| c.arg_of.as_deref() == Some("finish")).unwrap();
+        let body: Vec<_> = toks[fin.body.0..fin.body.1].iter().map(|t| t.text.as_str()).collect();
+        assert!(body.contains(&"inner"));
+    }
+
+    #[test]
+    fn expression_bodied_closure_in_iterator_chain() {
+        let (toks, cfg) = cfg_of("fn f(v: &[u32]) { let s = v.iter().map(|x| x + 1).sum(); use_it(s); }", "f");
+        let c = cfg.closures.iter().find(|c| c.arg_of.as_deref() == Some("map")).unwrap();
+        let body: Vec<_> = toks[c.body.0..c.body.1].iter().map(|t| t.text.as_str()).collect();
+        assert!(body.contains(&"x"));
+        assert!(reaches(&cfg, 0, cfg.exit));
+        let _ = block_containing(&toks, &cfg, "use_it");
+    }
+
+    #[test]
+    fn continue_targets_the_loop_head() {
+        let (toks, cfg) = cfg_of(
+            "fn f() { for i in 0..10 { if skip(i) { continue; } body(i); } tail(); }",
+            "f",
+        );
+        let bs = block_containing(&toks, &cfg, "skip");
+        let bb = block_containing(&toks, &cfg, "body");
+        let bt = block_containing(&toks, &cfg, "tail");
+        assert!(reaches(&cfg, bs, bb) && reaches(&cfg, bb, bt));
+        // The continue path cycles back: skip-block reaches itself.
+        assert!(reaches(&cfg, bs, bs));
+    }
+}

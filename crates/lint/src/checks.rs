@@ -15,6 +15,9 @@
 //! Every class accepts a per-site `// lint:allow(<class>)` escape hatch
 //! on the flagged line or the line above.
 
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+
 use crate::inventory::BlockSite;
 use crate::lexer::{Kind, Lexed, Token};
 use crate::ordering::OrderingTable;
@@ -77,10 +80,18 @@ pub(crate) struct FileCtx<'a> {
     pub is_sched: bool,
     pub is_delay: bool,
     pub nd_allowed_file: bool,
+    /// (marker line, class) pairs consumed by `allow()` — feeds the
+    /// CAFL000 stale-allow audit.
+    consumed: &'a RefCell<BTreeSet<(u32, String)>>,
 }
 
 impl<'a> FileCtx<'a> {
-    pub fn new(rel: &'a str, lx: &'a Lexed, sc: &'a Scopes) -> Self {
+    pub fn new(
+        rel: &'a str,
+        lx: &'a Lexed,
+        sc: &'a Scopes,
+        consumed: &'a RefCell<BTreeSet<(u32, String)>>,
+    ) -> Self {
         let krate = rel
             .strip_prefix("crates/")
             .and_then(|r| r.split('/').next())
@@ -96,6 +107,7 @@ impl<'a> FileCtx<'a> {
             is_sched: rel == "crates/fabric/src/sched.rs" || rel.starts_with("crates/sched/"),
             is_delay: rel == "crates/fabric/src/delay.rs",
             nd_allowed_file: matches!(file_name, "delay.rs" | "stall.rs"),
+            consumed,
         }
     }
 
@@ -131,7 +143,16 @@ impl<'a> FileCtx<'a> {
     }
 
     fn allow(&self, line: u32, class: &str) -> bool {
-        self.lx.marker_at(line, &format!("lint:allow({class})"))
+        let needle = format!("lint:allow({class})");
+        if self.lx.comment_on(line).contains(&needle) {
+            self.consumed.borrow_mut().insert((line, class.to_string()));
+            return true;
+        }
+        if line > 1 && self.lx.comment_on(line - 1).contains(&needle) {
+            self.consumed.borrow_mut().insert((line - 1, class.to_string()));
+            return true;
+        }
+        false
     }
 
     /// Does the innermost named fn enclosing token `i` contain any of

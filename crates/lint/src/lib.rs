@@ -27,12 +27,17 @@
 //! Per-site escape hatch for every class: `// lint:allow(<class>)` on
 //! the flagged line or the line above.
 
+pub mod callgraph;
+pub mod cfg;
 pub mod checks;
 pub mod inventory;
 pub mod lexer;
 pub mod ordering;
+pub mod proto;
 pub mod scope;
+pub mod waitgraph;
 
+use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -44,6 +49,159 @@ pub use ordering::OrderingTable;
 pub const ORDERINGS_TSV: &str = "crates/lint/orderings.tsv";
 /// Path of the committed blocking inventory, relative to the root.
 pub const BLOCKING_JSON: &str = "LINT_BLOCKING.json";
+/// Path of the committed wait-graph inventory, relative to the root.
+pub const WAITGRAPH_JSON: &str = "LINT_WAITGRAPH.json";
+
+/// Every `lint:allow(<class>)` class a pass consults. The CAFL000 audit
+/// flags markers naming anything else — and markers naming these that no
+/// pass ever consulted at a matched site.
+pub const KNOWN_CLASSES: &[&str] = &[
+    "blocking",
+    "lock-across-park",
+    "atomic-ordering",
+    "unsafe",
+    "layering",
+    "segment-direct",
+    "nondeterminism",
+    "sync-protocol",
+    "wait-graph",
+];
+
+/// One lexed + scope-analyzed source file, with the set of allow
+/// markers the passes actually *consumed* (consulted at a site whose
+/// pattern matched) — the input of the CAFL000 stale-allow audit.
+#[derive(Debug)]
+pub struct FileUnit {
+    pub rel: String,
+    pub lx: lexer::Lexed,
+    pub sc: scope::Scopes,
+    /// (marker line, class) pairs that suppressed (or would have
+    /// suppressed) a finding.
+    pub consumed: RefCell<BTreeSet<(u32, String)>>,
+}
+
+impl FileUnit {
+    pub fn new(rel: String, src: &str) -> FileUnit {
+        let lx = lexer::lex(src);
+        let sc = scope::analyze(&lx.tokens);
+        FileUnit { rel, lx, sc, consumed: RefCell::new(BTreeSet::new()) }
+    }
+
+    /// Crate name for `crates/<name>/...` paths, else "".
+    pub fn krate(&self) -> &str {
+        self.rel.strip_prefix("crates/").and_then(|r| r.split('/').next()).unwrap_or("")
+    }
+
+    /// `lint:allow(<class>)` on `line` or the line above, recording
+    /// consumption for the stale-allow audit.
+    pub fn allow(&self, line: u32, class: &str) -> bool {
+        let needle = format!("lint:allow({class})");
+        if self.lx.comment_on(line).contains(&needle) {
+            self.consumed.borrow_mut().insert((line, class.to_string()));
+            return true;
+        }
+        if line > 1 && self.lx.comment_on(line - 1).contains(&needle) {
+            self.consumed.borrow_mut().insert((line - 1, class.to_string()));
+            return true;
+        }
+        false
+    }
+}
+
+/// The whole workspace as analyzed units: the per-file passes run over
+/// each file, then the interprocedural passes (call graph, CAFL008
+/// sync-protocol, CAFL009 wait-graph) and the CAFL000 stale-allow audit
+/// run over the set.
+#[derive(Debug)]
+pub struct Workspace {
+    pub files: Vec<FileUnit>,
+}
+
+impl Workspace {
+    pub fn from_sources(sources: Vec<(String, String)>) -> Workspace {
+        let mut files: Vec<FileUnit> =
+            sources.into_iter().map(|(rel, src)| FileUnit::new(rel, &src)).collect();
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        Workspace { files }
+    }
+
+    /// Run every pass: per-file (CAFL001..CAFL007), interprocedural
+    /// (CAFL008/CAFL009), then the allow audit (CAFL000).
+    pub fn analyze(&self, table: &OrderingTable, report: &mut Report) {
+        for fu in &self.files {
+            let ctx = checks::FileCtx::new(&fu.rel, &fu.lx, &fu.sc, &fu.consumed);
+            checks::scan(&ctx, table, report);
+            report.files_scanned += 1;
+        }
+        let graph = callgraph::CallGraph::build(&self.files);
+        proto::sync_protocol_pass(self, &graph, report);
+        let wg = waitgraph::build(self, &graph, report);
+        report.waitgraph = Some(wg);
+        allow_audit(self, report);
+    }
+}
+
+/// CAFL000: every `lint:allow(<class>)` marker must still be load-
+/// bearing. A marker no pass consulted at a matched site suppresses
+/// nothing — burned-down suppressions must be deleted, not left to rot.
+/// Backtick-quoted mentions (prose in doc comments) are ignored, as are
+/// placeholder classes like `<class>`.
+fn allow_audit(ws: &Workspace, report: &mut Report) {
+    for fu in &ws.files {
+        let consumed = fu.consumed.borrow();
+        for (&line, text) in fu.lx.comments.iter() {
+            let mut from = 0usize;
+            while let Some(p) = text[from..].find("lint:allow(") {
+                let abs = from + p;
+                from = abs + "lint:allow(".len();
+                // Prose guard: skip when the nearest non-`/ `-char to the
+                // left is a backtick (covers "`lint:allow(x)`" and
+                // "`// lint:allow(x)`").
+                let prose = text[..abs]
+                    .chars()
+                    .rev()
+                    .find(|c| !matches!(c, '/' | ' '))
+                    .is_some_and(|c| c == '`');
+                if prose {
+                    continue;
+                }
+                let tail = &text[from..];
+                let Some(close) = tail.find(')') else { continue };
+                let class = &tail[..close];
+                if class.is_empty()
+                    || !class.chars().all(|c| c.is_ascii_lowercase() || c == '-')
+                {
+                    continue; // placeholder like `<class>`, not a marker
+                }
+                if !KNOWN_CLASSES.contains(&class) {
+                    report.diags.push(Diag {
+                        code: "CAFL000",
+                        class: "allow-audit",
+                        file: fu.rel.clone(),
+                        line,
+                        msg: format!(
+                            "`lint:allow({class})` names no known lint class (valid: {})",
+                            KNOWN_CLASSES.join(", ")
+                        ),
+                    });
+                    continue;
+                }
+                if !consumed.contains(&(line, class.to_string())) {
+                    report.diags.push(Diag {
+                        code: "CAFL000",
+                        class: "allow-audit",
+                        file: fu.rel.clone(),
+                        line,
+                        msg: format!(
+                            "stale `lint:allow({class})`: no {class} finding is suppressed \
+                             here any more — delete the marker"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
 
 /// One finding.
 #[derive(Debug, Clone)]
@@ -108,6 +266,8 @@ pub struct Report {
     pub files_scanned: usize,
     /// Ordering-table keys that matched a site (for staleness checks).
     pub ordering_keys_seen: BTreeSet<String>,
+    /// The CAFL009 lock/park wait graph (workspace analyses only).
+    pub waitgraph: Option<waitgraph::Graph>,
 }
 
 impl Report {
@@ -131,6 +291,15 @@ impl Report {
         inventory::render(&self.sites)
     }
 
+    /// Render the wait-graph inventory (`LINT_WAITGRAPH.json`); empty
+    /// graph when only per-file scans ran.
+    pub fn waitgraph_json(&self) -> String {
+        match &self.waitgraph {
+            Some(g) => g.render(),
+            None => waitgraph::Graph::default().render(),
+        }
+    }
+
     /// Keys of `Ordering::` sites that have no table row — the lines to
     /// append (with TODO justifications) under `--update-orderings`.
     pub fn missing_ordering_rows(&self, table: &OrderingTable) -> Vec<String> {
@@ -142,11 +311,14 @@ impl Report {
     }
 }
 
-/// Scan one file's source under its workspace-relative path.
+/// Scan one file's source under its workspace-relative path — the
+/// per-file passes only (CAFL001..CAFL007); interprocedural analyses
+/// need a [`Workspace`].
 pub fn scan_file(rel: &str, src: &str, table: &OrderingTable, report: &mut Report) {
     let lx = lexer::lex(src);
     let sc = scope::analyze(&lx.tokens);
-    let ctx = checks::FileCtx::new(rel, &lx, &sc);
+    let consumed = RefCell::new(BTreeSet::new());
+    let ctx = checks::FileCtx::new(rel, &lx, &sc, &consumed);
     checks::scan(&ctx, table, report);
     report.files_scanned += 1;
 }
@@ -190,6 +362,7 @@ pub fn run_workspace(root: &Path) -> Result<Report, String> {
         collect_rs_files(&root.join(dir), &mut files);
     }
     files.sort();
+    let mut sources = Vec::with_capacity(files.len());
     for path in &files {
         let src = fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
         let rel = path
@@ -197,8 +370,10 @@ pub fn run_workspace(root: &Path) -> Result<Report, String> {
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        scan_file(&rel, &src, &table, &mut report);
+        sources.push((rel, src));
     }
+    let ws = Workspace::from_sources(sources);
+    ws.analyze(&table, &mut report);
     manifest_layering(root, &mut report);
     finish(&table, &mut report);
     Ok(report)

@@ -415,6 +415,65 @@ fn agg_drain_finish_run() {
     });
 }
 
+/// Node ids from the committed `LINT_WAITGRAPH.json` that the
+/// wait-graph-seeded scenario drives schedules against. CAFL009's
+/// static pass proved no held-across edge connects them; this scenario
+/// contends on exactly these lock/park classes so the explorer would
+/// surface a deadlock counterexample if the static claim ever went
+/// stale (a guard growing across a park site, a new lock-order
+/// inversion). `tests/model_explore.rs` asserts each id is present in
+/// the committed graph, coupling the scenario to the artifact.
+pub const WAITGRAPH_TARGETED_NODES: &[&str] = &[
+    "lock:core/slots",
+    "park:core/wait",
+    "park:fabric/recv",
+    "park:fabric/yield_op",
+];
+
+/// The wait-graph-seeded scenario: ship-registry contention
+/// (`lock:core/slots` taken from both images while Yang's finish
+/// accounting parks and unparks them) followed by an async-put
+/// notify/wait handshake (`park:core/wait` with the release barrier in
+/// flight). Every lock class in [`WAITGRAPH_TARGETED_NODES`] is
+/// acquired on paths that interleave with every park class — the
+/// dynamic complement of the static wait graph.
+pub fn waitgraph_targeted() -> Scenario {
+    Scenario {
+        name: "wait-graph targeted (CAF-MPI, ship+event)",
+        images: 2,
+        run: waitgraph_targeted_run,
+    }
+}
+
+fn waitgraph_targeted_run() {
+    CafUniverse::run_with_config(2, CafConfig::on(SubstrateKind::Mpi), |img| {
+        let world = img.team_world();
+        let me = img.this_image();
+        let peer = 1 - me;
+        let ca: Coarray<u64> = img.coarray_alloc(&world, 2);
+        let ev = img.event_alloc(&world);
+        // Both images park a closure in the ship slot registry and the
+        // peer's executor claims it: lock:core/slots from two sides,
+        // racing finish's termination detection.
+        img.finish(&world, |img| {
+            let c = ca.clone();
+            img.ship(&world, peer, move |exec| {
+                c.local_write(exec, 0, &[me as u64 + 0x50]);
+            });
+        });
+        // Async put released by the notify; the waiter sits parked in
+        // the event machinery until the post lands.
+        img.copy_async_put(&ca, peer, 1, &[me as u64 + 0x60], AsyncOpts::none());
+        img.event_notify(&world, &ev, peer);
+        img.event_wait(&ev);
+        let v = ca.local_vec(img);
+        assert_eq!(v[0], peer as u64 + 0x50, "shipped write lost");
+        assert_eq!(v[1], peer as u64 + 0x60, "put not released by notify");
+        img.sync_all();
+        img.coarray_free(&world, ca);
+    });
+}
+
 fn unflushed_run() {
     CafUniverse::run_with_config(2, CafConfig::on(SubstrateKind::Mpi), |img| {
         let world = img.team_world();

@@ -59,6 +59,8 @@ fn run_put_program(cfg: CafConfig, writes: Vec<(usize, usize, usize, u64)>) -> V
 
         for &(writer, target, slot, value) in &writes {
             if me == writer && target != me {
+                // Released by the event_notify loop below: `targets` is
+                // non-empty exactly when this image put. lint:allow(sync-protocol)
                 img.copy_async_put(&ca, target, slot, &[value], AsyncOpts::none());
             } else if me == writer {
                 ca.local_write(img, slot, &[value]);

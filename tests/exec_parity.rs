@@ -86,6 +86,8 @@ proptest! {
                     let me = img.this_image();
                     for &(writer, target, slot, value) in &w {
                         if me == writer && target != me {
+                            // Released by the event_notify loop below: `targets` is
+                            // non-empty exactly when this image put. lint:allow(sync-protocol)
                             img.copy_async_put(&ca, target, slot, &[value], AsyncOpts::none());
                         } else if me == writer {
                             ca.local_write(img, slot, &[value]);

@@ -1,4 +1,4 @@
-//! Fixture tests for the caf-lint passes (CAFL001..CAFL007).
+//! Fixture tests for the caf-lint passes (CAFL000..CAFL009).
 //!
 //! Each lint class gets a known-bad snippet that must trip exactly that
 //! diagnostic code, and a known-good twin that must scan clean. The
@@ -480,4 +480,459 @@ fn code_with_trailing_comment_is_still_scanned() {
         }
     "#;
     assert_eq!(codes("crates/core/src/foo.rs", src), vec!["CAFL007"]);
+}
+
+// ------------------------------------------------- workspace-level passes
+//
+// The fixtures below exercise the CFG + call-graph dataflow engine
+// (CAFL008 sync-protocol, CAFL009 wait-graph, CAFL000 stale-allow
+// audit), which only runs at workspace granularity.
+
+/// Analyze a multi-file virtual workspace through the full engine:
+/// per-file passes, the call-graph dataflow passes, and the allow audit.
+fn ws_report(files: &[(&str, &str)]) -> Report {
+    let table = OrderingTable::parse("").expect("empty table parses");
+    let ws = caf_lint::Workspace::from_sources(
+        files.iter().map(|&(r, s)| (r.to_string(), s.to_string())).collect(),
+    );
+    let mut report = Report::default();
+    ws.analyze(&table, &mut report);
+    report
+}
+
+fn ws_codes(files: &[(&str, &str)]) -> Vec<&'static str> {
+    let mut v: Vec<&'static str> = ws_report(files).diags.iter().map(|d| d.code).collect();
+    v.sort_unstable();
+    v
+}
+
+// ---------------------------------------------------------------- CAFL008
+
+#[test]
+fn notify_on_one_arm_only_trips_cafl008() {
+    let bad = r#"
+        fn branchy(img: &Image, flag: bool) {
+            img.copy_async_put(&ca, 1, 0, &[7], AsyncOpts::none());
+            if flag {
+                img.event_notify(&world, &ev, 1);
+            }
+        }
+    "#;
+    assert_eq!(ws_codes(&[("tests/fix.rs", bad)]), vec!["CAFL008"]);
+}
+
+#[test]
+fn notify_on_every_arm_is_clean() {
+    let good = r#"
+        fn branchy(img: &Image, flag: bool) {
+            img.copy_async_put(&ca, 1, 0, &[7], AsyncOpts::none());
+            if flag {
+                img.event_notify(&world, &ev, 1);
+            } else {
+                img.cofence();
+            }
+        }
+    "#;
+    assert!(ws_codes(&[("tests/fix.rs", good)]).is_empty());
+}
+
+#[test]
+fn loop_carried_dirty_state_trips_cafl008() {
+    // The release happens *before* the loop: every iteration's put
+    // survives to the function exit.
+    let bad = r#"
+        fn loopy(img: &Image) {
+            img.cofence();
+            for i in 0..4 {
+                img.copy_async_put(&ca, i, 0, &[1], AsyncOpts::none());
+            }
+        }
+    "#;
+    assert_eq!(ws_codes(&[("tests/fix.rs", bad)]), vec!["CAFL008"]);
+}
+
+#[test]
+fn release_inside_the_loop_body_is_clean() {
+    // Put + notify within one iteration: the loop-head join sees a
+    // clean state on the back edge, so nothing leaks out of the loop.
+    let good = r#"
+        fn loopy(img: &Image) {
+            for i in 0..4 {
+                img.copy_async_put(&ca, i, 0, &[1], AsyncOpts::none());
+                img.event_notify(&world, &ev, i);
+            }
+        }
+    "#;
+    assert!(ws_codes(&[("tests/fix.rs", good)]).is_empty());
+}
+
+#[test]
+fn dirty_exit_through_a_closure_body_trips_cafl008() {
+    // The put happens inside a harness closure (may-execute): its
+    // generated work joins into the caller and reaches the exit.
+    let bad = r#"
+        fn harness(img: &Image) {
+            run_images(4, |img| {
+                img.copy_async_put(&ca, 1, 0, &[7], AsyncOpts::none());
+            });
+        }
+    "#;
+    assert_eq!(ws_codes(&[("tests/fix.rs", bad)]), vec!["CAFL008"]);
+}
+
+#[test]
+fn closure_that_releases_before_returning_is_clean() {
+    let good = r#"
+        fn harness(img: &Image) {
+            run_images(4, |img| {
+                img.copy_async_put(&ca, 1, 0, &[7], AsyncOpts::none());
+                img.cofence();
+            });
+        }
+    "#;
+    assert!(ws_codes(&[("tests/fix.rs", good)]).is_empty());
+}
+
+#[test]
+fn finish_block_exit_releases_everything() {
+    // finish() drains + release_all()s at closure exit: a put inside
+    // needs no explicit release.
+    let good = r#"
+        fn finished(img: &Image) {
+            img.finish(|img| {
+                img.copy_async_put(&ca, 1, 0, &[7], AsyncOpts::none());
+            });
+        }
+    "#;
+    assert!(ws_codes(&[("tests/fix.rs", good)]).is_empty());
+}
+
+#[test]
+fn dirty_state_propagates_through_helper_calls() {
+    // The put is two calls deep; the root never releases it.
+    let bad = r#"
+        fn root(img: &Image) {
+            step_one(img);
+        }
+        fn step_one(img: &Image) {
+            step_two(img);
+        }
+        fn step_two(img: &Image) {
+            img.copy_async_put(&ca, 1, 0, &[7], AsyncOpts::none());
+        }
+    "#;
+    assert_eq!(ws_codes(&[("tests/fix.rs", bad)]), vec!["CAFL008"]);
+
+    // Same shape, but the root releases after the helper returns.
+    let good = r#"
+        fn root(img: &Image) {
+            step_one(img);
+            img.cofence();
+        }
+        fn step_one(img: &Image) {
+            step_two(img);
+        }
+        fn step_two(img: &Image) {
+            img.copy_async_put(&ca, 1, 0, &[7], AsyncOpts::none());
+        }
+    "#;
+    assert!(ws_codes(&[("tests/fix.rs", good)]).is_empty());
+}
+
+#[test]
+fn wait_without_reachable_notify_trips_cafl008() {
+    let bad = r#"
+        fn onesided(img: &Image) {
+            img.event_wait(&ev);
+        }
+    "#;
+    assert_eq!(ws_codes(&[("tests/fix.rs", bad)]), vec!["CAFL008"]);
+
+    // SPMD pairing: every image runs the same program text, so a
+    // notify reachable from the same root satisfies the wait.
+    let good = r#"
+        fn paired(img: &Image) {
+            img.event_notify(&world, &ev, 1);
+            img.event_wait(&ev);
+        }
+    "#;
+    assert!(ws_codes(&[("tests/fix.rs", good)]).is_empty());
+}
+
+#[test]
+fn ship_outside_finish_trips_cafl008() {
+    let bad = r#"
+        fn ships(img: &Image) {
+            img.ship(7, |img| {
+                let _ = img.this_image();
+            });
+        }
+    "#;
+    assert_eq!(ws_codes(&[("tests/fix.rs", bad)]), vec!["CAFL008"]);
+}
+
+#[test]
+fn ship_under_finish_is_clean_even_through_a_helper() {
+    let good = r#"
+        fn root(img: &Image) {
+            img.finish(|img| {
+                spawn_work(img);
+            });
+        }
+        fn spawn_work(img: &Image) {
+            img.ship(7, |img| {
+                let _ = img.this_image();
+            });
+        }
+    "#;
+    assert!(ws_codes(&[("tests/fix.rs", good)]).is_empty());
+}
+
+#[test]
+fn collective_inside_shipped_closure_trips_cafl008() {
+    // Shipped closures execute remotely under the target's finish
+    // accounting; a team collective inside one deadlocks the team.
+    let bad = r#"
+        fn root(img: &Image) {
+            img.finish(|img| {
+                img.ship(7, |img| {
+                    img.barrier(&world);
+                });
+            });
+        }
+    "#;
+    assert_eq!(ws_codes(&[("tests/fix.rs", bad)]), vec!["CAFL008"]);
+}
+
+#[test]
+fn allow_marker_suppresses_cafl008_and_is_not_stale() {
+    let allowed = r#"
+        fn branchy(img: &Image, flag: bool) {
+            // lint:allow(sync-protocol) released data-dependently below
+            img.copy_async_put(&ca, 1, 0, &[7], AsyncOpts::none());
+            if flag {
+                img.event_notify(&world, &ev, 1);
+            }
+        }
+    "#;
+    assert!(ws_codes(&[("tests/fix.rs", allowed)]).is_empty());
+}
+
+// ---------------------------------------------------------------- CAFL009
+
+/// The acceptance fixture: a guard held across a park two calls deep.
+/// CAFL002's same-function pass cannot see it; the call-graph-propagated
+/// wait-graph pass must.
+#[test]
+fn park_under_guard_two_calls_deep_trips_cafl009_not_cafl002() {
+    let bad = r#"
+        fn outer(q: &std::sync::Mutex<u32>) {
+            let guard = q.lock();
+            middle();
+            drop(guard);
+        }
+        fn middle() {
+            inner();
+        }
+        fn inner() {
+            caf_sched::park();
+        }
+    "#;
+    let report = ws_report(&[("crates/core/src/fix.rs", bad)]);
+    let codes: Vec<&str> = report.diags.iter().map(|d| d.code).collect();
+    assert!(
+        codes.contains(&"CAFL009"),
+        "interprocedural park-while-holding must be flagged: {:?}",
+        report.diags
+    );
+    assert!(
+        !codes.contains(&"CAFL002"),
+        "CAFL002 is same-fn only and must stay silent here: {:?}",
+        report.diags
+    );
+    let wg = report.waitgraph.as_ref().expect("wait graph built");
+    assert!(
+        wg.edges.iter().any(|e| e.from == "lock:core/q"
+            && e.to == "park:core/park"
+            && e.scope == "inter"
+            && e.status == "flagged"),
+        "edge must be committed as flagged: {}",
+        wg.render()
+    );
+}
+
+#[test]
+fn dropping_the_guard_before_the_call_is_clean() {
+    let good = r#"
+        fn outer(q: &std::sync::Mutex<u32>) {
+            let guard = q.lock();
+            drop(guard);
+            middle();
+        }
+        fn middle() {
+            inner();
+        }
+        fn inner() {
+            caf_sched::park();
+        }
+    "#;
+    let report = ws_report(&[("crates/core/src/fix.rs", good)]);
+    assert!(report.diags.is_empty(), "unexpected: {:?}", report.diags);
+    let wg = report.waitgraph.as_ref().expect("wait graph built");
+    assert!(
+        wg.edges.is_empty(),
+        "no guard is live at the call: {}",
+        wg.render()
+    );
+}
+
+#[test]
+fn allowed_interprocedural_edge_is_committed_as_allowed() {
+    let src = r#"
+        fn outer(q: &std::sync::Mutex<u32>) {
+            let guard = q.lock();
+            // lint:allow(wait-graph) guard protects the park handshake itself
+            middle();
+            drop(guard);
+        }
+        fn middle() {
+            caf_sched::park();
+        }
+    "#;
+    let report = ws_report(&[("crates/core/src/fix.rs", src)]);
+    assert!(report.diags.is_empty(), "unexpected: {:?}", report.diags);
+    let wg = report.waitgraph.as_ref().expect("wait graph built");
+    assert!(
+        wg.edges.iter().any(|e| e.scope == "inter" && e.status == "allowed"),
+        "allowed edges stay visible in the committed graph: {}",
+        wg.render()
+    );
+}
+
+#[test]
+fn lock_order_cycle_across_functions_trips_cafl009() {
+    // `ab` takes A then B (through a helper); `ba` takes B then A: an
+    // AB/BA inversion no schedule ordering can make safe.
+    let bad = r#"
+        fn ab(alock: &std::sync::Mutex<u32>, block: &std::sync::Mutex<u32>) {
+            let ga = alock.lock();
+            take_b(block);
+            drop(ga);
+        }
+        fn take_b(block: &std::sync::Mutex<u32>) {
+            let gb = block.lock();
+            drop(gb);
+        }
+        fn ba(alock: &std::sync::Mutex<u32>, block: &std::sync::Mutex<u32>) {
+            let gb = block.lock();
+            take_a(alock);
+            drop(gb);
+        }
+        fn take_a(alock: &std::sync::Mutex<u32>) {
+            let ga = alock.lock();
+            drop(ga);
+        }
+    "#;
+    let report = ws_report(&[("crates/core/src/fix.rs", bad)]);
+    assert!(
+        report.diags.iter().any(|d| d.code == "CAFL009" && d.msg.contains("cycle")),
+        "lock-order cycle must be flagged: {:?}",
+        report.diags
+    );
+}
+
+#[test]
+fn consistent_lock_order_is_clean() {
+    let good = r#"
+        fn ab(alock: &std::sync::Mutex<u32>, block: &std::sync::Mutex<u32>) {
+            let ga = alock.lock();
+            take_b(block);
+            drop(ga);
+        }
+        fn take_b(block: &std::sync::Mutex<u32>) {
+            let gb = block.lock();
+            drop(gb);
+        }
+        fn also_ab(alock: &std::sync::Mutex<u32>, block: &std::sync::Mutex<u32>) {
+            let ga = alock.lock();
+            take_b(block);
+            drop(ga);
+        }
+    "#;
+    let report = ws_report(&[("crates/core/src/fix.rs", good)]);
+    assert!(report.diags.is_empty(), "unexpected: {:?}", report.diags);
+}
+
+#[test]
+fn same_fn_park_stays_cafl002_territory() {
+    // A guard held across a park in the *same* function: CAFL002's
+    // finding; the wait graph records the edge as intra, unflagged.
+    let bad = r#"
+        fn f(q: &std::sync::Mutex<u32>) {
+            let guard = q.lock();
+            caf_sched::park();
+            drop(guard);
+        }
+    "#;
+    let report = ws_report(&[("crates/core/src/fix.rs", bad)]);
+    let codes: Vec<&str> = report.diags.iter().map(|d| d.code).collect();
+    assert!(codes.contains(&"CAFL002"), "same-fn is CAFL002: {:?}", report.diags);
+    assert!(!codes.contains(&"CAFL009"), "no CAFL009 double-report: {:?}", report.diags);
+    let wg = report.waitgraph.as_ref().expect("wait graph built");
+    assert!(
+        wg.edges.iter().any(|e| e.scope == "intra" && e.status == "ok"),
+        "intra edge recorded: {}",
+        wg.render()
+    );
+}
+
+// ---------------------------------------------------------------- CAFL000
+
+#[test]
+fn stale_allow_marker_trips_cafl000() {
+    // The marker suppresses nothing on its line or the line below.
+    let stale = r#"
+        fn quiet() {
+            // lint:allow(blocking) nothing blocks here anymore
+            let x = 1;
+            let _ = x;
+        }
+    "#;
+    assert_eq!(ws_codes(&[("crates/fabric/src/fix.rs", stale)]), vec!["CAFL000"]);
+}
+
+#[test]
+fn consumed_allow_marker_is_not_stale() {
+    let consumed = r#"
+        fn pump(rx: &std::sync::mpsc::Receiver<u8>) -> u8 {
+            // lint:allow(blocking) bootstrap path, runs before any gate arms
+            rx.recv().unwrap()
+        }
+    "#;
+    assert!(ws_codes(&[("crates/fabric/src/fix.rs", consumed)]).is_empty());
+}
+
+#[test]
+fn unknown_allow_class_trips_cafl000() {
+    let bad = r#"
+        fn quiet() {
+            // lint:allow(frobnicate) not a lint class
+            let x = 1;
+            let _ = x;
+        }
+    "#;
+    assert_eq!(ws_codes(&[("crates/core/src/fix.rs", bad)]), vec!["CAFL000"]);
+}
+
+#[test]
+fn backtick_quoted_allow_mentions_are_prose_not_markers() {
+    let prose = r#"
+        /// Policy doc: suppress with `lint:allow(blocking)` on the line.
+        /// Placeholder form `// lint:allow(<class>)` is also just prose.
+        fn quiet() {
+            let x = 1;
+            let _ = x;
+        }
+    "#;
+    assert!(ws_codes(&[("crates/core/src/fix.rs", prose)]).is_empty());
 }

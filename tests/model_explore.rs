@@ -295,3 +295,52 @@ fn targeted_and_rflush_release_stay_clean_across_schedules() {
         );
     }
 }
+
+/// The wait-graph-seeded scenario: schedule exploration targeting the
+/// lock/park node classes CAFL009 committed to `LINT_WAITGRAPH.json`.
+/// The static pass proved no held-across edge connects them; this test
+/// is the dynamic complement — at least 100 schedules (or the exhausted
+/// space) contending on exactly those nodes with the full oracle silent
+/// and no deadlock counterexample. The preamble asserts every targeted
+/// node id exists in the committed graph and that the graph carries no
+/// `flagged` edge, so the scenario can never drift from the artifact it
+/// seeds from.
+#[test]
+fn waitgraph_seeded_schedules_stay_clean() {
+    let committed = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../LINT_WAITGRAPH.json"
+    ))
+    .expect("committed LINT_WAITGRAPH.json at the workspace root");
+    for node in scenarios::WAITGRAPH_TARGETED_NODES {
+        assert!(
+            committed.contains(&format!("\"id\": \"{node}\"")),
+            "{node} is not a node of the committed wait graph; re-aim the scenario"
+        );
+    }
+    assert!(
+        !committed.contains("\"status\": \"flagged\""),
+        "committed wait graph carries an unresolved flagged edge"
+    );
+
+    let sc = scenarios::waitgraph_targeted();
+    let cfg = ExploreConfig {
+        max_schedules: 400,
+        oracle: Some(OracleConfig::default()),
+        ..ExploreConfig::default()
+    };
+    let rep = explore(&sc, &cfg);
+    assert!(
+        rep.schedules >= 100 || rep.complete,
+        "{}: only {} schedules explored without exhausting the space",
+        sc.name,
+        rep.schedules
+    );
+    assert_eq!(
+        rep.flagged,
+        0,
+        "{}: {:?}",
+        sc.name,
+        rep.counterexamples.first().map(|c| (&c.kind, &c.detail))
+    );
+}
