@@ -236,6 +236,12 @@ pub struct AggStats {
     /// Records re-bucketed at this image on behalf of another origin
     /// (store-and-forward hops).
     pub forwarded: u64,
+    /// Records rerouted directly to their destination because the planned
+    /// store-and-forward hop had failed at drain time.
+    pub rerouted: u64,
+    /// Records abandoned at drain time because their *destination* image
+    /// had failed (the target memory no longer exists).
+    pub dropped_dead: u64,
 }
 
 /// One bucket: the records accumulated toward one immediate target.
@@ -305,6 +311,17 @@ impl Aggregator {
     /// enqueues it normally; this only keeps the forwarding statistic).
     pub fn note_forward(&mut self) {
         self.stats.forwarded += 1;
+    }
+
+    /// Count `n` records rerouted directly to their destination around a
+    /// failed store-and-forward hop.
+    pub fn note_reroute(&mut self, n: u64) {
+        self.stats.rerouted += n;
+    }
+
+    /// Count `n` records abandoned because their destination failed.
+    pub fn note_dropped_dead(&mut self, n: u64) {
+        self.stats.dropped_dead += n;
     }
 
     /// Drain one target's bucket, if non-empty.

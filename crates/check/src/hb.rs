@@ -251,6 +251,19 @@ impl RaceDetector {
     pub fn region_free(&mut self, region: u64) {
         self.hist.retain(|&(r, _), _| r != region);
     }
+
+    /// Image `failed` died: happens-before edges to a failed image
+    /// terminate. Its recorded accesses are purged (a survivor's
+    /// post-`Stat` access can no longer race a dead image's past — the
+    /// stat delivery is the ordering surrogate) and channel snapshots
+    /// destined for it are dropped (they will never be received).
+    /// Idempotent; called once per observing survivor.
+    pub fn image_failed(&mut self, failed: usize) {
+        for recs in self.hist.values_mut() {
+            recs.retain(|r| r.img != failed);
+        }
+        self.chans.retain(|&(_, _, dest), _| dest != failed);
+    }
 }
 
 #[cfg(test)]
@@ -353,5 +366,23 @@ mod tests {
         d.region_free(9);
         w(&mut d, 1, 0, &mut out);
         assert!(out.is_empty(), "recycled region id is clean: {out:?}");
+    }
+
+    #[test]
+    fn failed_image_accesses_stop_racing_survivors() {
+        // Image 0 writes, then dies with no ordering edge to image 1.
+        // Without the purge the survivor's write would be flagged; the
+        // failure notification terminates the HB obligation instead.
+        let mut d = RaceDetector::new(1024);
+        let mut out = Vec::new();
+        w(&mut d, 0, 0, &mut out);
+        d.send(0, NS_EVENT, 5, 1); // pending post the survivor never waits on
+        d.image_failed(0);
+        w(&mut d, 1, 0, &mut out);
+        assert!(out.is_empty(), "dead image's past is purged: {out:?}");
+        // Survivors still race each other normally afterwards.
+        w(&mut d, 2, 0, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!((out[0].image, out[0].other), (2, Some(1)));
     }
 }

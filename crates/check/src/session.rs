@@ -451,6 +451,21 @@ pub mod hooks {
             Vec::new()
         });
     }
+
+    /// Image `img` observed (via a `Stat` delivery) that image `failed`
+    /// died. Happens-before edges to failed images terminate: the dead
+    /// image's recorded accesses and undeliverable channel snapshots are
+    /// purged so survivors' post-stat accesses are not flagged against a
+    /// past that can no longer be ordered. Idempotent per failed image.
+    pub fn image_failed(img: usize, failed: usize) {
+        let _ = img;
+        with_state(|st| {
+            if st.cfg.races {
+                st.hb.image_failed(failed);
+            }
+            Vec::new()
+        });
+    }
 }
 
 #[cfg(test)]

@@ -217,6 +217,7 @@ impl Image {
         if self.agg.borrow().is_empty() {
             return;
         }
+        self.fault_point("agg_drain");
         let batches = self.agg.borrow_mut().drain_all();
         for (target, records) in batches {
             self.agg_send_batch(target, records, fid);
@@ -244,8 +245,41 @@ impl Image {
     }
 
     /// Ship one drained bucket as a single batched AM.
+    ///
+    /// Drain-time reroute: when the planned store-and-forward hop has
+    /// failed, the batch is split per destination and sent *directly* —
+    /// the hypercube route is an optimization, never a delivery
+    /// requirement. Records whose final destination itself failed are
+    /// abandoned (their target memory is gone); without this screen a
+    /// routed record could be silently swallowed by the fabric's
+    /// drop-on-dead send and survivors' puts would be lost with it.
     pub(crate) fn agg_send_batch(&self, target: usize, records: Vec<Record>, fid: u64) {
         debug_assert_ne!(target, self.this_image(), "batch to self");
+        let fault = self.backend.fault();
+        if fault.any_failed() && fault.is_failed(target) {
+            let mut by_dest: std::collections::BTreeMap<usize, Vec<Record>> =
+                std::collections::BTreeMap::new();
+            let mut dropped = 0u64;
+            let mut rerouted = 0u64;
+            for rec in records {
+                let dest = rec.dest as usize;
+                if fault.is_failed(dest) {
+                    dropped += 1;
+                    continue;
+                }
+                rerouted += 1;
+                by_dest.entry(dest).or_default().push(rec);
+            }
+            {
+                let mut agg = self.agg.borrow_mut();
+                agg.note_reroute(rerouted);
+                agg.note_dropped_dead(dropped);
+            }
+            for (dest, recs) in by_dest {
+                self.agg_send_batch(dest, recs, fid);
+            }
+            return;
+        }
         // Shipped-function accounting (paper §3.5): the batch counts as
         // shipped at the origin and completed once the target applied it,
         // so Yang's loop inside `finish` awaits in-flight batches and

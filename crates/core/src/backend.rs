@@ -242,23 +242,50 @@ impl Backend {
     /// Block until a runtime message arrives. The blocking wait makes
     /// progress on the substrate (paper §3.4: "the blocking polling
     /// operation allows the MPI runtime to make progress internally").
+    ///
+    /// Panics if an image fails while waiting — a runtime-message wait can
+    /// be satisfied by *any* image, so a failure anywhere makes the wait
+    /// unfulfillable in general. Callers that want to survive use
+    /// [`Backend::recv_rtmsg_blocking_stat`].
     pub fn recv_rtmsg_blocking(&self) -> RtMsg {
+        let watch: Vec<usize> = (0..self.size()).collect();
+        self.recv_rtmsg_blocking_stat(&watch).unwrap_or_else(|failed| {
+            panic!("runtime AM wait: image(s) {failed:?} failed (no stat channel)")
+        })
+    }
+
+    /// Fallible runtime-message wait: returns the failed subset of `watch`
+    /// instead of blocking forever once a watched image has died. An
+    /// empty `watch` waits unconditionally.
+    ///
+    /// On the MPI substrate the runtime communicator spans the world, so
+    /// the detection granularity is the whole job regardless of `watch`
+    /// (a narrower watch is honored on GASNet, whose AM wait screens
+    /// per-rank).
+    pub fn recv_rtmsg_blocking_stat(&self, watch: &[usize]) -> Result<RtMsg, Vec<usize>> {
         let _span = caf_trace::span(caf_trace::Op::RtMsgRecvBlocking);
         match self {
-            Backend::Mpi(b) => {
-                let (bytes, _st) = b
-                    .mpi
-                    .recv::<u8>(&b.rt_comm, Src::Any, Tag::Is(RT_TAG))
-                    .expect("runtime AM recv");
-                RtMsg::decode(&bytes)
-            }
+            Backend::Mpi(b) => match b.mpi.recv::<u8>(&b.rt_comm, Src::Any, Tag::Is(RT_TAG)) {
+                Ok((bytes, _st)) => Ok(RtMsg::decode(&bytes)),
+                Err(e) => Err(crate::image::failed_of_err(e)),
+            },
             Backend::Gasnet(b) => loop {
                 if let Some((_src, bytes)) = b.inbox.pop() {
-                    return RtMsg::decode(&bytes);
+                    return Ok(RtMsg::decode(&bytes));
                 }
-                let pkt = b.g.wait_am_packet();
-                b.g.dispatch_packet(pkt);
+                match b.g.wait_am_packet_watching(watch) {
+                    Ok(pkt) => b.g.dispatch_packet(pkt),
+                    Err(e) => return Err(crate::image::failed_of_err(e)),
+                }
             },
+        }
+    }
+
+    /// Handle onto the substrate's failure registry.
+    pub fn fault(&self) -> caf_fabric::Fault {
+        match self {
+            Backend::Mpi(b) => b.mpi.fault(),
+            Backend::Gasnet(b) => b.g.fault(),
         }
     }
 

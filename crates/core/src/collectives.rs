@@ -63,6 +63,33 @@ impl Image {
         self.barrier(&w);
     }
 
+    /// As [`Image::barrier`], with a failure screen: returns
+    /// [`crate::Stat::FailedImage`] (with the failed members) instead of
+    /// hanging or panicking when a team member has died mid-barrier.
+    pub fn barrier_stat(&self, team: &Team) -> crate::stat::Stat {
+        self.hb_collective(team, || {
+            self.stats().timed_d(StatCat::Barrier, None, 0, None, Some(team.id()), || {
+                match (&self.backend, &team.inner) {
+                    (Backend::Mpi(b), TeamInner::Mpi(comm)) => match b.mpi.barrier(comm) {
+                        Ok(()) => crate::stat::Stat::Ok,
+                        Err(e) => self.stat_failed(crate::image::failed_of_err(e)),
+                    },
+                    (Backend::Gasnet(_), TeamInner::Gasnet(t)) => match self.gbarrier_stat(t) {
+                        Ok(()) => crate::stat::Stat::Ok,
+                        Err(failed) => self.stat_failed(failed),
+                    },
+                    _ => panic!("team does not belong to this substrate"),
+                }
+            })
+        })
+    }
+
+    /// `sync all` with a failure screen (`sync all (stat=...)`).
+    pub fn sync_all_stat(&self) -> crate::stat::Stat {
+        let w = self.team_world();
+        self.barrier_stat(&w)
+    }
+
     /// Team broadcast from `root` (team rank).
     pub fn broadcast<T: Pod>(&self, team: &Team, root: usize, data: &mut Vec<T>) {
         self.hb_collective(team, || {
@@ -116,6 +143,39 @@ impl Image {
                 }
                 _ => panic!("team does not belong to this substrate"),
             })
+        })
+    }
+
+    /// As [`Image::allreduce`], with a failure screen: `Err` carries
+    /// [`crate::Stat::FailedImage`] with the failed members. The
+    /// termination-detection loop of [`Image::finish_stat`] is built on
+    /// this — the paper's counter rounds double as the failure-detection
+    /// heartbeat.
+    pub fn allreduce_stat<T: Pod>(
+        &self,
+        team: &Team,
+        data: &[T],
+        f: impl Fn(T, T) -> T,
+    ) -> Result<Vec<T>, crate::stat::Stat> {
+        self.hb_collective(team, || {
+            self.stats()
+                .timed_d(StatCat::Reduction, None, 0, None, Some(team.id()), || {
+                    match (&self.backend, &team.inner) {
+                        (Backend::Mpi(b), TeamInner::Mpi(comm)) => {
+                            b.mpi.allreduce(comm, data, f).map_err(|e| {
+                                self.stat_failed(crate::image::failed_of_err(e))
+                            })
+                        }
+                        (Backend::Gasnet(_), TeamInner::Gasnet(t)) => (|| {
+                            let reduced = self.greduce_stat(t, 0, data, &f)?;
+                            let mut out = reduced.unwrap_or_else(|| data.to_vec());
+                            self.gbcast_stat(t, 0, &mut out)?;
+                            Ok(out)
+                        })()
+                        .map_err(|failed| self.stat_failed(failed)),
+                        _ => panic!("team does not belong to this substrate"),
+                    }
+                })
         })
     }
 
@@ -280,6 +340,81 @@ impl Image {
         })
     }
 
+    /// Shrink `team` to its surviving members — the self-healing analog of
+    /// ULFM's `MPI_Comm_shrink` (DESIGN.md §17). Every survivor derives
+    /// the *same* child team identity from the parent id and the excluded
+    /// set without communication, then the survivors agree with a barrier
+    /// on the shrunken team; a failure detected *during* that barrier
+    /// restarts the shrink with the enlarged failed set, so the reform
+    /// converges even when images keep dying under it (the failed set only
+    /// grows). Team-relative ranks are renumbered densely in the parent's
+    /// member order.
+    ///
+    /// Returns the new team and a [`crate::Stat`] reporting every failed
+    /// member that was dropped ([`crate::Stat::Ok`] if the team was
+    /// already whole).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling image is itself marked failed (a dead image
+    /// cannot reform anything).
+    pub fn team_reform(&self, team: &Team) -> (Team, crate::stat::Stat) {
+        let mut stat = crate::stat::Stat::Ok;
+        loop {
+            let failed_in_team: Vec<usize> = {
+                let fault = self.backend.fault();
+                team.members()
+                    .into_iter()
+                    .filter(|&r| fault.is_failed(r))
+                    .collect()
+            };
+            stat.merge(&failed_in_team);
+            let new_team = match (&self.backend, &team.inner) {
+                (Backend::Mpi(b), TeamInner::Mpi(comm)) => Team {
+                    inner: TeamInner::Mpi(b.mpi.comm_shrink(comm, &failed_in_team)),
+                },
+                (Backend::Gasnet(_), TeamInner::Gasnet(t)) => {
+                    let members: Vec<usize> = t
+                        .members
+                        .iter()
+                        .copied()
+                        .filter(|r| !failed_in_team.contains(r))
+                        .collect();
+                    let my_idx = members
+                        .iter()
+                        .position(|&g| g == self.this_image())
+                        .expect("team_reform caller must be a survivor");
+                    // Deterministic child identity: chain the excluded set
+                    // into the parent id so every survivor lands on the
+                    // same team without exchanging a byte.
+                    let mut h = 0xFA_u64;
+                    for &r in &failed_in_team {
+                        h = crate::image::derive_token(h, r as u64 + 1, 0xFA);
+                    }
+                    let id = crate::image::derive_token(t.id, h, 0xFA);
+                    Team {
+                        inner: TeamInner::Gasnet(GTeam {
+                            id,
+                            members: members.into(),
+                            my_idx,
+                            state: std::sync::Arc::new(GTeamState::default()),
+                        }),
+                    }
+                }
+                _ => panic!("team does not belong to this substrate"),
+            };
+            // Agreement round: a barrier over the candidate team. If it
+            // reports new deaths, fold them in and re-shrink — survivors
+            // whose snapshots disagreed converge here, because a stale
+            // candidate still contains a failed member and its barrier
+            // cannot succeed.
+            match self.barrier_stat(&new_team) {
+                s if s.is_ok() => return (new_team, stat),
+                s => stat.merge(s.failed()),
+            }
+        }
+    }
+
     // ----- hand-rolled GASNet collectives ------------------------------
 
     fn gcoll_send(&self, t: &GTeam, dest_idx: usize, seq: u64, phase: u32, bytes: &[u8]) {
@@ -305,6 +440,23 @@ impl Image {
     }
 
     fn gcoll_recv(&self, t: &GTeam, src_idx: usize, seq: u64, phase: u32) -> Vec<u8> {
+        self.gcoll_recv_stat(t, src_idx, seq, phase)
+            .unwrap_or_else(|failed| panic!("collective: image(s) {failed:?} failed"))
+    }
+
+    /// Fallible fragment wait: watches the whole team, so a death anywhere
+    /// in it — not just the direct source — unblocks the receive (the
+    /// source itself may be stalled on the dead member). A failure
+    /// abandons the partially received collective; its stale fragments
+    /// stay in the stash, harmlessly keyed by a sequence number no retry
+    /// reuses.
+    fn gcoll_recv_stat(
+        &self,
+        t: &GTeam,
+        src_idx: usize,
+        seq: u64,
+        phase: u32,
+    ) -> Result<Vec<u8>, Vec<usize>> {
         let mut parts: Vec<Option<Vec<u8>>> = Vec::new();
         let mut have = 0usize;
         let mut want = usize::MAX;
@@ -351,18 +503,24 @@ impl Image {
                 for p in parts.into_iter().flatten() {
                     out.extend_from_slice(&p);
                 }
-                return out;
+                return Ok(out);
             }
-            // Need more: block for the next runtime message.
-            let msg = self.backend.recv_rtmsg_blocking();
+            // Need more: block for the next runtime message, screening the
+            // team for failures.
+            let msg = self.backend.recv_rtmsg_blocking_stat(&t.members)?;
             self.handle_msg(msg);
         }
     }
 
     fn gbarrier(&self, t: &GTeam) {
+        self.gbarrier_stat(t)
+            .unwrap_or_else(|failed| panic!("barrier: image(s) {failed:?} failed"));
+    }
+
+    fn gbarrier_stat(&self, t: &GTeam) -> Result<(), Vec<usize>> {
         let n = t.members.len();
         if n == 1 {
-            return;
+            return Ok(());
         }
         let seq = t.next_seq();
         let me = t.my_idx;
@@ -370,16 +528,27 @@ impl Image {
         let mut dist = 1usize;
         while dist < n {
             self.gcoll_send(t, (me + dist) % n, seq, phase, &[]);
-            let _ = self.gcoll_recv(t, (me + n - dist) % n, seq, phase);
+            let _ = self.gcoll_recv_stat(t, (me + n - dist) % n, seq, phase)?;
             phase += 1;
             dist <<= 1;
         }
+        Ok(())
     }
 
     fn gbcast<T: Pod>(&self, t: &GTeam, root: usize, data: &mut Vec<T>) {
+        self.gbcast_stat(t, root, data)
+            .unwrap_or_else(|failed| panic!("bcast: image(s) {failed:?} failed"));
+    }
+
+    fn gbcast_stat<T: Pod>(
+        &self,
+        t: &GTeam,
+        root: usize,
+        data: &mut Vec<T>,
+    ) -> Result<(), Vec<usize>> {
         let n = t.members.len();
         if n == 1 {
-            return;
+            return Ok(());
         }
         let seq = t.next_seq();
         let vrank = (t.my_idx + n - root) % n;
@@ -387,7 +556,7 @@ impl Image {
         let mut mask = 1usize;
         while mask < n {
             if vrank & mask != 0 {
-                let bytes = self.gcoll_recv(t, unv(vrank - mask), seq, 0);
+                let bytes = self.gcoll_recv_stat(t, unv(vrank - mask), seq, 0)?;
                 *data = vec_from_bytes(&bytes);
                 break;
             }
@@ -400,6 +569,7 @@ impl Image {
             }
             mask >>= 1;
         }
+        Ok(())
     }
 
     fn greduce<T: Pod>(
@@ -409,10 +579,21 @@ impl Image {
         data: &[T],
         f: impl Fn(T, T) -> T,
     ) -> Option<Vec<T>> {
+        self.greduce_stat(t, root, data, f)
+            .unwrap_or_else(|failed| panic!("reduce: image(s) {failed:?} failed"))
+    }
+
+    fn greduce_stat<T: Pod>(
+        &self,
+        t: &GTeam,
+        root: usize,
+        data: &[T],
+        f: impl Fn(T, T) -> T,
+    ) -> Result<Option<Vec<T>>, Vec<usize>> {
         let n = t.members.len();
         let mut acc = data.to_vec();
         if n == 1 {
-            return Some(acc);
+            return Ok(Some(acc));
         }
         let seq = t.next_seq();
         let vrank = (t.my_idx + n - root) % n;
@@ -422,7 +603,8 @@ impl Image {
             if vrank & mask == 0 {
                 let src = vrank | mask;
                 if src < n {
-                    let part: Vec<T> = vec_from_bytes(&self.gcoll_recv(t, unv(src), seq, 0));
+                    let part: Vec<T> =
+                        vec_from_bytes(&self.gcoll_recv_stat(t, unv(src), seq, 0)?);
                     for (a, s) in acc.iter_mut().zip(&part) {
                         *a = f(*a, *s);
                     }
@@ -433,7 +615,7 @@ impl Image {
             }
             mask <<= 1;
         }
-        (t.my_idx == root).then_some(acc)
+        Ok((t.my_idx == root).then_some(acc))
     }
 
     fn gallgather<T: Pod>(&self, t: &GTeam, data: &[T]) -> Vec<T> {

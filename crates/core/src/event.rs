@@ -76,6 +76,7 @@ impl Image {
         target: usize,
         flush: NotifyFlush,
     ) {
+        self.fault_point("event_notify");
         self.stats().timed_d(
             StatCat::EventNotify,
             Some(team.global_rank(target)),
@@ -141,6 +142,31 @@ impl Image {
             let msg = self.backend.recv_rtmsg_blocking();
             self.handle_msg(msg);
         });
+    }
+
+    /// As [`Image::event_wait`], with a failure screen: returns
+    /// [`crate::Stat::FailedImage`] instead of blocking forever once any
+    /// image has failed. The watch set is the whole job — an event can be
+    /// posted by any image, so any failure makes the wait unfulfillable
+    /// in general; callers that know the poster survived can simply call
+    /// again after reforming their team.
+    pub fn event_wait_stat(&self, ev: &Event) -> crate::stat::Stat {
+        self.stats().timed_d(StatCat::EventWait, None, 0, None, Some(ev.id), || loop {
+            if self.take_post(ev.id) {
+                #[cfg(feature = "check")]
+                caf_check::hooks::hb_recv(
+                    self.this_image(),
+                    caf_check::hooks::NS_EVENT,
+                    ev.id,
+                );
+                return crate::stat::Stat::Ok;
+            }
+            let watch: Vec<usize> = (0..self.num_images()).collect();
+            match self.backend.recv_rtmsg_blocking_stat(&watch) {
+                Ok(msg) => self.handle_msg(msg),
+                Err(failed) => return self.stat_failed(failed),
+            }
+        })
     }
 
     /// Nonblocking test: consume one post if available (`event_trywait`).

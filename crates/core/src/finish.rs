@@ -24,12 +24,35 @@ impl Image {
     /// issued within the block are globally complete. Blocks nest: an
     /// inner block only awaits its own operations (paper §2.1).
     pub fn finish<R>(&self, team: &Team, body: impl FnOnce(&Image) -> R) -> R {
+        let (result, stat) = self.finish_stat(team, body);
+        assert!(
+            stat.is_ok(),
+            "finish: image(s) {:?} failed (use finish_stat to handle failure)",
+            stat.failed()
+        );
+        result
+    }
+
+    /// As [`Image::finish`], with a failure screen: returns the body's
+    /// result together with a [`crate::Stat`]. Failure detection
+    /// piggybacks on the termination-detection rounds themselves — each
+    /// SUM-reduce of the shipping counters doubles as a heartbeat, so a
+    /// member that dies mid-block surfaces as
+    /// [`crate::Stat::FailedImage`] on the next round instead of stalling
+    /// quiescence forever. On a failed exit the block's counters are
+    /// discarded: completions owed by the dead image can never arrive.
+    pub fn finish_stat<R>(
+        &self,
+        team: &Team,
+        body: impl FnOnce(&Image) -> R,
+    ) -> (R, crate::stat::Stat) {
+        self.fault_point("finish");
         let fid = self.next_team_token(team, 0xF1);
         self.finish_stack.borrow_mut().push(fid);
         let result = body(self);
         self.finish_stack.borrow_mut().pop();
 
-        self.stats().timed(StatCat::Finish, || {
+        let stat = self.stats().timed(StatCat::Finish, || {
             // Aggregation buckets drain first, accounted to this block's
             // id (the stack is already popped, so the id is explicit):
             // every batch — and every store-and-forward hop it spawns —
@@ -40,25 +63,28 @@ impl Image {
             // under the configured flush policy (targeted/rflush aware).
             self.release_all();
             // Yang's termination detection over shipping counters.
-            loop {
+            let stat = loop {
                 self.poll(); // execute any pending shipped functions
                 let (shipped, completed) = {
                     let counters = self.finish_counters.borrow();
                     counters.get(&fid).copied().unwrap_or((0, 0))
                 };
-                let diff = self.allreduce(
-                    team,
-                    &[shipped as i64 - completed as i64],
-                    |a, b| a + b,
-                )[0];
-                debug_assert!(diff >= 0, "more completions than ships");
-                if diff == 0 {
-                    break;
+                match self.allreduce_stat(team, &[shipped as i64 - completed as i64], |a, b| {
+                    a + b
+                }) {
+                    Ok(sum) => {
+                        debug_assert!(sum[0] >= 0, "more completions than ships");
+                        if sum[0] == 0 {
+                            break crate::stat::Stat::Ok;
+                        }
+                    }
+                    Err(stat) => break stat,
                 }
-            }
+            };
             self.finish_counters.borrow_mut().remove(&fid);
+            stat
         });
-        result
+        (result, stat)
     }
 
     /// The fast finish for code that does not use function shipping:

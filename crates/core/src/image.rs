@@ -58,6 +58,11 @@ pub struct CafConfig {
     /// work-stealing pool ([`caf_sched::ExecMode::Tasks`]), which executes
     /// P=1024 jobs for real. See DESIGN.md §15.
     pub exec: caf_sched::ExecConfig,
+    /// Deterministic fault-injection schedule (DESIGN.md §17). Default:
+    /// nothing dies. Jobs that inject kills should launch through
+    /// [`CafUniverse::run_with_config_ft`] so a killed image becomes a
+    /// `None` result instead of a job panic.
+    pub fault: caf_fabric::FaultPlan,
 }
 
 impl Default for CafConfig {
@@ -70,6 +75,7 @@ impl Default for CafConfig {
             flush: FlushMode::All,
             agg: caf_agg::AggConfig::default(),
             exec: caf_sched::ExecConfig::default(),
+            fault: caf_fabric::FaultPlan::none(),
         }
     }
 }
@@ -125,11 +131,43 @@ impl CafUniverse {
         T: Send,
         F: Fn(&Image) -> T + Send + Sync,
     {
+        Self::launch(n, config, f)
+            .into_iter()
+            .map(|r| r.expect("image panicked"))
+            .collect()
+    }
+
+    /// Fault-tolerant launcher: as [`CafUniverse::run_with_config`], but a
+    /// rank killed by the configured [`CafConfig::fault`] plan (or by its
+    /// own [`Image::fail_image`]) yields `None` instead of panicking the
+    /// job. Any *other* panic still propagates — only injected deaths are
+    /// forgiven.
+    pub fn run_with_config_ft<T, F>(n: usize, config: CafConfig, f: F) -> Vec<Option<T>>
+    where
+        T: Send,
+        F: Fn(&Image) -> T + Send + Sync,
+    {
+        Self::launch(n, config, f)
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => Some(v),
+                Err(e) if e.downcast_ref::<caf_fabric::ImageKilled>().is_some() => None,
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect()
+    }
+
+    fn launch<T, F>(n: usize, config: CafConfig, f: F) -> Vec<std::thread::Result<T>>
+    where
+        T: Send,
+        F: Fn(&Image) -> T + Send + Sync,
+    {
         let mut fabric = Fabric::with_config(
             n,
             FabricConfig {
                 planes: 2,
                 exec: config.exec,
+                fault: config.fault,
                 ..FabricConfig::default()
             },
         );
@@ -158,9 +196,6 @@ impl CafUniverse {
             let img = Image::init(ep0, ep1, config, Arc::clone(ship_reg));
             f(&img)
         })
-        .into_iter()
-        .map(|r| r.expect("image panicked"))
-        .collect()
     }
 }
 
@@ -211,7 +246,10 @@ impl Image {
                 let mpi = Mpi::init(ep0, config.mpi);
                 drop(ep1); // single library, single plane
                 let world_comm = mpi.world();
-                let rt_comm = mpi.comm_dup(&world_comm).expect("runtime comm dup");
+                // Communication-free dup: image bring-up must not block
+                // on peers a fault plan may kill before they ever reach
+                // the runtime (the collective `comm_dup` barriers).
+                let rt_comm = mpi.comm_dup_local(&world_comm);
                 (
                     Backend::Mpi(Box::new(MpiBackend {
                         mpi,
@@ -489,6 +527,63 @@ impl Image {
         self.post_event_local(event_id);
     }
 
+    // ----- failed-image semantics (Fortran 2018, DESIGN.md §17) --------
+
+    /// Fail this image here (`fail image`). The image stops executing
+    /// immediately; under [`CafConfig::fault`]`.detect` (the default)
+    /// survivors observe the death at their next blocking point. Use
+    /// [`CafUniverse::run_with_config_ft`] to turn the death into a `None`
+    /// result instead of a job panic.
+    pub fn fail_image(&self) -> ! {
+        match &self.backend {
+            Backend::Mpi(b) => b.mpi.fail_now(),
+            Backend::Gasnet(b) => b.g.fail_now(),
+        }
+    }
+
+    /// Failure status of image `i` (`image_status(i)`), as observed
+    /// through the substrate's failure registry.
+    pub fn image_status(&self, i: usize) -> crate::stat::ImageStatus {
+        if self.backend.fault().is_failed(i) {
+            crate::stat::ImageStatus::Failed
+        } else {
+            crate::stat::ImageStatus::Ok
+        }
+    }
+
+    /// Every image observed to have failed so far (global ranks,
+    /// ascending) — Fortran's `failed_images()`.
+    pub fn failed_images(&self) -> Vec<usize> {
+        self.backend.fault().failed_set()
+    }
+
+    /// A named fault-injection site: if the configured plan kills this
+    /// image at this occurrence of `name`, die here (see
+    /// [`caf_fabric::KillSite::Op`]).
+    pub(crate) fn fault_point(&self, name: &str) {
+        let fault = self.backend.fault();
+        if fault.plan().is_empty() {
+            return;
+        }
+        if fault.op_hit(name) {
+            self.fail_image();
+        }
+    }
+
+    /// Deliver a failed-image status: record the trace instant and inform
+    /// the race detector that edges to the failed images terminate.
+    pub(crate) fn stat_failed(&self, failed: Vec<usize>) -> crate::stat::Stat {
+        debug_assert!(!failed.is_empty(), "stat_failed needs a failed set");
+        if caf_trace::enabled() {
+            caf_trace::instant(caf_trace::Op::StatDelivered, None, failed.len() as u64, None);
+        }
+        #[cfg(feature = "check")]
+        for &r in &failed {
+            caf_check::hooks::image_failed(self.this_image(), r);
+        }
+        crate::stat::Stat::FailedImage(failed)
+    }
+
     /// Collectively derive a fresh token on `team` (used for event, finish,
     /// and GASNet-region ids). Every member must call this in the same
     /// collective context.
@@ -497,6 +592,15 @@ impl Image {
         let ctr = tokens.entry(team.id()).or_insert(0);
         *ctr += 1;
         derive_token(team.id(), *ctr, salt)
+    }
+}
+
+/// Extract the failed-image set from a substrate error. Any error other
+/// than a detected failure is a runtime bug and panics.
+pub(crate) fn failed_of_err(e: caf_fabric::FabricError) -> Vec<usize> {
+    match e {
+        caf_fabric::FabricError::ImageFailed { failed } => failed,
+        e => panic!("substrate error: {e}"),
     }
 }
 

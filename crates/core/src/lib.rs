@@ -65,12 +65,14 @@ pub mod finish;
 pub mod image;
 pub mod rtmsg;
 pub mod ship;
+pub mod stat;
 pub mod stats;
 pub mod team;
 
 pub use asyncops::AsyncOpts;
 pub use caf_agg::{AggConfig, AggStats};
 pub use caf_fabric::Pod;
+pub use caf_fabric::{FaultPlan, Kill, KillSite};
 pub use caf_sched::{ExecConfig, ExecMode};
 pub use caf_gasnetsim::{GasnetConfig, SrqMode};
 pub use caf_mpisim::MpiConfig;
@@ -79,6 +81,7 @@ pub use coarray2d::Coarray2d;
 pub use event::{Event, NotifyFlush};
 pub use backend::FlushMode;
 pub use image::{CafConfig, CafUniverse, Image, SubstrateKind};
+pub use stat::{ImageStatus, Stat};
 pub use stats::{StatCat, Stats, StatsReport};
 pub use team::Team;
 
@@ -92,8 +95,10 @@ pub mod prelude {
     pub use crate::coarray2d::Coarray2d;
     pub use crate::event::{Event, NotifyFlush};
     pub use crate::image::{CafConfig, CafUniverse, Image, SubstrateKind};
+    pub use crate::stat::{ImageStatus, Stat};
     pub use crate::stats::StatCat;
     pub use crate::team::Team;
+    pub use caf_fabric::{FaultPlan, KillSite};
 }
 
 /// Allocate a zero-initialized vector of any [`Pod`] type.

@@ -37,6 +37,13 @@ pub enum FabricError {
     },
     /// The peer endpoint's mailbox has been torn down.
     Disconnected,
+    /// A blocking operation's partner set includes at least one failed
+    /// image (fault injection, [`crate::FaultPlan`]). Carries the failed
+    /// ranks known at detection time, ascending.
+    ImageFailed {
+        /// The failed ranks observed by the detector.
+        failed: Vec<usize>,
+    },
 }
 
 impl fmt::Display for FabricError {
@@ -59,6 +66,9 @@ impl fmt::Display for FabricError {
                 write!(f, "rank {rank} out of range for job of size {size}")
             }
             FabricError::Disconnected => write!(f, "peer endpoint disconnected"),
+            FabricError::ImageFailed { failed } => {
+                write!(f, "partner image(s) failed: {failed:?}")
+            }
         }
     }
 }

@@ -11,6 +11,7 @@ use parking_lot::RwLock;
 
 use crate::delay::DelayConfig;
 use crate::error::FabricError;
+use crate::fault::{Fault, FaultPlan, FaultState, ImageKilled, KIND_FAULT};
 use crate::packet::Packet;
 use crate::segment::{Segment, SegmentId};
 use crate::Result;
@@ -33,6 +34,9 @@ pub struct FabricConfig {
     /// executable. Under `Tasks` every blocking receive below parks
     /// cooperatively instead of blocking its worker.
     pub exec: caf_sched::ExecConfig,
+    /// Deterministic fault schedule (default: nobody dies). See
+    /// [`FaultPlan`].
+    pub fault: FaultPlan,
 }
 
 impl Default for FabricConfig {
@@ -41,6 +45,7 @@ impl Default for FabricConfig {
             delays: DelayConfig::free(),
             planes: 1,
             exec: caf_sched::ExecConfig::default(),
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -52,6 +57,9 @@ struct Shared {
     segments: RwLock<HashMap<u64, Arc<Segment>>>,
     next_segment: AtomicU64,
     config: FabricConfig,
+    /// Per-fabric failure registry (never process-global: concurrent
+    /// test fabrics must not observe each other's failures).
+    fault: Arc<FaultState>,
 }
 
 /// One parallel job: `n` ranks wired together by mailboxes and a shared
@@ -86,6 +94,7 @@ impl Fabric {
                 segments: RwLock::new(HashMap::new()),
                 next_segment: AtomicU64::new(1),
                 config,
+                fault: Arc::new(FaultState::new(size, config.fault)),
             }),
             receivers,
         }
@@ -115,6 +124,7 @@ impl Fabric {
         Endpoint {
             rank,
             plane,
+            fault: Fault::new(Arc::clone(&self.shared.fault), rank),
             shared: Arc::clone(&self.shared),
             rx,
         }
@@ -144,6 +154,35 @@ impl Fabric {
         T: Send,
         F: Fn(Endpoint) -> T + Send + Sync,
     {
+        Self::run_raw(size, config, f)
+            .into_iter()
+            .map(|r| r.expect("rank panicked"))
+            .collect()
+    }
+
+    /// Fault-tolerant launcher: as [`Fabric::run_with_config`], but a
+    /// rank killed by the fault plan yields `None` instead of aborting
+    /// the job. Panics that are *not* injected deaths still propagate.
+    pub fn run_with_config_ft<T, F>(size: usize, config: FabricConfig, f: F) -> Vec<Option<T>>
+    where
+        T: Send,
+        F: Fn(Endpoint) -> T + Send + Sync,
+    {
+        Self::run_raw(size, config, f)
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => Some(v),
+                Err(e) if e.downcast_ref::<ImageKilled>().is_some() => None,
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect()
+    }
+
+    fn run_raw<T, F>(size: usize, config: FabricConfig, f: F) -> Vec<std::thread::Result<T>>
+    where
+        T: Send,
+        F: Fn(Endpoint) -> T + Send + Sync,
+    {
         let mut fabric = Fabric::with_config(size, config);
         // Hand each rank its endpoint through a take-once slot: the
         // executor invokes `Fn(rank)`, so by-value per-rank state travels
@@ -165,9 +204,6 @@ impl Fabric {
             let _model = crate::sched::register_thread(rank);
             f(ep)
         })
-        .into_iter()
-        .map(|r| r.expect("rank panicked"))
-        .collect()
     }
 }
 
@@ -175,6 +211,7 @@ impl Fabric {
 pub struct Endpoint {
     rank: usize,
     plane: usize,
+    fault: Fault,
     shared: Arc<Shared>,
     rx: Receiver<Packet>,
 }
@@ -209,6 +246,81 @@ impl Endpoint {
         self.plane
     }
 
+    /// Cloneable handle onto this fabric's failure registry.
+    pub fn fault(&self) -> Fault {
+        self.fault.clone()
+    }
+
+    /// Kill this image here: announce the death to the model gate, mark
+    /// the registry, broadcast one failure notice to every rank on every
+    /// plane (when the plan detects), then unwind with [`ImageKilled`].
+    ///
+    /// The registry is marked *before* any notice is sent, so a rank that
+    /// consumed a notice — or merely re-checks the registry — always
+    /// observes the failure (perfect-detector consistency).
+    pub fn fail_now(&self) -> ! {
+        let me = self.rank;
+        if crate::sched::active() {
+            crate::sched::yield_op(crate::sched::ModelOp::Fail { rank: me });
+        }
+        if caf_trace::enabled() {
+            caf_trace::instant(caf_trace::Op::ImageFailed, Some(me), me as u64, None);
+        }
+        if self.shared.config.fault.detect {
+            self.fault.mark_failed(me);
+            for plane in 0..self.shared.config.planes {
+                for r in 0..self.shared.n {
+                    if r == me {
+                        continue;
+                    }
+                    let pkt = Packet::control(me, KIND_FAULT, me as i64, [0; 4]);
+                    let _ = self.shared.senders[plane * self.shared.n + r].send(pkt);
+                }
+            }
+            // Survivors parked in cooperative receive loops re-poll and
+            // find the notice; OS-blocked receivers are woken by the
+            // packet itself; model-blocked threads by the Fail op above.
+            caf_sched::unpark_all();
+        }
+        crate::sched::set_fault_dying();
+        // Injected deaths are expected: silence the default panic hook's
+        // backtrace for `ImageKilled` payloads (installed once, chaining
+        // the previous hook for every real panic).
+        static SILENCER: std::sync::Once = std::sync::Once::new();
+        SILENCER.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if info.payload().downcast_ref::<ImageKilled>().is_none() {
+                    prev(info);
+                }
+            }));
+        });
+        std::panic::panic_any(ImageKilled { rank: me })
+    }
+
+    /// Blocking-point bookkeeping for the fault plan: counts this entry
+    /// and dies here when this is the planned kill site.
+    fn fault_blocking_point(&self) {
+        if self.shared.config.fault.is_empty() {
+            return;
+        }
+        if self.fault.blocking_hit() {
+            self.fail_now();
+        }
+    }
+
+    /// Turn a failure notice into the error every blocking partner set
+    /// must observe; pass data packets through (with delivery tracing).
+    fn screen(&self, pkt: Packet) -> Result<Packet> {
+        if pkt.kind == KIND_FAULT {
+            return Err(FabricError::ImageFailed {
+                failed: self.fault.failed_set(),
+            });
+        }
+        self.trace_delivery(&pkt);
+        Ok(pkt)
+    }
+
     /// Deliver `pkt` to `to`'s mailbox on this endpoint's plane. FIFO per
     /// (sender, receiver) pair; the hand-off is a release/acquire edge.
     pub fn send(&self, to: usize, pkt: Packet) -> Result<()> {
@@ -217,6 +329,11 @@ impl Endpoint {
                 rank: to,
                 size: self.shared.n,
             });
+        }
+        if self.fault.is_failed(to) {
+            // A failed image consumes nothing: its in-flight traffic is
+            // dropped at injection so dead mailboxes stay bounded.
+            return Ok(());
         }
         if crate::sched::active() {
             crate::sched::yield_op(crate::sched::ModelOp::Send {
@@ -233,7 +350,15 @@ impl Endpoint {
             );
         }
         let tx = &self.shared.senders[self.plane * self.shared.n + to];
-        tx.send(pkt).map_err(|_| FabricError::Disconnected)?;
+        if tx.send(pkt).is_err() {
+            // The destination's receiver is gone, which only happens when
+            // that image's thread already unwound from a kill (the
+            // registry check above can race the death: under the model
+            // the peer may die while this send is parked at its
+            // scheduling decision). Same policy as a registered failure:
+            // the packet is dropped at injection.
+            return Ok(());
+        }
         // Under ExecMode::Tasks the destination image may be parked in
         // one of the cooperative receive loops below; hand it a permit.
         // No-op on plain OS threads (and for wakeups that race the park —
@@ -260,26 +385,35 @@ impl Endpoint {
         }
     }
 
-    /// Non-blocking poll of this rank's mailbox.
+    /// Non-blocking poll of this rank's mailbox. Failure notices are
+    /// swallowed here (the registry already records the death; only
+    /// *blocking* paths surface it as an error).
     pub fn try_recv(&self) -> Option<Packet> {
         if crate::sched::active() {
             crate::sched::yield_op(self.model_recv_op());
         }
-        let pkt = self.rx.try_recv().ok()?;
-        self.trace_delivery(&pkt);
-        Some(pkt)
+        loop {
+            let pkt = self.rx.try_recv().ok()?;
+            if pkt.kind == KIND_FAULT {
+                continue;
+            }
+            self.trace_delivery(&pkt);
+            return Some(pkt);
+        }
     }
 
-    /// Block until a packet arrives.
+    /// Block until a packet arrives. Returns
+    /// [`FabricError::ImageFailed`] when a failure notice is delivered
+    /// instead of data.
     pub fn recv_blocking(&self) -> Result<Packet> {
+        self.fault_blocking_point();
         if crate::sched::active() {
             // Announce, then retry under the gate: the scheduler reruns us
             // only after another image makes progress, and reports a
             // wait-for edge if no image ever can.
             let pkt =
                 crate::sched::model_blocking(self.model_recv_op(), || self.rx.try_recv().ok());
-            self.trace_delivery(&pkt);
-            return Ok(pkt);
+            return self.screen(pkt);
         }
         if caf_sched::on_task() {
             // Cooperative form of the blocking receive: park the task
@@ -288,29 +422,31 @@ impl Endpoint {
             // images than workers, deadlock the job.
             loop {
                 match self.rx.try_recv() {
-                    Ok(pkt) => {
-                        self.trace_delivery(&pkt);
-                        return Ok(pkt);
-                    }
+                    Ok(pkt) => return self.screen(pkt),
                     Err(TryRecvError::Empty) => caf_sched::park(),
                     Err(TryRecvError::Disconnected) => return Err(FabricError::Disconnected),
                 }
             }
         }
         let pkt = self.rx.recv().map_err(|_| FabricError::Disconnected)?;
-        self.trace_delivery(&pkt);
-        Ok(pkt)
+        self.screen(pkt)
     }
 
-    /// Block until a packet arrives or `timeout` elapses.
+    /// Block until a packet arrives or `timeout` elapses. Failure
+    /// notices are swallowed (as in [`Endpoint::try_recv`]).
     pub fn recv_timeout(&self, timeout: Duration) -> Option<Packet> {
         if crate::sched::active() {
             // Under the model a timeout is just "the schedule chose to let
             // it fire": one announced attempt, then give up.
             crate::sched::yield_op(self.model_recv_op());
-            let pkt = self.rx.try_recv().ok()?;
-            self.trace_delivery(&pkt);
-            return Some(pkt);
+            loop {
+                let pkt = self.rx.try_recv().ok()?;
+                if pkt.kind == KIND_FAULT {
+                    continue;
+                }
+                self.trace_delivery(&pkt);
+                return Some(pkt);
+            }
         }
         if caf_sched::on_task() {
             // Deadline-bounded cooperative wait. A full park could
@@ -320,6 +456,7 @@ impl Endpoint {
             let deadline = crate::delay::monotonic_ns().saturating_add(timeout.as_nanos() as u64);
             loop {
                 match self.rx.try_recv() {
+                    Ok(pkt) if pkt.kind == KIND_FAULT => continue,
                     Ok(pkt) => {
                         self.trace_delivery(&pkt);
                         return Some(pkt);
@@ -334,9 +471,14 @@ impl Endpoint {
                 }
             }
         }
-        let pkt = self.rx.recv_timeout(timeout).ok()?;
-        self.trace_delivery(&pkt);
-        Some(pkt)
+        loop {
+            let pkt = self.rx.recv_timeout(timeout).ok()?;
+            if pkt.kind == KIND_FAULT {
+                continue;
+            }
+            self.trace_delivery(&pkt);
+            return Some(pkt);
+        }
     }
 
     /// Register a segment, making it remotely accessible; returns its id.

@@ -30,6 +30,7 @@
 
 pub mod delay;
 pub mod error;
+pub mod fault;
 pub mod memacct;
 pub mod packet;
 pub mod pod;
@@ -43,6 +44,7 @@ pub use caf_sched::{ExecConfig, ExecMode};
 pub use delay::{DelayConfig, DelayMeter, DelayOp, Delays};
 pub use error::FabricError;
 pub use fabric_impl::{Endpoint, Fabric, FabricConfig};
+pub use fault::{Fault, FaultPlan, ImageKilled, Kill, KillSite, KIND_FAULT};
 pub use memacct::{MemAccount, MemCategory};
 pub use packet::Packet;
 pub use pod::Pod;

@@ -66,6 +66,11 @@ pub enum ModelOp {
     Registry,
     /// A charged delay or other neutral yield; independent of everything.
     Tick,
+    /// Image `rank` dies here (fault injection). Failure changes the
+    /// enabledness of every blocking operation, so it conservatively
+    /// conflicts with everything — the explorer interleaves the kill
+    /// against every other pending operation.
+    Fail { rank: usize },
 }
 
 impl ModelOp {
@@ -86,6 +91,7 @@ impl ModelOp {
         use ModelOp::*;
         match (a, b) {
             (Start, _) | (_, Start) => true,
+            (Fail { .. }, _) | (_, Fail { .. }) => true,
             (Tick, _) | (_, Tick) => false,
             (Send { plane: p1, to: t1 }, Send { plane: p2, to: t2 }) => p1 == p2 && t1 == t2,
             (Send { plane: p1, to }, Recv { plane: p2, rank })
@@ -126,6 +132,7 @@ impl ModelOp {
             }
             ModelOp::Registry => "registry".into(),
             ModelOp::Tick => "tick".into(),
+            ModelOp::Fail { rank } => format!("fail({rank})"),
         }
     }
 }
@@ -259,6 +266,15 @@ static LOGICAL_STEPS: AtomicU64 = AtomicU64::new(0);
 thread_local! {
     static TID: Cell<Option<usize>> = const { Cell::new(None) };
     static HINT: Cell<Option<usize>> = const { Cell::new(None) };
+    static FAULT_DYING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Mark the calling thread as unwinding from an *injected* image death.
+/// Its gate retirement then counts as normal completion rather than a
+/// program panic (the surviving images keep running; without this the
+/// gate would abort the whole schedule as `Panicked`).
+pub fn set_fault_dying() {
+    FAULT_DYING.with(|f| f.set(true));
 }
 
 /// True while a gate is armed in this process. The fast path of every
@@ -386,10 +402,11 @@ impl Drop for ThreadGuard {
         let Some(me) = self.tid else { return };
         TID.with(|t| t.set(None));
         HINT.with(|h| h.set(None));
+        let fault_dying = FAULT_DYING.with(|f| f.replace(false));
         let mut st = lock();
         let Some(g) = st.as_mut() else { return };
         g.status[me] = TStatus::Done;
-        if std::thread::panicking() {
+        if std::thread::panicking() && !fault_dying {
             g.panicked = true;
             if g.abort.is_none() {
                 // A real panic inside the modeled program: tear the other

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use caf_fabric::delay::DelayOp;
 use caf_fabric::pod::{as_bytes, as_bytes_mut};
 use caf_fabric::sched::{self, ModelOp};
-use caf_fabric::{Pod, Result, Segment};
+use caf_fabric::{FabricError, Pod, Result, Segment};
 
 use crate::am::H_PUT_ACK_REQ;
 use crate::universe::Gasnet;
@@ -58,6 +58,11 @@ impl Gasnet {
     /// until the target acknowledges (which requires the target to poll).
     pub fn put<T: Pod>(&self, node: usize, offset: usize, data: &[T]) -> Result<()> {
         let bytes = as_bytes(data);
+        if self.fault.is_failed(node) {
+            // The target is dead: its data can never be observed, so the
+            // put is dropped and completes locally (never blocks).
+            return Ok(());
+        }
         if self
             .config
             .put_via_am_threshold
@@ -104,8 +109,17 @@ impl Gasnet {
         // deadlock report of the Fig 2 program names.
         let _hint = caf_fabric::sched::wait_hint(node);
         while self.put_acks_received.get() < self.put_acks_expected.get() {
-            let pkt = self.wait_for(|p| self.is_am(p));
-            self.dispatch_am(pkt);
+            match self.wait_for(&[node], |p| self.is_am(p)) {
+                Ok(pkt) => self.dispatch_am(pkt),
+                Err(FabricError::ImageFailed { .. }) => {
+                    // The target died with the ack outstanding: it will
+                    // never arrive. Forgive it (expected down to received,
+                    // never the reverse — later acks must still count).
+                    self.put_acks_expected.set(self.put_acks_received.get());
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
         }
         Ok(())
     }
@@ -147,6 +161,12 @@ impl Gasnet {
     /// Blocking get from `node`'s segment (`gasnet_get`). Always direct
     /// RDMA.
     pub fn get<T: Pod>(&self, node: usize, offset: usize, out: &mut [T]) -> Result<()> {
+        if self.fault.is_failed(node) {
+            // Unlike a put, a get has nowhere to take its value from.
+            return Err(FabricError::ImageFailed {
+                failed: vec![node],
+            });
+        }
         let bytes_len = std::mem::size_of_val(out);
         announce(ModelOp::Read {
             region: self.seg_ids[node].0,

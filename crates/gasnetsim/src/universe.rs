@@ -7,7 +7,8 @@ use std::sync::Arc;
 
 use caf_fabric::delay::{DelayConfig, DelayMeter, Delays};
 use caf_fabric::{
-    Endpoint, Fabric, MemAccount, MemCategory, Packet, Segment, SegmentId,
+    Endpoint, Fabric, FabricError, Fault, MemAccount, MemCategory, Packet, Result, Segment,
+    SegmentId,
 };
 
 use crate::am::HandlerTable;
@@ -106,6 +107,7 @@ impl GasnetUniverse {
 /// A rank's handle to the GASNet library. One per rank thread; not `Sync`.
 pub struct Gasnet {
     pub(crate) ep: Endpoint,
+    pub(crate) fault: Fault,
     pub(crate) config: GasnetConfig,
     pub(crate) delays: Delays,
     pub(crate) srq_active: bool,
@@ -173,21 +175,37 @@ impl Gasnet {
         let mut seg_sizes = vec![0usize; size];
         seg_ids[rank] = id;
         seg_sizes[rank] = config.segment_size;
+        let fault = ep.fault();
         let mut stash = VecDeque::new();
-        let mut need = size - 1;
-        while need > 0 {
-            let pkt = ep.recv_blocking().expect("bootstrap recv");
-            if pkt.kind == KIND_BOOTSTRAP {
-                seg_ids[pkt.src] = SegmentId(pkt.h[0]);
-                seg_sizes[pkt.src] = pkt.h[1] as usize;
-                need -= 1;
-            } else {
-                stash.push_back(pkt);
+        let mut have = vec![false; size];
+        have[rank] = true;
+        loop {
+            // A peer that died before (or while) bootstrapping will never
+            // send its segment id; count it as resolved with a dead
+            // zero-sized segment rather than hang the exchange.
+            for (peer, h) in have.iter_mut().enumerate() {
+                if !*h && fault.is_failed(peer) {
+                    *h = true;
+                }
+            }
+            if have.iter().all(|&h| h) {
+                break;
+            }
+            match ep.recv_blocking() {
+                Ok(pkt) if pkt.kind == KIND_BOOTSTRAP => {
+                    seg_ids[pkt.src] = SegmentId(pkt.h[0]);
+                    seg_sizes[pkt.src] = pkt.h[1] as usize;
+                    have[pkt.src] = true;
+                }
+                Ok(pkt) => stash.push_back(pkt),
+                Err(FabricError::ImageFailed { .. }) => continue,
+                Err(e) => panic!("bootstrap recv: {e}"),
             }
         }
 
         Gasnet {
             ep,
+            fault,
             delays: Delays::new(config.delays),
             config,
             srq_active,
@@ -218,6 +236,16 @@ impl Gasnet {
     /// True when the SRQ slow path is active for this job.
     pub fn srq_active(&self) -> bool {
         self.srq_active
+    }
+
+    /// Handle onto the fabric's failure registry.
+    pub fn fault(&self) -> Fault {
+        self.fault.clone()
+    }
+
+    /// Kill this rank here (fault injection / `fail image`).
+    pub fn fail_now(&self) -> ! {
+        self.ep.fail_now()
     }
 
     /// The memory accountant for this rank's library instance.
@@ -282,7 +310,7 @@ impl Gasnet {
             .expect("barrier send");
     }
 
-    fn barrier_round_done(&self, seq: u64, round: u64, blocking: bool) -> bool {
+    fn barrier_round_done(&self, seq: u64, round: u64, blocking: bool) -> Result<bool> {
         let n = self.size();
         let me = self.rank();
         let dist = 1usize << round;
@@ -292,25 +320,42 @@ impl Gasnet {
         };
         if blocking {
             // A dissemination round waits on exactly one peer: name it so
-            // model deadlock reports carry the wait-for edge.
+            // model deadlock reports carry the wait-for edge. Failure
+            // detection watches the *whole* job — a dissemination barrier
+            // hangs if any rank dies, not just the round neighbour.
             let _hint = caf_fabric::sched::wait_hint(from);
-            let _ = self.wait_for(pred);
-            return true;
+            let watch: Vec<usize> = (0..n).collect();
+            let _ = self.wait_for(&watch, pred)?;
+            return Ok(true);
         }
         // Nonblocking: poll AMs, scan the stash, drain arrivals.
         self.poll();
         let mut q = self.pending.borrow_mut();
         if let Some(pos) = q.iter().position(pred) {
             q.remove(pos);
-            return true;
+            return Ok(true);
         }
-        false
+        Ok(false)
     }
 
     /// `gasnet_barrier_wait`: complete the split-phase barrier opened by
     /// [`Gasnet::barrier_notify`], blocking (and servicing AMs) until all
     /// ranks have entered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member image failed; use [`Gasnet::barrier_wait_stat`]
+    /// to observe the failure instead.
     pub fn barrier_wait(&self) {
+        self.barrier_wait_stat()
+            .expect("barrier: partner image failed")
+    }
+
+    /// Fallible [`Gasnet::barrier_wait`]: returns
+    /// [`FabricError::ImageFailed`] naming the dead members instead of
+    /// hanging (or panicking) when an image fails. The split-phase barrier
+    /// is closed either way — survivors must re-form before the next one.
+    pub fn barrier_wait_stat(&self) -> Result<()> {
         let _span = caf_trace::span(caf_trace::Op::GasnetBarrier);
         let (seq, mut round) = self
             .barrier_phase
@@ -318,13 +363,17 @@ impl Gasnet {
             .expect("barrier_wait without barrier_notify");
         let n = self.size();
         while (1usize << round) < n {
-            self.barrier_round_done(seq, round, true);
+            if let Err(e) = self.barrier_round_done(seq, round, true) {
+                self.barrier_phase.set(None);
+                return Err(e);
+            }
             round += 1;
             if (1usize << round) < n {
                 self.send_barrier_round(seq, round);
             }
         }
         self.barrier_phase.set(None);
+        Ok(())
     }
 
     /// `gasnet_barrier_try`: nonblocking completion attempt; returns true
@@ -335,7 +384,10 @@ impl Gasnet {
         };
         let n = self.size();
         while (1usize << round) < n {
-            if !self.barrier_round_done(seq, round, false) {
+            let done = self
+                .barrier_round_done(seq, round, false)
+                .expect("nonblocking barrier round cannot observe a failure");
+            if !done {
                 self.barrier_phase.set(Some((seq, round)));
                 return false;
             }
@@ -351,23 +403,62 @@ impl Gasnet {
     /// Block until a packet matching `pred` arrives, dispatching AMs and
     /// stashing unrelated packets meanwhile. This is the polling loop every
     /// blocking GASNet operation sits in.
-    pub(crate) fn wait_for(&self, pred: impl Fn(&Packet) -> bool) -> Packet {
+    ///
+    /// `watch` names the images this wait depends on: if any of them is
+    /// marked failed the wait returns [`FabricError::ImageFailed`] instead
+    /// of hanging. An empty `watch` waits unconditionally. Already-stashed
+    /// matches win over a failure notice.
+    pub(crate) fn wait_for(
+        &self,
+        watch: &[usize],
+        pred: impl Fn(&Packet) -> bool,
+    ) -> Result<Packet> {
         // Check the stash first.
         {
             let mut q = self.pending.borrow_mut();
             if let Some(pos) = q.iter().position(&pred) {
-                return q.remove(pos).expect("position from iter");
+                return Ok(q.remove(pos).expect("position from iter"));
             }
         }
         loop {
-            let pkt = self.ep.recv_blocking().expect("fabric torn down");
-            if pred(&pkt) {
-                return pkt;
+            // Pull everything already delivered *before* consulting the
+            // failure registry: sends inject synchronously, so anything a
+            // member sent before dying sits in the mailbox ahead of its
+            // failure notice — that data must win over the death, or an
+            // exchange the dead rank fully completed would spuriously
+            // fail on survivors.
+            while let Some(pkt) = self.ep.try_recv() {
+                if pred(&pkt) {
+                    return Ok(pkt);
+                }
+                if self.is_am(&pkt) {
+                    self.dispatch_am(pkt);
+                } else {
+                    self.pending.borrow_mut().push_back(pkt);
+                }
             }
-            if self.is_am(&pkt) {
-                self.dispatch_am(pkt);
-            } else {
-                self.pending.borrow_mut().push_back(pkt);
+            // The registry is authoritative (marked before notices go
+            // out), so the loop-top check covers notices consumed by
+            // unrelated waits.
+            let failed = self.fault.failed_of(watch);
+            if !failed.is_empty() {
+                return Err(FabricError::ImageFailed { failed });
+            }
+            match self.ep.recv_blocking() {
+                Ok(pkt) => {
+                    if pred(&pkt) {
+                        return Ok(pkt);
+                    }
+                    if self.is_am(&pkt) {
+                        self.dispatch_am(pkt);
+                    } else {
+                        self.pending.borrow_mut().push_back(pkt);
+                    }
+                }
+                // Notice for an image outside `watch`: re-check, keep
+                // waiting.
+                Err(FabricError::ImageFailed { .. }) => continue,
+                Err(e) => panic!("fabric torn down: {e}"),
             }
         }
     }
@@ -382,7 +473,16 @@ impl Gasnet {
     /// Exposed for runtimes layered on GASNet whose blocking waits (e.g. a
     /// CAF `event_wait`) must drive AM progress themselves.
     pub fn wait_am_packet(&self) -> Packet {
-        self.wait_for(|p| self.is_am(p))
+        self.wait_for(&[], |p| self.is_am(p))
+            .expect("unconditional wait cannot fail")
+    }
+
+    /// Like [`Gasnet::wait_am_packet`] but returns
+    /// [`FabricError::ImageFailed`] if any image in `watch` is marked
+    /// failed — the hook a layered runtime's blocking waits (e.g. CAF
+    /// `event_wait`) use to survive partner death.
+    pub fn wait_am_packet_watching(&self, watch: &[usize]) -> Result<Packet> {
+        self.wait_for(watch, |p| self.is_am(p))
     }
 
     /// Dispatch one packet previously returned by

@@ -373,6 +373,73 @@ fn run_aggregated(
     }
 }
 
+/// One **fault-tolerant** aggregated RandomAccess epoch over `team`
+/// (DESIGN.md §17): the kernel of [`run_aggregated`] with every blocking
+/// point threading a `Stat`, so a member dying mid-epoch surfaces as
+/// `Err(failed)` instead of a hang or a panic. The caller owns recovery:
+/// `team_reform` the team and retry the epoch on the survivors (RA needs
+/// a power-of-two team, so pick fault plans whose survivor count stays
+/// one).
+///
+/// On a failed epoch the table coarray is intentionally **leaked** — a
+/// collective free over a team with a dead member can never complete.
+/// The retry allocates a fresh table on the reformed team.
+///
+/// # Panics
+///
+/// Panics unless the team size is a power of two and aggregation is
+/// enabled in the universe config.
+pub fn run_aggregated_epoch_ft(
+    img: &Image,
+    team: &Team,
+    log2_local: u32,
+    updates_per_image: usize,
+) -> Result<Vec<u64>, Vec<usize>> {
+    assert!(
+        img.agg_config().enabled,
+        "run_aggregated_epoch_ft requires CafConfig::agg.enabled"
+    );
+    let p = team.size();
+    assert!(is_pow2(p), "RandomAccess requires a power-of-two team");
+    let me = team.rank();
+    let local_size = 1usize << log2_local;
+    let mask = (local_size * p - 1) as u64;
+
+    // The alloc is a collective; a member that dies *after* its own
+    // participation still lets this complete (its contributions are
+    // already in flight and already-delivered data wins over the death).
+    let table: Coarray<u64> = img.coarray_alloc(team, local_size);
+    let init: Vec<u64> = (0..local_size as u64)
+        .map(|i| me as u64 * local_size as u64 + i)
+        .collect();
+    table.local_write(img, 0, &init);
+    let stat = img.barrier_stat(team);
+    if !stat.is_ok() {
+        return Err(stat.failed().to_vec());
+    }
+
+    let ((), stat) = img.finish_stat(team, |img| {
+        let mut ran = starts((me * updates_per_image) as i64);
+        for _ in 0..updates_per_image {
+            ran = lcg_next(ran);
+            let idx = (ran & mask) as usize;
+            let dest = idx >> log2_local;
+            img.agg_accumulate_xor(&table, dest, idx & (local_size - 1), ran);
+        }
+    });
+    if !stat.is_ok() {
+        return Err(stat.failed().to_vec());
+    }
+    let stat = img.barrier_stat(team);
+    if !stat.is_ok() {
+        return Err(stat.failed().to_vec());
+    }
+
+    let local = table.local_vec(img);
+    img.coarray_free(team, table);
+    Ok(local)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -515,6 +582,76 @@ mod tests {
                 let got: Vec<u64> = locals.into_iter().flatten().collect();
                 assert_eq!(got, expect, "substrate {kind:?} routing {routing}");
             }
+        }
+    }
+
+    #[test]
+    fn ra_survives_mid_epoch_failure_with_shrunken_team() {
+        // Images 2 and 3 die at their first non-empty aggregation drain —
+        // inside the epoch's finish block, after updates are already on
+        // the wire. Survivors see the failed epoch as Err(failed), reform
+        // the team (4 -> 2, still a power of two), and re-run the epoch;
+        // the shrunken run must match the serial reference for 2 images.
+        use caf::{AggConfig, FaultPlan, KillSite};
+        // 401 updates: prime, so the final partial bucket can never land
+        // exactly empty and skip the victims' drain-site kill.
+        const UPDATES: usize = 401;
+        for kind in [SubstrateKind::Mpi, SubstrateKind::Gasnet] {
+            let cfg = CafConfig {
+                agg: AggConfig::on(),
+                fault: FaultPlan::kill(2, KillSite::Op { name: "agg_drain", hits: 1 })
+                    .with(3, KillSite::Op { name: "agg_drain", hits: 1 }),
+                ..CafConfig::on(kind)
+            };
+            let out = CafUniverse::run_with_config_ft(4, cfg, |img| {
+                let me = img.this_image();
+                let mut team = img.team_world();
+                for attempt in 1..=4 {
+                    match run_aggregated_epoch_ft(img, &team, 8, UPDATES) {
+                        Ok(local) => return (team.size(), local, attempt),
+                        Err(failed) => {
+                            assert!(!failed.is_empty());
+                            // A victim whose epoch fail-fasted on the
+                            // *other* victim's death before its own
+                            // drain-site kill fired would survive
+                            // forever — and wedge the team at size 3.
+                            // Die now: the abort is still mid-epoch.
+                            if me == 2 || me == 3 {
+                                img.fail_image();
+                            }
+                            // The two deaths may not surface in the same
+                            // epoch: a survivor can see Err([2]) and reform
+                            // while image 3's death is still unregistered,
+                            // leaving a 3-member (non-power-of-two) team.
+                            // Reform until the team is whole again — clean
+                            // barrier AND power-of-two — before retrying;
+                            // team_reform's own agreement barrier folds in
+                            // deaths among current members, so this
+                            // converges once both victims are gone.
+                            loop {
+                                let (reformed, _stat) = img.team_reform(&team);
+                                team = reformed;
+                                if team.size().is_power_of_two()
+                                    && img.barrier_stat(&team).is_ok()
+                                {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                panic!("epoch retry did not converge");
+            });
+            assert!(out[2].is_none() && out[3].is_none(), "{kind:?}: victims must die");
+            let expect = serial_reference(2, 256, UPDATES);
+            let mut got = Vec::new();
+            for g in [0usize, 1] {
+                let (size, local, attempt) = out[g].clone().expect("survivors complete");
+                assert_eq!(size, 2, "{kind:?}: image {g} finished on the shrunken team");
+                assert!(attempt >= 2, "{kind:?}: image {g} never saw the failed epoch");
+                got.extend(local);
+            }
+            assert_eq!(got, expect, "{kind:?}: shrunken-team RA diverged from reference");
         }
     }
 

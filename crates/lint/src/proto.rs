@@ -35,8 +35,20 @@
 //! and, at any function: a team collective inside a `ship`ped closure
 //! (shipped functions must not call collectives).
 //!
-//! Escape hatch: `// lint:allow(sync-protocol)` on the flagged line or
-//! the line above.
+//! **Failure edges** (DESIGN.md §17): a program that reaches any
+//! failed-image API — a `_stat` blocking variant, `team_reform`,
+//! `fail_image`, `image_status`, `failed_images` — is *fault-aware*: it
+//! expects images to die. In such a program every blocking call that
+//! has a `_stat` twin but doesn't thread the `Stat` out-param
+//! (`barrier`, `sync_all`, `event_wait`, `allreduce`, `finish`,
+//! `finish_fast`) is a failure edge: once an image fails it panics
+//! instead of reporting, undoing the recovery the rest of the program
+//! was written for. Each such site is flagged at fault-aware roots.
+//! Programs that never touch the fault API are exempt — plain blocking
+//! calls are the correct idiom on a failure-free team.
+//!
+//! Escape hatch: `// lint:allow(sync-protocol)` (or the code-spelled
+//! `// lint:allow(CAFL008)`) on the flagged line or the line above.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -91,6 +103,26 @@ const COLLECTIVE_OPS: &[&str] = &[
 /// Other API idents that mark a body as CAF code (for root selection).
 const API_MARKERS: &[&str] = &["finish", "finish_fast", "ship", "event_wait", "event_trywait"];
 
+/// Failed-image API (DESIGN.md §17): reaching any of these marks the
+/// whole program as fault-aware.
+const FAULT_API_OPS: &[&str] = &[
+    "barrier_stat",
+    "sync_all_stat",
+    "allreduce_stat",
+    "event_wait_stat",
+    "finish_stat",
+    "team_reform",
+    "fail_image",
+    "image_status",
+    "failed_images",
+];
+
+/// Blocking calls with a `_stat` twin. In a fault-aware program each of
+/// these is a failure edge — it panics on a failed image instead of
+/// reporting. (`finish`/`finish_fast` are handled in their own branch;
+/// they are failure edges too.)
+const BLIND_BLOCKING_OPS: &[&str] = &["barrier", "sync_all", "event_wait", "allreduce"];
+
 fn in_scope(rel: &str) -> bool {
     rel.starts_with("crates/hpcc/") || rel.starts_with("examples/") || rel.starts_with("tests/")
 }
@@ -116,6 +148,11 @@ struct Summary {
     has_collective: bool,
     /// `ship` at finish-depth 0 in this body (caller may satisfy it).
     bare_ship: Option<(usize, u32)>,
+    /// Reaches failed-image API (`_stat` variants, `team_reform`, ...).
+    uses_fault_api: bool,
+    /// Blocking calls with a `_stat` twin that don't thread `Stat` —
+    /// failure edges if the program turns out to be fault-aware.
+    blind_sites: BTreeSet<(usize, u32)>,
 }
 
 /// Per-path dataflow state.
@@ -261,6 +298,22 @@ pub fn sync_protocol_pass(ws: &Workspace, graph: &CallGraph, report: &mut Report
                 ),
             );
         }
+        if s.uses_fault_api {
+            for (fi, line) in s.blind_sites.clone() {
+                pass.finding(
+                    fi,
+                    line,
+                    "failure-blind",
+                    format!(
+                        "blocking call without a Stat out-param in the fault-aware \
+                         program rooted at `{root}`: once an image fails this panics \
+                         instead of reporting (use the _stat twin, or \
+                         lint:allow(CAFL008) if the call provably runs on a \
+                         failure-free team)"
+                    ),
+                );
+            }
+        }
     }
     report.diags.append(&mut pass.findings);
 }
@@ -271,7 +324,9 @@ impl<'a> Pass<'a> {
             return;
         }
         let fu = &self.ws.files[file_idx];
-        if fu.allow(line, "sync-protocol") {
+        // Both spellings work: the class name and the diagnostic code
+        // (the ISSUE-facing form for failure edges).
+        if fu.allow(line, "sync-protocol") || fu.allow(line, "CAFL008") {
             return;
         }
         self.findings.push(Diag {
@@ -412,16 +467,33 @@ impl<'a> Pass<'a> {
                             if out.wait_site.is_none() {
                                 out.wait_site = Some((file_idx, line));
                             }
+                            out.blind_sites.insert((file_idx, line));
                         } else if COLLECTIVE_OPS.contains(&nm) {
                             out.uses_api = true;
                             out.has_collective = true;
-                        } else if nm == "finish" || nm == "finish_fast" {
+                            if BLIND_BLOCKING_OPS.contains(&nm) {
+                                out.blind_sites.insert((file_idx, line));
+                            }
+                        } else if nm == "finish" || nm == "finish_fast" || nm == "finish_stat" {
                             out.uses_api = true;
+                            if nm == "finish_stat" {
+                                out.uses_fault_api = true;
+                            } else {
+                                out.blind_sites.insert((file_idx, line));
+                            }
                             // Run the finish closure exactly once; its
                             // exit releases everything (drain + Yang
-                            // termination + release_all).
-                            if let Some(ci) = self.closure_after(g, i, &["finish", "finish_fast"], used_closures)
-                            {
+                            // termination + release_all). finish_stat's
+                            // failure path *discards* the counters — the
+                            // deferred work is dropped, not deferred
+                            // further, so it releases for this
+                            // abstraction too (DESIGN.md §17).
+                            if let Some(ci) = self.closure_after(
+                                g,
+                                i,
+                                &["finish", "finish_fast", "finish_stat"],
+                                used_closures,
+                            ) {
                                 let (cs, ce) = g.closures[ci].body;
                                 let inner = self.summarize_range(node, cs, ce, fdepth + 1, cdepth + 1);
                                 merge_flags(out, &inner);
@@ -429,6 +501,15 @@ impl<'a> Pass<'a> {
                             s.gen = false;
                             s.kill = true;
                             s.site = None;
+                        } else if FAULT_API_OPS.contains(&nm) {
+                            out.uses_api = true;
+                            out.uses_fault_api = true;
+                            // The stat collectives are still collectives
+                            // for the ship rule (remote execution
+                            // context deadlocks either way).
+                            if matches!(nm, "barrier_stat" | "sync_all_stat" | "allreduce_stat") {
+                                out.has_collective = true;
+                            }
                         } else if nm == "ship" {
                             out.uses_api = true;
                             let line = toks[i + 1].line;
@@ -486,7 +567,10 @@ impl<'a> Pass<'a> {
                     let c = &g.closures[ci];
                     if c.name.is_some()
                         || used_closures.contains(&ci)
-                        || matches!(c.arg_of.as_deref(), Some("finish" | "finish_fast" | "ship"))
+                        || matches!(
+                            c.arg_of.as_deref(),
+                            Some("finish" | "finish_fast" | "finish_stat" | "ship")
+                        )
                     {
                         continue;
                     }
@@ -558,6 +642,8 @@ impl<'a> Pass<'a> {
             joined.has_notify |= sc.has_notify;
             joined.has_collective |= sc.has_collective;
             joined.bare_ship = joined.bare_ship.or(sc.bare_ship);
+            joined.uses_fault_api |= sc.uses_fault_api;
+            joined.blind_sites.extend(sc.blind_sites.iter().copied());
         }
         s.apply(&joined);
         merge_flags(out, &joined);
@@ -572,4 +658,6 @@ fn merge_flags(out: &mut Summary, inner: &Summary) {
     out.wait_site = out.wait_site.or(inner.wait_site);
     out.has_notify |= inner.has_notify;
     out.has_collective |= inner.has_collective;
+    out.uses_fault_api |= inner.uses_fault_api;
+    out.blind_sites.extend(inner.blind_sites.iter().copied());
 }

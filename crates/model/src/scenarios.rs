@@ -8,8 +8,8 @@
 //! scenario bodies must be self-contained and repeatable.
 
 use caf::{
-    AggConfig, AsyncOpts, CafConfig, CafUniverse, Coarray, ExecConfig, FlushMode, GasnetConfig,
-    SubstrateKind,
+    AggConfig, AsyncOpts, CafConfig, CafUniverse, Coarray, ExecConfig, FaultPlan, FlushMode,
+    GasnetConfig, KillSite, SubstrateKind,
 };
 use caf_fabric::{Fabric, Packet};
 
@@ -472,6 +472,181 @@ fn waitgraph_targeted_run() {
         img.sync_all();
         img.coarray_free(&world, ca);
     });
+}
+
+// ---------------------------------------------------------------------------
+// Failure scenarios (failed-image semantics under the fault plan)
+
+/// Image 1 is killed at its first `event_notify`; image 0 sits in
+/// `event_wait_stat`. With detection on (the default), every schedule
+/// must end with the waiter observing `Stat::FailedImage([1])` and
+/// completing — the explorer proves the detection path hang-free.
+pub fn fail_during_notify_wait(kind: SubstrateKind) -> Scenario {
+    match kind {
+        SubstrateKind::Mpi => Scenario {
+            name: "fail during notify/wait (CAF-MPI)",
+            images: 2,
+            run: fail_nw_mpi,
+        },
+        SubstrateKind::Gasnet => Scenario {
+            name: "fail during notify/wait (CAF-GASNet)",
+            images: 2,
+            run: fail_nw_gasnet,
+        },
+    }
+}
+
+fn fail_nw_mpi() {
+    fail_nw_run(SubstrateKind::Mpi, true);
+}
+
+fn fail_nw_gasnet() {
+    fail_nw_run(SubstrateKind::Gasnet, true);
+}
+
+/// The negative control for [`fail_during_notify_wait`]: the same kill
+/// with detection *disabled* — no registry mark, no failure notices.
+/// Image 0 waits for a post that can never arrive, so every schedule
+/// deadlocks; the explorer must report a replayable wait-for cycle
+/// instead of hanging.
+pub fn fail_notify_wait_undetected(kind: SubstrateKind) -> Scenario {
+    match kind {
+        SubstrateKind::Mpi => Scenario {
+            name: "fail during notify/wait, detection off (CAF-MPI)",
+            images: 2,
+            run: fail_nw_undet_mpi,
+        },
+        SubstrateKind::Gasnet => Scenario {
+            name: "fail during notify/wait, detection off (CAF-GASNet)",
+            images: 2,
+            run: fail_nw_undet_gasnet,
+        },
+    }
+}
+
+fn fail_nw_undet_mpi() {
+    fail_nw_run(SubstrateKind::Mpi, false);
+}
+
+fn fail_nw_undet_gasnet() {
+    fail_nw_run(SubstrateKind::Gasnet, false);
+}
+
+fn fail_nw_run(kind: SubstrateKind, detect: bool) {
+    let mut cfg = CafConfig::on(kind);
+    cfg.fault = FaultPlan::kill(1, KillSite::Op { name: "event_notify", hits: 1 });
+    if !detect {
+        cfg.fault = cfg.fault.undetected();
+    }
+    let results = CafUniverse::run_with_config_ft(2, cfg, |img| {
+        let world = img.team_world();
+        let ev = img.event_alloc(&world);
+        if img.this_image() == 1 {
+            img.event_notify(&world, &ev, 0); // killed at this op
+            unreachable!("image 1 is killed by the fault plan");
+        }
+        let stat = img.event_wait_stat(&ev);
+        assert_eq!(stat.failed(), &[1], "waiter must observe the failure");
+        let (survivors, stat) = img.team_reform(&world);
+        assert_eq!(stat.failed(), &[1]);
+        assert_eq!(survivors.size(), 1);
+    });
+    assert!(results[0].is_some() && results[1].is_none());
+}
+
+/// Image 2 of three is killed on entry to `finish`; the survivors'
+/// termination-detection SUM-reduce doubles as the failure detector, so
+/// every schedule must end with `finish_stat` returning
+/// `Stat::FailedImage([2])` on both survivors, followed by a clean
+/// two-image reform.
+pub fn fail_during_finish(kind: SubstrateKind) -> Scenario {
+    match kind {
+        SubstrateKind::Mpi => Scenario {
+            name: "fail during finish (CAF-MPI)",
+            images: 3,
+            run: fail_fin_mpi,
+        },
+        SubstrateKind::Gasnet => Scenario {
+            name: "fail during finish (CAF-GASNet)",
+            images: 3,
+            run: fail_fin_gasnet,
+        },
+    }
+}
+
+fn fail_fin_mpi() {
+    fail_fin_run(SubstrateKind::Mpi);
+}
+
+fn fail_fin_gasnet() {
+    fail_fin_run(SubstrateKind::Gasnet);
+}
+
+fn fail_fin_run(kind: SubstrateKind) {
+    let mut cfg = CafConfig::on(kind);
+    cfg.fault = FaultPlan::kill(2, KillSite::Op { name: "finish", hits: 1 });
+    let results = CafUniverse::run_with_config_ft(3, cfg, |img| {
+        let world = img.team_world();
+        let ((), stat) = img.finish_stat(&world, |_| ());
+        assert_eq!(stat.failed(), &[2], "finish must surface the death");
+        let (survivors, stat) = img.team_reform(&world);
+        assert_eq!(stat.failed(), &[2]);
+        assert_eq!(survivors.size(), 2);
+        img.barrier(&survivors);
+    });
+    assert!(results[0].is_some() && results[1].is_some() && results[2].is_none());
+}
+
+/// Image 1 is killed at its first bucket drain (`agg_drain`, inside the
+/// closing `finish_stat`), with coalescing on. Image 0's drain has
+/// in-flight coalesced puts toward the dead image; its finish must
+/// return `Stat::FailedImage([1])` — never a hang and never a lost
+/// record toward a *surviving* destination.
+pub fn fail_mid_agg_drain(kind: SubstrateKind) -> Scenario {
+    match kind {
+        SubstrateKind::Mpi => Scenario {
+            name: "fail mid agg drain (CAF-MPI)",
+            images: 2,
+            run: fail_agg_mpi,
+        },
+        SubstrateKind::Gasnet => Scenario {
+            name: "fail mid agg drain (CAF-GASNet)",
+            images: 2,
+            run: fail_agg_gasnet,
+        },
+    }
+}
+
+fn fail_agg_mpi() {
+    fail_agg_run(SubstrateKind::Mpi);
+}
+
+fn fail_agg_gasnet() {
+    fail_agg_run(SubstrateKind::Gasnet);
+}
+
+fn fail_agg_run(kind: SubstrateKind) {
+    let mut cfg = CafConfig {
+        agg: AggConfig::on(),
+        ..CafConfig::on(kind)
+    };
+    cfg.fault = FaultPlan::kill(1, KillSite::Op { name: "agg_drain", hits: 1 });
+    let results = CafUniverse::run_with_config_ft(2, cfg, |img| {
+        let world = img.team_world();
+        let ca: Coarray<u64> = img.coarray_alloc(&world, 2);
+        let peer = 1 - img.this_image();
+        let ((), stat) = img.finish_stat(&world, |img| {
+            // Both images coalesce puts toward the peer; image 1 dies
+            // draining its bucket inside the finish epilogue.
+            img.copy_async_put(&ca, peer, 0, &[0xFA], AsyncOpts::none());
+            img.copy_async_put(&ca, peer, 1, &[0xFB], AsyncOpts::none());
+        });
+        assert_eq!(stat.failed(), &[1], "finish must surface the death");
+        let (survivors, stat) = img.team_reform(&world);
+        assert_eq!(stat.failed(), &[1]);
+        assert_eq!(survivors.size(), 1);
+    });
+    assert!(results[0].is_some() && results[1].is_none());
 }
 
 fn unflushed_run() {

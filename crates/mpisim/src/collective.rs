@@ -41,13 +41,16 @@ impl Mpi {
         self.coll_send_bytes(comm, dest, ctag, as_bytes(buf))
     }
 
-    fn coll_recv<T: Pod>(&self, comm: &Comm, src: usize, ctag: i64) -> Vec<T> {
+    /// Internal collective receive. Watches the *whole* communicator: a
+    /// collective hangs if any member dies, not just the immediate
+    /// neighbour in the current algorithm round.
+    fn coll_recv<T: Pod>(&self, comm: &Comm, src: usize, ctag: i64) -> Result<Vec<T>> {
         let comm_id = comm.id;
-        let pkt = self.match_packet(move |p| {
+        let pkt = self.match_packet(comm.members(), move |p| {
             p.kind == KIND_COLL && p.h[0] == comm_id && p.h[1] as usize == src && p.tag == ctag
-        });
+        })?;
         self.delays.charge(DelayOp::P2pReceive, pkt.payload.len());
-        vec_from_bytes(&pkt.payload)
+        Ok(vec_from_bytes(&pkt.payload))
     }
 
     /// Compose a collective tag from the per-comm sequence number and an
@@ -71,7 +74,7 @@ impl Mpi {
             let to = (me + dist) % n;
             let from = (me + n - dist) % n;
             self.coll_send::<u8>(comm, to, Self::ctag(seq, round), &[])?;
-            let _ = self.coll_recv::<u8>(comm, from, Self::ctag(seq, round));
+            let _ = self.coll_recv::<u8>(comm, from, Self::ctag(seq, round))?;
             round += 1;
             dist <<= 1;
         }
@@ -99,7 +102,7 @@ impl Mpi {
         let mut mask = 1usize;
         while mask < n {
             if vrank & mask != 0 {
-                *data = self.coll_recv::<T>(comm, unv(vrank - mask), Self::ctag(seq, 0));
+                *data = self.coll_recv::<T>(comm, unv(vrank - mask), Self::ctag(seq, 0))?;
                 break;
             }
             mask <<= 1;
@@ -144,7 +147,7 @@ impl Mpi {
             if vrank & mask == 0 {
                 let src = vrank | mask;
                 if src < n {
-                    let part = self.coll_recv::<T>(comm, unv(src), Self::ctag(seq, 0));
+                    let part = self.coll_recv::<T>(comm, unv(src), Self::ctag(seq, 0))?;
                     combine_into(&mut acc, &part, &f);
                 }
             } else {
@@ -183,7 +186,7 @@ impl Mpi {
             while mask < n {
                 let partner = me ^ mask;
                 self.coll_send(comm, partner, Self::ctag(seq, phase), &acc)?;
-                let part = self.coll_recv::<T>(comm, partner, Self::ctag(seq, phase));
+                let part = self.coll_recv::<T>(comm, partner, Self::ctag(seq, phase))?;
                 combine_into(&mut acc, &part, &f);
                 mask <<= 1;
                 phase += 1;
@@ -225,7 +228,7 @@ impl Mpi {
             if r == root {
                 continue;
             }
-            let part = self.coll_recv::<T>(comm, r, Self::ctag(seq, 0));
+            let part = self.coll_recv::<T>(comm, r, Self::ctag(seq, 0))?;
             assert_eq!(part.len(), sendbuf.len(), "ragged gather");
             out[r * sendbuf.len()..(r + 1) * sendbuf.len()].copy_from_slice(&part);
         }
@@ -253,7 +256,7 @@ impl Mpi {
             }
             Ok(data[me * chunk..(me + 1) * chunk].to_vec())
         } else {
-            Ok(self.coll_recv::<T>(comm, root, Self::ctag(seq, 0)))
+            self.coll_recv::<T>(comm, root, Self::ctag(seq, 0))
         }
     }
 
@@ -282,7 +285,7 @@ impl Mpi {
             let block = out[have * len..(have + 1) * len].to_vec();
             self.coll_send(comm, right, Self::ctag(seq, step as u32), &block)?;
             let incoming_owner = (me + n - 1 - step) % n;
-            let part = self.coll_recv::<T>(comm, left, Self::ctag(seq, step as u32));
+            let part = self.coll_recv::<T>(comm, left, Self::ctag(seq, step as u32))?;
             out[incoming_owner * len..(incoming_owner + 1) * len].copy_from_slice(&part);
             have = incoming_owner;
         }
@@ -328,7 +331,7 @@ impl Mpi {
             let block = out[displs[have]..displs[have] + counts[have]].to_vec();
             self.coll_send(comm, right, Self::ctag(seq, step as u32), &block)?;
             let incoming = (me + n - 1 - step) % n;
-            let part = self.coll_recv::<T>(comm, left, Self::ctag(seq, step as u32));
+            let part = self.coll_recv::<T>(comm, left, Self::ctag(seq, step as u32))?;
             assert_eq!(part.len(), counts[incoming], "allgatherv count mismatch");
             out[displs[incoming]..displs[incoming] + counts[incoming]].copy_from_slice(&part);
             have = incoming;
@@ -367,7 +370,7 @@ impl Mpi {
                 Self::ctag(seq, step as u32),
                 &sendbuf[to * block..(to + 1) * block],
             )?;
-            let part = self.coll_recv::<T>(comm, from, Self::ctag(seq, step as u32));
+            let part = self.coll_recv::<T>(comm, from, Self::ctag(seq, step as u32))?;
             out[from * block..(from + 1) * block].copy_from_slice(&part);
         }
         Ok(out)
@@ -405,7 +408,7 @@ impl Mpi {
         }
         for s in 0..n {
             if s != me {
-                let part = self.coll_recv::<T>(comm, s, Self::ctag(seq, 0));
+                let part = self.coll_recv::<T>(comm, s, Self::ctag(seq, 0))?;
                 out[s * block..(s + 1) * block].copy_from_slice(&part);
             }
         }
@@ -474,7 +477,7 @@ impl Mpi {
                 Self::ctag(seq, step as u32),
                 &sendbuf[sdispl[to]..sdispl[to] + sendcounts[to]],
             )?;
-            let part = self.coll_recv::<T>(comm, from, Self::ctag(seq, step as u32));
+            let part = self.coll_recv::<T>(comm, from, Self::ctag(seq, step as u32))?;
             assert_eq!(part.len(), recvcounts[from], "alltoallv count mismatch");
             out[rdispl[from]..rdispl[from] + recvcounts[from]].copy_from_slice(&part);
         }
@@ -496,7 +499,7 @@ impl Mpi {
         }
         let seq = self.next_coll_seq(comm);
         if me > 0 {
-            let prev = self.coll_recv::<T>(comm, me - 1, Self::ctag(seq, 0));
+            let prev = self.coll_recv::<T>(comm, me - 1, Self::ctag(seq, 0))?;
             // acc = prev ∘ mine (prefix order).
             let mine = acc.clone();
             acc = prev;
@@ -506,6 +509,18 @@ impl Mpi {
             self.coll_send(comm, me + 1, Self::ctag(seq, 0), &acc)?;
         }
         Ok(acc)
+    }
+
+    /// Deterministic, communication-free congruent communicator: every
+    /// rank derives the same child context id locally, with no
+    /// synchronizing barrier. For runtime-internal channels that must
+    /// exist before any traffic can flow — and whose creation must not
+    /// block on a peer that a fault plan may already have killed.
+    /// Single-use per parent: a second call returns the same id.
+    pub fn comm_dup_local(&self, comm: &Comm) -> Comm {
+        let id = crate::comm::derive_comm_id(comm.id, 0x5254, 0x52); // "RT"
+        self.ensure_comm_state(id);
+        Comm::new(id, comm.ranks.clone(), comm.my_idx)
     }
 
     /// `MPI_Comm_dup`: a congruent communicator with a fresh context id.

@@ -5,7 +5,7 @@ use bytes::Bytes;
 
 use caf_fabric::delay::DelayOp;
 use caf_fabric::pod::{as_bytes, vec_from_bytes};
-use caf_fabric::{Packet, Pod, Result};
+use caf_fabric::{FabricError, Packet, Pod, Result};
 
 use crate::comm::Comm;
 use crate::universe::Mpi;
@@ -114,22 +114,55 @@ impl Mpi {
     /// Generic ordered matcher: return the first packet (in arrival order)
     /// satisfying `pred`, stashing non-matching packets on the unexpected
     /// queue. Blocking.
-    pub(crate) fn match_packet(&self, pred: impl Fn(&Packet) -> bool) -> Packet {
+    ///
+    /// `watch` is the partner set this wait depends on: if any of those
+    /// ranks is marked failed, the wait returns
+    /// [`FabricError::ImageFailed`] instead of hanging. Already-arrived
+    /// data wins over a failure notice (a stashed match is returned even
+    /// if its sender has since died).
+    pub(crate) fn match_packet(
+        &self,
+        watch: &[usize],
+        pred: impl Fn(&Packet) -> bool,
+    ) -> Result<Packet> {
         {
             let mut q = self.unexpected.borrow_mut();
             if let Some(pos) = q.iter().position(&pred) {
-                return q.remove(pos).expect("position came from iter");
+                return Ok(q.remove(pos).expect("position came from iter"));
             }
         }
         loop {
-            let pkt = self
-                .ep
-                .recv_blocking()
-                .expect("fabric torn down while receiving");
-            if pred(&pkt) {
-                return pkt;
+            // Pull everything already delivered *before* consulting the
+            // failure registry: sends inject synchronously, so anything a
+            // member sent before dying is in the mailbox ahead of its
+            // failure notice — that data must win over the death, or a
+            // collective the dead rank fully participated in would
+            // spuriously fail on survivors.
+            while let Some(pkt) = self.ep.try_recv() {
+                if pred(&pkt) {
+                    return Ok(pkt);
+                }
+                self.unexpected.borrow_mut().push_back(pkt);
             }
-            self.unexpected.borrow_mut().push_back(pkt);
+            // The registry is authoritative (marked before any notice is
+            // sent), so re-checking it at the top of every wait covers
+            // notices consumed by unrelated waits.
+            let failed = self.fault.failed_of(watch);
+            if !failed.is_empty() {
+                return Err(FabricError::ImageFailed { failed });
+            }
+            match self.ep.recv_blocking() {
+                Ok(pkt) => {
+                    if pred(&pkt) {
+                        return Ok(pkt);
+                    }
+                    self.unexpected.borrow_mut().push_back(pkt);
+                }
+                // Failure notice for an image outside `watch`: not ours
+                // to report; the loop top re-checks and keeps waiting.
+                Err(FabricError::ImageFailed { .. }) => continue,
+                Err(e) => panic!("fabric torn down while receiving: {e}"),
+            }
         }
     }
 
@@ -220,7 +253,10 @@ impl Mpi {
         // deadlock report shows the wait-for edge.
         let _hint = gsrc.map(caf_fabric::sched::wait_hint);
         let mut span = caf_trace::span_t(caf_trace::Op::MpiRecv, gsrc, 0, None);
-        let pkt = self.match_packet(self.p2p_pred(comm, src, tag));
+        // Watch the whole communicator, not just `src`: a wildcard recv
+        // depends on every member, and even a named-source recv can hang
+        // transitively if a third member's failure stalls the sender.
+        let pkt = self.match_packet(comm.members(), self.p2p_pred(comm, src, tag))?;
         span.set_bytes(pkt.payload.len() as u64);
         self.delays.charge(DelayOp::P2pReceive, pkt.payload.len());
         if pkt.h[2] == SSEND_FLAG {
@@ -252,9 +288,12 @@ impl Mpi {
             [comm.id, comm.rank() as u64, SSEND_FLAG, seq],
             Bytes::copy_from_slice(bytes),
         );
-        self.ep.send(comm.global_rank(dest), pkt)?;
+        let gdest = comm.global_rank(dest);
+        self.ep.send(gdest, pkt)?;
         // Block until the matching ack arrives (other traffic is stashed).
-        let _ = self.match_packet(move |p| p.kind == KIND_SSEND_ACK && p.h[0] == seq);
+        let _ = self.match_packet(&[gdest], move |p| {
+            p.kind == KIND_SSEND_ACK && p.h[0] == seq
+        })?;
         Ok(())
     }
 
@@ -309,7 +348,9 @@ impl Mpi {
     /// Blocking probe (`MPI_Probe`): wait until a matching message is
     /// available and return its status without consuming it.
     pub fn probe(&self, comm: &Comm, src: Src, tag: Tag) -> Status {
-        let pkt = self.match_packet(self.p2p_pred(comm, src, tag));
+        let pkt = self
+            .match_packet(comm.members(), self.p2p_pred(comm, src, tag))
+            .expect("probe: partner image failed");
         let st = Status {
             source: pkt.h[1] as usize,
             tag: pkt.tag,
@@ -334,6 +375,14 @@ impl Mpi {
                 Src::Any => None,
             })
             .map(caf_fabric::sched::wait_hint);
+        // Union of every pending request's communicator: the set of
+        // images whose failure could strand this wait.
+        let mut watch: Vec<usize> = reqs
+            .iter()
+            .flat_map(|r| r.comm.members().iter().copied())
+            .collect();
+        watch.sort_unstable();
+        watch.dedup();
         loop {
             for i in 0..reqs.len() {
                 if reqs[i].test(self) {
@@ -342,13 +391,18 @@ impl Mpi {
                     return (i, data, st);
                 }
             }
+            let failed = self.fault.failed_of(&watch);
+            assert!(
+                failed.is_empty(),
+                "waitany: partner image(s) failed: {failed:?}"
+            );
             // Nothing ready: block for the next packet of any kind, then
             // retest (the packet was stashed by the matcher).
-            let pkt = self
-                .ep
-                .recv_blocking()
-                .expect("fabric torn down while receiving");
-            self.unexpected.borrow_mut().push_back(pkt);
+            match self.ep.recv_blocking() {
+                Ok(pkt) => self.unexpected.borrow_mut().push_back(pkt),
+                Err(FabricError::ImageFailed { .. }) => continue,
+                Err(e) => panic!("fabric torn down while receiving: {e}"),
+            }
         }
     }
 

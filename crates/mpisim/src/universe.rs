@@ -5,7 +5,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use caf_fabric::delay::{DelayConfig, DelayMeter, Delays};
-use caf_fabric::{Endpoint, Fabric, MemAccount, MemCategory, Packet};
+use caf_fabric::{Endpoint, Fabric, Fault, MemAccount, MemCategory, Packet};
 
 use crate::comm::Comm;
 
@@ -78,6 +78,7 @@ pub(crate) struct CommState {
 /// below). One `Mpi` exists per rank thread; it is not `Sync`.
 pub struct Mpi {
     pub(crate) ep: Endpoint,
+    pub(crate) fault: Fault,
     pub(crate) delays: Delays,
     pub(crate) config: MpiConfig,
     pub(crate) mem: Arc<MemAccount>,
@@ -108,8 +109,10 @@ impl Mpi {
         mem.map(MemCategory::PerPeerState, 256 * size);
 
         let world = Comm::new(0, (0..size).collect::<Vec<_>>().into(), rank);
+        let fault = ep.fault();
         let mpi = Mpi {
             ep,
+            fault,
             delays: Delays::new(config.delays),
             config,
             mem,
@@ -164,6 +167,45 @@ impl Mpi {
     /// experiment).
     pub fn endpoint(&self) -> &Endpoint {
         &self.ep
+    }
+
+    /// Handle onto the fabric's failure registry.
+    pub fn fault(&self) -> Fault {
+        self.fault.clone()
+    }
+
+    /// Kill this rank here (fault injection / `fail image`).
+    pub fn fail_now(&self) -> ! {
+        self.ep.fail_now()
+    }
+
+    /// Deterministic survivor communicator — the ULFM `MPI_Comm_shrink`
+    /// analog. Every survivor derives the *same* child context id from
+    /// the parent id and the excluded set, without communication (the
+    /// fixed point the ULFM agreement collective would reach), so the
+    /// shrink itself cannot hang on the very failure it excludes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling rank is itself in `failed`.
+    pub fn comm_shrink(&self, comm: &Comm, failed: &[usize]) -> Comm {
+        let ranks: Vec<usize> = comm
+            .members()
+            .iter()
+            .copied()
+            .filter(|r| !failed.contains(r))
+            .collect();
+        let my_idx = ranks
+            .iter()
+            .position(|&g| g == self.rank())
+            .expect("comm_shrink caller must be a survivor");
+        let mut h = 0xFA_u64;
+        for &r in failed {
+            h = crate::comm::splitmix64(h ^ (r as u64 + 1));
+        }
+        let id = crate::comm::derive_comm_id(comm.id, h, 0xFA);
+        self.ensure_comm_state(id);
+        Comm::new(id, ranks.into(), my_idx)
     }
 
     pub(crate) fn ensure_comm_state(&self, comm_id: u64) {

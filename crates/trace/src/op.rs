@@ -108,10 +108,17 @@ pub enum Op {
     /// Record re-bucketed toward its next hop at an intermediate rank
     /// (hypercube store-and-forward).
     AggForward,
+    // --- caf-fault (failed-image semantics, appended for stable decode) ---
+    /// An image died (injected fault or `fail_image()`); `bytes` = the
+    /// failed rank.
+    ImageFailed,
+    /// A blocking call returned `STAT_FAILED_IMAGE` to the program;
+    /// `bytes` = number of failed images in the delivered set.
+    StatDelivered,
 }
 
 /// Number of [`Op`] variants (for decode bounds checks).
-pub(crate) const NOPS: u16 = Op::AggForward as u16 + 1;
+pub(crate) const NOPS: u16 = Op::StatDelivered as u16 + 1;
 
 impl Op {
     /// Display name (used verbatim in Chrome trace output).
@@ -161,6 +168,8 @@ impl Op {
             Op::AggEnqueue => "AggEnqueue",
             Op::AggDrain => "AggDrain",
             Op::AggForward => "AggForward",
+            Op::ImageFailed => "ImageFailed",
+            Op::StatDelivered => "StatDelivered",
         }
     }
 
@@ -170,7 +179,7 @@ impl Op {
         match self {
             Computation | CoarrayWrite | CoarrayRead | EventWait | EventNotify | Alltoall
             | Barrier | Reduction | Finish | CopyAsync | Ship | RtMsgSend | RtMsgRecvBlocking
-            | AggEnqueue | AggDrain | AggForward => "caf",
+            | AggEnqueue | AggDrain | AggForward | ImageFailed | StatDelivered => "caf",
             MpiSend | MpiRecv | MpiBarrier | MpiBcast | MpiReduce | MpiGather | MpiAlltoall
             | RmaPut | RmaGet | RmaAtomic | WinFlush | WinFlushAll | WinLockAll
             | WinUnlockAll | WinFree | WinRflush | WinRflushWait => "mpi",

@@ -1,0 +1,54 @@
+//! Smallest possible failed-image demo: image 1 is killed by the fault
+//! plan at its first `event_notify`; image 0's `event_wait_stat` returns
+//! `Stat::FailedImage([1])` instead of hanging, and the survivors shrink
+//! the world team with `team_reform` and continue on three images.
+//!
+//! Run with `cargo run --example fault_smoke`.
+
+use caf::image::{CafConfig, CafUniverse, SubstrateKind};
+use caf::prelude::*;
+
+fn main() {
+    for kind in [SubstrateKind::Mpi, SubstrateKind::Gasnet] {
+        let mut cfg = CafConfig::on(kind);
+        cfg.fault = FaultPlan::kill(
+            1,
+            KillSite::Op {
+                name: "event_notify",
+                hits: 1,
+            },
+        );
+        let verbose = std::env::var_os("SMOKE_VERBOSE").is_some();
+        let results = CafUniverse::run_with_config_ft(4, cfg, move |img| {
+            let say = |m: &str| {
+                if verbose {
+                    eprintln!("[{kind:?} img {}] {m}", img.this_image());
+                }
+            };
+            let w = img.team_world();
+            let ev = img.event_alloc(&w);
+            if img.this_image() == 1 {
+                img.event_notify(&w, &ev, 0); // dies at this blocking point
+                unreachable!("image 1 is killed by the fault plan");
+            }
+            if img.this_image() == 0 {
+                say("event_wait_stat");
+                let stat = img.event_wait_stat(&ev);
+                assert!(!stat.is_ok(), "{kind:?}: waiter must observe the failure");
+                assert_eq!(stat.failed(), &[1]);
+            }
+            say("team_reform");
+            let (survivors, stat) = img.team_reform(&w);
+            assert_eq!(stat.failed(), &[1], "{kind:?}");
+            assert_eq!(survivors.size(), 3);
+            say("final barrier");
+            let stat = img.barrier_stat(&survivors);
+            assert!(stat.is_ok(), "{kind:?}: no member of the reformed team is failed");
+            say("done");
+            img.this_image()
+        });
+        assert_eq!(results[1], None, "{kind:?}: killed image yields None");
+        assert!(results.iter().filter(|r| r.is_some()).count() == 3);
+        println!("{kind:?}: survivors reformed and synced — OK");
+    }
+}

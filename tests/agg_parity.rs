@@ -290,3 +290,114 @@ fn aggregated_programs_are_checker_clean() {
         }
     }
 }
+
+/// Failed-hop reroute regression (DESIGN.md §17): hypercube
+/// store-and-forward is an optimization, not a delivery requirement.
+/// Routing geometry stays the *world* hypercube even after a reform, so
+/// with global rank 1 dead, writer 0 loses its dimension-0 hop toward
+/// every odd global destination (0→3, 0→5, 0→7 all route through 1):
+/// those records must detour directly to their destinations at drain
+/// time instead of being stranded in a dead mailbox. Records *destined*
+/// to the dead image are dropped — their target can never apply them.
+/// Delivery is then proven complete under the reformed team's `finish`
+/// (a degraded-world `finish_stat` discards its counters on failure and
+/// guarantees nothing, which is exactly why the reform exists).
+#[test]
+fn routed_drain_reroutes_around_failed_hop() {
+    const RP: usize = 8; // routing needs a power-of-two image count
+    const DEAD: usize = 1;
+    for kind in [SubstrateKind::Mpi, SubstrateKind::Gasnet] {
+        let cfg = CafConfig {
+            agg: AggConfig::routed(),
+            ..fast(kind)
+        };
+        let out = CafUniverse::run_with_config_ft(RP, cfg, move |img| {
+            let me = img.this_image();
+            let world = img.team_world();
+            // Allocate while everyone is still alive (a collective over
+            // the whole world team). The victim exits the barrier below
+            // only once every rank has entered it — i.e. only after
+            // every alloc completed — so the kill can never race a
+            // survivor's alloc. Survivors may still observe the death
+            // *inside* this barrier (fail-fast is conservative), hence
+            // the stat-tolerant form.
+            let world_ca: Coarray<u64> = img.coarray_alloc(&world, RP);
+            let stat = img.sync_all_stat();
+            assert!(stat.is_ok() || stat.failed() == [DEAD]);
+            if me == DEAD {
+                img.fail_image();
+            }
+            // Wait until the death is visible, so every drain below runs
+            // with the failed hop already in the registry.
+            let mut seen = false;
+            for _ in 0..16 {
+                let stat = img.sync_all_stat();
+                if stat.failed() == [DEAD] {
+                    seen = true;
+                    break;
+                }
+            }
+            assert!(seen, "image {me} never observed the death");
+            // Dead-destination records: writer 0's goes straight at the
+            // failed target and must be counted as dropped, not shipped
+            // into the void.
+            let ((), stat) = img.finish_stat(&world, |img| {
+                img.agg_accumulate_add(&world_ca, DEAD, 0, 0xDEAD);
+            });
+            assert_eq!(stat.failed(), &[DEAD], "finish must surface the death");
+
+            // Self-heal, then the real exchange on the reformed team:
+            // its finish has no failed member, so Yang's termination
+            // detection runs to quiescence and delivery is guaranteed.
+            let (team, stat) = img.team_reform(&world);
+            assert_eq!(stat.failed(), &[DEAD]);
+            assert_eq!(team.size(), RP - 1);
+            let ca: Coarray<u64> = img.coarray_alloc(&team, RP - 1);
+            let t = team.rank();
+            // lint:allow(CAFL008) reform dropped the only failed member
+            img.finish(&team, |img| {
+                for j in 0..RP - 1 {
+                    if j != t {
+                        img.agg_accumulate_add(&ca, j, t, 1 + t as u64);
+                    }
+                }
+            });
+            // lint:allow(CAFL008) same: the reformed team is whole
+            img.barrier(&team);
+            let table = ca.local_vec(img);
+            let stats = img.agg_stats();
+            (table, stats.rerouted, stats.dropped_dead)
+        });
+        assert!(out[DEAD].is_none(), "{kind:?}: the victim's slot must be dropped");
+        let mut total_rerouted = 0;
+        let mut total_dropped = 0;
+        for slot in out.iter().flatten() {
+            let (table, rerouted, dropped) = slot;
+            for (w, &got) in table.iter().enumerate() {
+                // Slot w was written by team rank w with value 1 + w,
+                // except the reader's own slot which nobody writes.
+                if got != 0 {
+                    assert_eq!(got, 1 + w as u64, "{kind:?}: slot {w} corrupted");
+                }
+            }
+            let zeros = table.iter().filter(|&&v| v == 0).count();
+            assert_eq!(
+                zeros, 1,
+                "{kind:?}: a record was stranded on the dead hop ({table:?})"
+            );
+            total_rerouted += rerouted;
+            total_dropped += dropped;
+        }
+        // Writer global-0 alone owes three detours (0→3, 0→5, 0→7 all
+        // lost their first hop), and its dead-destination record is a
+        // guaranteed direct drop.
+        assert!(
+            total_rerouted >= 3,
+            "{kind:?}: only {total_rerouted} rerouted records — the detour path never fired"
+        );
+        assert!(
+            total_dropped >= 1,
+            "{kind:?}: no dead-destination drop was recorded"
+        );
+    }
+}

@@ -704,6 +704,129 @@ fn collective_inside_shipped_closure_trips_cafl008() {
     assert_eq!(ws_codes(&[("tests/fix.rs", bad)]), vec!["CAFL008"]);
 }
 
+// -------------------------------------------- CAFL008: failure edges
+
+#[test]
+fn blind_blocking_call_in_fault_aware_program_trips_cafl008() {
+    // The program threads Stat through one barrier and reforms the team
+    // — it expects failures — but the final sync is failure-blind: once
+    // an image dies it panics instead of reporting.
+    let bad = r#"
+        fn recovers(img: &Image) {
+            let stat = img.sync_all_stat();
+            if !stat.is_ok() {
+                let (team, _stat) = img.team_reform(&img.team_world());
+                img.barrier(&team);
+            }
+        }
+    "#;
+    let report = ws_report(&[("tests/fix.rs", bad)]);
+    assert_eq!(
+        report.diags.iter().map(|d| d.code).collect::<Vec<_>>(),
+        vec!["CAFL008"],
+        "failure edge must be flagged: {:?}",
+        report.diags
+    );
+    assert!(report.diags[0].msg.contains("Stat out-param"), "{:?}", report.diags);
+}
+
+#[test]
+fn stat_twin_everywhere_is_clean() {
+    let good = r#"
+        fn recovers(img: &Image) {
+            let stat = img.sync_all_stat();
+            if !stat.is_ok() {
+                let (team, _stat) = img.team_reform(&img.team_world());
+                let stat = img.barrier_stat(&team);
+                assert!(stat.is_ok());
+            }
+        }
+    "#;
+    assert!(ws_codes(&[("tests/fix.rs", good)]).is_empty());
+}
+
+#[test]
+fn plain_blocking_without_fault_api_is_not_a_failure_edge() {
+    // A program that never touches the failed-image API is failure-free
+    // by assumption: plain collectives are the correct idiom.
+    let good = r#"
+        fn oblivious(img: &Image) {
+            img.sync_all();
+            img.barrier(&world);
+        }
+    "#;
+    assert!(ws_codes(&[("tests/fix.rs", good)]).is_empty());
+}
+
+#[test]
+fn failure_edge_reaches_through_helper_calls() {
+    // The fault API and the blind call live in different functions of
+    // the same program: the root joins both.
+    let bad = r#"
+        fn root(img: &Image) {
+            detect(img);
+            settle(img);
+        }
+        fn detect(img: &Image) {
+            let stat = img.sync_all_stat();
+            let _ = stat.is_ok();
+        }
+        fn settle(img: &Image) {
+            img.barrier(&world);
+        }
+    "#;
+    assert_eq!(ws_codes(&[("tests/fix.rs", bad)]), vec!["CAFL008"]);
+}
+
+#[test]
+fn blind_finish_in_fault_aware_program_trips_cafl008() {
+    // finish has a _stat twin too; the plain form panics mid-teardown
+    // when a member dies inside the block.
+    let bad = r#"
+        fn recovers(img: &Image) {
+            let (team, _stat) = img.team_reform(&img.team_world());
+            img.finish(&team, |img| {
+                let _ = img.this_image();
+            });
+        }
+    "#;
+    assert_eq!(ws_codes(&[("tests/fix.rs", bad)]), vec!["CAFL008"]);
+}
+
+#[test]
+fn finish_stat_closure_exit_still_releases() {
+    // The finish_stat closure is run-once like finish: deferred work
+    // inside needs no explicit release (on failure it is discarded, not
+    // deferred further).
+    let good = r#"
+        fn recovers(img: &Image) {
+            let ((), stat) = img.finish_stat(&world, |img| {
+                img.copy_async_put(&ca, 1, 0, &[7], AsyncOpts::none());
+            });
+            let _ = stat.is_ok();
+        }
+    "#;
+    assert!(ws_codes(&[("tests/fix.rs", good)]).is_empty());
+}
+
+#[test]
+fn code_spelled_allow_suppresses_failure_edge() {
+    // `lint:allow(CAFL008)` — the code-spelled escape hatch — works on
+    // the line above the blind call, for sites that provably run on a
+    // failure-free team.
+    let allowed = r#"
+        fn recovers(img: &Image) {
+            let stat = img.sync_all_stat();
+            if !stat.is_ok() {
+                let (team, _stat) = img.team_reform(&img.team_world());
+                // lint:allow(CAFL008) reform dropped every failed member
+                img.barrier(&team);
+            }
+        }
+    "#;
+    assert!(ws_codes(&[("tests/fix.rs", allowed)]).is_empty());
+}
+
 #[test]
 fn allow_marker_suppresses_cafl008_and_is_not_stale() {
     let allowed = r#"
